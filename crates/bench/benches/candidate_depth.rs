@@ -1,0 +1,74 @@
+//! Ablation: cost of generating deeper candidate lists (Algorithm 1 and the
+//! list-Viterbi Algorithm 2) as the requested number of candidates grows.
+//!
+//! The TKIP attack walks up to ~2^30 candidates and the cookie attack ~2^23;
+//! the curves here show the near-linear scaling that makes those budgets
+//! practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plaintext_recovery::{
+    candidates::generate_candidates,
+    charset::Charset,
+    likelihood::{PairLikelihoods, SingleLikelihoods},
+    viterbi::{list_viterbi, ViterbiConfig},
+};
+
+fn synthetic_single(positions: usize) -> Vec<SingleLikelihoods> {
+    (0..positions)
+        .map(|p| {
+            let log: Vec<f64> = (0..256)
+                .map(|v| {
+                    let x = (v as u64 + 1).wrapping_mul(p as u64 + 3).wrapping_mul(0x9E37);
+                    ((x % 1000) as f64) / 250.0
+                })
+                .collect();
+            SingleLikelihoods::from_log_values(log).unwrap()
+        })
+        .collect()
+}
+
+fn bench_algorithm1_depth(c: &mut Criterion) {
+    let liks = synthetic_single(12);
+    let mut group = c.benchmark_group("candidate_depth_algorithm1");
+    group.sample_size(10);
+    for n in [1usize, 256, 4096, 65536] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| generate_candidates(std::hint::black_box(&liks), n, &Charset::full()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm2_depth(c: &mut Criterion) {
+    // 16-byte cookie over the 90-character alphabet, as in the paper.
+    let transitions = 17usize;
+    let liks: Vec<PairLikelihoods> = (0..transitions)
+        .map(|t| {
+            let mut log = vec![0.0f64; 65536];
+            for (i, slot) in log.iter_mut().enumerate() {
+                let x = (i as u64 + 1).wrapping_mul(t as u64 + 7).wrapping_mul(0x2545_F491);
+                *slot = ((x >> 16) % 1000) as f64 / 300.0;
+            }
+            PairLikelihoods::from_log_values(log).unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("candidate_depth_algorithm2");
+    group.sample_size(10);
+    for n in [1usize, 64, 1024] {
+        let config = ViterbiConfig {
+            first_known: b'=',
+            last_known: b';',
+            candidates: n,
+            charset: Charset::cookie(),
+        };
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &config, |b, config| {
+            b.iter(|| list_viterbi(std::hint::black_box(&liks), config).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1_depth, bench_algorithm2_depth);
+criterion_main!(benches);

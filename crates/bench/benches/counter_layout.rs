@@ -1,0 +1,56 @@
+//! Ablation: the paper's 16-bit batched counter layout versus plain u64
+//! counters for the statistics workers (Sect. 3.2 optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rc4_stats::counters::{Batched16Counter, PlainCounter};
+
+/// Deterministic scattered update pattern mimicking digraph counting.
+fn update_stream(len: usize, cells: usize) -> Vec<usize> {
+    let mut x = 0x12345678u64;
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize % cells
+        })
+        .collect()
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let cells = 65536;
+    let updates = update_stream(1 << 18, cells);
+    let mut group = c.benchmark_group("counter_layout");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(updates.len() as u64));
+
+    group.bench_function("plain_u64", |b| {
+        b.iter(|| {
+            let mut counter = PlainCounter::new(cells);
+            for &idx in std::hint::black_box(&updates) {
+                counter.record(idx);
+            }
+            counter.into_counts()
+        });
+    });
+
+    for batch in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("batched_u16", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut counter = Batched16Counter::new(cells, 60_000, batch).unwrap();
+                    for &idx in std::hint::black_box(&updates) {
+                        counter.record(idx);
+                    }
+                    counter.into_counts()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counters);
+criterion_main!(benches);

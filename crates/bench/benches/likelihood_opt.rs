@@ -1,0 +1,74 @@
+//! Ablation: the optimized sparse likelihood evaluation of Eq. 15 versus the
+//! naive dense Eq. 13, and the M-test versus the chi-squared independence test.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plaintext_recovery::likelihood::PairLikelihoods;
+use rc4_biases::{distributions::PairDistribution, fm, UNIFORM_PAIR};
+use stat_tests::{chisq::chi_squared_independence, mtest::m_test_independence};
+
+/// Builds ciphertext pair counts for a fixed plaintext pair under the FM model.
+fn sample_counts(position: u64, truth: (u8, u8), n: u64) -> Vec<u64> {
+    let dist = PairDistribution::fluhrer_mcgrew(position);
+    let mut counts = vec![0u64; 65536];
+    for k1 in 0..256usize {
+        for k2 in 0..256usize {
+            let c1 = k1 ^ truth.0 as usize;
+            let c2 = k2 ^ truth.1 as usize;
+            counts[(c1 << 8) | c2] = (dist.prob(k1 as u8, k2 as u8) * n as f64).round() as u64;
+        }
+    }
+    counts
+}
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let position = 257u64;
+    let counts = sample_counts(position, (0x13, 0x37), 1 << 24);
+    let total: u64 = counts.iter().sum();
+    let dist = PairDistribution::fluhrer_mcgrew(position);
+    let cells: Vec<(u8, u8, f64)> = fm::fm_biases_at(position)
+        .into_iter()
+        .map(|b| (b.first, b.second, b.probability))
+        .collect();
+
+    let mut group = c.benchmark_group("likelihood_eq15_vs_eq13");
+    group.sample_size(10);
+    group.bench_function("sparse_eq15", |b| {
+        b.iter(|| {
+            PairLikelihoods::from_counts_sparse(
+                std::hint::black_box(&counts),
+                &cells,
+                UNIFORM_PAIR,
+                total,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("dense_eq13", |b| {
+        b.iter(|| {
+            PairLikelihoods::from_counts_dense(
+                std::hint::black_box(&counts),
+                dist.as_slice(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_mtest_vs_chisq(c: &mut Criterion) {
+    // The paper prefers the M-test for detecting a few outlying cells; compare
+    // the runtime of the two tests on a 256x256 contingency table.
+    let counts = sample_counts(1, (0, 0), 1 << 22);
+    let mut group = c.benchmark_group("mtest_vs_chisq");
+    group.sample_size(10);
+    group.bench_function("m_test", |b| {
+        b.iter(|| m_test_independence(std::hint::black_box(&counts), 256, 256).unwrap());
+    });
+    group.bench_function("chi_squared", |b| {
+        b.iter(|| chi_squared_independence(std::hint::black_box(&counts), 256, 256).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense, bench_mtest_vs_chisq);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Throughput of the RC4 substrate: KSA cost and bulk keystream generation.
+//!
+//! The statistics datasets (Sect. 3.2) are bounded by how fast keystreams can
+//! be generated; this bench pins that number down on the build machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rc4::{Prga, Rc4};
+
+fn bench_ksa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rc4_ksa");
+    for key_len in [5usize, 16, 32] {
+        let key = vec![0xA5u8; key_len];
+        group.bench_with_input(BenchmarkId::from_parameter(key_len), &key, |b, key| {
+            b.iter(|| Prga::new(std::hint::black_box(key)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_keystream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rc4_keystream");
+    for len in [256usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let mut prga = Prga::new(b"benchmark key 16").unwrap();
+            let mut buf = vec![0u8; len];
+            b.iter(|| {
+                prga.fill(std::hint::black_box(&mut buf));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rc4_encrypt");
+    let data = vec![0x5Au8; 1500];
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("mtu_sized_packet", |b| {
+        let mut cipher = Rc4::new(b"benchmark key 16").unwrap();
+        let mut buf = data.clone();
+        b.iter(|| cipher.apply_keystream(std::hint::black_box(&mut buf)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ksa, bench_keystream, bench_encrypt);
+criterion_main!(benches);

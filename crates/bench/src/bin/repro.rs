@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the paper at a chosen scale.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [EXPERIMENT] [SCALE] [--json]
+//!
+//! EXPERIMENT: all | table1 | fig4 | table2 | eq345 | fig5 | fig6 | longterm |
+//!             headline | fig7 | fig8 | fig10          (default: all)
+//! SCALE:      quick | laptop | extended               (default: quick)
+//! --json:     additionally print each report as JSON
+//! ```
+
+use rc4_attacks::experiments::{
+    biases::{
+        eq345_equalities, fig4_fm_shortterm, fig5_z1z2, fig6_single_byte, headline_detection,
+        longterm_aligned, table1_fm_longterm, table2_new_biases,
+    },
+    fig10::{self, Fig10Config},
+    fig7::{self, Fig7Config},
+    fig8::{self, Fig8Config, TkipTrafficModel},
+    Scale,
+};
+use rc4_attacks::{ExperimentError, ExperimentReport};
+
+fn fig7_config(scale: Scale) -> Fig7Config {
+    match scale {
+        Scale::Quick => Fig7Config::quick(),
+        Scale::Laptop => Fig7Config {
+            ciphertext_counts: vec![1 << 27, 1 << 29, 1 << 31, 1 << 33, 1 << 35],
+            trials: 32,
+            absab_relations: 64,
+            ..Fig7Config::default()
+        },
+        Scale::Extended => Fig7Config {
+            ciphertext_counts: vec![1 << 27, 1 << 29, 1 << 31, 1 << 33, 1 << 35, 1 << 37, 1 << 39],
+            trials: 128,
+            absab_relations: 258,
+            ..Fig7Config::default()
+        },
+    }
+}
+
+fn fig8_config(scale: Scale) -> Fig8Config {
+    match scale {
+        Scale::Quick => Fig8Config::quick(),
+        Scale::Laptop => Fig8Config::default(),
+        Scale::Extended => Fig8Config {
+            capture_counts: vec![1 << 13, 1 << 15, 1 << 17, 1 << 19, 1 << 21],
+            trials: 64,
+            max_candidates: 1 << 20,
+            model: TkipTrafficModel::Empirical { keys: 1 << 22 },
+            ..Fig8Config::default()
+        },
+    }
+}
+
+fn fig10_config(scale: Scale) -> Fig10Config {
+    match scale {
+        Scale::Quick => Fig10Config::quick(),
+        Scale::Laptop => Fig10Config::default(),
+        Scale::Extended => Fig10Config {
+            request_counts: (1..=15u64).step_by(2).map(|k| k << 27).collect(),
+            trials: 64,
+            cookie_len: 16,
+            candidates: 1 << 17,
+            absab_relations: 258,
+            ..Fig10Config::default()
+        },
+    }
+}
+
+fn run_one(id: &str, scale: Scale) -> Result<Vec<ExperimentReport>, ExperimentError> {
+    let bias_scale = bench::bias_scale_for(scale);
+    let reports = match id {
+        "table1" => vec![table1_fm_longterm(&bias_scale)?],
+        "fig4" => vec![fig4_fm_shortterm(
+            &bias_scale,
+            &[1, 2, 5, 17, 32, 64, 96, 130, 192, 257, 288],
+        )?],
+        "table2" => vec![table2_new_biases(&bias_scale)?],
+        "eq345" => vec![eq345_equalities(&bias_scale)?],
+        "fig5" => vec![fig5_z1z2(&bias_scale, &[4, 8, 16, 32, 64, 128, 192, 256])?],
+        "fig6" => vec![fig6_single_byte(&bias_scale)?],
+        "longterm" => vec![longterm_aligned(&bias_scale)?],
+        "headline" => vec![headline_detection(&bias_scale)?],
+        "fig7" => vec![fig7::run(&fig7_config(scale))?],
+        "fig8" | "fig9" => vec![fig8::run(&fig8_config(scale))?.1],
+        "fig10" => vec![fig10::run(&fig10_config(scale))?.1],
+        "all" => {
+            let mut all = Vec::new();
+            for id in [
+                "headline", "table1", "fig4", "table2", "eq345", "fig5", "fig6", "longterm",
+                "fig7", "fig8", "fig10",
+            ] {
+                all.extend(run_one(id, scale)?);
+            }
+            all
+        }
+        other => {
+            return Err(ExperimentError::InvalidConfig(format!(
+                "unknown experiment '{other}'"
+            )))
+        }
+    };
+    Ok(reports)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let experiment = positional.first().map(|s| s.as_str()).unwrap_or("all");
+    let scale = positional
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Quick);
+
+    eprintln!("repro: experiment = {experiment}, scale = {scale:?}");
+    match run_one(experiment, scale) {
+        Ok(reports) => {
+            for report in reports {
+                println!("{}", report.render());
+                if json {
+                    println!("{}", report.to_json());
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("repro failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

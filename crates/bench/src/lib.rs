@@ -1,0 +1,42 @@
+//! Benchmark and reproduction support crate.
+//!
+//! This crate hosts two things:
+//!
+//! * the Criterion benchmarks (`benches/`), one per paper table/figure plus the
+//!   ablation benches called out in DESIGN.md, and
+//! * the `repro` binary (`src/bin/repro.rs`), which regenerates the rows/series
+//!   of every table and figure at a chosen scale and renders them as text or
+//!   JSON (the numbers recorded in `EXPERIMENTS.md` come from this binary).
+//!
+//! The library portion only exposes small helpers shared between the two.
+
+use rc4_attacks::experiments::{biases::BiasScale, Scale};
+
+/// Maps a scale preset to the bias-experiment configuration used by both the
+/// benches and the `repro` binary.
+pub fn bias_scale_for(scale: Scale) -> BiasScale {
+    match scale {
+        Scale::Quick => BiasScale::quick(),
+        Scale::Laptop => BiasScale::default(),
+        Scale::Extended => BiasScale {
+            keys: 1 << 26,
+            longterm_keys: 1 << 12,
+            longterm_block: 1 << 22,
+            ..BiasScale::default()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered_by_effort() {
+        let quick = bias_scale_for(Scale::Quick);
+        let laptop = bias_scale_for(Scale::Laptop);
+        let extended = bias_scale_for(Scale::Extended);
+        assert!(quick.keys < laptop.keys);
+        assert!(laptop.keys < extended.keys);
+    }
+}

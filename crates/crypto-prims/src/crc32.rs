@@ -1,0 +1,141 @@
+//! IEEE CRC-32 as used by the WEP/TKIP Integrity Check Value (ICV).
+//!
+//! The TKIP attack in Section 5 of the paper prunes plaintext candidates by
+//! recomputing this CRC over the candidate payload + MIC and comparing it with
+//! the candidate ICV, so a bit-exact implementation matters.
+
+/// Reflected polynomial for IEEE CRC-32 (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB88320;
+
+/// Precomputed lookup table, generated at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 computation.
+///
+/// # Examples
+///
+/// ```
+/// use crypto_prims::crc32::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update(b"1234");
+/// crc.update(b"56789");
+/// assert_eq!(crc.finalize(), 0xCBF43926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a new CRC-32 computation (initial state all-ones).
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            let idx = ((self.state ^ b as u32) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ t[idx];
+        }
+    }
+
+    /// Finalizes and returns the CRC value.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+/// Computes the 4-byte little-endian ICV appended to TKIP/WEP plaintext.
+///
+/// 802.11 transmits the ICV least-significant byte first.
+pub fn icv(data: &[u8]) -> [u8; 4] {
+    crc32(data).to_le_bytes()
+}
+
+/// Verifies that `data` followed by `icv_bytes` forms a valid ICV-protected frame body.
+pub fn verify_icv(data: &[u8], icv_bytes: &[u8; 4]) -> bool {
+    icv(data) == *icv_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+    }
+
+    #[test]
+    fn known_values() {
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A55AD);
+        assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6CAB0B);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        let mut c = Crc32::new();
+        for chunk in data.chunks(7) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finalize(), crc32(&data));
+    }
+
+    #[test]
+    fn icv_roundtrip() {
+        let body = b"some frame body with MIC appended";
+        let tag = icv(body);
+        assert!(verify_icv(body, &tag));
+        let mut corrupted = *body;
+        corrupted[0] ^= 0x01;
+        assert!(!verify_icv(&corrupted, &tag));
+    }
+
+    #[test]
+    fn single_bit_changes_crc() {
+        let a = crc32(b"aaaaaaaa");
+        let b = crc32(b"aaaaaaab");
+        assert_ne!(a, b);
+    }
+}

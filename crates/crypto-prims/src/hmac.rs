@@ -1,0 +1,177 @@
+//! HMAC (RFC 2104) over any [`Digest`].
+//!
+//! TLS with the `RC4-SHA1` suite authenticates every record with HMAC-SHA1;
+//! the TLS 1.0/1.1 PRF additionally needs HMAC-MD5, and the TLS 1.2 PRF needs
+//! HMAC-SHA256. All three are instantiations of the generic [`Hmac`].
+
+use crate::{md5::Md5, sha1::Sha1, sha256::Sha256, Digest};
+
+/// Streaming HMAC instance, generic over the underlying digest.
+///
+/// # Examples
+///
+/// ```
+/// use crypto_prims::{hmac::Hmac, sha1::Sha1, to_hex};
+///
+/// let mut mac = Hmac::<Sha1>::new(b"key");
+/// mac.update(b"The quick brown fox ");
+/// mac.update(b"jumps over the lazy dog");
+/// assert_eq!(
+///     to_hex(&mac.finalize()),
+///     "de7c9b85b8b78aa6bc8a7a36f70a90701c9db4d9"
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates an HMAC instance for `key`.
+    ///
+    /// Keys longer than the digest block size are hashed first, as mandated by
+    /// RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_SIZE];
+        if key.len() > D::BLOCK_SIZE {
+            let hashed = D::digest(key);
+            key_block[..hashed.len()].copy_from_slice(&hashed);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+
+        let mut inner = D::new();
+        let mut outer = D::new();
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        inner.update(&ipad);
+        outer.update(&opad);
+        Self { inner, outer }
+    }
+
+    /// Absorbs message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the authentication tag.
+    pub fn finalize(mut self) -> Vec<u8> {
+        let inner_hash = self.inner.finalize();
+        self.outer.update(&inner_hash);
+        self.outer.finalize()
+    }
+
+    /// One-shot HMAC computation.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-length tag verification.
+    ///
+    /// Uses a branch-free comparison so the substrate does not introduce a
+    /// timing side channel of its own (irrelevant for the attack, but the
+    /// record layer is written as a real implementation would be).
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let computed = Self::mac(key, data);
+        if computed.len() != tag.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in computed.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// One-shot HMAC-SHA1.
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Vec<u8> {
+    Hmac::<Sha1>::mac(key, data)
+}
+
+/// One-shot HMAC-MD5.
+pub fn hmac_md5(key: &[u8], data: &[u8]) -> Vec<u8> {
+    Hmac::<Md5>::mac(key, data)
+}
+
+/// One-shot HMAC-SHA256.
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Vec<u8> {
+    Hmac::<Sha256>::mac(key, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    #[test]
+    fn rfc2202_sha1_vectors() {
+        assert_eq!(
+            to_hex(&hmac_sha1(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            to_hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        assert_eq!(
+            to_hex(&hmac_sha1(&[0xaa; 20], &[0xdd; 50])),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+    }
+
+    #[test]
+    fn rfc2202_md5_vectors() {
+        assert_eq!(
+            to_hex(&hmac_md5(&[0x0b; 16], b"Hi There")),
+            "9294727a3638bb1c13f48ef8158bfc9d"
+        );
+        assert_eq!(
+            to_hex(&hmac_md5(b"Jefe", b"what do ya want for nothing?")),
+            "750c783e6ab0b503eaa86e310a5db738"
+        );
+    }
+
+    #[test]
+    fn rfc4231_sha256_vector() {
+        assert_eq!(
+            to_hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        // RFC 2202 test case 6: 80-byte key.
+        assert_eq!(
+            to_hex(&hmac_sha1(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = hmac_sha1(b"k", b"msg");
+        assert!(Hmac::<Sha1>::verify(b"k", b"msg", &tag));
+        assert!(!Hmac::<Sha1>::verify(b"k", b"msh", &tag));
+        assert!(!Hmac::<Sha1>::verify(b"j", b"msg", &tag));
+        assert!(!Hmac::<Sha1>::verify(b"k", b"msg", &tag[..10]));
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut mac = Hmac::<Sha256>::new(b"stream-key");
+        mac.update(b"part one|");
+        mac.update(b"part two");
+        assert_eq!(
+            mac.finalize(),
+            hmac_sha256(b"stream-key", b"part one|part two")
+        );
+    }
+}

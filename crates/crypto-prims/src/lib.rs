@@ -1,0 +1,123 @@
+//! Cryptographic primitives required by the RC4 attack substrates.
+//!
+//! The paper's attacks sit on top of two real-world protocols — WPA-TKIP and
+//! TLS — which in turn depend on a handful of classical primitives. To keep the
+//! reproduction self-contained (no OpenSSL, no external crypto crates) this
+//! crate implements all of them from scratch:
+//!
+//! * [`sha1`] — SHA-1, used by the TLS `RC4-SHA1` cipher suite's HMAC.
+//! * [`sha256`] — SHA-256, used by the TLS 1.2 PRF.
+//! * [`md5`] — MD5, used by the TLS 1.0/1.1 PRF.
+//! * [`hmac`] — HMAC over any [`Digest`], providing HMAC-SHA1 / HMAC-MD5 /
+//!   HMAC-SHA256.
+//! * [`prf`] — the TLS pseudo-random functions used to expand the master
+//!   secret into the RC4 key and MAC keys.
+//! * [`crc32`] — the IEEE CRC-32 used as the TKIP/WEP Integrity Check Value
+//!   (ICV); the attack prunes plaintext candidates with it.
+//! * [`michael`] — the TKIP Michael message integrity code, including the
+//!   key-inversion procedure that makes the WPA-TKIP attack devastating.
+//!
+//! All implementations favour clarity over speed; they are nonetheless fast
+//! enough for the traffic volumes simulated in the benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use crypto_prims::{hmac::hmac_sha1, sha1::Sha1, Digest};
+//!
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(hex(&digest), "a9993e364706816aba3e25717850c26c9cd0d89d");
+//!
+//! let tag = hmac_sha1(b"key", b"message");
+//! assert_eq!(tag.len(), 20);
+//!
+//! fn hex(b: &[u8]) -> String {
+//!     b.iter().map(|x| format!("{x:02x}")).collect()
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc32;
+pub mod hmac;
+pub mod md5;
+pub mod michael;
+pub mod prf;
+pub mod sha1;
+pub mod sha256;
+
+/// A minimal streaming digest abstraction shared by SHA-1, SHA-256 and MD5.
+///
+/// The abstraction exists so [`hmac::Hmac`] can be generic over the hash
+/// function, mirroring how TLS composes HMAC with different digests.
+pub trait Digest: Clone {
+    /// Digest output size in bytes.
+    const OUTPUT_SIZE: usize;
+    /// Internal block size in bytes (64 for all digests implemented here).
+    const BLOCK_SIZE: usize;
+
+    /// Creates a fresh digest state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Finalizes the digest and returns the output bytes.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: digest `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut d = Self::new();
+        d.update(data);
+        d.finalize()
+    }
+}
+
+/// Formats bytes as a lowercase hexadecimal string.
+///
+/// Shared helper used by tests, examples and report formatting.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Parses a lowercase/uppercase hexadecimal string into bytes.
+///
+/// Returns `None` when the string has odd length or contains a non-hex digit.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = vec![0x00, 0x01, 0xab, 0xff, 0x7f];
+        let s = to_hex(&data);
+        assert_eq!(s, "0001abff7f");
+        assert_eq!(from_hex(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(from_hex("abc").is_none());
+        assert!(from_hex("zz").is_none());
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+}

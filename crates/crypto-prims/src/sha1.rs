@@ -1,0 +1,194 @@
+//! SHA-1 (FIPS 180-4) implementation.
+//!
+//! Used by the TLS `RC4-SHA1` cipher suite: every TLS record carries an
+//! HMAC-SHA1 tag, so the record-layer substrate needs a real SHA-1.
+
+use crate::Digest;
+
+/// Streaming SHA-1 state.
+///
+/// # Examples
+///
+/// ```
+/// use crypto_prims::{sha1::Sha1, Digest};
+///
+/// let mut h = Sha1::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), Sha1::digest(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Bytes buffered waiting for a full 64-byte block.
+    buffer: [u8; 64],
+    buffer_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Sha1 {
+    const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_SIZE: usize = 20;
+    const BLOCK_SIZE: usize = 64;
+
+    fn new() -> Self {
+        Self {
+            state: Self::H0,
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        // The padding byte above already changed total_len; length is captured first.
+        while self.buffer_len != 56 {
+            let pad_to = if self.buffer_len < 56 { 56 } else { 64 };
+            let zeros = vec![0u8; pad_to - self.buffer_len];
+            self.update(&zeros);
+            if pad_to == 64 {
+                // Buffer was flushed; continue padding towards 56 in the next block.
+                continue;
+            }
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = Vec::with_capacity(20);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    #[test]
+    fn nist_vectors() {
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i % 251) as u8).collect();
+        for split in [0usize, 1, 63, 64, 65, 127, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise messages straddling the 55/56/64-byte padding boundaries.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xA5u8; len];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(&[*b]);
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Bayesian plaintext recovery from RC4 keystream biases — Section 4 of the paper.
+//!
+//! Given many encryptions of the *same* plaintext under independent RC4 keys,
+//! the keystream biases leak the plaintext. This crate implements the full
+//! recovery pipeline:
+//!
+//! * [`counts`] — collectors that reduce a stream of ciphertexts to the count
+//!   vectors the likelihood formulas need (per-position byte counts, pair
+//!   counts, and ABSAB ciphertext-differential counts).
+//! * [`likelihood`] — the Bayesian likelihood estimators: single-byte
+//!   (Eq. 11–12), double-byte (Eq. 13) and the optimized evaluation over a
+//!   small set of dependent keystream values (Eq. 15–16), plus combination of
+//!   multiple bias families by multiplying likelihoods (Eq. 25).
+//! * [`absab`] — likelihoods derived from Mantin's ABSAB bias via ciphertext
+//!   differentials against surrounding known plaintext (Eq. 17–24).
+//! * [`candidates`] — Algorithm 1: a ranked list of plaintext candidates from
+//!   single-byte likelihoods.
+//! * [`viterbi`] — Algorithm 2: a ranked candidate list from double-byte
+//!   likelihoods, i.e. an N-best (list) Viterbi decode of the implied hidden
+//!   Markov model, with optional restriction to a plaintext alphabet.
+//! * [`charset`] — plaintext alphabets (e.g. the ≤ 90 characters RFC 6265
+//!   allows in a cookie value) used to prune the search.
+//!
+//! All likelihood math is done in log space for numerical stability, exactly
+//! as the paper recommends.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absab;
+pub mod candidates;
+pub mod charset;
+pub mod counts;
+pub mod likelihood;
+pub mod viterbi;
+
+/// Errors returned by the recovery algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// An input had an unexpected shape (wrong number of cells, empty, ...).
+    InvalidInput(String),
+    /// The requested configuration is inconsistent (e.g. empty alphabet).
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecoveryError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            RecoveryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(RecoveryError::InvalidInput("x".into()).to_string().contains("x"));
+        assert!(RecoveryError::InvalidConfig("y".into())
+            .to_string()
+            .contains("configuration"));
+    }
+}

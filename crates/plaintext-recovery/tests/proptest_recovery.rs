@@ -1,0 +1,148 @@
+//! Property-based tests for likelihoods and candidate generation.
+
+use plaintext_recovery::{
+    candidates::generate_candidates,
+    charset::Charset,
+    counts::SingleCounts,
+    likelihood::{PairLikelihoods, SingleLikelihoods},
+    viterbi::{list_viterbi, ViterbiConfig},
+};
+use proptest::prelude::*;
+
+/// Strategy: a vector of 256 finite log-likelihood values.
+fn log_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, 256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Algorithm 1 invariants for arbitrary likelihood tables: the list is
+    /// sorted, has no duplicates, the top candidate is the per-position argmax,
+    /// and every score equals the sum of its per-byte log-likelihoods.
+    #[test]
+    fn algorithm1_invariants(tables in prop::collection::vec(log_values(), 1..4), n in 1usize..64) {
+        let liks: Vec<SingleLikelihoods> = tables
+            .iter()
+            .map(|t| SingleLikelihoods::from_log_values(t.clone()).unwrap())
+            .collect();
+        let cands = generate_candidates(&liks, n, &Charset::full()).unwrap();
+        prop_assert!(!cands.is_empty());
+        prop_assert!(cands.len() <= n);
+        for w in cands.windows(2) {
+            prop_assert!(w[0].log_likelihood >= w[1].log_likelihood - 1e-12);
+        }
+        let mut seen: Vec<&[u8]> = cands.iter().map(|c| c.plaintext.as_slice()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), cands.len());
+
+        let argmax: Vec<u8> = liks.iter().map(|l| l.best()).collect();
+        let best_score: f64 = liks
+            .iter()
+            .zip(&argmax)
+            .map(|(l, &b)| l.log_likelihood(b))
+            .sum();
+        prop_assert!((cands[0].log_likelihood - best_score).abs() < 1e-9);
+        for cand in &cands {
+            let score: f64 = liks
+                .iter()
+                .zip(&cand.plaintext)
+                .map(|(l, &b)| l.log_likelihood(b))
+                .sum();
+            prop_assert!((score - cand.log_likelihood).abs() < 1e-9);
+        }
+    }
+
+    /// Candidates always respect the plaintext alphabet.
+    #[test]
+    fn algorithm1_respects_charset(table in log_values(), n in 1usize..32) {
+        let lik = SingleLikelihoods::from_log_values(table).unwrap();
+        let charset = Charset::cookie();
+        let cands = generate_candidates(&[lik], n, &charset).unwrap();
+        for cand in &cands {
+            prop_assert!(charset.accepts(&cand.plaintext));
+        }
+    }
+
+    /// Single-byte likelihoods: combining is additive and the XOR structure holds —
+    /// shifting the ciphertext counts by a constant XOR shifts the argmax the same way.
+    #[test]
+    fn likelihood_xor_equivariance(shift in any::<u8>(), seed in any::<u64>()) {
+        // A deterministic biased keystream distribution.
+        let mut probs = vec![1.0f64 / 256.0; 256];
+        probs[(seed % 256) as usize] *= 3.0;
+        let total: f64 = probs.iter().sum();
+        let probs: Vec<f64> = probs.iter().map(|p| p / total).collect();
+
+        // Counts consistent with plaintext byte 0.
+        let n = 100_000u64;
+        let base_counts: Vec<u64> = (0..256)
+            .map(|c| (probs[c] * n as f64).round() as u64)
+            .collect();
+        // XORing every ciphertext byte by `shift` corresponds to plaintext `shift`.
+        let mut shifted_counts = vec![0u64; 256];
+        for (c, &count) in base_counts.iter().enumerate() {
+            shifted_counts[c ^ shift as usize] = count;
+        }
+        let base = SingleLikelihoods::from_counts(&base_counts, &probs).unwrap();
+        let shifted = SingleLikelihoods::from_counts(&shifted_counts, &probs).unwrap();
+        prop_assert_eq!(shifted.best(), base.best() ^ shift);
+    }
+
+    /// The list-Viterbi decoder returns sorted candidates whose reported scores
+    /// match the sum of the transition likelihoods along the reconstructed path.
+    #[test]
+    fn viterbi_scores_match_paths(seed in any::<u64>(), n in 1usize..16) {
+        let weight = |t: usize, a: u8, b: u8| -> f64 {
+            let mut x = seed ^ ((t as u64) << 32) ^ ((a as u64) << 16) ^ b as u64;
+            x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 29;
+            ((x >> 20) % 1000) as f64 / 37.0
+        };
+        let alphabet = Charset::new(&[3, 5, 7, 11, 13]).unwrap();
+        let transitions = 3usize;
+        let mut liks = Vec::new();
+        for t in 0..transitions {
+            let mut log = vec![0.0f64; 65536];
+            for a in 0..=255u8 {
+                for b in 0..=255u8 {
+                    log[(a as usize) << 8 | b as usize] = weight(t, a, b);
+                }
+            }
+            liks.push(PairLikelihoods::from_log_values(log).unwrap());
+        }
+        let config = ViterbiConfig {
+            first_known: 1,
+            last_known: 2,
+            candidates: n,
+            charset: alphabet,
+        };
+        let cands = list_viterbi(&liks, &config).unwrap();
+        prop_assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            prop_assert!(w[0].log_likelihood >= w[1].log_likelihood - 1e-12);
+        }
+        for cand in &cands {
+            let mut path = vec![1u8];
+            path.extend_from_slice(&cand.plaintext);
+            path.push(2);
+            let score: f64 = path.windows(2).enumerate()
+                .map(|(t, w)| weight(t, w[0], w[1]))
+                .sum();
+            prop_assert!((score - cand.log_likelihood).abs() < 1e-9);
+        }
+    }
+
+    /// Ciphertext collectors never lose observations.
+    #[test]
+    fn collectors_preserve_totals(cts in prop::collection::vec(prop::collection::vec(any::<u8>(), 4), 1..50)) {
+        let mut counts = SingleCounts::new(vec![1, 4]).unwrap();
+        for ct in &cts {
+            counts.record(ct);
+        }
+        prop_assert_eq!(counts.ciphertexts(), cts.len() as u64);
+        prop_assert_eq!(counts.counts_at(0).iter().sum::<u64>(), cts.len() as u64);
+        prop_assert_eq!(counts.counts_at(1).iter().sum::<u64>(), cts.len() as u64);
+    }
+}

@@ -1,0 +1,304 @@
+//! Fig. 8 and Fig. 9: TKIP MIC-key recovery.
+//!
+//! Fig. 8 plots the probability of recovering the MIC key as a function of the
+//! number of captured copies of the injected packet (in multiples of `2^20`),
+//! comparing a candidate list of nearly `2^30` entries against using only the
+//! two most likely candidates. Fig. 9 plots the median position in the
+//! candidate list of the first candidate with a correct ICV.
+//!
+//! Paper scale needs per-(TSC0, TSC1) keystream distributions built from
+//! `2^32` keys per class (10 CPU-years) and `~10^7` captures per trial. The
+//! reproduction keeps the complete attack pipeline (per-class counts →
+//! combined likelihoods → Algorithm-1 candidates → ICV pruning → Michael
+//! inversion) and offers two traffic models:
+//!
+//! * **Synthetic** — per-TSC1 distributions with a configurable relative bias;
+//!   captures are sampled from exactly those distributions. The curves have
+//!   the paper's shape at laptop-friendly capture counts.
+//! * **Empirical** — per-TSC1 distributions measured from real TKIP-structured
+//!   RC4 keys (`rc4-stats`), with captures produced by real TKIP
+//!   encapsulation. This is the faithful path; reaching high success rates
+//!   requires capture counts that grow towards the paper's numbers.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crypto_prims::{crc32, michael::MichaelKey};
+use plaintext_recovery::candidates::generate_candidates;
+use plaintext_recovery::charset::Charset;
+use wpa_tkip::{
+    attack::{find_consistent_candidate, TrailerStatistics},
+    model::{TkipKeystreamModel, TscClassing},
+    mpdu::FrameAddressing,
+    Tsc,
+};
+
+use crate::{
+    report::{format_percent, ExperimentReport},
+    sampling::sample_index,
+    ExperimentError,
+};
+
+/// Traffic/keystream model used by the simulation.
+#[derive(Debug, Clone, Copy)]
+pub enum TkipTrafficModel {
+    /// Synthetic per-TSC1 distributions with the given relative bias strength.
+    Synthetic {
+        /// Relative bias of the favoured keystream value per class/position.
+        relative_bias: f64,
+    },
+    /// Empirical per-TSC1 distributions measured from `keys` TKIP-structured keys.
+    Empirical {
+        /// Number of keys used to estimate the per-class distributions.
+        keys: u64,
+    },
+}
+
+/// Configuration of the Fig. 8 / Fig. 9 simulation.
+#[derive(Debug, Clone)]
+pub struct Fig8Config {
+    /// Capture counts to sweep (the paper sweeps `1..=15 x 2^20`).
+    pub capture_counts: Vec<u64>,
+    /// Simulations per point (the paper uses 256).
+    pub trials: usize,
+    /// Candidate-list budget (the paper uses nearly `2^30`).
+    pub max_candidates: usize,
+    /// Known payload length of the injected packet (55 with the 7-byte TCP payload).
+    pub payload_len: usize,
+    /// Traffic model.
+    pub model: TkipTrafficModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig8Config {
+    fn default() -> Self {
+        Self {
+            capture_counts: vec![1 << 12, 1 << 13, 1 << 14, 1 << 15, 1 << 16],
+            trials: 32,
+            max_candidates: 1 << 16,
+            payload_len: 55,
+            model: TkipTrafficModel::Synthetic { relative_bias: 0.2 },
+            seed: 0xF16_8,
+        }
+    }
+}
+
+impl Fig8Config {
+    /// Seconds-long configuration for tests.
+    pub fn quick() -> Self {
+        Self {
+            capture_counts: vec![1 << 10, 1 << 13],
+            trials: 6,
+            max_candidates: 1 << 10,
+            model: TkipTrafficModel::Synthetic { relative_bias: 0.8 },
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-point aggregate of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Point {
+    /// Number of captures per trial.
+    pub captures: u64,
+    /// MIC-key recovery rate using the full candidate list.
+    pub success_full_list: f64,
+    /// MIC-key recovery rate using only the two best candidates.
+    pub success_top2: f64,
+    /// Median candidate-list position of the first correct-ICV candidate
+    /// (over successful trials), `None` when no trial succeeded.
+    pub median_position: Option<usize>,
+}
+
+/// Runs the Fig. 8 / Fig. 9 simulation and returns both the per-point data and
+/// a rendered report.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::InvalidConfig`] on an empty sweep and propagates
+/// component errors.
+pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), ExperimentError> {
+    if config.capture_counts.is_empty() || config.trials == 0 {
+        return Err(ExperimentError::InvalidConfig(
+            "need at least one capture count and one trial".into(),
+        ));
+    }
+    let first_position = config.payload_len + 1;
+    let model = match config.model {
+        TkipTrafficModel::Synthetic { relative_bias } => TkipKeystreamModel::synthetic(
+            TscClassing::Tsc1,
+            first_position,
+            wpa_tkip::mpdu::TRAILER_LEN,
+            relative_bias,
+        ),
+        TkipTrafficModel::Empirical { keys } => {
+            let ds = rc4_stats::tsc::PerTscDataset::generate(
+                rc4_stats::tsc::TscConditioning::Tsc1,
+                first_position + wpa_tkip::mpdu::TRAILER_LEN,
+                &rc4_stats::GenerationConfig::with_keys(keys).seed(config.seed ^ 0xE),
+            )?;
+            let mut probs =
+                Vec::with_capacity(256 * wpa_tkip::mpdu::TRAILER_LEN * 256);
+            for class in 0..256 {
+                for pos in first_position..first_position + wpa_tkip::mpdu::TRAILER_LEN {
+                    probs.extend(ds.distribution(class, pos));
+                }
+            }
+            TkipKeystreamModel::from_probabilities(
+                TscClassing::Tsc1,
+                first_position,
+                wpa_tkip::mpdu::TRAILER_LEN,
+                probs,
+            )?
+        }
+    };
+
+    let addressing = FrameAddressing {
+        dst: [0x00, 0x1f, 0x33, 0x44, 0x55, 0x66],
+        src: [0x00, 0x1f, 0x33, 0x77, 0x88, 0x99],
+        transmitter: [0x00, 0x1f, 0x33, 0x77, 0x88, 0x99],
+        priority: 0,
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut points = Vec::with_capacity(config.capture_counts.len());
+    for &captures in &config.capture_counts {
+        let mut success_full = 0usize;
+        let mut success_top2 = 0usize;
+        let mut positions: Vec<usize> = Vec::new();
+        for _ in 0..config.trials {
+            // A fresh injected packet per trial: random payload, random MIC key.
+            let payload: Vec<u8> = (0..config.payload_len).map(|_| rng.gen()).collect();
+            let mic_key = MichaelKey {
+                l: rng.gen(),
+                r: rng.gen(),
+            };
+            let mut mic_input = Vec::with_capacity(16 + payload.len());
+            mic_input.extend_from_slice(&addressing.michael_header());
+            mic_input.extend_from_slice(&payload);
+            let mic = crypto_prims::michael::michael(mic_key, &mic_input);
+            let mut body = payload.clone();
+            body.extend_from_slice(&mic);
+            let icv = crc32::icv(&body);
+            let mut trailer_plain = mic.to_vec();
+            trailer_plain.extend_from_slice(&icv);
+
+            // Sample captures: for each packet draw a TSC, then draw the trailer
+            // keystream bytes from the model's class distribution and XOR.
+            let mut stats = TrailerStatistics::new(256, config.payload_len)?;
+            for i in 0..captures {
+                let tsc = Tsc(i + 1);
+                let class = model.class_of(tsc);
+                let mut ct = vec![0u8; config.payload_len + wpa_tkip::mpdu::TRAILER_LEN];
+                for (idx, slot) in ct
+                    .iter_mut()
+                    .enumerate()
+                    .skip(config.payload_len)
+                    .take(wpa_tkip::mpdu::TRAILER_LEN)
+                {
+                    let pos = idx + 1;
+                    let dist = model.distribution(class, pos);
+                    let z = sample_index(dist, &mut rng) as u8;
+                    *slot = trailer_plain[idx - config.payload_len] ^ z;
+                }
+                stats.add(class, &ct)?;
+            }
+
+            let likelihoods = stats.likelihoods(&model)?;
+            let candidates =
+                generate_candidates(&likelihoods, config.max_candidates, &Charset::full())?;
+            if let Some((index, trailer)) = find_consistent_candidate(&candidates, &payload) {
+                positions.push(index);
+                if trailer[..] == trailer_plain[..] {
+                    success_full += 1;
+                    if index < 2 {
+                        success_top2 += 1;
+                    }
+                }
+            }
+        }
+        positions.sort_unstable();
+        let median = if positions.is_empty() {
+            None
+        } else {
+            Some(positions[positions.len() / 2])
+        };
+        points.push(Fig8Point {
+            captures,
+            success_full_list: success_full as f64 / config.trials as f64,
+            success_top2: success_top2 as f64 / config.trials as f64,
+            median_position: median,
+        });
+    }
+
+    let mut report = ExperimentReport::new(
+        "fig8_fig9",
+        "TKIP MIC-key recovery success rate and median ICV-candidate position",
+        &["captures", "success (candidate list)", "success (2 candidates)", "median position (fig 9)"],
+    );
+    report.note(format!(
+        "{} trials per point, candidate budget {} (paper: 256 trials, ~2^30 candidates)",
+        config.trials, config.max_candidates
+    ));
+    match config.model {
+        TkipTrafficModel::Synthetic { relative_bias } => report.note(format!(
+            "synthetic per-TSC1 keystream model, relative bias {relative_bias} (see DESIGN.md substitution #2)"
+        )),
+        TkipTrafficModel::Empirical { keys } => report.note(format!(
+            "empirical per-TSC1 keystream model from {keys} TKIP-structured keys"
+        )),
+    }
+    for p in &points {
+        report.push_row(&[
+            p.captures.to_string(),
+            format_percent(p.success_full_list),
+            format_percent(p.success_top2),
+            p.median_position
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    Ok((points, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        let bad = Fig8Config {
+            capture_counts: vec![],
+            ..Fig8Config::quick()
+        };
+        assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn success_improves_with_captures_and_candidate_list_beats_top2() {
+        let config = Fig8Config {
+            capture_counts: vec![1 << 9, 1 << 13],
+            trials: 6,
+            max_candidates: 1 << 10,
+            model: TkipTrafficModel::Synthetic { relative_bias: 0.9 },
+            payload_len: 55,
+            seed: 42,
+        };
+        let (points, report) = run(&config).unwrap();
+        assert_eq!(points.len(), 2);
+        // More captures must not reduce the success rate (monotone in expectation;
+        // with few trials allow equality).
+        assert!(points[1].success_full_list >= points[0].success_full_list);
+        // The full candidate list can only do at least as well as the top-2 rule.
+        for p in &points {
+            assert!(p.success_full_list >= p.success_top2);
+        }
+        // At the larger capture count with a strong synthetic bias the attack succeeds.
+        assert!(
+            points[1].success_full_list > 0.5,
+            "full-list success too low: {:?}\n{}",
+            points[1],
+            report.render()
+        );
+    }
+}

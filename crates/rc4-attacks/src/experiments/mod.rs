@@ -1,0 +1,53 @@
+//! Experiment drivers, one module per paper table/figure group.
+//!
+//! * [`biases`] — the empirical bias-hunting results of Section 3
+//!   (Table 1, Table 2, Fig. 4, Fig. 5, Fig. 6, Eq. 3–5, the long-term biases
+//!   of Sect. 3.4).
+//! * [`fig7`] — the simulated two-byte recovery comparison of Section 4.3.
+//! * [`fig8`] — the TKIP MIC-key recovery success rate and candidate-position
+//!   curves of Section 5 (Fig. 8 and Fig. 9).
+//! * [`fig10`] — the HTTPS cookie brute-force success curve of Section 6.
+//!
+//! All drivers are deterministic for a fixed configuration (seeds included in
+//! the configs) and return [`crate::report::ExperimentReport`]s.
+
+pub mod biases;
+pub mod fig10;
+pub mod fig7;
+pub mod fig8;
+
+/// Scale presets shared by the drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long runs for CI and quick sanity checks.
+    Quick,
+    /// Minutes-long runs producing readable curves (the default for `repro`).
+    Laptop,
+    /// Hours-long runs approaching the paper's parameters where feasible.
+    Extended,
+}
+
+impl Scale {
+    /// Parses a scale name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "laptop" | "default" => Some(Scale::Laptop),
+            "extended" | "full" => Some(Scale::Extended),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("LAPTOP"), Some(Scale::Laptop));
+        assert_eq!(Scale::parse("full"), Some(Scale::Extended));
+        assert_eq!(Scale::parse("nonsense"), None);
+    }
+}

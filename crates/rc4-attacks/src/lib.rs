@@ -1,0 +1,104 @@
+//! Top-level crate of the reproduction: experiment registry, simulation
+//! drivers and report formatting for every table and figure of the paper.
+//!
+//! The lower-level crates implement the pieces (RC4, statistics, bias
+//! catalogue, likelihood machinery, the TKIP and TLS substrates); this crate
+//! assembles them into the concrete experiments of the evaluation:
+//!
+//! | Experiment | Module |
+//! |---|---|
+//! | Table 1 / Fig. 4 — Fluhrer–McGrew digraphs, long-term and short-term | [`experiments::biases`] |
+//! | Table 2 / Eq. 3–5 — new short-term biases | [`experiments::biases`] |
+//! | Fig. 5 — influence of `Z_1`/`Z_2` | [`experiments::biases`] |
+//! | Fig. 6 — single-byte biases beyond position 256 | [`experiments::biases`] |
+//! | §3.4 — long-term `256`-aligned biases | [`experiments::biases`] |
+//! | Fig. 7 — two-byte recovery: ABSAB vs FM vs combined | [`experiments::fig7`] |
+//! | Fig. 8 / Fig. 9 — TKIP MIC-key recovery | [`experiments::fig8`] |
+//! | Fig. 10 — HTTPS cookie brute force | [`experiments::fig10`] |
+//!
+//! Every experiment takes a scale configuration (laptop-scale defaults,
+//! paper-scale documented), runs deterministically for a given seed, and
+//! returns a [`report::ExperimentReport`] that the `repro` binary renders and
+//! that `EXPERIMENTS.md` summarizes.
+//!
+//! Because the paper-scale data volumes (`2^44+` keys, `2^27`–`2^31`
+//! ciphertexts) are not laptop-feasible, attack experiments support a
+//! *sampled mode*: instead of generating every ciphertext, the per-position
+//! count vectors are drawn from the same multinomial distributions the
+//! likelihood analysis assumes (normal approximation per cell). DESIGN.md
+//! documents why this substitution preserves the qualitative results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod sampling;
+
+pub use report::{ExperimentReport, ReportRow};
+
+/// Errors surfaced by the experiment drivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// Invalid experiment configuration.
+    InvalidConfig(String),
+    /// A lower-level component failed.
+    Component(String),
+}
+
+impl core::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ExperimentError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ExperimentError::Component(msg) => write!(f, "component failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<rc4_stats::DatasetError> for ExperimentError {
+    fn from(e: rc4_stats::DatasetError) -> Self {
+        ExperimentError::Component(e.to_string())
+    }
+}
+
+impl From<stat_tests::StatError> for ExperimentError {
+    fn from(e: stat_tests::StatError) -> Self {
+        ExperimentError::Component(e.to_string())
+    }
+}
+
+impl From<plaintext_recovery::RecoveryError> for ExperimentError {
+    fn from(e: plaintext_recovery::RecoveryError) -> Self {
+        ExperimentError::Component(e.to_string())
+    }
+}
+
+impl From<wpa_tkip::TkipError> for ExperimentError {
+    fn from(e: wpa_tkip::TkipError) -> Self {
+        ExperimentError::Component(e.to_string())
+    }
+}
+
+impl From<tls_rc4::TlsError> for ExperimentError {
+    fn from(e: tls_rc4::TlsError) -> Self {
+        ExperimentError::Component(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e = ExperimentError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let from_stats: ExperimentError =
+            rc4_stats::DatasetError::InvalidConfig("keys".into()).into();
+        assert!(matches!(from_stats, ExperimentError::Component(_)));
+        let from_tkip: ExperimentError = wpa_tkip::TkipError::IntegrityFailure("ICV").into();
+        assert!(from_tkip.to_string().contains("ICV"));
+    }
+}

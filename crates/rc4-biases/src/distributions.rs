@@ -1,0 +1,260 @@
+//! Builders turning bias descriptions into concrete probability vectors.
+//!
+//! The likelihood estimators in `plaintext-recovery` and the sampled-mode
+//! experiment drivers in `rc4-attacks` both consume plain probability vectors:
+//! 256 entries for a single keystream byte, 65536 entries for a byte pair.
+//! This module centralizes the conversions from the analytic bias catalogue
+//! (and from empirical counts) into such vectors, always keeping them
+//! normalized.
+
+use crate::{fm, UNIFORM_PAIR, UNIFORM_SINGLE};
+
+/// A normalized single-byte keystream distribution (256 entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingleDistribution {
+    probs: Vec<f64>,
+}
+
+impl SingleDistribution {
+    /// The uniform single-byte distribution.
+    pub fn uniform() -> Self {
+        Self {
+            probs: vec![UNIFORM_SINGLE; 256],
+        }
+    }
+
+    /// Builds a distribution from raw counts, normalizing them.
+    ///
+    /// Cells with zero total fall back to uniform.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert_eq!(counts.len(), 256, "single-byte distribution needs 256 cells");
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Self::uniform();
+        }
+        Self {
+            probs: counts.iter().map(|&c| c as f64 / total as f64).collect(),
+        }
+    }
+
+    /// Builds a distribution from explicit probabilities, renormalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not have 256 entries or sums to zero.
+    pub fn from_probabilities(probs: &[f64]) -> Self {
+        assert_eq!(probs.len(), 256, "single-byte distribution needs 256 cells");
+        let sum: f64 = probs.iter().sum();
+        assert!(sum > 0.0, "probabilities must not all be zero");
+        Self {
+            probs: probs.iter().map(|&p| p / sum).collect(),
+        }
+    }
+
+    /// A uniform distribution with one value's probability scaled by `1 + relative`.
+    ///
+    /// Handy for constructing single-bias models like Mantin–Shamir
+    /// (`biased_value = 0`, `relative = 1.0` at position 2).
+    pub fn with_relative_bias(biased_value: u8, relative: f64) -> Self {
+        let mut probs = vec![UNIFORM_SINGLE; 256];
+        probs[biased_value as usize] *= 1.0 + relative;
+        Self::from_probabilities(&probs)
+    }
+
+    /// Probability of `value`.
+    pub fn prob(&self, value: u8) -> f64 {
+        self.probs[value as usize]
+    }
+
+    /// The full probability vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Natural logarithms of the probabilities (used by the likelihood engines).
+    pub fn log_probs(&self) -> Vec<f64> {
+        self.probs.iter().map(|&p| p.max(f64::MIN_POSITIVE).ln()).collect()
+    }
+}
+
+/// A normalized double-byte keystream distribution (65536 entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairDistribution {
+    probs: Vec<f64>,
+}
+
+impl PairDistribution {
+    /// The uniform pair distribution.
+    pub fn uniform() -> Self {
+        Self {
+            probs: vec![UNIFORM_PAIR; 65536],
+        }
+    }
+
+    /// The long-term Fluhrer–McGrew distribution for the digraph starting at position `r`.
+    pub fn fluhrer_mcgrew(r: u64) -> Self {
+        Self {
+            probs: fm::fm_joint_distribution(r),
+        }
+    }
+
+    /// Builds a distribution from raw counts, normalizing them.
+    ///
+    /// Falls back to uniform when the counts are all zero.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert_eq!(counts.len(), 65536, "pair distribution needs 65536 cells");
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Self::uniform();
+        }
+        Self {
+            probs: counts.iter().map(|&c| c as f64 / total as f64).collect(),
+        }
+    }
+
+    /// Builds a distribution from explicit probabilities, renormalizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice does not have 65536 entries or sums to zero.
+    pub fn from_probabilities(probs: &[f64]) -> Self {
+        assert_eq!(probs.len(), 65536, "pair distribution needs 65536 cells");
+        let sum: f64 = probs.iter().sum();
+        assert!(sum > 0.0, "probabilities must not all be zero");
+        Self {
+            probs: probs.iter().map(|&p| p / sum).collect(),
+        }
+    }
+
+    /// Probability of the pair `(x, y)`.
+    pub fn prob(&self, x: u8, y: u8) -> f64 {
+        self.probs[x as usize * 256 + y as usize]
+    }
+
+    /// The full probability vector (row-major in the first byte).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// The cells whose probability deviates from `baseline` by more than `tolerance`,
+    /// as `(x, y, probability)` triples.
+    ///
+    /// This is the paper's "set `I^c` of dependent keystream values" used in the
+    /// optimized likelihood computation (Eq. 15): everything outside the
+    /// returned set is treated as uniform/independent.
+    pub fn biased_cells(&self, baseline: f64, tolerance: f64) -> Vec<(u8, u8, f64)> {
+        let mut out = Vec::new();
+        for (idx, &p) in self.probs.iter().enumerate() {
+            if (p - baseline).abs() > tolerance {
+                out.push(((idx / 256) as u8, (idx % 256) as u8, p));
+            }
+        }
+        out
+    }
+
+    /// Marginal distribution of the first byte.
+    pub fn marginal_first(&self) -> SingleDistribution {
+        let mut m = vec![0.0f64; 256];
+        for x in 0..256 {
+            let mut s = 0.0;
+            for y in 0..256 {
+                s += self.probs[x * 256 + y];
+            }
+            m[x] = s;
+        }
+        SingleDistribution::from_probabilities(&m)
+    }
+
+    /// Marginal distribution of the second byte.
+    pub fn marginal_second(&self) -> SingleDistribution {
+        let mut m = vec![0.0f64; 256];
+        for y in 0..256 {
+            let mut s = 0.0;
+            for x in 0..256 {
+                s += self.probs[x * 256 + y];
+            }
+            m[y] = s;
+        }
+        SingleDistribution::from_probabilities(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_single_is_normalized() {
+        let d = SingleDistribution::uniform();
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((d.prob(7) - UNIFORM_SINGLE).abs() < 1e-18);
+    }
+
+    #[test]
+    fn single_from_counts() {
+        let mut counts = vec![1u64; 256];
+        counts[0] = 3;
+        let d = SingleDistribution::from_counts(&counts);
+        assert!(d.prob(0) > d.prob(1));
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // All-zero counts fall back to uniform.
+        let z = SingleDistribution::from_counts(&vec![0u64; 256]);
+        assert_eq!(z, SingleDistribution::uniform());
+    }
+
+    #[test]
+    fn single_with_relative_bias() {
+        let d = SingleDistribution::with_relative_bias(0, 1.0);
+        // Pr[0] should be about twice Pr[1] after renormalization.
+        assert!((d.prob(0) / d.prob(1) - 2.0).abs() < 1e-9);
+        let sum: f64 = d.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_probs_are_finite() {
+        let d = SingleDistribution::with_relative_bias(3, 0.5);
+        assert!(d.log_probs().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn pair_uniform_and_fm() {
+        let u = PairDistribution::uniform();
+        assert!((u.prob(1, 2) - UNIFORM_PAIR).abs() < 1e-20);
+
+        let fm_dist = PairDistribution::fluhrer_mcgrew(257); // i = 1, strong (0,0) row
+        assert!(fm_dist.prob(0, 0) > UNIFORM_PAIR);
+        let sum: f64 = fm_dist.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn biased_cells_extraction() {
+        let fm_dist = PairDistribution::fluhrer_mcgrew(10);
+        let cells = fm_dist.biased_cells(UNIFORM_PAIR, UNIFORM_PAIR * 2f64.powi(-10));
+        // At most 8 biased digraphs at any position.
+        assert!(!cells.is_empty() && cells.len() <= 8, "{} cells", cells.len());
+        // The (0,0) cell is among them at i = 10.
+        assert!(cells.iter().any(|&(x, y, _)| x == 0 && y == 0));
+    }
+
+    #[test]
+    fn pair_from_counts_and_marginals() {
+        let mut counts = vec![1u64; 65536];
+        counts[5 * 256 + 7] = 100;
+        let d = PairDistribution::from_counts(&counts);
+        assert!(d.prob(5, 7) > d.prob(5, 8));
+        let m1 = d.marginal_first();
+        let m2 = d.marginal_second();
+        assert!(m1.prob(5) > m1.prob(6));
+        assert!(m2.prob(7) > m2.prob(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "65536")]
+    fn pair_from_counts_wrong_shape_panics() {
+        let _ = PairDistribution::from_counts(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The generalized Fluhrer–McGrew (FM) digraph biases — Table 1 of the paper.
+//!
+//! Fluhrer and McGrew showed that certain consecutive keystream byte pairs
+//! `(Z_r, Z_{r+1})` occur with probability deviating from `2^-16` by a factor
+//! `(1 ± 2^-7)` or `(1 ± 2^-8)`, depending on the PRGA counter `i = r mod 256`.
+//! The paper generalizes the table with extra conditions on the absolute
+//! position `r` (rows that do not hold, or hold differently, at positions 1, 2
+//! and 5) and shows the biases persist — with different strength — in the
+//! initial keystream bytes (Fig. 4).
+
+use crate::{Sign, UNIFORM_PAIR};
+
+/// Identifier for each Fluhrer–McGrew digraph family, matching Table 1 rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FmDigraph {
+    /// `(0, 0)` at `i = 1`, strength `2^-7`.
+    ZeroZeroAtOne,
+    /// `(0, 0)` at `i != 1, 255`.
+    ZeroZero,
+    /// `(0, 1)` at `i != 0, 1`.
+    ZeroOne,
+    /// `(0, i + 1)` at `i != 0, 255` (negative).
+    ZeroIPlusOne,
+    /// `(i + 1, 255)` at `i != 254`, requires `r != 1`.
+    IPlusOne255,
+    /// `(129, 129)` at `i = 2`, requires `r != 2`.
+    OneTwoNine,
+    /// `(255, i + 1)` at `i != 1, 254`.
+    TwoFiftyFiveIPlusOne,
+    /// `(255, i + 2)` at `i ∈ [1, 252]`, requires `r != 2`.
+    TwoFiftyFiveIPlusTwo,
+    /// `(255, 0)` at `i = 254`.
+    TwoFiftyFiveZero,
+    /// `(255, 1)` at `i = 255`.
+    TwoFiftyFiveOne,
+    /// `(255, 2)` at `i = 0, 1`.
+    TwoFiftyFiveTwo,
+    /// `(255, 255)` at `i != 254`, requires `r != 5` (negative).
+    TwoFiftyFive255,
+}
+
+/// A concrete biased digraph at a given position: the value pair, its sign and
+/// its long-term probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FmBias {
+    /// Which Table 1 row produced this entry.
+    pub digraph: FmDigraph,
+    /// First byte value of the digraph.
+    pub first: u8,
+    /// Second byte value of the digraph.
+    pub second: u8,
+    /// Sign of the bias.
+    pub sign: Sign,
+    /// Long-term probability of the pair, e.g. `2^-16 (1 + 2^-8)`.
+    pub probability: f64,
+}
+
+impl FmDigraph {
+    /// All twelve Table 1 rows.
+    pub const ALL: [FmDigraph; 12] = [
+        FmDigraph::ZeroZeroAtOne,
+        FmDigraph::ZeroZero,
+        FmDigraph::ZeroOne,
+        FmDigraph::ZeroIPlusOne,
+        FmDigraph::IPlusOne255,
+        FmDigraph::OneTwoNine,
+        FmDigraph::TwoFiftyFiveIPlusOne,
+        FmDigraph::TwoFiftyFiveIPlusTwo,
+        FmDigraph::TwoFiftyFiveZero,
+        FmDigraph::TwoFiftyFiveOne,
+        FmDigraph::TwoFiftyFiveTwo,
+        FmDigraph::TwoFiftyFive255,
+    ];
+
+    /// Relative strength of the bias (`2^-7` for the strongest row, `2^-8` otherwise).
+    pub fn strength(self) -> f64 {
+        match self {
+            FmDigraph::ZeroZeroAtOne => 2f64.powi(-7),
+            _ => 2f64.powi(-8),
+        }
+    }
+
+    /// Sign of the bias.
+    pub fn sign(self) -> Sign {
+        match self {
+            FmDigraph::ZeroIPlusOne | FmDigraph::TwoFiftyFive255 => Sign::Negative,
+            _ => Sign::Positive,
+        }
+    }
+
+    /// Returns the biased value pair at PRGA counter `i`, if this row applies at `i`.
+    ///
+    /// `i` is the PRGA counter when the first byte of the digraph is output,
+    /// i.e. `i = r mod 256` for keystream position `r` (1-based).
+    pub fn pair_at(self, i: u8) -> Option<(u8, u8)> {
+        let ip1 = i.wrapping_add(1);
+        let ip2 = i.wrapping_add(2);
+        match self {
+            FmDigraph::ZeroZeroAtOne => (i == 1).then_some((0, 0)),
+            FmDigraph::ZeroZero => (i != 1 && i != 255).then_some((0, 0)),
+            FmDigraph::ZeroOne => (i != 0 && i != 1).then_some((0, 1)),
+            FmDigraph::ZeroIPlusOne => (i != 0 && i != 255).then_some((0, ip1)),
+            FmDigraph::IPlusOne255 => (i != 254).then_some((ip1, 255)),
+            FmDigraph::OneTwoNine => (i == 2).then_some((129, 129)),
+            FmDigraph::TwoFiftyFiveIPlusOne => (i != 1 && i != 254).then_some((255, ip1)),
+            FmDigraph::TwoFiftyFiveIPlusTwo => ((1..=252).contains(&i)).then_some((255, ip2)),
+            FmDigraph::TwoFiftyFiveZero => (i == 254).then_some((255, 0)),
+            FmDigraph::TwoFiftyFiveOne => (i == 255).then_some((255, 1)),
+            FmDigraph::TwoFiftyFiveTwo => (i == 0 || i == 1).then_some((255, 2)),
+            FmDigraph::TwoFiftyFive255 => (i != 254).then_some((255, 255)),
+        }
+    }
+
+    /// Whether the generalized (short-term) table excludes this row at absolute position `r`.
+    ///
+    /// The paper's Table 1 adds conditions `r != 1`, `r != 2` and `r != 5` to
+    /// three rows; everywhere else the long-term row also applies to the
+    /// initial keystream bytes (with different strength, see Fig. 4).
+    pub fn excluded_at_position(self, r: u64) -> bool {
+        match self {
+            FmDigraph::IPlusOne255 => r == 1,
+            FmDigraph::OneTwoNine | FmDigraph::TwoFiftyFiveIPlusTwo => r == 2,
+            FmDigraph::TwoFiftyFive255 => r == 5,
+            _ => false,
+        }
+    }
+
+    /// Long-term probability of the digraph pair where the row applies.
+    pub fn probability(self) -> f64 {
+        UNIFORM_PAIR * (1.0 + self.sign().apply(self.strength()))
+    }
+}
+
+/// Returns every Fluhrer–McGrew bias active for the digraph starting at
+/// keystream position `r` (1-based).
+///
+/// The PRGA counter is `i = r mod 256`; rows excluded at this absolute
+/// position by the generalized table are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use rc4_biases::fm::{fm_biases_at, FmDigraph};
+///
+/// // At i = 1 the strongest row (0,0) applies.
+/// let biases = fm_biases_at(1);
+/// assert!(biases.iter().any(|b| b.digraph == FmDigraph::ZeroZeroAtOne));
+///
+/// // At position 2 (i = 2) the (129,129) row is excluded by the r != 2 condition.
+/// let biases = fm_biases_at(2);
+/// assert!(!biases.iter().any(|b| b.digraph == FmDigraph::OneTwoNine));
+/// ```
+pub fn fm_biases_at(r: u64) -> Vec<FmBias> {
+    let i = (r % 256) as u8;
+    let mut out = Vec::new();
+    for d in FmDigraph::ALL {
+        if d.excluded_at_position(r) {
+            continue;
+        }
+        if let Some((first, second)) = d.pair_at(i) {
+            out.push(FmBias {
+                digraph: d,
+                first,
+                second,
+                sign: d.sign(),
+                probability: d.probability(),
+            });
+        }
+    }
+    out
+}
+
+/// Builds the full 65536-entry long-term joint distribution of
+/// `(Z_r, Z_{r+1})` implied by the Fluhrer–McGrew biases at position `r`.
+///
+/// All pairs not named by Table 1 share the remaining probability mass
+/// uniformly, so the vector sums to one and can be fed directly to the
+/// double-byte likelihood estimator or used to sample synthetic ciphertext
+/// statistics.
+pub fn fm_joint_distribution(r: u64) -> Vec<f64> {
+    let biases = fm_biases_at(r);
+    let mut dist = vec![UNIFORM_PAIR; 65536];
+    let mut excess = 0.0;
+    for b in &biases {
+        let idx = b.first as usize * 256 + b.second as usize;
+        excess += b.probability - dist[idx];
+        dist[idx] = b.probability;
+    }
+    // Spread the compensating mass over the unbiased cells so the distribution
+    // stays normalized.
+    let unbiased_cells = 65536 - biases.len();
+    let correction = excess / unbiased_cells as f64;
+    let biased_idx: std::collections::HashSet<usize> = biases
+        .iter()
+        .map(|b| b.first as usize * 256 + b.second as usize)
+        .collect();
+    for (idx, p) in dist.iter_mut().enumerate() {
+        if !biased_idx.contains(&idx) {
+            *p -= correction;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_defined() {
+        assert_eq!(FmDigraph::ALL.len(), 12);
+    }
+
+    #[test]
+    fn strongest_row_is_zero_zero_at_one() {
+        assert_eq!(FmDigraph::ZeroZeroAtOne.strength(), 2f64.powi(-7));
+        assert_eq!(FmDigraph::ZeroZero.strength(), 2f64.powi(-8));
+    }
+
+    #[test]
+    fn negative_rows() {
+        assert_eq!(FmDigraph::ZeroIPlusOne.sign(), Sign::Negative);
+        assert_eq!(FmDigraph::TwoFiftyFive255.sign(), Sign::Negative);
+        assert_eq!(FmDigraph::ZeroZero.sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn pair_conditions_on_i() {
+        // (0,0) at i=1 comes from the strong row, not the generic one.
+        assert_eq!(FmDigraph::ZeroZeroAtOne.pair_at(1), Some((0, 0)));
+        assert_eq!(FmDigraph::ZeroZero.pair_at(1), None);
+        assert_eq!(FmDigraph::ZeroZero.pair_at(255), None);
+        assert_eq!(FmDigraph::ZeroZero.pair_at(7), Some((0, 0)));
+        // (255, i+1) excluded at i = 1 and 254.
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusOne.pair_at(1), None);
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusOne.pair_at(254), None);
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusOne.pair_at(10), Some((255, 11)));
+        // (255, i+2) only for i in [1, 252].
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(0), None);
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(253), None);
+        assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(100), Some((255, 102)));
+        // Edge rows.
+        assert_eq!(FmDigraph::TwoFiftyFiveZero.pair_at(254), Some((255, 0)));
+        assert_eq!(FmDigraph::TwoFiftyFiveOne.pair_at(255), Some((255, 1)));
+        assert_eq!(FmDigraph::TwoFiftyFiveTwo.pair_at(0), Some((255, 2)));
+        assert_eq!(FmDigraph::TwoFiftyFiveTwo.pair_at(1), Some((255, 2)));
+        assert_eq!(FmDigraph::TwoFiftyFiveTwo.pair_at(2), None);
+    }
+
+    #[test]
+    fn position_exclusions() {
+        assert!(FmDigraph::IPlusOne255.excluded_at_position(1));
+        assert!(!FmDigraph::IPlusOne255.excluded_at_position(257));
+        assert!(FmDigraph::OneTwoNine.excluded_at_position(2));
+        assert!(FmDigraph::TwoFiftyFive255.excluded_at_position(5));
+        assert!(!FmDigraph::ZeroZero.excluded_at_position(1));
+    }
+
+    #[test]
+    fn biases_at_positions_have_expected_counts() {
+        // The paper notes at most 8 of the 65536 pairs are biased at any position.
+        for r in 1..=1024u64 {
+            let biases = fm_biases_at(r);
+            assert!(biases.len() <= 8, "position {r} has {} biases", biases.len());
+            assert!(!biases.is_empty(), "position {r} has no biases");
+            // No duplicate value pairs.
+            let mut pairs: Vec<(u8, u8)> = biases.iter().map(|b| (b.first, b.second)).collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            assert_eq!(pairs.len(), biases.len(), "duplicate pair at position {r}");
+        }
+    }
+
+    #[test]
+    fn probabilities_match_table() {
+        let strong = FmDigraph::ZeroZeroAtOne.probability();
+        assert!((strong - UNIFORM_PAIR * (1.0 + 1.0 / 128.0)).abs() < 1e-20);
+        let neg = FmDigraph::TwoFiftyFive255.probability();
+        assert!((neg - UNIFORM_PAIR * (1.0 - 1.0 / 256.0)).abs() < 1e-20);
+    }
+
+    #[test]
+    fn joint_distribution_is_normalized_and_biased() {
+        for r in [1u64, 2, 5, 17, 255, 256, 257, 300] {
+            let dist = fm_joint_distribution(r);
+            let sum: f64 = dist.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "position {r} sum {sum}");
+            for b in fm_biases_at(r) {
+                let idx = b.first as usize * 256 + b.second as usize;
+                assert!((dist[idx] - b.probability).abs() < 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn long_term_positions_follow_counter_only() {
+        // Far from the start, biases depend only on i = r mod 256.
+        let a = fm_biases_at(10_000 * 256 + 77);
+        let b = fm_biases_at(20_000 * 256 + 77);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.digraph, y.digraph);
+            assert_eq!((x.first, x.second), (y.first, y.second));
+        }
+    }
+}

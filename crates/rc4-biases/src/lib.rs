@@ -1,0 +1,84 @@
+//! Analytic catalogue of RC4 keystream biases.
+//!
+//! The attacks in this workspace exploit statistical irregularities in the RC4
+//! keystream. This crate collects the bias models used by the paper — both the
+//! previously known ones and the new families the paper reports — in a form the
+//! likelihood engines and the experiment harness can consume:
+//!
+//! * [`fm`] — the generalized Fluhrer–McGrew digraph biases (Table 1),
+//!   including the position conditions and the construction of full
+//!   double-byte keystream distributions for any PRGA counter value.
+//! * [`absab`] — Mantin's ABSAB digraph-repetition bias, its gap-dependent
+//!   strength, and the ciphertext-differential formulation used in Section 4.2.
+//! * [`shortterm`] — known and newly reported single/double-byte biases in the
+//!   initial keystream bytes: Mantin–Shamir `Z_2 = 0`, the `Z_r = r` bias,
+//!   the Table 2 consecutive/non-consecutive biases and Equations 3–5.
+//! * [`z1z2`] — the six bias families through which `Z_1` and `Z_2` influence
+//!   all of the first 256 keystream bytes (Fig. 5), plus the `Z_1`/`Z_2`
+//!   dependency pairs A–D.
+//! * [`keylength`] — key-length–dependent biases for 16-byte keys
+//!   (`Z_{16w-1} = Z_{16w} = 256 - 16w`, `Z_{256+16k} = 32k`, `Z_ℓ = 256 - ℓ`).
+//! * [`longterm`] — long-term biases at `256`-aligned positions: Sen Gupta's
+//!   `(0, 0)`, the paper's new `(128, 0)` (Eq. 8) and the `Z_a = Z_b`
+//!   dependency family (Eq. 9).
+//! * [`distributions`] — helpers that turn bias descriptions into concrete
+//!   probability vectors (256 or 65536 entries) usable by the
+//!   `plaintext-recovery` likelihood estimators and the sampled-mode
+//!   experiment drivers.
+//!
+//! Probabilities follow the paper's notation: a bias is expressed relative to
+//! the uniform baseline, e.g. `2^-16 (1 + 2^-8)` for a positive long-term
+//! digraph bias.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod absab;
+pub mod distributions;
+pub mod fm;
+pub mod keylength;
+pub mod longterm;
+pub mod shortterm;
+pub mod z1z2;
+
+/// Uniform probability of a single keystream byte value, `2^-8`.
+pub const UNIFORM_SINGLE: f64 = 1.0 / 256.0;
+
+/// Uniform probability of a keystream byte pair, `2^-16`.
+pub const UNIFORM_PAIR: f64 = 1.0 / 65536.0;
+
+/// Sign of a bias relative to the uniform (or independence) baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The event occurs more often than the baseline predicts.
+    Positive,
+    /// The event occurs less often than the baseline predicts.
+    Negative,
+}
+
+impl Sign {
+    /// Applies the sign to a relative magnitude: `+m` or `-m`.
+    pub fn apply(self, magnitude: f64) -> f64 {
+        match self {
+            Sign::Positive => magnitude,
+            Sign::Negative => -magnitude,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_constants() {
+        assert!((UNIFORM_SINGLE * 256.0 - 1.0).abs() < 1e-15);
+        assert!((UNIFORM_PAIR * 65536.0 - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sign_application() {
+        assert_eq!(Sign::Positive.apply(0.5), 0.5);
+        assert_eq!(Sign::Negative.apply(0.5), -0.5);
+    }
+}

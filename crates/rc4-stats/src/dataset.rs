@@ -1,0 +1,172 @@
+//! Common dataset abstractions: the collector trait, generation configuration
+//! and error type shared by every dataset.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while generating or loading keystream datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// A configuration value is invalid (zero keys, zero positions, ...).
+    InvalidConfig(String),
+    /// Two datasets with incompatible shapes were combined.
+    ShapeMismatch(String),
+    /// Serialization or deserialization failed.
+    Serialization(String),
+}
+
+impl core::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DatasetError::ShapeMismatch(msg) => write!(f, "dataset shape mismatch: {msg}"),
+            DatasetError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// Configuration for a keystream generation run.
+///
+/// The defaults are laptop-scale (a few seconds); the paper-scale values are
+/// documented on each field so benchmarks can opt into larger sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationConfig {
+    /// Number of random RC4 keys (keystreams) to generate.
+    ///
+    /// Paper scale: `2^44` for `first16`, `2^45` for `consec512`, `2^47` for
+    /// the aggregated single-byte statistics.
+    pub keys: u64,
+    /// Number of worker threads. The paper used roughly 80 machines; we use
+    /// threads on one machine.
+    pub workers: usize,
+    /// Master seed. Each worker derives an independent deterministic stream
+    /// from `(seed, worker_index)`, so results are reproducible for a fixed
+    /// configuration.
+    pub seed: u64,
+    /// RC4 key length in bytes. All paper datasets use 16-byte (128-bit) keys,
+    /// which is also what TLS and TKIP use.
+    pub key_len: usize,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        Self {
+            keys: 1 << 18,
+            workers: 1,
+            seed: 0x5EED_0FAC_4B1A_5E5,
+            key_len: 16,
+        }
+    }
+}
+
+impl GenerationConfig {
+    /// Creates a config generating `keys` keystreams with the default seed and key length.
+    pub fn with_keys(keys: u64) -> Self {
+        Self {
+            keys,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if any field is zero or the key
+    /// length is outside RC4's legal range.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        if self.keys == 0 {
+            return Err(DatasetError::InvalidConfig("keys must be > 0".into()));
+        }
+        if self.workers == 0 {
+            return Err(DatasetError::InvalidConfig("workers must be > 0".into()));
+        }
+        if self.key_len == 0 || self.key_len > 256 {
+            return Err(DatasetError::InvalidConfig(format!(
+                "key_len {} outside 1..=256",
+                self.key_len
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A dataset that accumulates statistics from individual keystreams.
+///
+/// Implementors are driven either single-threaded (call
+/// [`KeystreamCollector::record_keystream`] in a loop) or by the
+/// [`crate::worker`] pool, which clones an empty collector per worker and
+/// merges the results.
+pub trait KeystreamCollector: Send {
+    /// How many keystream bytes per key this collector needs to observe.
+    fn required_len(&self) -> usize;
+
+    /// Updates the statistics with one keystream (of at least `required_len` bytes).
+    fn record_keystream(&mut self, keystream: &[u8]);
+
+    /// Creates an empty collector with the same shape/configuration.
+    fn clone_empty(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Merges the counts of `other` (a collector produced by `clone_empty`) into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] if the two collectors are incompatible.
+    fn merge(&mut self, other: Self) -> Result<(), DatasetError>
+    where
+        Self: Sized;
+
+    /// Total number of keystreams recorded so far.
+    fn keystreams(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(GenerationConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_detected() {
+        assert!(GenerationConfig::with_keys(0).validate().is_err());
+        assert!(GenerationConfig::default().workers(0).validate().is_err());
+        let mut c = GenerationConfig::default();
+        c.key_len = 0;
+        assert!(c.validate().is_err());
+        c.key_len = 300;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = GenerationConfig::with_keys(1000).workers(4).seed(42);
+        assert_eq!(c.keys, 1000);
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.key_len, 16);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DatasetError::ShapeMismatch("256 vs 512 positions".into());
+        assert!(e.to_string().contains("256 vs 512"));
+    }
+}

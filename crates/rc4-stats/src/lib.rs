@@ -1,0 +1,59 @@
+//! Keystream statistics generation — the reproduction of Section 3.2.
+//!
+//! The paper's bias hunt rests on enormous empirical datasets: counts of how
+//! often each keystream value (or value pair) occurs at each position, over
+//! `2^44`–`2^47` random 128-bit keys, generated on a cluster of ~80 machines.
+//! This crate rebuilds that machinery as a library:
+//!
+//! * [`single::SingleByteDataset`] — `Pr[Z_r = x]` for the initial positions
+//!   (the paper's aggregated single-byte statistics, Fig. 6).
+//! * [`pairs::PairDataset`] — `Pr[Z_a = x ∧ Z_b = y]` over a configurable list
+//!   of position pairs. Constructors are provided for the paper's two main
+//!   datasets: `consec512` (consecutive pairs up to position 512) and
+//!   `first16` (byte 1–16 against later bytes).
+//! * [`longterm::LongTermDataset`] — digraph statistics keyed by the PRGA
+//!   counter `i` after discarding the initial keystream, used for the
+//!   Fluhrer–McGrew and `w·256`-aligned long-term biases.
+//! * [`tsc::PerTscDataset`] — keystream statistics conditioned on the public
+//!   TKIP sequence-counter bytes, the input to the Paterson-style per-TSC
+//!   plaintext likelihoods of Section 5.
+//! * [`worker`] — a crossbeam-based worker pool standing in for the paper's
+//!   distributed setup; each worker derives its RC4 keys deterministically
+//!   from a per-worker seed ([`keygen`]), so runs are reproducible.
+//! * [`counters`] — the 16-bit batched counter layout the paper uses to reduce
+//!   cache misses, kept as a separately testable component so the
+//!   `counter_layout` bench can quantify the optimization.
+//!
+//! Datasets expose their raw counts (for the hypothesis tests in
+//! `stat-tests`), empirical probability estimates (for the likelihood engines
+//! in `plaintext-recovery`), and serde-based persistence so expensive runs can
+//! be stored and re-analysed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod dataset;
+pub mod keygen;
+pub mod longterm;
+pub mod pairs;
+pub mod single;
+pub mod tsc;
+pub mod worker;
+
+pub use dataset::{DatasetError, GenerationConfig, KeystreamCollector};
+pub use keygen::KeyGenerator;
+
+/// Number of possible byte values; the alphabet size of every distribution here.
+pub const NUM_VALUES: usize = 256;
+
+/// Number of possible byte-pair values.
+pub const NUM_PAIRS: usize = 256 * 256;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(super::NUM_PAIRS, super::NUM_VALUES * super::NUM_VALUES);
+    }
+}

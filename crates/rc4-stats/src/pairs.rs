@@ -1,0 +1,359 @@
+//! Double-byte keystream statistics: `Pr[Z_a = x ∧ Z_b = y]` over position pairs.
+//!
+//! One generic dataset covers both of the paper's main datasets:
+//!
+//! * `consec512` — consecutive pairs `(r, r+1)` for `1 <= r <= 512`
+//!   (paper: `2^45` keys, 16 CPU-years), built by [`PairDataset::consecutive`].
+//! * `first16` — pairs `(a, b)` with `1 <= a <= 16` and `a < b <= 256`
+//!   (paper: `2^44` keys, 9 CPU-years), built by [`PairDataset::first16`].
+//!
+//! The reproduction keeps the shape configurable so laptop-scale runs can
+//! restrict the covered positions while exercising exactly the same code path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    dataset::{DatasetError, KeystreamCollector},
+    NUM_PAIRS, NUM_VALUES,
+};
+
+/// A pair of (1-based) keystream positions whose joint distribution is tracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PositionPair {
+    /// First position `a` (1-based).
+    pub a: usize,
+    /// Second position `b` (1-based), with `a != b`.
+    pub b: usize,
+}
+
+/// Joint counts of keystream byte values over a list of position pairs.
+///
+/// For pair index `p` and values `(x, y)`, the count lives at
+/// `counts[p * 65536 + x * 256 + y]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PairDataset {
+    pairs: Vec<PositionPair>,
+    max_position: usize,
+    keystreams: u64,
+    counts: Vec<u64>,
+}
+
+impl PairDataset {
+    /// Creates an empty dataset over an explicit list of position pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the list is empty or any
+    /// pair has `a == b` or a zero position.
+    pub fn new(pairs: Vec<PositionPair>) -> Result<Self, DatasetError> {
+        if pairs.is_empty() {
+            return Err(DatasetError::InvalidConfig(
+                "at least one position pair is required".into(),
+            ));
+        }
+        let mut max_position = 0usize;
+        for p in &pairs {
+            if p.a == 0 || p.b == 0 || p.a == p.b {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "invalid position pair ({}, {})",
+                    p.a, p.b
+                )));
+            }
+            max_position = max_position.max(p.a).max(p.b);
+        }
+        let counts = vec![0u64; pairs.len() * NUM_PAIRS];
+        Ok(Self {
+            pairs,
+            max_position,
+            keystreams: 0,
+            counts,
+        })
+    }
+
+    /// The `consec512`-style dataset: consecutive pairs `(r, r+1)` for `1 <= r <= max_r`.
+    ///
+    /// The paper uses `max_r = 512`; laptop-scale runs typically use 32–256.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if `max_r == 0`.
+    pub fn consecutive(max_r: usize) -> Result<Self, DatasetError> {
+        if max_r == 0 {
+            return Err(DatasetError::InvalidConfig("max_r must be > 0".into()));
+        }
+        Self::new((1..=max_r).map(|r| PositionPair { a: r, b: r + 1 }).collect())
+    }
+
+    /// The `first16`-style dataset: pairs `(a, b)` for `1 <= a <= first`, `a < b <= max_b`.
+    ///
+    /// The paper uses `first = 16`, `max_b = 256`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] if the ranges are empty.
+    pub fn first16(first: usize, max_b: usize) -> Result<Self, DatasetError> {
+        if first == 0 || max_b <= 1 {
+            return Err(DatasetError::InvalidConfig(
+                "first and max_b must allow at least one pair".into(),
+            ));
+        }
+        let mut pairs = Vec::new();
+        for a in 1..=first {
+            for b in (a + 1)..=max_b {
+                pairs.push(PositionPair { a, b });
+            }
+        }
+        Self::new(pairs)
+    }
+
+    /// The position pairs covered, in index order.
+    pub fn pairs(&self) -> &[PositionPair] {
+        &self.pairs
+    }
+
+    /// Finds the index of a position pair, if covered.
+    pub fn pair_index(&self, a: usize, b: usize) -> Option<usize> {
+        self.pairs.iter().position(|p| p.a == a && p.b == b)
+    }
+
+    /// Raw joint count for pair index `pair_idx` and values `(x, y)`.
+    pub fn count(&self, pair_idx: usize, x: u8, y: u8) -> u64 {
+        self.counts[pair_idx * NUM_PAIRS + x as usize * NUM_VALUES + y as usize]
+    }
+
+    /// The full 65536-entry joint count table for a pair.
+    pub fn joint_counts(&self, pair_idx: usize) -> &[u64] {
+        &self.counts[pair_idx * NUM_PAIRS..(pair_idx + 1) * NUM_PAIRS]
+    }
+
+    /// Empirical joint probability `Pr[Z_a = x ∧ Z_b = y]`.
+    pub fn joint_probability(&self, pair_idx: usize, x: u8, y: u8) -> f64 {
+        if self.keystreams == 0 {
+            return 0.0;
+        }
+        self.count(pair_idx, x, y) as f64 / self.keystreams as f64
+    }
+
+    /// Empirical joint distribution as a 65536-entry probability vector.
+    pub fn joint_distribution(&self, pair_idx: usize) -> Vec<f64> {
+        let n = self.keystreams.max(1) as f64;
+        self.joint_counts(pair_idx).iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Marginal counts of the first byte of a pair (256 entries).
+    pub fn marginal_first(&self, pair_idx: usize) -> Vec<u64> {
+        let mut out = vec![0u64; NUM_VALUES];
+        let table = self.joint_counts(pair_idx);
+        for x in 0..NUM_VALUES {
+            let mut sum = 0u64;
+            for y in 0..NUM_VALUES {
+                sum += table[x * NUM_VALUES + y];
+            }
+            out[x] = sum;
+        }
+        out
+    }
+
+    /// Marginal counts of the second byte of a pair (256 entries).
+    pub fn marginal_second(&self, pair_idx: usize) -> Vec<u64> {
+        let mut out = vec![0u64; NUM_VALUES];
+        let table = self.joint_counts(pair_idx);
+        for y in 0..NUM_VALUES {
+            let mut sum = 0u64;
+            for x in 0..NUM_VALUES {
+                sum += table[x * NUM_VALUES + y];
+            }
+            out[y] = sum;
+        }
+        out
+    }
+
+    /// The paper's relative bias `q` of a value pair: `s = p (1 + q)` where `s`
+    /// is the observed pair probability and `p` the product of the empirical
+    /// single-byte probabilities.
+    ///
+    /// Returns `None` if either marginal probability is zero (no information).
+    pub fn relative_bias(&self, pair_idx: usize, x: u8, y: u8) -> Option<f64> {
+        if self.keystreams == 0 {
+            return None;
+        }
+        let n = self.keystreams as f64;
+        let p_first = self.marginal_first(pair_idx)[x as usize] as f64 / n;
+        let p_second = self.marginal_second(pair_idx)[y as usize] as f64 / n;
+        if p_first == 0.0 || p_second == 0.0 {
+            return None;
+        }
+        let expected = p_first * p_second;
+        let observed = self.joint_probability(pair_idx, x, y);
+        Some(observed / expected - 1.0)
+    }
+
+    /// Largest keystream position referenced by any pair.
+    pub fn max_position(&self) -> usize {
+        self.max_position
+    }
+
+    /// Serializes the dataset to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Serialization`] if encoding fails.
+    pub fn to_json(&self) -> Result<String, DatasetError> {
+        serde_json::to_string(self).map_err(|e| DatasetError::Serialization(e.to_string()))
+    }
+
+    /// Restores a dataset from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Serialization`] if decoding fails.
+    pub fn from_json(json: &str) -> Result<Self, DatasetError> {
+        serde_json::from_str(json).map_err(|e| DatasetError::Serialization(e.to_string()))
+    }
+}
+
+impl KeystreamCollector for PairDataset {
+    fn required_len(&self) -> usize {
+        self.max_position
+    }
+
+    fn record_keystream(&mut self, keystream: &[u8]) {
+        debug_assert!(keystream.len() >= self.max_position);
+        for (idx, pair) in self.pairs.iter().enumerate() {
+            let x = keystream[pair.a - 1] as usize;
+            let y = keystream[pair.b - 1] as usize;
+            self.counts[idx * NUM_PAIRS + x * NUM_VALUES + y] += 1;
+        }
+        self.keystreams += 1;
+    }
+
+    fn clone_empty(&self) -> Self {
+        Self {
+            pairs: self.pairs.clone(),
+            max_position: self.max_position,
+            keystreams: 0,
+            counts: vec![0u64; self.counts.len()],
+        }
+    }
+
+    fn merge(&mut self, other: Self) -> Result<(), DatasetError> {
+        if other.pairs != self.pairs {
+            return Err(DatasetError::ShapeMismatch(
+                "pair datasets cover different position pairs".into(),
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+        self.keystreams += other.keystreams;
+        Ok(())
+    }
+
+    fn keystreams(&self) -> u64 {
+        self.keystreams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consecutive_constructor_shape() {
+        let ds = PairDataset::consecutive(8).unwrap();
+        assert_eq!(ds.pairs().len(), 8);
+        assert_eq!(ds.pairs()[0], PositionPair { a: 1, b: 2 });
+        assert_eq!(ds.pairs()[7], PositionPair { a: 8, b: 9 });
+        assert_eq!(ds.max_position(), 9);
+        assert_eq!(ds.required_len(), 9);
+    }
+
+    #[test]
+    fn first16_constructor_shape() {
+        let ds = PairDataset::first16(2, 5).unwrap();
+        // (1,2) (1,3) (1,4) (1,5) (2,3) (2,4) (2,5)
+        assert_eq!(ds.pairs().len(), 7);
+        assert_eq!(ds.pair_index(1, 2), Some(0));
+        assert_eq!(ds.pair_index(2, 5), Some(6));
+        assert_eq!(ds.pair_index(3, 4), None);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(PairDataset::new(vec![]).is_err());
+        assert!(PairDataset::new(vec![PositionPair { a: 3, b: 3 }]).is_err());
+        assert!(PairDataset::new(vec![PositionPair { a: 0, b: 1 }]).is_err());
+        assert!(PairDataset::consecutive(0).is_err());
+        assert!(PairDataset::first16(0, 16).is_err());
+    }
+
+    #[test]
+    fn recording_updates_joint_and_marginals() {
+        let mut ds = PairDataset::consecutive(2).unwrap();
+        ds.record_keystream(&[10, 20, 30]);
+        ds.record_keystream(&[10, 21, 30]);
+        let idx = ds.pair_index(1, 2).unwrap();
+        assert_eq!(ds.count(idx, 10, 20), 1);
+        assert_eq!(ds.count(idx, 10, 21), 1);
+        assert_eq!(ds.marginal_first(idx)[10], 2);
+        assert_eq!(ds.marginal_second(idx)[20], 1);
+        assert_eq!(ds.keystreams(), 2);
+    }
+
+    #[test]
+    fn joint_distribution_sums_to_one() {
+        let mut ds = PairDataset::consecutive(1).unwrap();
+        for i in 0u32..100 {
+            let ks = rc4::keystream(&i.to_le_bytes(), 2).unwrap();
+            ds.record_keystream(&ks);
+        }
+        let sum: f64 = ds.joint_distribution(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_bias_zero_for_independent_values() {
+        // Construct counts where the pair occurs exactly as the margins predict.
+        let mut ds = PairDataset::consecutive(1).unwrap();
+        // Record keystreams so that Z1 in {0,1}, Z2 in {0,1}, independently.
+        for x in 0..2u8 {
+            for y in 0..2u8 {
+                for _ in 0..25 {
+                    ds.record_keystream(&[x, y]);
+                }
+            }
+        }
+        let q = ds.relative_bias(0, 0, 0).unwrap();
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_bias_detects_dependence() {
+        let mut ds = PairDataset::consecutive(1).unwrap();
+        // Z1 == Z2 always: strong positive dependence on the diagonal.
+        for v in 0..=255u8 {
+            ds.record_keystream(&[v, v]);
+        }
+        let q = ds.relative_bias(0, 7, 7).unwrap();
+        assert!(q > 100.0, "diagonal relative bias should be large, got {q}");
+        assert!(ds.relative_bias(0, 7, 8).is_none() || ds.joint_probability(0, 7, 8) == 0.0);
+    }
+
+    #[test]
+    fn merge_and_json_roundtrip() {
+        let mut a = PairDataset::consecutive(2).unwrap();
+        let mut b = a.clone_empty();
+        a.record_keystream(&[1, 2, 3]);
+        b.record_keystream(&[1, 2, 4]);
+        a.merge(b).unwrap();
+        assert_eq!(a.keystreams(), 2);
+        assert_eq!(a.count(0, 1, 2), 2);
+
+        let json = a.to_json().unwrap();
+        let back = PairDataset::from_json(&json).unwrap();
+        assert_eq!(back.count(0, 1, 2), 2);
+
+        let other = PairDataset::consecutive(3).unwrap();
+        assert!(a.merge(other).is_err());
+    }
+}

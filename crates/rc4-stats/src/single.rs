@@ -1,0 +1,247 @@
+//! Single-byte keystream statistics: `Pr[Z_r = x]` for the initial positions.
+//!
+//! This is the aggregated dataset behind Fig. 6 of the paper (single-byte
+//! biases up to position 513) and the per-position distributions consumed by
+//! the single-byte likelihood estimator of Section 4.1.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    dataset::{DatasetError, KeystreamCollector},
+    NUM_VALUES,
+};
+
+/// Counts of keystream byte values per position.
+///
+/// `counts[(r - 1) * 256 + x]` is the number of keystreams in which `Z_r = x`,
+/// with `r` the 1-based keystream position used throughout the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rc4_stats::{single::SingleByteDataset, KeystreamCollector};
+///
+/// let mut ds = SingleByteDataset::new(4);
+/// ds.record_keystream(&[0x10, 0x00, 0x37, 0x42]);
+/// ds.record_keystream(&[0x10, 0x99, 0x37, 0x43]);
+/// assert_eq!(ds.count(1, 0x10), 2);
+/// assert_eq!(ds.count(2, 0x00), 1);
+/// assert_eq!(ds.keystreams(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleByteDataset {
+    positions: usize,
+    keystreams: u64,
+    counts: Vec<u64>,
+}
+
+impl SingleByteDataset {
+    /// Creates an empty dataset covering positions `1..=positions`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions` is zero.
+    pub fn new(positions: usize) -> Self {
+        assert!(positions > 0, "dataset must cover at least one position");
+        Self {
+            positions,
+            keystreams: 0,
+            counts: vec![0u64; positions * NUM_VALUES],
+        }
+    }
+
+    /// Number of positions covered (positions `1..=positions()`).
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Raw count of `Z_r = value` over all recorded keystreams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or beyond the covered range.
+    pub fn count(&self, r: usize, value: u8) -> u64 {
+        assert!(r >= 1 && r <= self.positions, "position {r} out of range");
+        self.counts[(r - 1) * NUM_VALUES + value as usize]
+    }
+
+    /// The 256 counts for position `r`, as a slice.
+    pub fn counts_at(&self, r: usize) -> &[u64] {
+        assert!(r >= 1 && r <= self.positions, "position {r} out of range");
+        &self.counts[(r - 1) * NUM_VALUES..r * NUM_VALUES]
+    }
+
+    /// Empirical probability estimate `Pr[Z_r = value]`.
+    pub fn probability(&self, r: usize, value: u8) -> f64 {
+        if self.keystreams == 0 {
+            return 0.0;
+        }
+        self.count(r, value) as f64 / self.keystreams as f64
+    }
+
+    /// Empirical distribution of `Z_r` as a 256-entry probability vector.
+    pub fn distribution(&self, r: usize) -> Vec<f64> {
+        let n = self.keystreams.max(1) as f64;
+        self.counts_at(r).iter().map(|&c| c as f64 / n).collect()
+    }
+
+    /// Adds an externally produced count (used by the model-sampled generation mode).
+    pub fn add_count(&mut self, r: usize, value: u8, count: u64) {
+        assert!(r >= 1 && r <= self.positions, "position {r} out of range");
+        self.counts[(r - 1) * NUM_VALUES + value as usize] += count;
+    }
+
+    /// Declares that `keystreams` additional keystreams contributed to the counts
+    /// added via [`SingleByteDataset::add_count`].
+    pub fn add_keystreams(&mut self, keystreams: u64) {
+        self.keystreams += keystreams;
+    }
+
+    /// Serializes the dataset to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Serialization`] if encoding fails.
+    pub fn to_json(&self) -> Result<String, DatasetError> {
+        serde_json::to_string(self).map_err(|e| DatasetError::Serialization(e.to_string()))
+    }
+
+    /// Restores a dataset from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Serialization`] if decoding fails.
+    pub fn from_json(json: &str) -> Result<Self, DatasetError> {
+        serde_json::from_str(json).map_err(|e| DatasetError::Serialization(e.to_string()))
+    }
+}
+
+impl KeystreamCollector for SingleByteDataset {
+    fn required_len(&self) -> usize {
+        self.positions
+    }
+
+    fn record_keystream(&mut self, keystream: &[u8]) {
+        debug_assert!(keystream.len() >= self.positions);
+        for (idx, &z) in keystream.iter().take(self.positions).enumerate() {
+            self.counts[idx * NUM_VALUES + z as usize] += 1;
+        }
+        self.keystreams += 1;
+    }
+
+    fn clone_empty(&self) -> Self {
+        Self::new(self.positions)
+    }
+
+    fn merge(&mut self, other: Self) -> Result<(), DatasetError> {
+        if other.positions != self.positions {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} vs {} positions",
+                self.positions, other.positions
+            )));
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+        self.keystreams += other.keystreams;
+        Ok(())
+    }
+
+    fn keystreams(&self) -> u64 {
+        self.keystreams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut ds = SingleByteDataset::new(8);
+        let ks = rc4::keystream(b"0123456789abcdef", 8).unwrap();
+        ds.record_keystream(&ks);
+        for (i, &z) in ks.iter().enumerate() {
+            assert_eq!(ds.count(i + 1, z), 1);
+        }
+        assert_eq!(ds.keystreams(), 1);
+        // All other values have count zero.
+        assert_eq!(ds.counts_at(1).iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let mut ds = SingleByteDataset::new(4);
+        for i in 0u32..200 {
+            let key = i.to_le_bytes();
+            let ks = rc4::keystream(&key, 4).unwrap();
+            ds.record_keystream(&ks);
+        }
+        for r in 1..=4 {
+            let sum: f64 = ds.distribution(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SingleByteDataset::new(4);
+        let mut b = a.clone_empty();
+        a.record_keystream(&[1, 2, 3, 4]);
+        b.record_keystream(&[1, 9, 9, 9]);
+        a.merge(b).unwrap();
+        assert_eq!(a.keystreams(), 2);
+        assert_eq!(a.count(1, 1), 2);
+        assert_eq!(a.count(2, 2), 1);
+        assert_eq!(a.count(2, 9), 1);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let mut a = SingleByteDataset::new(4);
+        let b = SingleByteDataset::new(8);
+        assert!(matches!(a.merge(b), Err(DatasetError::ShapeMismatch(_))));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut ds = SingleByteDataset::new(2);
+        ds.record_keystream(&[7, 8]);
+        let json = ds.to_json().unwrap();
+        let back = SingleByteDataset::from_json(&json).unwrap();
+        assert_eq!(back.count(1, 7), 1);
+        assert_eq!(back.keystreams(), 1);
+    }
+
+    #[test]
+    fn manual_counts_for_sampled_mode() {
+        let mut ds = SingleByteDataset::new(1);
+        ds.add_count(1, 0, 100);
+        ds.add_count(1, 1, 50);
+        ds.add_keystreams(150);
+        assert!((ds.probability(1, 0) - 100.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_position_panics() {
+        let ds = SingleByteDataset::new(4);
+        let _ = ds.count(5, 0);
+    }
+
+    #[test]
+    fn mantin_shamir_bias_visible_at_small_scale() {
+        // With ~50k random keys, Pr[Z_2 = 0] ≈ 2/256 is clearly above 1/256.
+        let mut ds = SingleByteDataset::new(2);
+        let mut gen = crate::KeyGenerator::new(42, 0, 16);
+        let mut key = [0u8; 16];
+        for _ in 0..50_000 {
+            gen.fill_key(&mut key);
+            let ks = rc4::keystream(&key, 2).unwrap();
+            ds.record_keystream(&ks);
+        }
+        let p = ds.probability(2, 0);
+        assert!(p > 1.6 / 256.0, "Pr[Z2=0] = {p}, expected ~2/256");
+        assert!(p < 2.4 / 256.0, "Pr[Z2=0] = {p}, expected ~2/256");
+    }
+}

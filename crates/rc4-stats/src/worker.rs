@@ -1,0 +1,153 @@
+//! The keystream-generation worker pool.
+//!
+//! Stands in for the paper's distributed setup (roughly 80 desktop machines
+//! plus three servers driven by Python): each worker thread owns a private
+//! collector and a deterministic key generator, generates its share of
+//! keystreams, and the per-worker collectors are merged at the end. Because
+//! workers never share mutable state during generation, the pool scales
+//! linearly with cores and the result is identical to a single-threaded run
+//! over the union of the per-worker key sequences.
+
+use crossbeam::thread;
+
+use crate::{
+    dataset::{DatasetError, GenerationConfig, KeystreamCollector},
+    keygen::KeyGenerator,
+};
+
+/// Generates `config.keys` keystreams and accumulates them into `collector`.
+///
+/// The keys are split evenly across `config.workers` threads; worker `w`
+/// derives its keys from `(config.seed, w)`, so the generated set of keys —
+/// and therefore the resulting statistics — depend only on the configuration,
+/// not on scheduling.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidConfig`] for invalid configurations and
+/// propagates [`DatasetError::ShapeMismatch`] if merging fails (which would
+/// indicate a bug in the collector's `clone_empty`).
+///
+/// # Examples
+///
+/// ```
+/// use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig, KeystreamCollector};
+///
+/// let mut ds = SingleByteDataset::new(4);
+/// generate(&mut ds, &GenerationConfig::with_keys(1_000).workers(2)).unwrap();
+/// assert_eq!(ds.keystreams(), 1_000);
+/// ```
+pub fn generate<C>(collector: &mut C, config: &GenerationConfig) -> Result<(), DatasetError>
+where
+    C: KeystreamCollector,
+{
+    config.validate()?;
+    let needed = collector.required_len();
+
+    if config.workers == 1 {
+        let mut gen = KeyGenerator::new(config.seed, 0, config.key_len);
+        run_worker(collector, &mut gen, config.keys, needed);
+        return Ok(());
+    }
+
+    // Split the work as evenly as possible; the first `remainder` workers get one extra key.
+    let per_worker = config.keys / config.workers as u64;
+    let remainder = config.keys % config.workers as u64;
+
+    let partials: Vec<C> = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.workers);
+        for w in 0..config.workers {
+            let mut local = collector.clone_empty();
+            let keys = per_worker + u64::from((w as u64) < remainder);
+            let seed = config.seed;
+            let key_len = config.key_len;
+            handles.push(scope.spawn(move |_| {
+                let mut gen = KeyGenerator::new(seed, w as u64, key_len);
+                run_worker(&mut local, &mut gen, keys, needed);
+                local
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("statistics worker panicked"))
+            .collect()
+    })
+    .expect("worker scope panicked");
+
+    for partial in partials {
+        collector.merge(partial)?;
+    }
+    Ok(())
+}
+
+/// Inner loop of one worker: generate `keys` keystreams of `needed` bytes.
+fn run_worker<C: KeystreamCollector>(
+    collector: &mut C,
+    gen: &mut KeyGenerator,
+    keys: u64,
+    needed: usize,
+) {
+    let mut key = vec![0u8; gen.key_len()];
+    let mut ks = vec![0u8; needed];
+    for _ in 0..keys {
+        gen.fill_key(&mut key);
+        let mut prga = rc4::Prga::new(&key).expect("worker key length is valid");
+        prga.fill(&mut ks);
+        collector.record_keystream(&ks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pairs::PairDataset, single::SingleByteDataset};
+
+    #[test]
+    fn single_worker_generates_requested_keys() {
+        let mut ds = SingleByteDataset::new(4);
+        generate(&mut ds, &GenerationConfig::with_keys(500)).unwrap();
+        assert_eq!(ds.keystreams(), 500);
+        // Each position saw exactly 500 samples.
+        assert_eq!(ds.counts_at(1).iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn multi_worker_key_count_is_exact() {
+        let mut ds = SingleByteDataset::new(2);
+        generate(&mut ds, &GenerationConfig::with_keys(1_003).workers(4)).unwrap();
+        assert_eq!(ds.keystreams(), 1_003);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_config() {
+        let config = GenerationConfig::with_keys(400).workers(3).seed(99);
+        let mut a = SingleByteDataset::new(8);
+        let mut b = SingleByteDataset::new(8);
+        generate(&mut a, &config).unwrap();
+        generate(&mut b, &config).unwrap();
+        for r in 1..=8 {
+            assert_eq!(a.counts_at(r), b.counts_at(r));
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_totals() {
+        // Different worker counts generate different key sets, but the number of
+        // samples and overall normalization must match.
+        let mut one = PairDataset::consecutive(3).unwrap();
+        let mut four = one.clone_empty();
+        generate(&mut one, &GenerationConfig::with_keys(600).workers(1)).unwrap();
+        generate(&mut four, &GenerationConfig::with_keys(600).workers(4)).unwrap();
+        assert_eq!(one.keystreams(), four.keystreams());
+        assert_eq!(
+            one.joint_counts(0).iter().sum::<u64>(),
+            four.joint_counts(0).iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut ds = SingleByteDataset::new(2);
+        assert!(generate(&mut ds, &GenerationConfig::with_keys(0)).is_err());
+    }
+}

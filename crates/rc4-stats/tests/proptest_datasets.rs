@@ -1,0 +1,85 @@
+//! Property-based tests for the statistics datasets.
+
+use proptest::prelude::*;
+use rc4_stats::{
+    counters::{Batched16Counter, PlainCounter},
+    pairs::PairDataset,
+    single::SingleByteDataset,
+    KeystreamCollector,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recording keystreams preserves totals: every position's counts sum to the
+    /// number of keystreams, and merging two datasets adds their counts.
+    #[test]
+    fn single_byte_totals_and_merge(keystreams in prop::collection::vec(prop::collection::vec(any::<u8>(), 8), 1..64),
+                                    split in 0usize..64) {
+        let split = split.min(keystreams.len());
+        let mut whole = SingleByteDataset::new(8);
+        for ks in &keystreams {
+            whole.record_keystream(ks);
+        }
+        let mut a = SingleByteDataset::new(8);
+        let mut b = a.clone_empty();
+        for ks in &keystreams[..split] {
+            a.record_keystream(ks);
+        }
+        for ks in &keystreams[split..] {
+            b.record_keystream(ks);
+        }
+        a.merge(b).unwrap();
+        prop_assert_eq!(a.keystreams(), whole.keystreams());
+        for r in 1..=8 {
+            prop_assert_eq!(a.counts_at(r), whole.counts_at(r));
+            prop_assert_eq!(whole.counts_at(r).iter().sum::<u64>(), keystreams.len() as u64);
+        }
+    }
+
+    /// JSON round-trips preserve pair-dataset counts exactly.
+    #[test]
+    fn pair_dataset_json_roundtrip(keystreams in prop::collection::vec(prop::collection::vec(any::<u8>(), 3), 1..32)) {
+        let mut ds = PairDataset::consecutive(2).unwrap();
+        for ks in &keystreams {
+            ds.record_keystream(ks);
+        }
+        let back = PairDataset::from_json(&ds.to_json().unwrap()).unwrap();
+        prop_assert_eq!(back.keystreams(), ds.keystreams());
+        for idx in 0..2 {
+            prop_assert_eq!(back.joint_counts(idx), ds.joint_counts(idx));
+        }
+    }
+
+    /// Pair marginals are consistent with the joint counts.
+    #[test]
+    fn pair_marginals_consistent(keystreams in prop::collection::vec(prop::collection::vec(any::<u8>(), 2), 1..64)) {
+        let mut ds = PairDataset::consecutive(1).unwrap();
+        for ks in &keystreams {
+            ds.record_keystream(ks);
+        }
+        let joint = ds.joint_counts(0);
+        let first = ds.marginal_first(0);
+        let second = ds.marginal_second(0);
+        prop_assert_eq!(first.iter().sum::<u64>(), keystreams.len() as u64);
+        prop_assert_eq!(second.iter().sum::<u64>(), keystreams.len() as u64);
+        for x in 0..256usize {
+            let row: u64 = (0..256).map(|y| joint[x * 256 + y]).sum();
+            prop_assert_eq!(row, first[x]);
+        }
+    }
+
+    /// The batched 16-bit counter always agrees with a plain u64 counter.
+    #[test]
+    fn batched_counter_matches_plain(updates in prop::collection::vec(0usize..128, 1..5000),
+                                     flush_every in 1u64..5000,
+                                     batch in 1usize..256) {
+        let mut batched = Batched16Counter::new(128, flush_every.min(65_535), batch).unwrap();
+        let mut plain = PlainCounter::new(128);
+        for &idx in &updates {
+            batched.record(idx);
+            plain.record(idx);
+        }
+        prop_assert_eq!(batched.into_counts(), plain.into_counts());
+    }
+}

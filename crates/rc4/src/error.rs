@@ -1,0 +1,47 @@
+//! Error types for the RC4 crate.
+
+use core::fmt;
+
+/// Error returned when an RC4 key has an invalid length.
+///
+/// RC4 keys must be between [`crate::MIN_KEY_LEN`] and [`crate::MAX_KEY_LEN`]
+/// bytes long (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyError {
+    /// The offending key length in bytes.
+    pub len: usize,
+}
+
+impl KeyError {
+    /// Creates a new error for a key of `len` bytes.
+    pub fn new(len: usize) -> Self {
+        Self { len }
+    }
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid RC4 key length {} (must be between {} and {} bytes)",
+            self.len,
+            crate::MIN_KEY_LEN,
+            crate::MAX_KEY_LEN
+        )
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_length() {
+        let err = KeyError::new(0);
+        let msg = err.to_string();
+        assert!(msg.contains('0'));
+        assert!(msg.contains("256"));
+    }
+}

@@ -1,0 +1,192 @@
+//! From-scratch implementation of the RC4 stream cipher.
+//!
+//! This crate provides the substrate for every other crate in the workspace: it
+//! implements the Key Scheduling Algorithm (KSA) and the Pseudo Random Generation
+//! Algorithm (PRGA) exactly as analysed in *All Your Biases Belong To Us: Breaking
+//! RC4 in WPA-TKIP and TLS* (Vanhoef & Piessens), together with convenience APIs
+//! for bulk keystream generation, encryption, and keystream introspection that the
+//! bias-hunting and attack crates build on.
+//!
+//! RC4 is **broken** — that is the entire point of this workspace. Nothing in this
+//! crate should be used to protect real data; it exists so the statistical attacks
+//! on RC4 can be reproduced and studied.
+//!
+//! # Structure
+//!
+//! * [`Ksa`] / [`ksa`] — the key scheduling algorithm producing the initial
+//!   permutation of `{0, ..., 255}`.
+//! * [`Prga`] — the keystream generator. It exposes both an [`Iterator`]
+//!   interface and bulk [`Prga::fill`] / [`Prga::skip`] operations, plus access to
+//!   the internal `(S, i, j)` state for research purposes.
+//! * [`Rc4`] — the cipher: XORs the keystream into plaintext/ciphertext buffers.
+//! * [`Rc4Drop`] — RC4-drop\[n\]: discards the first `n` keystream bytes, the
+//!   mitigation recommended by Mironov that the paper's long-term analyses assume.
+//!
+//! # Examples
+//!
+//! ```
+//! use rc4::Rc4;
+//!
+//! let mut cipher = Rc4::new(b"Key").expect("key length is valid");
+//! let mut data = *b"Plaintext";
+//! cipher.apply_keystream(&mut data);
+//! assert_eq!(data, [0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cipher;
+mod error;
+mod ksa;
+mod prga;
+mod state;
+
+pub use cipher::{Rc4, Rc4Drop};
+pub use error::KeyError;
+pub use ksa::{ksa, Ksa};
+pub use prga::Prga;
+pub use state::State;
+
+/// Size of the RC4 internal permutation.
+pub const PERM_SIZE: usize = 256;
+
+/// Minimum RC4 key length in bytes accepted by this implementation.
+///
+/// RC4 formally allows 1-byte keys; all analyses in the paper use at least
+/// 5-byte (40-bit) keys, but we accept the full legal range.
+pub const MIN_KEY_LEN: usize = 1;
+
+/// Maximum RC4 key length in bytes (the KSA only consumes up to 256 key bytes).
+pub const MAX_KEY_LEN: usize = 256;
+
+/// Length in bytes of the 128-bit keys used for all keystream statistics in the paper.
+pub const PAPER_KEY_LEN: usize = 16;
+
+/// Generates `len` keystream bytes for `key` in one call.
+///
+/// This is a convenience wrapper used pervasively by the statistics and attack
+/// crates: it runs the KSA and then the PRGA for `len` rounds.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] if the key length is outside `1..=256`.
+///
+/// # Examples
+///
+/// ```
+/// let ks = rc4::keystream(b"Key", 3).unwrap();
+/// assert_eq!(ks, vec![0xEB, 0x9F, 0x77]);
+/// ```
+pub fn keystream(key: &[u8], len: usize) -> Result<Vec<u8>, KeyError> {
+    let mut prga = Prga::new(key)?;
+    let mut out = vec![0u8; len];
+    prga.fill(&mut out);
+    Ok(out)
+}
+
+/// Encrypts (or decrypts — RC4 is symmetric) `data` in place under `key`.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] if the key length is outside `1..=256`.
+pub fn apply(key: &[u8], data: &mut [u8]) -> Result<(), KeyError> {
+    let mut cipher = Rc4::new(key)?;
+    cipher.apply_keystream(data);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 6229-style test vectors (key, offset, expected keystream bytes).
+    const VECTORS: &[(&[u8], usize, [u8; 16])] = &[
+        (
+            &[0x01, 0x02, 0x03, 0x04, 0x05],
+            0,
+            [
+                0xb2, 0x39, 0x63, 0x05, 0xf0, 0x3d, 0xc0, 0x27, 0xcc, 0xc3, 0x52, 0x4a, 0x0a,
+                0x11, 0x18, 0xa8,
+            ],
+        ),
+        (
+            &[0x01, 0x02, 0x03, 0x04, 0x05],
+            16,
+            [
+                0x69, 0x82, 0x94, 0x4f, 0x18, 0xfc, 0x82, 0xd5, 0x89, 0xc4, 0x03, 0xa4, 0x7a,
+                0x0d, 0x09, 0x19,
+            ],
+        ),
+        (
+            &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07],
+            0,
+            [
+                0x29, 0x3f, 0x02, 0xd4, 0x7f, 0x37, 0xc9, 0xb6, 0x33, 0xf2, 0xaf, 0x52, 0x85,
+                0xfe, 0xb4, 0x6b,
+            ],
+        ),
+        (
+            &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08],
+            0,
+            [
+                0x97, 0xab, 0x8a, 0x1b, 0xf0, 0xaf, 0xb9, 0x61, 0x32, 0xf2, 0xf6, 0x72, 0x58,
+                0xda, 0x15, 0xa8,
+            ],
+        ),
+        (
+            &[
+                0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+                0x0e, 0x0f, 0x10,
+            ],
+            0,
+            [
+                0x9a, 0xc7, 0xcc, 0x9a, 0x60, 0x9d, 0x1e, 0xf7, 0xb2, 0x93, 0x28, 0x99, 0xcd,
+                0xe4, 0x1b, 0x97,
+            ],
+        ),
+        (
+            &[
+                0x83, 0x32, 0x22, 0x77, 0x2a, 0x61, 0x0b, 0xad, 0xea, 0x9d, 0xcf, 0x7d, 0x03,
+                0x36, 0x06, 0x9f,
+            ],
+            0,
+            [
+                0x2b, 0x51, 0xb9, 0xd0, 0x69, 0x53, 0x94, 0x69, 0x31, 0xc8, 0xe0, 0xdc, 0xb4,
+                0xc3, 0xf5, 0x3c,
+            ],
+        ),
+    ];
+
+    #[test]
+    fn rfc6229_vectors() {
+        for (key, offset, expected) in VECTORS {
+            let ks = keystream(key, offset + 16).unwrap();
+            assert_eq!(&ks[*offset..], expected, "key {key:02x?} offset {offset}");
+        }
+    }
+
+    #[test]
+    fn keystream_is_deterministic() {
+        let a = keystream(b"another key", 512).unwrap();
+        let b = keystream(b"another key", 512).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_roundtrips() {
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let original = data.clone();
+        apply(b"secret", &mut data).unwrap();
+        assert_ne!(data, original);
+        apply(b"secret", &mut data).unwrap();
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized_keys() {
+        assert!(keystream(&[], 1).is_err());
+        assert!(keystream(&[0u8; 257], 1).is_err());
+        assert!(keystream(&[0u8; 256], 1).is_ok());
+    }
+}

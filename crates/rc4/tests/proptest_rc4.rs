@@ -1,0 +1,78 @@
+//! Property-based tests for the RC4 core.
+
+use proptest::prelude::*;
+use rc4::{keystream, Ksa, Prga, Rc4, Rc4Drop};
+
+proptest! {
+    /// Encrypt-then-decrypt is the identity for any key and any plaintext.
+    #[test]
+    fn roundtrip(key in prop::collection::vec(any::<u8>(), 1..=64),
+                 data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut enc = Rc4::new(&key).unwrap();
+        let mut dec = Rc4::new(&key).unwrap();
+        let ct = enc.encrypt(&data);
+        prop_assert_eq!(dec.decrypt(&ct), data);
+    }
+
+    /// The keystream is deterministic and independent of how it is consumed
+    /// (single bytes, bulk fill, or split into chunks).
+    #[test]
+    fn access_patterns_agree(key in prop::collection::vec(any::<u8>(), 1..=32),
+                             split in 0usize..256,
+                             len in 1usize..512) {
+        let whole = keystream(&key, len).unwrap();
+
+        let mut by_byte = Prga::new(&key).unwrap();
+        let bytes: Vec<u8> = (0..len).map(|_| by_byte.next_byte()).collect();
+        prop_assert_eq!(&bytes, &whole);
+
+        let split = split.min(len);
+        let mut chunked = Prga::new(&key).unwrap();
+        let mut first = vec![0u8; split];
+        chunked.fill(&mut first);
+        let mut second = vec![0u8; len - split];
+        chunked.fill(&mut second);
+        first.extend(second);
+        prop_assert_eq!(first, whole);
+    }
+
+    /// The KSA always produces a permutation, and the permutation property is
+    /// preserved by arbitrarily many PRGA rounds.
+    #[test]
+    fn state_stays_a_permutation(key in prop::collection::vec(any::<u8>(), 1..=48),
+                                 rounds in 0usize..4096) {
+        let state = Ksa::schedule(&key).unwrap();
+        prop_assert!(state.is_permutation());
+        let mut prga = Prga::from_state(state);
+        prga.skip(rounds);
+        prop_assert!(prga.state().is_permutation());
+    }
+
+    /// RC4-drop[n] produces exactly the suffix of the plain keystream.
+    #[test]
+    fn drop_is_a_suffix(key in prop::collection::vec(any::<u8>(), 1..=16),
+                        drop_n in 0usize..2048,
+                        len in 1usize..128) {
+        let full = keystream(&key, drop_n + len).unwrap();
+        let mut dropped = Rc4Drop::new(&key, drop_n).unwrap();
+        let mut data = vec![0u8; len];
+        dropped.apply_keystream(&mut data);
+        prop_assert_eq!(&data, &full[drop_n..]);
+    }
+
+    /// Two different keys (almost) never generate the same initial keystream;
+    /// more precisely, whenever they do differ in the first 16 bytes the
+    /// ciphertexts of the same plaintext differ too.
+    #[test]
+    fn distinct_keys_give_distinct_ciphertexts(a in prop::collection::vec(any::<u8>(), 16),
+                                               b in prop::collection::vec(any::<u8>(), 16)) {
+        prop_assume!(a != b);
+        let ks_a = keystream(&a, 16).unwrap();
+        let ks_b = keystream(&b, 16).unwrap();
+        if ks_a != ks_b {
+            let mut ca = Rc4::new(&a).unwrap();
+            let mut cb = Rc4::new(&b).unwrap();
+            prop_assert_ne!(ca.encrypt(b"same plaintext!!"), cb.encrypt(b"same plaintext!!"));
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Chi-squared goodness-of-fit and independence tests.
+
+use crate::{special::chi2_sf, StatError, TestResult};
+
+/// Chi-squared goodness-of-fit test of observed counts against expected probabilities.
+///
+/// This is the test the paper uses for its single-byte null hypothesis
+/// ("keystream byte `Z_r` is uniformly distributed"): `observed[k]` is the
+/// number of times value `k` was seen, `expected[k]` the probability under H0.
+///
+/// # Errors
+///
+/// * [`StatError::LengthMismatch`] when the slices differ in length.
+/// * [`StatError::EmptyObservations`] when no observations were collected.
+/// * [`StatError::InvalidExpected`] when the expected probabilities are not a
+///   distribution (negative entries or sum far from one).
+///
+/// # Examples
+///
+/// ```
+/// use stat_tests::chisq::chi_squared_gof;
+///
+/// // A heavily loaded die: face 6 comes up far too often.
+/// let observed = [10u64, 12, 9, 11, 8, 150];
+/// let expected = [1.0 / 6.0; 6];
+/// let result = chi_squared_gof(&observed, &expected).unwrap();
+/// assert!(result.p_value < 1e-10);
+/// ```
+pub fn chi_squared_gof(observed: &[u64], expected: &[f64]) -> Result<TestResult, StatError> {
+    if observed.len() != expected.len() {
+        return Err(StatError::LengthMismatch {
+            observed: observed.len(),
+            expected: expected.len(),
+        });
+    }
+    let n: u64 = observed.iter().sum();
+    if observed.is_empty() || n == 0 {
+        return Err(StatError::EmptyObservations);
+    }
+    let sum_p: f64 = expected.iter().sum();
+    if expected.iter().any(|&p| p < 0.0) || (sum_p - 1.0).abs() > 1e-6 {
+        return Err(StatError::InvalidExpected);
+    }
+
+    let n_f = n as f64;
+    let mut statistic = 0.0;
+    let mut df = -1.0f64;
+    for (&obs, &p) in observed.iter().zip(expected) {
+        if p == 0.0 {
+            if obs > 0 {
+                return Err(StatError::InvalidExpected);
+            }
+            continue;
+        }
+        let exp = n_f * p;
+        let diff = obs as f64 - exp;
+        statistic += diff * diff / exp;
+        df += 1.0;
+    }
+    if df < 1.0 {
+        return Err(StatError::Domain("fewer than two non-empty cells"));
+    }
+    Ok(TestResult {
+        statistic,
+        p_value: chi2_sf(statistic, df),
+        df,
+    })
+}
+
+/// Chi-squared test against the uniform distribution over `observed.len()` cells.
+///
+/// Convenience wrapper for the single-byte "is `Z_r` uniform?" question.
+///
+/// # Errors
+///
+/// Same as [`chi_squared_gof`].
+pub fn chi_squared_uniform(observed: &[u64]) -> Result<TestResult, StatError> {
+    let k = observed.len();
+    if k == 0 {
+        return Err(StatError::EmptyObservations);
+    }
+    let expected = vec![1.0 / k as f64; k];
+    chi_squared_gof(observed, &expected)
+}
+
+/// Chi-squared test of independence on an `rows x cols` contingency table.
+///
+/// Null hypothesis: the row variable and column variable are independent.
+/// Expected cell counts are the product of the margins; degrees of freedom are
+/// `(rows - 1) * (cols - 1)`.
+///
+/// The paper prefers the M-test for keystream byte pairs because only a few
+/// cells are biased; the classical independence test is provided both as a
+/// baseline (see the `mtest_vs_chisq` ablation bench) and for validating the
+/// M-test implementation.
+///
+/// # Errors
+///
+/// * [`StatError::EmptyObservations`] when the table is empty or has zero total.
+/// * [`StatError::LengthMismatch`] when `table.len() != rows * cols`.
+pub fn chi_squared_independence(
+    table: &[u64],
+    rows: usize,
+    cols: usize,
+) -> Result<TestResult, StatError> {
+    if rows == 0 || cols == 0 || table.is_empty() {
+        return Err(StatError::EmptyObservations);
+    }
+    if table.len() != rows * cols {
+        return Err(StatError::LengthMismatch {
+            observed: table.len(),
+            expected: rows * cols,
+        });
+    }
+    let total: u64 = table.iter().sum();
+    if total == 0 {
+        return Err(StatError::EmptyObservations);
+    }
+    let total_f = total as f64;
+
+    let mut row_sums = vec![0.0f64; rows];
+    let mut col_sums = vec![0.0f64; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = table[r * cols + c] as f64;
+            row_sums[r] += v;
+            col_sums[c] += v;
+        }
+    }
+
+    let mut statistic = 0.0;
+    let mut used_rows = 0usize;
+    let mut used_cols = 0usize;
+    for (r, &rs) in row_sums.iter().enumerate() {
+        if rs == 0.0 {
+            continue;
+        }
+        used_rows += 1;
+        for (c, &cs) in col_sums.iter().enumerate() {
+            if cs == 0.0 {
+                continue;
+            }
+            let expected = rs * cs / total_f;
+            let diff = table[r * cols + c] as f64 - expected;
+            statistic += diff * diff / expected;
+        }
+    }
+    for &cs in &col_sums {
+        if cs > 0.0 {
+            used_cols += 1;
+        }
+    }
+    if used_rows < 2 || used_cols < 2 {
+        return Err(StatError::Domain(
+            "independence test needs at least a 2x2 table with data",
+        ));
+    }
+    let df = ((used_rows - 1) * (used_cols - 1)) as f64;
+    Ok(TestResult {
+        statistic,
+        p_value: chi2_sf(statistic, df),
+        df,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_is_not_rejected() {
+        // Perfectly uniform counts give statistic 0 and p-value 1.
+        let observed = vec![1000u64; 256];
+        let r = chi_squared_uniform(&observed).unwrap();
+        assert!(r.statistic < 1e-9);
+        assert!(r.p_value > 0.999);
+        assert_eq!(r.df, 255.0);
+    }
+
+    #[test]
+    fn biased_cell_is_rejected() {
+        // Simulate the Mantin-Shamir bias: value 0 twice as likely at 2^20 samples.
+        let mut observed = vec![4096u64; 256];
+        observed[0] = 8192;
+        let r = chi_squared_uniform(&observed).unwrap();
+        assert!(r.rejects(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn textbook_gof_example() {
+        // 60 die rolls with the counts below: chi2 = 116/10 = 11.6, df = 5, p ≈ 0.0407.
+        let observed = [8u64, 9, 19, 5, 8, 11];
+        let expected = [1.0 / 6.0; 6];
+        let r = chi_squared_gof(&observed, &expected).unwrap();
+        assert!((r.statistic - 11.6).abs() < 1e-9);
+        assert_eq!(r.df, 5.0);
+        assert!((r.p_value - 0.0407).abs() < 5e-4);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert_eq!(
+            chi_squared_gof(&[1, 2], &[0.5]).unwrap_err(),
+            StatError::LengthMismatch {
+                observed: 2,
+                expected: 1
+            }
+        );
+        assert_eq!(
+            chi_squared_gof(&[], &[]).unwrap_err(),
+            StatError::EmptyObservations
+        );
+        assert_eq!(
+            chi_squared_gof(&[0, 0], &[0.5, 0.5]).unwrap_err(),
+            StatError::EmptyObservations
+        );
+        assert_eq!(
+            chi_squared_gof(&[1, 2], &[0.9, 0.3]).unwrap_err(),
+            StatError::InvalidExpected
+        );
+        // Observation in a zero-probability cell is impossible under H0.
+        assert_eq!(
+            chi_squared_gof(&[1, 2], &[0.0, 1.0]).unwrap_err(),
+            StatError::InvalidExpected
+        );
+    }
+
+    #[test]
+    fn independence_detects_dependence() {
+        // Strongly diagonal 2x2 table.
+        let table = [900u64, 100, 100, 900];
+        let r = chi_squared_independence(&table, 2, 2).unwrap();
+        assert_eq!(r.df, 1.0);
+        assert!(r.rejects());
+
+        // Independent table: cell = row margin * col margin / total.
+        let indep = [400u64, 600, 400, 600];
+        let r2 = chi_squared_independence(&indep, 2, 2).unwrap();
+        assert!(r2.statistic < 1e-9);
+        assert!(r2.p_value > 0.99);
+    }
+
+    #[test]
+    fn independence_validation() {
+        assert!(chi_squared_independence(&[], 0, 0).is_err());
+        assert!(chi_squared_independence(&[1, 2, 3], 2, 2).is_err());
+        assert!(chi_squared_independence(&[0, 0, 0, 0], 2, 2).is_err());
+    }
+
+    #[test]
+    fn gof_with_non_uniform_expected() {
+        // Expected distribution with a known bias; data drawn exactly from it
+        // should not be rejected.
+        let mut expected = vec![1.0 / 256.0; 256];
+        expected[0] = 2.0 / 256.0;
+        expected[1] = 0.0;
+        let mut observed: Vec<u64> = vec![100u64; 256];
+        observed[0] = 200;
+        observed[1] = 0;
+        let r = chi_squared_gof(&observed, &expected).unwrap();
+        assert!(r.p_value > 0.99);
+        // One cell dropped (p = 0), so df = 254.
+        assert_eq!(r.df, 254.0);
+    }
+}

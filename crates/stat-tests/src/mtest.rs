@@ -1,0 +1,255 @@
+//! The Fuchs–Kenett M-test for detecting outlying cells in a multinomial.
+//!
+//! The M-test looks at the *maximum* standardized cell residual instead of the
+//! sum of squared residuals. When only a handful of cells deviate from the null
+//! (e.g. at most 8 of the 65536 digraph values at a given position are biased,
+//! as with the Fluhrer–McGrew biases), the maximum statistic is asymptotically
+//! more powerful than the chi-squared statistic, which dilutes a few strong
+//! outliers across all cells. This is exactly why the paper adopts it for the
+//! double-byte independence tests.
+
+use crate::{special::normal_two_sided, StatError, TestResult};
+
+/// Result of an M-test, including which cell was the most extreme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MTestResult {
+    /// The underlying statistic / p-value / degrees-of-freedom triple.
+    pub test: TestResult,
+    /// Index of the cell with the largest standardized residual.
+    pub worst_cell: usize,
+    /// Signed standardized residual of that cell (positive = over-represented).
+    pub worst_residual: f64,
+}
+
+/// Runs the Fuchs–Kenett M-test of `observed` counts against `expected` cell probabilities.
+///
+/// The statistic is `M = max_k |N_k - n p_k| / sqrt(n p_k (1 - p_k))`; the
+/// p-value applies a Bonferroni bound over the `k` cells to the two-sided
+/// normal tail of the maximum, which is the standard (slightly conservative)
+/// calibration of the test.
+///
+/// # Errors
+///
+/// * [`StatError::LengthMismatch`] when the slices differ in length.
+/// * [`StatError::EmptyObservations`] when no observations were collected.
+/// * [`StatError::InvalidExpected`] when `expected` is not a probability vector.
+///
+/// # Examples
+///
+/// ```
+/// use stat_tests::mtest::m_test;
+///
+/// // One cell out of 256 carries a strong positive bias.
+/// let mut observed = vec![10_000u64; 256];
+/// observed[42] = 11_000;
+/// let expected = vec![1.0 / 256.0; 256];
+/// let r = m_test(&observed, &expected).unwrap();
+/// assert_eq!(r.worst_cell, 42);
+/// assert!(r.test.p_value < 1e-4);
+/// ```
+pub fn m_test(observed: &[u64], expected: &[f64]) -> Result<MTestResult, StatError> {
+    if observed.len() != expected.len() {
+        return Err(StatError::LengthMismatch {
+            observed: observed.len(),
+            expected: expected.len(),
+        });
+    }
+    let n: u64 = observed.iter().sum();
+    if observed.is_empty() || n == 0 {
+        return Err(StatError::EmptyObservations);
+    }
+    let sum_p: f64 = expected.iter().sum();
+    if expected.iter().any(|&p| p < 0.0) || (sum_p - 1.0).abs() > 1e-6 {
+        return Err(StatError::InvalidExpected);
+    }
+
+    let n_f = n as f64;
+    let mut worst_cell = 0usize;
+    let mut worst_abs = -1.0f64;
+    let mut worst_signed = 0.0f64;
+    let mut cells = 0usize;
+    for (k, (&obs, &p)) in observed.iter().zip(expected).enumerate() {
+        if p <= 0.0 || p >= 1.0 {
+            // Degenerate cells carry no information about outliers.
+            if p == 0.0 && obs > 0 {
+                return Err(StatError::InvalidExpected);
+            }
+            continue;
+        }
+        cells += 1;
+        let mean = n_f * p;
+        let sd = (n_f * p * (1.0 - p)).sqrt();
+        let z = (obs as f64 - mean) / sd;
+        if z.abs() > worst_abs {
+            worst_abs = z.abs();
+            worst_signed = z;
+            worst_cell = k;
+        }
+    }
+    if cells == 0 {
+        return Err(StatError::Domain("no informative cells"));
+    }
+
+    let single_cell_p = normal_two_sided(worst_abs);
+    let p_value = (single_cell_p * cells as f64).min(1.0);
+    Ok(MTestResult {
+        test: TestResult {
+            statistic: worst_abs,
+            p_value,
+            df: cells as f64,
+        },
+        worst_cell,
+        worst_residual: worst_signed,
+    })
+}
+
+/// M-test of independence for a two-dimensional contingency table.
+///
+/// The null hypothesis is that the row and column variables are independent;
+/// expected cell probabilities are the products of the empirical margins. This
+/// is the double-byte test from Section 3.1: it flags a keystream byte *pair*
+/// as dependent even in the presence of single-byte biases, because those
+/// biases are absorbed into the margins.
+///
+/// # Errors
+///
+/// * [`StatError::EmptyObservations`] when the table is empty or all-zero.
+/// * [`StatError::LengthMismatch`] when `table.len() != rows * cols`.
+pub fn m_test_independence(
+    table: &[u64],
+    rows: usize,
+    cols: usize,
+) -> Result<MTestResult, StatError> {
+    if rows == 0 || cols == 0 || table.is_empty() {
+        return Err(StatError::EmptyObservations);
+    }
+    if table.len() != rows * cols {
+        return Err(StatError::LengthMismatch {
+            observed: table.len(),
+            expected: rows * cols,
+        });
+    }
+    let total: u64 = table.iter().sum();
+    if total == 0 {
+        return Err(StatError::EmptyObservations);
+    }
+    let total_f = total as f64;
+
+    let mut row_p = vec![0.0f64; rows];
+    let mut col_p = vec![0.0f64; cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = table[r * cols + c] as f64;
+            row_p[r] += v;
+            col_p[c] += v;
+        }
+    }
+    for p in row_p.iter_mut() {
+        *p /= total_f;
+    }
+    for p in col_p.iter_mut() {
+        *p /= total_f;
+    }
+
+    let expected: Vec<f64> = (0..rows * cols)
+        .map(|idx| row_p[idx / cols] * col_p[idx % cols])
+        .collect();
+    // Renormalize to absorb floating point drift so m_test's validation passes.
+    let sum: f64 = expected.iter().sum();
+    let expected: Vec<f64> = expected.iter().map(|p| p / sum).collect();
+    m_test(table, &expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_single_outlier_cell() {
+        let mut observed = vec![1_000u64; 65536 / 64]; // 1024 cells to keep the test fast
+        observed[77] = 1_400;
+        let expected = vec![1.0 / observed.len() as f64; observed.len()];
+        let r = m_test(&observed, &expected).unwrap();
+        assert_eq!(r.worst_cell, 77);
+        assert!(r.worst_residual > 0.0);
+        assert!(r.test.rejects());
+    }
+
+    #[test]
+    fn detects_negative_bias() {
+        let mut observed = vec![10_000u64; 256];
+        observed[3] = 8_500;
+        let expected = vec![1.0 / 256.0; 256];
+        let r = m_test(&observed, &expected).unwrap();
+        assert_eq!(r.worst_cell, 3);
+        assert!(r.worst_residual < 0.0);
+        assert!(r.test.rejects());
+    }
+
+    #[test]
+    fn uniform_data_not_rejected() {
+        let observed = vec![5_000u64; 256];
+        let expected = vec![1.0 / 256.0; 256];
+        let r = m_test(&observed, &expected).unwrap();
+        assert!(!r.test.rejects_at(0.05));
+        assert_eq!(r.test.p_value, 1.0);
+    }
+
+    #[test]
+    fn more_powerful_than_chisq_for_single_outlier() {
+        // With many cells and one moderately biased cell, the M-test should give a
+        // smaller p-value than the chi-squared GoF test.
+        let cells = 4096usize;
+        let mut observed = vec![2_000u64; cells];
+        observed[123] = 2_350;
+        let expected = vec![1.0 / cells as f64; cells];
+        let m = m_test(&observed, &expected).unwrap();
+        let chi = crate::chisq::chi_squared_gof(&observed, &expected).unwrap();
+        assert!(
+            m.test.p_value < chi.p_value,
+            "m-test p {} >= chi2 p {}",
+            m.test.p_value,
+            chi.p_value
+        );
+    }
+
+    #[test]
+    fn independence_with_biased_margins_but_independent_cells() {
+        // Margins are biased (row 0 much more likely) but rows/cols independent:
+        // the independence M-test must NOT reject.
+        let rows = 4;
+        let cols = 4;
+        let row_w = [8u64, 1, 1, 1];
+        let col_w = [5u64, 3, 1, 1];
+        let mut table = vec![0u64; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                table[r * cols + c] = row_w[r] * col_w[c] * 1000;
+            }
+        }
+        let r = m_test_independence(&table, rows, cols).unwrap();
+        assert!(!r.test.rejects_at(0.05), "p = {}", r.test.p_value);
+    }
+
+    #[test]
+    fn independence_detects_one_dependent_pair() {
+        let rows = 16;
+        let cols = 16;
+        let mut table = vec![10_000u64; rows * cols];
+        // Inject dependence into a single pair, like a Fluhrer-McGrew digraph.
+        table[5 * cols + 9] = 12_000;
+        let r = m_test_independence(&table, rows, cols).unwrap();
+        assert!(r.test.rejects());
+        assert_eq!(r.worst_cell, 5 * cols + 9);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(m_test(&[], &[]).is_err());
+        assert!(m_test(&[1, 2], &[0.5]).is_err());
+        assert!(m_test(&[0, 0], &[0.5, 0.5]).is_err());
+        assert!(m_test(&[1, 1], &[0.7, 0.7]).is_err());
+        assert!(m_test_independence(&[1, 2, 3], 2, 2).is_err());
+        assert!(m_test_independence(&[0; 4], 2, 2).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the statistical machinery.
+
+use proptest::prelude::*;
+use stat_tests::{
+    chisq::{chi_squared_gof, chi_squared_uniform},
+    holm::holm,
+    mtest::m_test,
+    proportion::proportion_test,
+    special::{chi2_cdf, chi2_sf, gamma_p, gamma_q, normal_cdf, normal_sf},
+};
+
+proptest! {
+    /// The special functions stay in their mathematical ranges and complements sum to one.
+    #[test]
+    fn special_function_ranges(x in 0.0f64..500.0, df in 1.0f64..512.0, a in 0.01f64..200.0) {
+        let sf = chi2_sf(x, df);
+        let cdf = chi2_cdf(x, df);
+        prop_assert!((0.0..=1.0).contains(&sf));
+        prop_assert!((0.0..=1.0).contains(&cdf));
+        prop_assert!((sf + cdf - 1.0).abs() < 1e-9);
+
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+
+        let z = (x / 50.0) - 5.0;
+        prop_assert!((normal_cdf(z) + normal_sf(z) - 1.0).abs() < 1e-12);
+        prop_assert!(normal_cdf(z) >= 0.0 && normal_cdf(z) <= 1.0);
+    }
+
+    /// Chi-squared goodness-of-fit: p-values are probabilities, and data drawn
+    /// exactly at the expectation gives statistic zero.
+    #[test]
+    fn chisq_gof_properties(counts in prop::collection::vec(1u64..10_000, 2..64)) {
+        let k = counts.len();
+        let expected = vec![1.0 / k as f64; k];
+        let r = chi_squared_gof(&counts, &expected).unwrap();
+        prop_assert!(r.p_value >= 0.0 && r.p_value <= 1.0);
+        prop_assert!(r.statistic >= 0.0);
+        prop_assert_eq!(r.df, (k - 1) as f64);
+
+        // Perfectly proportional counts are never rejected.
+        let total: u64 = counts.iter().sum();
+        let proportional: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+        let perfect = chi_squared_gof(&counts, &proportional).unwrap();
+        prop_assert!(perfect.statistic < 1e-6);
+    }
+
+    /// The uniformity test and the M-test never disagree about which data is
+    /// *obviously* fine: constant counts are accepted by both.
+    #[test]
+    fn uniform_counts_not_rejected(value in 100u64..5000, cells in 2usize..512) {
+        let counts = vec![value; cells];
+        let chi = chi_squared_uniform(&counts).unwrap();
+        prop_assert!(!chi.rejects_at(0.05));
+        let expected = vec![1.0 / cells as f64; cells];
+        let m = m_test(&counts, &expected).unwrap();
+        prop_assert!(!m.test.rejects_at(0.05));
+    }
+
+    /// Proportion tests: p-values in range, sign matches the direction of the
+    /// deviation, and the relative bias matches its definition.
+    #[test]
+    fn proportion_test_properties(count in 0u64..100_000, trials in 1u64..100_000, p in 0.0001f64..0.9999) {
+        prop_assume!(count <= trials);
+        let r = proportion_test(count, trials, p).unwrap();
+        prop_assert!(r.test.p_value >= 0.0 && r.test.p_value <= 1.0);
+        let observed = count as f64 / trials as f64;
+        prop_assert!((r.observed_p - observed).abs() < 1e-12);
+        prop_assert!((r.relative_bias - (observed / p - 1.0)).abs() < 1e-9);
+        if observed > p {
+            prop_assert!(r.test.statistic > 0.0);
+        }
+        if observed < p {
+            prop_assert!(r.test.statistic < 0.0);
+        }
+    }
+
+    /// Holm: adjusted p-values are at least the raw ones, at most 1, and the
+    /// rejection set is a subset of the raw-threshold rejections.
+    #[test]
+    fn holm_properties(ps in prop::collection::vec(0.0f64..1.0, 1..64), alpha in 0.001f64..0.2) {
+        let outcomes = holm(&ps, alpha);
+        prop_assert_eq!(outcomes.len(), ps.len());
+        for o in &outcomes {
+            prop_assert!(o.adjusted_p >= o.p_value - 1e-15);
+            prop_assert!(o.adjusted_p <= 1.0 + 1e-15);
+            if o.rejected {
+                // Anything Holm rejects would also be rejected without correction.
+                prop_assert!(o.p_value < alpha);
+            }
+        }
+    }
+}

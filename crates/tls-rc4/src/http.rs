@@ -1,0 +1,221 @@
+//! The manipulated HTTPS request surrounding the targeted cookie.
+//!
+//! Section 6.1 of the paper arranges, through a man-in-the-middle position on
+//! plain HTTP, that every HTTPS request the victim's browser sends has the
+//! following shape: predictable request line and headers, then a `Cookie`
+//! header whose *first* value is the targeted `auth` cookie, followed by
+//! attacker-injected cookies. The attacker therefore knows every byte before
+//! and after the secret cookie value, and can pad the injected cookies so the
+//! secret sits at a chosen keystream position modulo 256 (needed to make
+//! optimal use of the position-dependent Fluhrer–McGrew biases).
+
+use crate::TlsError;
+
+/// Template of the manipulated request.
+#[derive(Debug, Clone)]
+pub struct RequestTemplate {
+    /// Host name of the targeted site (e.g. `site.com`).
+    pub host: String,
+    /// Request path.
+    pub path: String,
+    /// Name of the targeted cookie (e.g. `auth`).
+    pub cookie_name: String,
+    /// Length in bytes of the secret cookie value.
+    pub cookie_len: usize,
+    /// Attacker-chosen padding appended to the request path as a query string;
+    /// adjusting its length shifts the position of the secret cookie within
+    /// the request (the browser echoes whatever URL the attacker's injected
+    /// JavaScript requests).
+    pub path_padding: usize,
+    /// Attacker-chosen padding inserted via an injected cookie after the
+    /// secret value; used to round the total request length to a multiple of
+    /// 256 so the cookie residue is identical for every request on a
+    /// persistent connection.
+    pub alignment_padding: usize,
+}
+
+impl RequestTemplate {
+    /// Creates a template for a 16-character cookie on `host`.
+    pub fn new(host: &str, cookie_name: &str, cookie_len: usize) -> Self {
+        Self {
+            host: host.to_string(),
+            path: "/".to_string(),
+            cookie_name: cookie_name.to_string(),
+            cookie_len,
+            path_padding: 0,
+            alignment_padding: 0,
+        }
+    }
+
+    /// The request bytes that precede the secret cookie value.
+    ///
+    /// The attacker knows these exactly: the request line, the static headers
+    /// and the `Cookie: name=` prefix.
+    pub fn known_prefix(&self) -> Vec<u8> {
+        let mut s = String::new();
+        let mut path = self.path.clone();
+        if self.path_padding > 0 {
+            path.push_str("?p=");
+            path.push_str(&"A".repeat(self.path_padding));
+        }
+        s.push_str(&format!("GET {path} HTTP/1.1\r\n"));
+        s.push_str(&format!("Host: {}\r\n", self.host));
+        s.push_str("User-Agent: Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101 Firefox/32.0\r\n");
+        s.push_str("Accept: text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8\r\n");
+        s.push_str("Accept-Language: en-US,en;q=0.5\r\n");
+        s.push_str("Accept-Encoding: gzip, deflate\r\n");
+        s.push_str("Connection: keep-alive\r\n");
+        s.push_str(&format!("Cookie: {}=", self.cookie_name));
+        s.into_bytes()
+    }
+
+    /// The request bytes that follow the secret cookie value: the injected
+    /// cookies (including alignment padding) and the final CRLFs.
+    pub fn known_suffix(&self) -> Vec<u8> {
+        let mut s = String::new();
+        s.push_str("; injected1=");
+        s.push_str(&"P".repeat(self.alignment_padding));
+        s.push_str("knownplaintextknownplaintextknownplaintextknownplaintext");
+        s.push_str("; injected2=knownplaintextknownplaintextknownplaintextknownplaintext");
+        s.push_str("; injected3=knownplaintextknownplaintextknownplaintextknownplaintext");
+        s.push_str("\r\n\r\n");
+        s.into_bytes()
+    }
+
+    /// Builds the full request for a given secret cookie value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::InvalidConfig`] if the provided value does not have
+    /// the configured length.
+    pub fn build(&self, cookie_value: &[u8]) -> Result<Vec<u8>, TlsError> {
+        if cookie_value.len() != self.cookie_len {
+            return Err(TlsError::InvalidConfig(format!(
+                "cookie value has {} bytes, template expects {}",
+                cookie_value.len(),
+                self.cookie_len
+            )));
+        }
+        let mut out = self.known_prefix();
+        out.extend_from_slice(cookie_value);
+        out.extend_from_slice(&self.known_suffix());
+        Ok(out)
+    }
+
+    /// Byte offset of the first secret cookie byte within the request.
+    pub fn cookie_offset(&self) -> usize {
+        self.known_prefix().len()
+    }
+
+    /// Total request length.
+    pub fn request_len(&self) -> usize {
+        self.cookie_offset() + self.cookie_len + self.known_suffix().len()
+    }
+
+    /// Adjusts the paddings so that the cookie's first byte lands at keystream
+    /// position `target mod 256` and stays there for every request of the
+    /// connection, given that the first request's payload starts at keystream
+    /// offset `payload_offset` (0-based) and that every record consumes
+    /// `record_overhead` extra keystream bytes after the request (20 for the
+    /// HMAC-SHA1 record MAC of the `RC4-SHA1` suite).
+    ///
+    /// The attacker learns the unpadded request length by observing one
+    /// request (RC4 adds no padding, so lengths are visible on the wire) and
+    /// then sets the paddings; this method performs that computation:
+    /// path padding moves the cookie to the requested residue, cookie padding
+    /// rounds the per-record keystream consumption (request plus MAC) to a
+    /// multiple of 256 so the residue repeats on every following request.
+    pub fn align_cookie(&mut self, payload_offset: u64, target: u8, record_overhead: usize) {
+        let cookie_pos = payload_offset + self.cookie_offset() as u64; // 0-based keystream index
+        let current = (cookie_pos % 256) as u16;
+        let want = target as u16;
+        let delta = ((256 + want - current) % 256) as usize;
+        if delta > 0 {
+            // The "?p=" marker itself adds 3 bytes the first time padding is used.
+            if self.path_padding == 0 && delta >= 3 {
+                self.path_padding = delta - 3;
+            } else {
+                self.path_padding += delta;
+            }
+        }
+        let rem = (self.request_len() + record_overhead) % 256;
+        if rem != 0 {
+            self.alignment_padding += 256 - rem;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_layout() {
+        let t = RequestTemplate::new("site.com", "auth", 16);
+        let cookie = b"ABCDEFGHIJKLMNOP";
+        let req = t.build(cookie).unwrap();
+        let offset = t.cookie_offset();
+        assert_eq!(&req[offset..offset + 16], cookie);
+        // The prefix ends with "Cookie: auth=".
+        let prefix = t.known_prefix();
+        assert!(prefix.ends_with(b"Cookie: auth="));
+        // The suffix starts right after the cookie and begins with the injected cookie.
+        assert!(req[offset + 16..].starts_with(b"; injected1="));
+        assert!(req.ends_with(b"\r\n\r\n"));
+        assert_eq!(req.len(), t.request_len());
+    }
+
+    #[test]
+    fn wrong_cookie_length_rejected() {
+        let t = RequestTemplate::new("site.com", "auth", 16);
+        assert!(t.build(b"short").is_err());
+    }
+
+    #[test]
+    fn surrounding_known_plaintext_is_large_enough_for_absab() {
+        let t = RequestTemplate::new("site.com", "auth", 16);
+        // The paper uses gaps up to 128; we need at least gap+2 known bytes on a side.
+        assert!(t.known_prefix().len() >= 130);
+        assert!(t.known_suffix().len() >= 130);
+    }
+
+    /// The per-record keystream overhead of the RC4-SHA1 record MAC.
+    const MAC_OVERHEAD: usize = 20;
+
+    #[test]
+    fn alignment_fixes_cookie_residue_and_request_size() {
+        let mut t = RequestTemplate::new("site.com", "auth", 16);
+        t.align_cookie(0, 0, MAC_OVERHEAD);
+        // After alignment the per-record keystream consumption (request + MAC) is
+        // a multiple of 256, so the cookie residue is identical for every request
+        // on the connection.
+        assert_eq!((t.request_len() + MAC_OVERHEAD) % 256, 0);
+        let first_residue = (t.cookie_offset() as u64) % 256;
+        let second_residue =
+            ((t.request_len() + MAC_OVERHEAD) as u64 + t.cookie_offset() as u64) % 256;
+        assert_eq!(first_residue, second_residue);
+    }
+
+    #[test]
+    fn alignment_targets_requested_residue() {
+        for target in [0u8, 7, 100, 255] {
+            for offset in [0u64, 512, 1000] {
+                let mut t = RequestTemplate::new("site.com", "auth", 16);
+                t.align_cookie(offset, target, MAC_OVERHEAD);
+                assert_eq!(
+                    (t.request_len() + MAC_OVERHEAD) % 256,
+                    0,
+                    "target {target} offset {offset}"
+                );
+                let residue = ((offset + t.cookie_offset() as u64) % 256) as u8;
+                // Padding can only grow the request, and the delta computation may
+                // land 3 bytes long when the "?p=" marker is first introduced with
+                // delta < 3; accept exact alignment or the documented wrap.
+                assert!(
+                    residue == target || usize::from(residue.wrapping_sub(target)) <= 3,
+                    "target {target} offset {offset} got residue {residue}"
+                );
+            }
+        }
+    }
+}

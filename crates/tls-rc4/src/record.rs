@@ -1,0 +1,316 @@
+//! The TLS record protocol with the `RC4-SHA1` cipher suite.
+//!
+//! After the handshake, both sides hold a 48-byte master secret. The key block
+//! expanded from it provides an HMAC-SHA1 key and an RC4 key per direction.
+//! Every application-data record is MACed (over an implicit 64-bit sequence
+//! number, the record header and the plaintext) and then encrypted with the
+//! connection's RC4 keystream — no per-record IV, no padding, which is exactly
+//! why a fixed plaintext at a fixed position keeps hitting the same biased
+//! keystream positions.
+
+use crypto_prims::{
+    hmac::Hmac,
+    prf::TlsVersion,
+    sha1::Sha1,
+};
+use rc4::Rc4;
+
+use crate::TlsError;
+
+/// TLS content type for application data.
+pub const CONTENT_TYPE_APPLICATION_DATA: u8 = 23;
+
+/// Length of the HMAC-SHA1 record MAC.
+pub const MAC_LEN: usize = 20;
+
+/// Length of the TLS record header (type, version, length).
+pub const HEADER_LEN: usize = 5;
+
+/// The key material for one direction of an `RC4_128_SHA` connection.
+#[derive(Debug, Clone)]
+pub struct DirectionKeys {
+    /// HMAC-SHA1 key (20 bytes).
+    pub mac_key: Vec<u8>,
+    /// RC4 key (16 bytes).
+    pub enc_key: Vec<u8>,
+}
+
+/// Key material for both directions, as produced by the key-block expansion.
+#[derive(Debug, Clone)]
+pub struct ConnectionKeys {
+    /// Client-to-server keys.
+    pub client: DirectionKeys,
+    /// Server-to-client keys.
+    pub server: DirectionKeys,
+}
+
+/// Expands the master secret into the `RC4_128_SHA` key block (RFC 5246 §6.3).
+///
+/// The key block layout is: client MAC key, server MAC key, client write key,
+/// server write key (20 + 20 + 16 + 16 = 72 bytes).
+pub fn derive_keys(
+    version: TlsVersion,
+    master_secret: &[u8; 48],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> ConnectionKeys {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(server_random);
+    seed.extend_from_slice(client_random);
+    let block = version.prf(master_secret, b"key expansion", &seed, 72);
+    ConnectionKeys {
+        client: DirectionKeys {
+            mac_key: block[0..20].to_vec(),
+            enc_key: block[40..56].to_vec(),
+        },
+        server: DirectionKeys {
+            mac_key: block[20..40].to_vec(),
+            enc_key: block[56..72].to_vec(),
+        },
+    }
+}
+
+/// Sending half of an RC4 record connection.
+#[derive(Debug, Clone)]
+pub struct RecordEncryptor {
+    version: TlsVersion,
+    cipher: Rc4,
+    mac_key: Vec<u8>,
+    sequence: u64,
+    keystream_offset: u64,
+}
+
+impl RecordEncryptor {
+    /// Creates the encryptor for one direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::InvalidConfig`] if the RC4 key length is invalid.
+    pub fn new(version: TlsVersion, keys: &DirectionKeys) -> Result<Self, TlsError> {
+        let cipher = Rc4::new(&keys.enc_key)
+            .map_err(|e| TlsError::InvalidConfig(format!("bad RC4 key: {e}")))?;
+        Ok(Self {
+            version,
+            cipher,
+            mac_key: keys.mac_key.clone(),
+            sequence: 0,
+            keystream_offset: 0,
+        })
+    }
+
+    /// Encrypts an application-data record and returns the full wire bytes
+    /// (header followed by the encrypted payload and MAC).
+    pub fn encrypt(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mac = self.record_mac(CONTENT_TYPE_APPLICATION_DATA, payload);
+        let mut body = Vec::with_capacity(payload.len() + MAC_LEN);
+        body.extend_from_slice(payload);
+        body.extend_from_slice(&mac);
+        self.cipher.apply_keystream(&mut body);
+        self.keystream_offset += body.len() as u64;
+        self.sequence += 1;
+
+        let (major, minor) = self.version.wire_bytes();
+        let mut record = Vec::with_capacity(HEADER_LEN + body.len());
+        record.push(CONTENT_TYPE_APPLICATION_DATA);
+        record.push(major);
+        record.push(minor);
+        record.extend_from_slice(&(body.len() as u16).to_be_bytes());
+        record.extend_from_slice(&body);
+        record
+    }
+
+    /// The RC4 keystream position (0-based) at which the *next* record's
+    /// payload will start. The attack uses this to locate the cookie within the
+    /// connection-wide keystream.
+    pub fn keystream_offset(&self) -> u64 {
+        self.keystream_offset
+    }
+
+    /// Number of records sent.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
+    }
+
+    fn record_mac(&self, content_type: u8, payload: &[u8]) -> Vec<u8> {
+        let (major, minor) = self.version.wire_bytes();
+        let mut mac = Hmac::<Sha1>::new(&self.mac_key);
+        mac.update(&self.sequence.to_be_bytes());
+        mac.update(&[content_type, major, minor]);
+        mac.update(&(payload.len() as u16).to_be_bytes());
+        mac.update(payload);
+        mac.finalize()
+    }
+}
+
+/// Receiving half of an RC4 record connection.
+#[derive(Debug, Clone)]
+pub struct RecordDecryptor {
+    version: TlsVersion,
+    cipher: Rc4,
+    mac_key: Vec<u8>,
+    sequence: u64,
+}
+
+impl RecordDecryptor {
+    /// Creates the decryptor for one direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::InvalidConfig`] if the RC4 key length is invalid.
+    pub fn new(version: TlsVersion, keys: &DirectionKeys) -> Result<Self, TlsError> {
+        let cipher = Rc4::new(&keys.enc_key)
+            .map_err(|e| TlsError::InvalidConfig(format!("bad RC4 key: {e}")))?;
+        Ok(Self {
+            version,
+            cipher,
+            mac_key: keys.mac_key.clone(),
+            sequence: 0,
+        })
+    }
+
+    /// Decrypts a full record (header included) and verifies its MAC.
+    ///
+    /// # Errors
+    ///
+    /// * [`TlsError::Malformed`] for truncated records or bad headers.
+    /// * [`TlsError::RecordRejected`] when MAC verification fails.
+    pub fn decrypt(&mut self, record: &[u8]) -> Result<Vec<u8>, TlsError> {
+        if record.len() < HEADER_LEN + MAC_LEN {
+            return Err(TlsError::Malformed("record too short".into()));
+        }
+        let content_type = record[0];
+        let declared_len = u16::from_be_bytes([record[3], record[4]]) as usize;
+        if record.len() != HEADER_LEN + declared_len {
+            return Err(TlsError::Malformed(format!(
+                "record length {} does not match header {}",
+                record.len() - HEADER_LEN,
+                declared_len
+            )));
+        }
+        let mut body = record[HEADER_LEN..].to_vec();
+        self.cipher.apply_keystream(&mut body);
+        let payload_len = body.len() - MAC_LEN;
+        let (payload, mac) = body.split_at(payload_len);
+
+        let (major, minor) = self.version.wire_bytes();
+        let mut expected = Hmac::<Sha1>::new(&self.mac_key);
+        expected.update(&self.sequence.to_be_bytes());
+        expected.update(&[content_type, major, minor]);
+        expected.update(&(payload_len as u16).to_be_bytes());
+        expected.update(payload);
+        let expected = expected.finalize();
+        self.sequence += 1;
+        if expected != mac {
+            return Err(TlsError::RecordRejected("HMAC mismatch"));
+        }
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> ConnectionKeys {
+        derive_keys(
+            TlsVersion::Tls12,
+            &[0x11; 48],
+            &[0x22; 32],
+            &[0x33; 32],
+        )
+    }
+
+    #[test]
+    fn key_block_layout() {
+        let k = keys();
+        assert_eq!(k.client.mac_key.len(), 20);
+        assert_eq!(k.server.mac_key.len(), 20);
+        assert_eq!(k.client.enc_key.len(), 16);
+        assert_eq!(k.server.enc_key.len(), 16);
+        assert_ne!(k.client.enc_key, k.server.enc_key);
+        assert_ne!(k.client.mac_key, k.server.mac_key);
+        // Different master secrets give unrelated keys.
+        let other = derive_keys(TlsVersion::Tls12, &[0x12; 48], &[0x22; 32], &[0x33; 32]);
+        assert_ne!(k.client.enc_key, other.client.enc_key);
+        // TLS 1.0 derivation differs from TLS 1.2.
+        let v10 = derive_keys(TlsVersion::Tls10, &[0x11; 48], &[0x22; 32], &[0x33; 32]);
+        assert_ne!(k.client.enc_key, v10.client.enc_key);
+    }
+
+    #[test]
+    fn record_roundtrip_over_many_records() {
+        let k = keys();
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        for i in 0..50u32 {
+            let payload = format!("GET /{i} HTTP/1.1\r\nHost: site.com\r\n\r\n");
+            let record = enc.encrypt(payload.as_bytes());
+            let back = dec.decrypt(&record).unwrap();
+            assert_eq!(back, payload.as_bytes());
+        }
+        assert_eq!(enc.sequence(), 50);
+    }
+
+    #[test]
+    fn keystream_offset_advances_by_payload_plus_mac() {
+        let k = keys();
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        assert_eq!(enc.keystream_offset(), 0);
+        let _ = enc.encrypt(&[0u8; 100]);
+        assert_eq!(enc.keystream_offset(), 120);
+        let _ = enc.encrypt(&[0u8; 7]);
+        assert_eq!(enc.keystream_offset(), 120 + 27);
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let k = keys();
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let mut record = enc.encrypt(b"secret cookie inside");
+        record[HEADER_LEN + 3] ^= 0x01;
+        assert_eq!(
+            dec.decrypt(&record).unwrap_err(),
+            TlsError::RecordRejected("HMAC mismatch")
+        );
+    }
+
+    #[test]
+    fn replay_and_reorder_are_detected_via_sequence_numbers() {
+        let k = keys();
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let r1 = enc.encrypt(b"first");
+        let r2 = enc.encrypt(b"second");
+        // Decrypting out of order desynchronizes both the keystream and the
+        // sequence number, so the MAC must fail.
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        assert!(dec.decrypt(&r2).is_err());
+        let _ = r1;
+    }
+
+    #[test]
+    fn malformed_records_rejected() {
+        let k = keys();
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        assert!(dec.decrypt(&[23, 3, 3, 0, 1]).is_err());
+        // Declared length mismatch.
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let mut record = enc.encrypt(b"hello");
+        record.truncate(record.len() - 1);
+        assert!(matches!(dec.decrypt(&record), Err(TlsError::Malformed(_))));
+    }
+
+    #[test]
+    fn ciphertext_prefix_equals_keystream_xor_plaintext() {
+        // The attack's core assumption: record payload bytes are plaintext XOR
+        // the connection RC4 keystream at the corresponding offset.
+        let k = keys();
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &k.client).unwrap();
+        let payload = b"cookie=SECRETSECRET; other=x";
+        let record = enc.encrypt(payload);
+        let ks = rc4::keystream(&k.client.enc_key, payload.len()).unwrap();
+        for (i, &p) in payload.iter().enumerate() {
+            assert_eq!(record[HEADER_LEN + i], p ^ ks[i]);
+        }
+    }
+}

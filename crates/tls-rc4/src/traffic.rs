@@ -1,0 +1,245 @@
+//! Traffic generation and capture for the HTTPS cookie attack.
+//!
+//! In the live attack (Sect. 6.3) the attacker injects JavaScript into a plain
+//! HTTP page; WebWorkers in the victim's browser then issue cross-origin
+//! requests to the targeted HTTPS site at roughly 4450 requests per second
+//! over persistent TLS connections, each request automatically carrying the
+//! secure cookie. A passive sniffer reassembles the TLS records and hands the
+//! encrypted requests to the analysis tool.
+//!
+//! This module is the deterministic stand-in for that setup: it drives real
+//! [`crate::record`] connections carrying real [`crate::http`] requests and
+//! yields the captured ciphertexts together with their keystream offsets.
+
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+use crypto_prims::prf::TlsVersion;
+
+use crate::{
+    http::RequestTemplate,
+    record::{derive_keys, RecordEncryptor, HEADER_LEN},
+    TlsError,
+};
+
+/// One captured encrypted request.
+#[derive(Debug, Clone)]
+pub struct CapturedRequest {
+    /// Index of the TLS connection this request was sent on.
+    pub connection: u64,
+    /// Keystream offset (0-based, within the connection) of the first payload byte.
+    pub payload_offset: u64,
+    /// The encrypted request payload (record body without header, MAC bytes excluded).
+    pub ciphertext: Vec<u8>,
+}
+
+/// Configuration of the traffic generator.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Requests per second the victim's browser achieves (paper: ~4450 when
+    /// idle, ~4100 while watching videos).
+    pub requests_per_second: u64,
+    /// Number of requests sent on one persistent connection before the browser
+    /// opens a fresh one (key renewal is tolerated by the attack).
+    pub requests_per_connection: u64,
+    /// TLS version negotiated.
+    pub version: TlsVersion,
+    /// Seed for the per-connection secrets.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            requests_per_second: 4450,
+            requests_per_connection: 10_000,
+            version: TlsVersion::Tls12,
+            seed: 0xC00C1E,
+        }
+    }
+}
+
+/// Simulates the victim's browser sending the manipulated request over
+/// persistent TLS connections while the attacker captures the ciphertexts.
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    template: RequestTemplate,
+    cookie: Vec<u8>,
+    config: TrafficConfig,
+    rng: StdRng,
+    connection_index: u64,
+    requests_on_connection: u64,
+    encryptor: RecordEncryptor,
+    total_requests: u64,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for a fixed secret cookie value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::InvalidConfig`] if the cookie length does not match
+    /// the template or the configuration is degenerate.
+    pub fn new(
+        template: RequestTemplate,
+        cookie: Vec<u8>,
+        config: TrafficConfig,
+    ) -> Result<Self, TlsError> {
+        if cookie.len() != template.cookie_len {
+            return Err(TlsError::InvalidConfig(format!(
+                "cookie has {} bytes, template expects {}",
+                cookie.len(),
+                template.cookie_len
+            )));
+        }
+        if config.requests_per_connection == 0 || config.requests_per_second == 0 {
+            return Err(TlsError::InvalidConfig(
+                "request rates must be non-zero".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let encryptor = Self::fresh_connection(&mut rng, config.version)?;
+        Ok(Self {
+            template,
+            cookie,
+            config,
+            rng,
+            connection_index: 0,
+            requests_on_connection: 0,
+            encryptor,
+            total_requests: 0,
+        })
+    }
+
+    fn fresh_connection(rng: &mut StdRng, version: TlsVersion) -> Result<RecordEncryptor, TlsError> {
+        let mut master = [0u8; 48];
+        let mut client_random = [0u8; 32];
+        let mut server_random = [0u8; 32];
+        rng.fill_bytes(&mut master);
+        rng.fill_bytes(&mut client_random);
+        rng.fill_bytes(&mut server_random);
+        let keys = derive_keys(version, &master, &client_random, &server_random);
+        RecordEncryptor::new(version, &keys.client)
+    }
+
+    /// The request template in use.
+    pub fn template(&self) -> &RequestTemplate {
+        &self.template
+    }
+
+    /// Total requests generated so far.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Generates and captures the next `count` encrypted requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates template build errors (which would indicate an internal
+    /// inconsistency between the template and the stored cookie).
+    pub fn capture(&mut self, count: usize) -> Result<Vec<CapturedRequest>, TlsError> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            if self.requests_on_connection >= self.config.requests_per_connection {
+                self.encryptor = Self::fresh_connection(&mut self.rng, self.config.version)?;
+                self.connection_index += 1;
+                self.requests_on_connection = 0;
+            }
+            let request = self.template.build(&self.cookie)?;
+            let payload_offset = self.encryptor.keystream_offset();
+            let record = self.encryptor.encrypt(&request);
+            // Strip the record header and the trailing MAC: the analysis only
+            // needs the encrypted request bytes and their keystream offset.
+            let ciphertext = record[HEADER_LEN..HEADER_LEN + request.len()].to_vec();
+            out.push(CapturedRequest {
+                connection: self.connection_index,
+                payload_offset,
+                ciphertext,
+            });
+            self.requests_on_connection += 1;
+            self.total_requests += 1;
+        }
+        Ok(out)
+    }
+
+    /// Wall-clock hours the real setup would need to produce `requests` requests.
+    pub fn hours_for(&self, requests: u64) -> f64 {
+        requests as f64 / self.config.requests_per_second as f64 / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(cookie: &[u8]) -> TrafficGenerator {
+        let template = RequestTemplate::new("site.com", "auth", cookie.len());
+        TrafficGenerator::new(template, cookie.to_vec(), TrafficConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn captures_have_consistent_shape() {
+        let mut g = generator(b"SECRETCOOKIE1234");
+        let caps = g.capture(20).unwrap();
+        assert_eq!(caps.len(), 20);
+        let len = g.template().request_len();
+        for cap in &caps {
+            assert_eq!(cap.ciphertext.len(), len);
+        }
+        assert_eq!(g.total_requests(), 20);
+    }
+
+    #[test]
+    fn ciphertext_is_keystream_xor_request_at_offset() {
+        let cookie = b"SECRETCOOKIE1234";
+        let mut g = generator(cookie);
+        let caps = g.capture(3).unwrap();
+        // Offsets advance by request length + MAC length per record.
+        assert_eq!(caps[0].payload_offset, 0);
+        let advance = (g.template().request_len() + 20) as u64;
+        assert_eq!(caps[1].payload_offset, advance);
+        assert_eq!(caps[2].payload_offset, 2 * advance);
+        // The cookie bytes really sit at the template's offset.
+        let offset = g.template().cookie_offset();
+        let request = g.template().build(cookie).unwrap();
+        assert_eq!(&request[offset..offset + cookie.len()], cookie);
+    }
+
+    #[test]
+    fn connections_rotate_and_keys_change() {
+        let template = RequestTemplate::new("site.com", "auth", 4);
+        let config = TrafficConfig {
+            requests_per_connection: 5,
+            ..TrafficConfig::default()
+        };
+        let mut g = TrafficGenerator::new(template, b"abcd".to_vec(), config).unwrap();
+        let caps = g.capture(12).unwrap();
+        assert_eq!(caps[0].connection, 0);
+        assert_eq!(caps[4].connection, 0);
+        assert_eq!(caps[5].connection, 1);
+        assert_eq!(caps[10].connection, 2);
+        // A new connection restarts the keystream offset.
+        assert_eq!(caps[5].payload_offset, 0);
+        // Same plaintext, different connection keys -> different ciphertexts.
+        assert_ne!(caps[0].ciphertext, caps[5].ciphertext);
+    }
+
+    #[test]
+    fn config_validation() {
+        let template = RequestTemplate::new("site.com", "auth", 4);
+        assert!(TrafficGenerator::new(template.clone(), b"toolong".to_vec(), TrafficConfig::default()).is_err());
+        let bad = TrafficConfig {
+            requests_per_connection: 0,
+            ..TrafficConfig::default()
+        };
+        assert!(TrafficGenerator::new(template, b"abcd".to_vec(), bad).is_err());
+    }
+
+    #[test]
+    fn time_estimate_matches_paper() {
+        let g = generator(b"SECRETCOOKIE1234");
+        // 9 * 2^27 requests at 4450 req/s is about 75 hours (Sect. 6.3).
+        let hours = g.hours_for(9 * (1 << 27));
+        assert!(hours > 70.0 && hours < 80.0, "estimated {hours} hours");
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the TLS record substrate and request templates.
+
+use crypto_prims::prf::TlsVersion;
+use proptest::prelude::*;
+use tls_rc4::{
+    http::RequestTemplate,
+    record::{derive_keys, RecordDecryptor, RecordEncryptor, HEADER_LEN},
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Record streams round-trip for arbitrary secrets and payload sequences.
+    #[test]
+    fn record_stream_roundtrip(master in prop::array::uniform32(any::<u8>()),
+                               payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..8)) {
+        // Stretch the 32 arbitrary bytes into the 48-byte master secret.
+        let mut secret = [0u8; 48];
+        secret[..32].copy_from_slice(&master);
+        secret[32..].copy_from_slice(&master[..16]);
+        let keys = derive_keys(TlsVersion::Tls12, &secret, &[1u8; 32], &[2u8; 32]);
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls12, &keys.client).unwrap();
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls12, &keys.client).unwrap();
+        for payload in &payloads {
+            let record = enc.encrypt(payload);
+            prop_assert_eq!(record.len(), HEADER_LEN + payload.len() + 20);
+            let back = dec.decrypt(&record).unwrap();
+            prop_assert_eq!(&back, payload);
+        }
+    }
+
+    /// Tampering with any encrypted byte of a record is rejected.
+    #[test]
+    fn record_tampering_detected(master in prop::array::uniform32(any::<u8>()),
+                                 payload in prop::collection::vec(any::<u8>(), 1..200),
+                                 corrupt in any::<usize>(), bit in 0u8..8) {
+        let mut secret = [0u8; 48];
+        secret[..32].copy_from_slice(&master);
+        let keys = derive_keys(TlsVersion::Tls10, &secret, &[3u8; 32], &[4u8; 32]);
+        let mut enc = RecordEncryptor::new(TlsVersion::Tls10, &keys.server).unwrap();
+        let mut dec = RecordDecryptor::new(TlsVersion::Tls10, &keys.server).unwrap();
+        let mut record = enc.encrypt(&payload);
+        let body_len = record.len() - HEADER_LEN;
+        let idx = HEADER_LEN + (corrupt % body_len);
+        record[idx] ^= 1 << bit;
+        prop_assert!(dec.decrypt(&record).is_err());
+    }
+
+    /// Request templates: the cookie always sits where `cookie_offset` claims,
+    /// surrounded by the declared known prefix/suffix, for arbitrary cookie
+    /// lengths and paddings.
+    #[test]
+    fn template_layout(cookie_len in 1usize..64,
+                       path_padding in 0usize..300,
+                       alignment_padding in 0usize..300,
+                       fill in any::<u8>()) {
+        let mut template = RequestTemplate::new("example.org", "auth", cookie_len);
+        template.path_padding = path_padding;
+        template.alignment_padding = alignment_padding;
+        let cookie = vec![fill | 0x20; cookie_len]; // printable-ish
+        let request = template.build(&cookie).unwrap();
+        let offset = template.cookie_offset();
+        prop_assert_eq!(&request[offset..offset + cookie_len], &cookie[..]);
+        prop_assert_eq!(&request[..offset], &template.known_prefix()[..]);
+        prop_assert_eq!(&request[offset + cookie_len..], &template.known_suffix()[..]);
+        prop_assert_eq!(request.len(), template.request_len());
+    }
+
+    /// Cookie alignment always makes the per-record keystream consumption
+    /// (request plus record MAC) a multiple of 256, so the cookie residue is
+    /// the same for every request on a persistent connection.
+    #[test]
+    fn alignment_always_multiple_of_256(cookie_len in 1usize..40,
+                                        offset in 0u64..10_000,
+                                        target in any::<u8>(),
+                                        overhead in 0usize..64) {
+        let mut template = RequestTemplate::new("example.org", "auth", cookie_len);
+        template.align_cookie(offset, target, overhead);
+        prop_assert_eq!((template.request_len() + overhead) % 256, 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Traffic generation and capture simulation for the TKIP attack.
+//!
+//! In the live attack (Sect. 5.2/5.4) the attacker controls a TCP connection to
+//! the victim and retransmits an identical TCP packet roughly 2500 times per
+//! second; a Wi-Fi sniffer captures the TKIP-encrypted copies, each carrying a
+//! fresh TSC and hence a fresh per-packet RC4 key. Retransmitted MPDUs (same
+//! TSC seen twice) are filtered out. This module reproduces that pipeline as a
+//! deterministic simulator so the attack code downstream is exercised against
+//! the same kind of capture stream the real tool parsed out of a pcap file.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crypto_prims::michael::MichaelKey;
+
+use crate::{
+    keymix::TemporalKey,
+    mpdu::{encapsulate, EncryptedMpdu, FrameAddressing},
+    Tsc, TkipError,
+};
+
+/// Configuration of the injection/capture simulation.
+#[derive(Debug, Clone)]
+pub struct InjectionConfig {
+    /// Packets injected (and captured) per second, e.g. 2500 in the paper's setup.
+    pub packets_per_second: u64,
+    /// Probability that a captured frame is an 802.11 retransmission (same TSC
+    /// as the previous frame), which the capture tool must filter out.
+    pub retransmission_rate: f64,
+    /// Probability that a frame is lost by the sniffer and never captured.
+    pub loss_rate: f64,
+    /// RNG seed for the retransmission/loss process.
+    pub seed: u64,
+}
+
+impl Default for InjectionConfig {
+    fn default() -> Self {
+        Self {
+            packets_per_second: 2500,
+            retransmission_rate: 0.02,
+            loss_rate: 0.01,
+            seed: 0xF00D,
+        }
+    }
+}
+
+/// A captured, deduplicated encrypted packet as the attack tool sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capture {
+    /// The TSC transmitted in clear.
+    pub tsc: Tsc,
+    /// The encrypted `payload || MIC || ICV` bytes.
+    pub ciphertext: Vec<u8>,
+}
+
+/// Simulates a victim station repeatedly transmitting the *same* MSDU payload
+/// under TKIP and an attacker sniffing the encrypted copies.
+#[derive(Debug)]
+pub struct InjectionSimulator {
+    tk: TemporalKey,
+    mic_key: MichaelKey,
+    addressing: FrameAddressing,
+    payload: Vec<u8>,
+    next_tsc: Tsc,
+    config: InjectionConfig,
+    rng: StdRng,
+    /// Number of frames put on the air (including retransmissions and lost frames).
+    transmitted: u64,
+}
+
+impl InjectionSimulator {
+    /// Creates a simulator for a fixed payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TkipError::InvalidConfig`] if the payload is empty or rates
+    /// are outside `[0, 1)`.
+    pub fn new(
+        tk: TemporalKey,
+        mic_key: MichaelKey,
+        addressing: FrameAddressing,
+        payload: Vec<u8>,
+        config: InjectionConfig,
+    ) -> Result<Self, TkipError> {
+        if payload.is_empty() {
+            return Err(TkipError::InvalidConfig("payload must not be empty".into()));
+        }
+        if !(0.0..1.0).contains(&config.retransmission_rate)
+            || !(0.0..1.0).contains(&config.loss_rate)
+        {
+            return Err(TkipError::InvalidConfig(
+                "retransmission and loss rates must be in [0, 1)".into(),
+            ));
+        }
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(Self {
+            tk,
+            mic_key,
+            addressing,
+            payload,
+            next_tsc: Tsc(1),
+            config,
+            rng,
+            transmitted: 0,
+        })
+    }
+
+    /// The plaintext payload every injected packet carries.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The frame addressing in use.
+    pub fn addressing(&self) -> &FrameAddressing {
+        &self.addressing
+    }
+
+    /// Total frames transmitted so far (including retransmissions and losses).
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Encrypts the payload under the next TSC and returns the on-air MPDU.
+    fn transmit_one(&mut self) -> EncryptedMpdu {
+        let tsc = self.next_tsc;
+        self.next_tsc = self.next_tsc.next();
+        self.transmitted += 1;
+        encapsulate(&self.tk, self.mic_key, &self.addressing, tsc, &self.payload)
+    }
+
+    /// Captures the next `count` *unique* encrypted copies of the injected
+    /// packet, filtering retransmissions by TSC exactly like the paper's tool.
+    pub fn capture(&mut self, count: usize) -> Vec<Capture> {
+        let mut out = Vec::with_capacity(count);
+        let mut last_tsc: Option<Tsc> = None;
+        while out.len() < count {
+            let mpdu = self.transmit_one();
+            // A retransmission re-sends the previous frame (same TSC); losses
+            // drop the frame before the sniffer sees it.
+            let retransmit = self.rng.gen_bool(self.config.retransmission_rate);
+            let lost = self.rng.gen_bool(self.config.loss_rate);
+            let effective_tsc = if retransmit {
+                last_tsc.unwrap_or(mpdu.tsc)
+            } else {
+                mpdu.tsc
+            };
+            if lost {
+                continue;
+            }
+            if Some(effective_tsc) == last_tsc {
+                // Duplicate TSC: the capture tool filters it.
+                continue;
+            }
+            last_tsc = Some(effective_tsc);
+            out.push(Capture {
+                tsc: mpdu.tsc,
+                ciphertext: mpdu.ciphertext,
+            });
+        }
+        out
+    }
+
+    /// Wall-clock seconds the real setup would need to gather `captures` unique
+    /// captures at the configured packet rate.
+    pub fn seconds_for(&self, captures: u64) -> f64 {
+        let effective_rate = self.config.packets_per_second as f64
+            * (1.0 - self.config.retransmission_rate)
+            * (1.0 - self.config.loss_rate);
+        captures as f64 / effective_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator(payload_len: usize) -> InjectionSimulator {
+        InjectionSimulator::new(
+            [9u8; 16],
+            MichaelKey { l: 1, r: 2 },
+            FrameAddressing {
+                dst: [2; 6],
+                src: [4; 6],
+                transmitter: [4; 6],
+                priority: 0,
+            },
+            vec![0xAB; payload_len],
+            InjectionConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn captures_have_unique_increasing_tsc() {
+        let mut sim = simulator(55);
+        let caps = sim.capture(200);
+        assert_eq!(caps.len(), 200);
+        for w in caps.windows(2) {
+            assert!(w[1].tsc > w[0].tsc, "TSC must strictly increase after dedup");
+        }
+        // All ciphertexts have payload + 12 trailer bytes.
+        assert!(caps.iter().all(|c| c.ciphertext.len() == 55 + 12));
+        // Losses/retransmissions mean more frames were transmitted than captured.
+        assert!(sim.transmitted() >= 200);
+    }
+
+    #[test]
+    fn different_captures_have_different_ciphertexts() {
+        let mut sim = simulator(55);
+        let caps = sim.capture(50);
+        for w in caps.windows(2) {
+            assert_ne!(w[0].ciphertext, w[1].ciphertext);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let bad_payload = InjectionSimulator::new(
+            [0; 16],
+            MichaelKey { l: 0, r: 0 },
+            FrameAddressing {
+                dst: [0; 6],
+                src: [0; 6],
+                transmitter: [0; 6],
+                priority: 0,
+            },
+            vec![],
+            InjectionConfig::default(),
+        );
+        assert!(bad_payload.is_err());
+
+        let bad_rate = InjectionSimulator::new(
+            [0; 16],
+            MichaelKey { l: 0, r: 0 },
+            FrameAddressing {
+                dst: [0; 6],
+                src: [0; 6],
+                transmitter: [0; 6],
+                priority: 0,
+            },
+            vec![1],
+            InjectionConfig {
+                loss_rate: 1.5,
+                ..InjectionConfig::default()
+            },
+        );
+        assert!(bad_rate.is_err());
+    }
+
+    #[test]
+    fn time_estimate_matches_paper_setup() {
+        let sim = simulator(55);
+        // 9.5 * 2^20 captures at ~2500 pkt/s is a bit over an hour, as in Sect. 5.4.
+        let seconds = sim.seconds_for((9.5 * (1u64 << 20) as f64) as u64);
+        let hours = seconds / 3600.0;
+        assert!(hours > 1.0 && hours < 1.5, "estimated {hours} hours");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = simulator(20);
+        let mut b = simulator(20);
+        assert_eq!(a.capture(30), b.capture(30));
+    }
+}

@@ -1,0 +1,193 @@
+//! The TKIP per-packet key mixing function (IEEE 802.11 temporal key hash).
+//!
+//! Each MPDU is encrypted with RC4 under a fresh 16-byte key derived from the
+//! 128-bit temporal key (TK), the transmitter address (TA) and the 48-bit TKIP
+//! sequence counter (TSC). The derivation runs in two phases:
+//!
+//! * **Phase 1** mixes TA, TK and the upper 32 TSC bits into an 80-bit TTAK;
+//!   it only changes every 65536 packets.
+//! * **Phase 2** mixes the TTAK, TK and the lower 16 TSC bits into the final
+//!   16-byte RC4 key (the "WEP seed").
+//!
+//! Crucially for the attack, the first three output bytes are set directly from
+//! the low TSC bytes — `K0 = TSC1`, `K1 = (TSC1 | 0x20) & 0x7f`, `K2 = TSC0` —
+//! so they are public, which induces the strong TSC-dependent keystream biases
+//! exploited in Section 5 (the remaining 13 bytes behave as uniformly random,
+//! the standard modelling assumption the paper adopts).
+
+use crate::{sbox::tkip_s, Tsc};
+
+/// The 128-bit temporal encryption key.
+pub type TemporalKey = [u8; 16];
+
+/// The 80-bit phase-1 output (TTAK), five 16-bit words.
+pub type Ttak = [u16; 5];
+
+/// Number of phase-1 mixing iterations mandated by the standard.
+const PHASE1_LOOP_COUNT: usize = 8;
+
+#[inline]
+fn mk16(hi: u8, lo: u8) -> u16 {
+    ((hi as u16) << 8) | lo as u16
+}
+
+#[inline]
+fn rotr1(v: u16) -> u16 {
+    v.rotate_right(1)
+}
+
+/// Phase 1 of the TKIP key mixing: combines the temporal key, transmitter
+/// address and the upper 32 bits of the TSC into the TTAK.
+pub fn phase1(tk: &TemporalKey, ta: &[u8; 6], iv32: u32) -> Ttak {
+    let mut ttak: Ttak = [
+        (iv32 & 0xffff) as u16,
+        (iv32 >> 16) as u16,
+        mk16(ta[1], ta[0]),
+        mk16(ta[3], ta[2]),
+        mk16(ta[5], ta[4]),
+    ];
+    for i in 0..PHASE1_LOOP_COUNT {
+        let j = 2 * (i & 1);
+        ttak[0] = ttak[0].wrapping_add(tkip_s(ttak[4] ^ mk16(tk[1 + j], tk[j])));
+        ttak[1] = ttak[1].wrapping_add(tkip_s(ttak[0] ^ mk16(tk[5 + j], tk[4 + j])));
+        ttak[2] = ttak[2].wrapping_add(tkip_s(ttak[1] ^ mk16(tk[9 + j], tk[8 + j])));
+        ttak[3] = ttak[3].wrapping_add(tkip_s(ttak[2] ^ mk16(tk[13 + j], tk[12 + j])));
+        ttak[4] = ttak[4]
+            .wrapping_add(tkip_s(ttak[3] ^ mk16(tk[1 + j], tk[j])))
+            .wrapping_add(i as u16);
+    }
+    ttak
+}
+
+/// Phase 2 of the TKIP key mixing: produces the 16-byte per-packet RC4 key.
+pub fn phase2(tk: &TemporalKey, ttak: &Ttak, iv16: u16) -> [u8; 16] {
+    let mut ppk = [0u16; 6];
+    ppk[..5].copy_from_slice(ttak);
+    ppk[5] = ttak[4].wrapping_add(iv16);
+
+    // Step 2 — 96-bit bijective mixing using the S-box.
+    ppk[0] = ppk[0].wrapping_add(tkip_s(ppk[5] ^ mk16(tk[1], tk[0])));
+    ppk[1] = ppk[1].wrapping_add(tkip_s(ppk[0] ^ mk16(tk[3], tk[2])));
+    ppk[2] = ppk[2].wrapping_add(tkip_s(ppk[1] ^ mk16(tk[5], tk[4])));
+    ppk[3] = ppk[3].wrapping_add(tkip_s(ppk[2] ^ mk16(tk[7], tk[6])));
+    ppk[4] = ppk[4].wrapping_add(tkip_s(ppk[3] ^ mk16(tk[9], tk[8])));
+    ppk[5] = ppk[5].wrapping_add(tkip_s(ppk[4] ^ mk16(tk[11], tk[10])));
+
+    ppk[0] = ppk[0].wrapping_add(rotr1(ppk[5] ^ mk16(tk[13], tk[12])));
+    ppk[1] = ppk[1].wrapping_add(rotr1(ppk[0] ^ mk16(tk[15], tk[14])));
+    ppk[2] = ppk[2].wrapping_add(rotr1(ppk[1]));
+    ppk[3] = ppk[3].wrapping_add(rotr1(ppk[2]));
+    ppk[4] = ppk[4].wrapping_add(rotr1(ppk[3]));
+    ppk[5] = ppk[5].wrapping_add(rotr1(ppk[4]));
+
+    // Step 3 — assemble the RC4 key ("WEP seed").
+    let hi = (iv16 >> 8) as u8;
+    let lo = (iv16 & 0xff) as u8;
+    let mut key = [0u8; 16];
+    key[0] = hi;
+    key[1] = (hi | 0x20) & 0x7f;
+    key[2] = lo;
+    key[3] = ((ppk[5] ^ mk16(tk[1], tk[0])) >> 1) as u8;
+    for i in 0..6 {
+        key[4 + 2 * i] = (ppk[i] & 0xff) as u8;
+        key[5 + 2 * i] = (ppk[i] >> 8) as u8;
+    }
+    key
+}
+
+/// Computes the full per-packet RC4 key `K = KM(TA, TK, TSC)` for one MPDU.
+///
+/// This is the paper's `KM` function (Sect. 2.2). The first three bytes of the
+/// result are a public function of the TSC.
+///
+/// # Examples
+///
+/// ```
+/// use wpa_tkip::{keymix::mix_key, Tsc};
+///
+/// let tk = [7u8; 16];
+/// let ta = [0x02, 0x00, 0x00, 0x00, 0x00, 0x01];
+/// let key = mix_key(&tk, &ta, Tsc(0x0000_0000_1234));
+/// // K0 = TSC1, K1 = (TSC1 | 0x20) & 0x7f, K2 = TSC0.
+/// assert_eq!(&key[..3], &[0x12, 0x32, 0x34]);
+/// ```
+pub fn mix_key(tk: &TemporalKey, ta: &[u8; 6], tsc: Tsc) -> [u8; 16] {
+    let ttak = phase1(tk, ta, tsc.iv32());
+    phase2(tk, &ttak, tsc.iv16())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TK: TemporalKey = [
+        0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+        0x0f,
+    ];
+    const TA: [u8; 6] = [0x10, 0x22, 0x33, 0x44, 0x55, 0x66];
+
+    #[test]
+    fn key_prefix_is_public_function_of_tsc() {
+        for raw in [0u64, 1, 0x55AA, 0x0102_0304_0506, 0xFFFF_FFFF_FFFF] {
+            let tsc = Tsc(raw);
+            let key = mix_key(&TK, &TA, tsc);
+            assert_eq!(key[0], tsc.tsc1());
+            assert_eq!(key[1], (tsc.tsc1() | 0x20) & 0x7f);
+            assert_eq!(key[2], tsc.tsc0());
+        }
+    }
+
+    #[test]
+    fn phase1_only_depends_on_iv32() {
+        let t1 = phase1(&TK, &TA, 0x1111_2222);
+        let t2 = phase1(&TK, &TA, 0x1111_2222);
+        assert_eq!(t1, t2);
+        let t3 = phase1(&TK, &TA, 0x1111_2223);
+        assert_ne!(t1, t3);
+    }
+
+    #[test]
+    fn mixing_is_deterministic_and_sensitive() {
+        let a = mix_key(&TK, &TA, Tsc(42));
+        assert_eq!(a, mix_key(&TK, &TA, Tsc(42)));
+        // Different TSC, TK or TA must change the non-public key bytes.
+        let b = mix_key(&TK, &TA, Tsc(43));
+        assert_ne!(a[3..], b[3..]);
+        let mut other_tk = TK;
+        other_tk[15] ^= 1;
+        let c = mix_key(&other_tk, &TA, Tsc(42));
+        assert_ne!(a[3..], c[3..]);
+        let mut other_ta = TA;
+        other_ta[0] ^= 1;
+        let d = mix_key(&TK, &other_ta, Tsc(42));
+        assert_ne!(a[3..], d[3..]);
+    }
+
+    #[test]
+    fn key_bytes_look_well_distributed() {
+        // Over many TSC values, each of the 13 secret key bytes should take many
+        // distinct values (the attack models them as uniformly random).
+        let mut distinct = [[false; 256]; 13];
+        for t in 0..2000u64 {
+            let key = mix_key(&TK, &TA, Tsc(t * 7919));
+            for (i, seen) in distinct.iter_mut().enumerate() {
+                seen[key[3 + i] as usize] = true;
+            }
+        }
+        for (i, seen) in distinct.iter().enumerate() {
+            let count = seen.iter().filter(|&&s| s).count();
+            assert!(count > 200, "key byte {} hit only {count} values", i + 3);
+        }
+    }
+
+    #[test]
+    fn consecutive_tsc_share_phase1_within_a_window() {
+        // IV32 is constant across 65536 consecutive TSC values, so phase 1 agrees.
+        let tsc_a = Tsc(0x0001_0000_0005);
+        let tsc_b = Tsc(0x0001_0000_FFFF);
+        assert_eq!(tsc_a.iv32(), tsc_b.iv32());
+        assert_eq!(phase1(&TK, &TA, tsc_a.iv32()), phase1(&TK, &TA, tsc_b.iv32()));
+        // But the final keys still differ because IV16 differs.
+        assert_ne!(mix_key(&TK, &TA, tsc_a), mix_key(&TK, &TA, tsc_b));
+    }
+}

@@ -1,0 +1,131 @@
+//! WPA-TKIP substrate and the Section-5 attack.
+//!
+//! The paper's first attack decrypts a complete TKIP-protected packet from
+//! nothing but captured ciphertexts and then inverts the Michael MIC to obtain
+//! the MIC key, enabling packet injection and decryption. Reproducing it
+//! requires the full TKIP encapsulation stack, which this crate builds from
+//! scratch:
+//!
+//! * [`sbox`] / [`keymix`] — the TKIP per-packet key mixing function (phase 1
+//!   and phase 2, with the S-box derived from the AES S-box), so per-packet
+//!   RC4 keys have exactly the structure the attack exploits: the first three
+//!   key bytes are a public function of the TKIP sequence counter (TSC).
+//! * [`net`] — LLC/SNAP, IPv4 and TCP encoding with checksums; the packet the
+//!   attacker injects is an ordinary TCP segment and the attack later uses
+//!   these checksums to prune candidates for unknown header fields.
+//! * [`mpdu`] — TKIP MSDU/MPDU encapsulation: Michael MIC computation over the
+//!   Michael header + payload, ICV (CRC-32) appending, RC4 encryption under
+//!   the mixed per-packet key, and the corresponding decapsulation/validation.
+//! * [`injection`] — the traffic-generation substrate standing in for the
+//!   paper's live setup (a malicious server retransmitting identical TCP
+//!   packets at ~2500 packets/second while a sniffer captures them).
+//! * [`model`] — per-TSC keystream distribution models consumed by the attack
+//!   (built from empirical statistics or synthetic for tests).
+//! * [`attack`] — the attack itself: per-TSC single-byte likelihoods over the
+//!   12 unknown trailer bytes (8-byte MIC + 4-byte ICV), Algorithm-1 candidate
+//!   generation, CRC-based pruning, Michael key inversion, and the checksum
+//!   based recovery of unknown IP/TCP header fields.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod injection;
+pub mod keymix;
+pub mod model;
+pub mod mpdu;
+pub mod net;
+pub mod sbox;
+
+/// Errors produced by the TKIP substrate and attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TkipError {
+    /// A frame failed integrity validation (ICV or MIC mismatch).
+    IntegrityFailure(&'static str),
+    /// Malformed or truncated input.
+    Malformed(String),
+    /// Invalid configuration (bad lengths, empty captures, ...).
+    InvalidConfig(String),
+    /// The attack did not find any candidate satisfying the integrity checks.
+    AttackFailed(String),
+}
+
+impl core::fmt::Display for TkipError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TkipError::IntegrityFailure(what) => write!(f, "integrity check failed: {what}"),
+            TkipError::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            TkipError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TkipError::AttackFailed(msg) => write!(f, "attack failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TkipError {}
+
+/// A 48-bit TKIP sequence counter.
+///
+/// The TSC is incremented per MPDU, transmitted in the clear in the extended
+/// IV fields, and feeds the per-packet key mixing. Its two least-significant
+/// bytes determine the first three RC4 key bytes, which is the root cause of
+/// the per-TSC keystream biases the attack exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tsc(pub u64);
+
+impl Tsc {
+    /// Maximum representable TSC value (48 bits).
+    pub const MAX: Tsc = Tsc(0xFFFF_FFFF_FFFF);
+
+    /// The least-significant byte, `TSC0`.
+    pub fn tsc0(self) -> u8 {
+        (self.0 & 0xff) as u8
+    }
+
+    /// The second least-significant byte, `TSC1`.
+    pub fn tsc1(self) -> u8 {
+        ((self.0 >> 8) & 0xff) as u8
+    }
+
+    /// The low 16 bits (`IV16` in the key mixing).
+    pub fn iv16(self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+
+    /// The high 32 bits (`IV32` in the key mixing).
+    pub fn iv32(self) -> u32 {
+        ((self.0 >> 16) & 0xffff_ffff) as u32
+    }
+
+    /// The next sequence counter value (wrapping at 48 bits).
+    pub fn next(self) -> Tsc {
+        Tsc((self.0 + 1) & Self::MAX.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_byte_extraction() {
+        let tsc = Tsc(0x0000_1234_5678);
+        assert_eq!(tsc.tsc0(), 0x78);
+        assert_eq!(tsc.tsc1(), 0x56);
+        assert_eq!(tsc.iv16(), 0x5678);
+        assert_eq!(tsc.iv32(), 0x1234);
+    }
+
+    #[test]
+    fn tsc_increment_wraps_at_48_bits() {
+        assert_eq!(Tsc(5).next(), Tsc(6));
+        assert_eq!(Tsc::MAX.next(), Tsc(0));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(TkipError::IntegrityFailure("ICV").to_string().contains("ICV"));
+        assert!(TkipError::AttackFailed("no candidate".into())
+            .to_string()
+            .contains("no candidate"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-TSC keystream distribution models consumed by the attack.
+//!
+//! The Section-5 attack scores plaintext candidates against keystream
+//! distributions *conditioned on the public TSC bytes* (Paterson et al.). The
+//! attack code is agnostic about where those distributions come from:
+//!
+//! * empirically, from a `rc4-stats` per-TSC dataset (the faithful path —
+//!   the paper spent 10 CPU-years on this, the reproduction uses a reduced key
+//!   count and/or TSC1-only conditioning), or
+//! * synthetically, for tests and fast simulations, by declaring per-class
+//!   biased values directly.
+//!
+//! Either way the model is a table of per-class, per-position probability
+//! vectors plus the class-index function.
+
+use crate::{Tsc, TkipError};
+
+/// How captured packets are mapped to keystream-distribution classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TscClassing {
+    /// One class per `TSC1` value (256 classes) — laptop-scale default.
+    Tsc1,
+    /// One class per `(TSC0, TSC1)` pair (65536 classes) — paper scale.
+    Tsc0Tsc1,
+}
+
+impl TscClassing {
+    /// Number of classes.
+    pub fn classes(self) -> usize {
+        match self {
+            TscClassing::Tsc1 => 256,
+            TscClassing::Tsc0Tsc1 => 65536,
+        }
+    }
+
+    /// Class index of a TSC value.
+    pub fn class_of(self, tsc: Tsc) -> usize {
+        match self {
+            TscClassing::Tsc1 => tsc.tsc1() as usize,
+            TscClassing::Tsc0Tsc1 => ((tsc.tsc1() as usize) << 8) | tsc.tsc0() as usize,
+        }
+    }
+}
+
+/// A per-TSC-class keystream distribution model.
+///
+/// `probs[class][pos][value]` (flattened) is `Pr[Z_{pos+1} = value | class]`
+/// where positions are indices into the modelled keystream window
+/// `first_position ..= first_position + positions - 1` (1-based).
+#[derive(Debug, Clone)]
+pub struct TkipKeystreamModel {
+    classing: TscClassing,
+    first_position: usize,
+    positions: usize,
+    probs: Vec<f64>,
+}
+
+impl TkipKeystreamModel {
+    /// Builds a model from raw per-class distributions.
+    ///
+    /// `probs` must contain `classes * positions * 256` entries, each group of
+    /// 256 summing to (approximately) one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TkipError::InvalidConfig`] if the dimensions are inconsistent.
+    pub fn from_probabilities(
+        classing: TscClassing,
+        first_position: usize,
+        positions: usize,
+        probs: Vec<f64>,
+    ) -> Result<Self, TkipError> {
+        if first_position == 0 || positions == 0 {
+            return Err(TkipError::InvalidConfig(
+                "positions must be non-empty and 1-based".into(),
+            ));
+        }
+        if probs.len() != classing.classes() * positions * 256 {
+            return Err(TkipError::InvalidConfig(format!(
+                "expected {} probabilities, got {}",
+                classing.classes() * positions * 256,
+                probs.len()
+            )));
+        }
+        Ok(Self {
+            classing,
+            first_position,
+            positions,
+            probs,
+        })
+    }
+
+    /// A uniform model (useful as a null baseline in ablations).
+    pub fn uniform(classing: TscClassing, first_position: usize, positions: usize) -> Self {
+        Self {
+            classing,
+            first_position,
+            positions,
+            probs: vec![1.0 / 256.0; classing.classes() * positions * 256],
+        }
+    }
+
+    /// A synthetic model where, in every class, the keystream byte at each
+    /// modelled position is biased towards a class-and-position-dependent value
+    /// with relative strength `relative`.
+    ///
+    /// The biased value is `(class + position) mod 256`, which is public given
+    /// the TSC — structurally the same situation as the real per-TSC biases,
+    /// with controllable strength so tests and benches can trade realism for
+    /// speed. This synthetic model is also used by the exact-mode simulator,
+    /// which *samples keystream bytes from the same distributions*, so model
+    /// and traffic are consistent by construction.
+    pub fn synthetic(
+        classing: TscClassing,
+        first_position: usize,
+        positions: usize,
+        relative: f64,
+    ) -> Self {
+        let classes = classing.classes();
+        let mut probs = vec![0.0f64; classes * positions * 256];
+        for class in 0..classes {
+            for pos in 0..positions {
+                let favoured = ((class + first_position + pos) % 256) as u8;
+                let base = 1.0 / (256.0 + relative);
+                let start = (class * positions + pos) * 256;
+                for v in 0..256 {
+                    probs[start + v] = if v == favoured as usize {
+                        base * (1.0 + relative)
+                    } else {
+                        base
+                    };
+                }
+            }
+        }
+        Self {
+            classing,
+            first_position,
+            positions,
+            probs,
+        }
+    }
+
+    /// The classing scheme of this model.
+    pub fn classing(&self) -> TscClassing {
+        self.classing
+    }
+
+    /// First modelled keystream position (1-based).
+    pub fn first_position(&self) -> usize {
+        self.first_position
+    }
+
+    /// Number of modelled positions.
+    pub fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// The 256-entry distribution of keystream position `position` (1-based,
+    /// absolute) for packets in `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is outside the modelled window.
+    pub fn distribution(&self, class: usize, position: usize) -> &[f64] {
+        assert!(
+            position >= self.first_position && position < self.first_position + self.positions,
+            "position {position} outside modelled window"
+        );
+        let pos = position - self.first_position;
+        let start = (class * self.positions + pos) * 256;
+        &self.probs[start..start + 256]
+    }
+
+    /// Class index of a TSC under this model's classing.
+    pub fn class_of(&self, tsc: Tsc) -> usize {
+        self.classing.class_of(tsc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classing_maps() {
+        assert_eq!(TscClassing::Tsc1.classes(), 256);
+        assert_eq!(TscClassing::Tsc0Tsc1.classes(), 65536);
+        let tsc = Tsc(0x0000_0000_AB12);
+        assert_eq!(TscClassing::Tsc1.class_of(tsc), 0xAB);
+        assert_eq!(TscClassing::Tsc0Tsc1.class_of(tsc), 0xAB12);
+    }
+
+    #[test]
+    fn uniform_model_distributions() {
+        let m = TkipKeystreamModel::uniform(TscClassing::Tsc1, 49, 12);
+        let d = m.distribution(5, 49);
+        assert_eq!(d.len(), 256);
+        assert!((d[0] - 1.0 / 256.0).abs() < 1e-15);
+        assert_eq!(m.positions(), 12);
+        assert_eq!(m.first_position(), 49);
+    }
+
+    #[test]
+    fn synthetic_model_biases_expected_value() {
+        let m = TkipKeystreamModel::synthetic(TscClassing::Tsc1, 10, 4, 0.5);
+        // Class 3, absolute position 11 -> favoured value (3 + 11) % 256 = 14.
+        let d = m.distribution(3, 11);
+        let favoured = d[14];
+        assert!(favoured > d[0]);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_probabilities_validation() {
+        assert!(TkipKeystreamModel::from_probabilities(TscClassing::Tsc1, 1, 1, vec![0.0; 10])
+            .is_err());
+        assert!(TkipKeystreamModel::from_probabilities(TscClassing::Tsc1, 0, 1, vec![]).is_err());
+        let ok = TkipKeystreamModel::from_probabilities(
+            TscClassing::Tsc1,
+            1,
+            1,
+            vec![1.0 / 256.0; 256 * 256],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside modelled window")]
+    fn out_of_window_position_panics() {
+        let m = TkipKeystreamModel::uniform(TscClassing::Tsc1, 49, 12);
+        let _ = m.distribution(0, 61);
+    }
+}

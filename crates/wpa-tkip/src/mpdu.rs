@@ -1,0 +1,260 @@
+//! TKIP MSDU/MPDU encapsulation and decapsulation.
+//!
+//! Transmission of a payload under TKIP (Sect. 2.2, Fig. 2 of the paper):
+//!
+//! 1. Compute the Michael MIC over the Michael header (destination address,
+//!    source address, priority, three zero bytes) and the MSDU payload, using
+//!    the direction-specific MIC key, and append it.
+//! 2. Append the ICV — a CRC-32 over the payload plus MIC.
+//! 3. Encrypt payload, MIC and ICV with RC4 under the mixed per-packet key.
+//!
+//! The receiver decrypts, checks the ICV, then checks the MIC. The attack only
+//! ever needs the *encapsulation* path plus the ability to re-run the integrity
+//! checks over candidate plaintexts, but the decapsulation path is implemented
+//! too so the substrate round-trips (and so forged packets built with a
+//! recovered MIC key can be validated end-to-end).
+
+use crypto_prims::{
+    crc32,
+    michael::{self, MichaelKey},
+};
+
+use crate::{
+    keymix::{mix_key, TemporalKey},
+    Tsc, TkipError,
+};
+
+/// Addressing and priority information entering the Michael header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameAddressing {
+    /// Destination MAC address.
+    pub dst: [u8; 6],
+    /// Source MAC address.
+    pub src: [u8; 6],
+    /// Transmitter MAC address (feeds the key mixing; for AP-to-client traffic
+    /// this is the AP's address).
+    pub transmitter: [u8; 6],
+    /// 802.1D priority (0 for best effort).
+    pub priority: u8,
+}
+
+impl FrameAddressing {
+    /// The Michael header: `DA || SA || priority || 0 || 0 || 0`.
+    pub fn michael_header(&self) -> [u8; 16] {
+        let mut hdr = [0u8; 16];
+        hdr[..6].copy_from_slice(&self.dst);
+        hdr[6..12].copy_from_slice(&self.src);
+        hdr[12] = self.priority;
+        hdr
+    }
+}
+
+/// An encrypted TKIP MPDU as observed on the air (data portion only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncryptedMpdu {
+    /// The TKIP sequence counter transmitted in the clear.
+    pub tsc: Tsc,
+    /// RC4-encrypted `payload || MIC || ICV`.
+    pub ciphertext: Vec<u8>,
+}
+
+/// Length of the encrypted trailer: 8-byte MIC plus 4-byte ICV.
+pub const TRAILER_LEN: usize = 12;
+
+/// Encapsulates an MSDU payload into an encrypted TKIP MPDU.
+///
+/// `payload` is the plaintext MSDU body (LLC/SNAP + IP + TCP + data for the
+/// packets used in the attack).
+pub fn encapsulate(
+    tk: &TemporalKey,
+    mic_key: MichaelKey,
+    addressing: &FrameAddressing,
+    tsc: Tsc,
+    payload: &[u8],
+) -> EncryptedMpdu {
+    // Michael MIC over header + payload.
+    let mut mic_input = Vec::with_capacity(16 + payload.len());
+    mic_input.extend_from_slice(&addressing.michael_header());
+    mic_input.extend_from_slice(payload);
+    let mic = michael::michael(mic_key, &mic_input);
+
+    // ICV over payload + MIC.
+    let mut body = Vec::with_capacity(payload.len() + TRAILER_LEN);
+    body.extend_from_slice(payload);
+    body.extend_from_slice(&mic);
+    let icv = crc32::icv(&body);
+    body.extend_from_slice(&icv);
+
+    // RC4 encryption under the per-packet key.
+    let key = mix_key(tk, &addressing.transmitter, tsc);
+    rc4::apply(&key, &mut body).expect("16-byte TKIP key is always valid");
+
+    EncryptedMpdu {
+        tsc,
+        ciphertext: body,
+    }
+}
+
+/// Decapsulates an encrypted MPDU, verifying ICV and MIC.
+///
+/// Returns the plaintext MSDU payload.
+///
+/// # Errors
+///
+/// * [`TkipError::Malformed`] if the ciphertext is shorter than the trailer.
+/// * [`TkipError::IntegrityFailure`] if the ICV or the MIC does not verify.
+pub fn decapsulate(
+    tk: &TemporalKey,
+    mic_key: MichaelKey,
+    addressing: &FrameAddressing,
+    mpdu: &EncryptedMpdu,
+) -> Result<Vec<u8>, TkipError> {
+    if mpdu.ciphertext.len() < TRAILER_LEN {
+        return Err(TkipError::Malformed(
+            "MPDU shorter than MIC + ICV trailer".into(),
+        ));
+    }
+    let key = mix_key(tk, &addressing.transmitter, mpdu.tsc);
+    let mut plain = mpdu.ciphertext.clone();
+    rc4::apply(&key, &mut plain).expect("16-byte TKIP key is always valid");
+
+    let icv_offset = plain.len() - 4;
+    let mic_offset = icv_offset - 8;
+    let icv: [u8; 4] = plain[icv_offset..].try_into().expect("length checked");
+    if !crc32::verify_icv(&plain[..icv_offset], &icv) {
+        return Err(TkipError::IntegrityFailure("ICV"));
+    }
+    let mic: [u8; 8] = plain[mic_offset..icv_offset]
+        .try_into()
+        .expect("length checked");
+    let mut mic_input = Vec::with_capacity(16 + mic_offset);
+    mic_input.extend_from_slice(&addressing.michael_header());
+    mic_input.extend_from_slice(&plain[..mic_offset]);
+    if !michael::verify(mic_key, &mic_input, &mic) {
+        return Err(TkipError::IntegrityFailure("Michael MIC"));
+    }
+    plain.truncate(mic_offset);
+    Ok(plain)
+}
+
+/// Checks whether a *candidate plaintext trailer* (MIC || ICV) is consistent
+/// with a known MSDU payload: the ICV must be the CRC-32 of `payload || MIC`.
+///
+/// This is the pruning test at the heart of the Section-5 attack: the attacker
+/// knows `payload` and walks the candidate list for the 12 trailer bytes until
+/// this check passes.
+pub fn trailer_is_consistent(payload: &[u8], trailer: &[u8; TRAILER_LEN]) -> bool {
+    let mut body = Vec::with_capacity(payload.len() + 8);
+    body.extend_from_slice(payload);
+    body.extend_from_slice(&trailer[..8]);
+    let expected = crc32::icv(&body);
+    trailer[8..] == expected
+}
+
+/// Derives the Michael MIC key from a fully decrypted packet (payload + MIC),
+/// using the invertibility of Michael.
+pub fn derive_mic_key(addressing: &FrameAddressing, payload: &[u8], mic: &[u8; 8]) -> MichaelKey {
+    let mut mic_input = Vec::with_capacity(16 + payload.len());
+    mic_input.extend_from_slice(&addressing.michael_header());
+    mic_input.extend_from_slice(payload);
+    michael::invert_key(&mic_input, mic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addressing() -> FrameAddressing {
+        FrameAddressing {
+            dst: [0x00, 0x11, 0x22, 0x33, 0x44, 0x55],
+            src: [0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb],
+            transmitter: [0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb],
+            priority: 0,
+        }
+    }
+
+    const TK: TemporalKey = [0x42; 16];
+    const MIC_KEY: MichaelKey = MichaelKey {
+        l: 0x0102_0304,
+        r: 0xa1b2_c3d4,
+    };
+
+    #[test]
+    fn encapsulate_decapsulate_roundtrip() {
+        let payload = b"LLC/SNAP + IP + TCP would go here; any bytes work".to_vec();
+        let mpdu = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(77), &payload);
+        assert_eq!(mpdu.ciphertext.len(), payload.len() + TRAILER_LEN);
+        let plain = decapsulate(&TK, MIC_KEY, &addressing(), &mpdu).unwrap();
+        assert_eq!(plain, payload);
+    }
+
+    #[test]
+    fn ciphertext_differs_per_tsc() {
+        let payload = vec![0u8; 32];
+        let a = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(1), &payload);
+        let b = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(2), &payload);
+        assert_ne!(a.ciphertext, b.ciphertext);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let payload = b"integrity matters".to_vec();
+        let mut mpdu = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(9), &payload);
+        mpdu.ciphertext[3] ^= 0x01;
+        assert!(matches!(
+            decapsulate(&TK, MIC_KEY, &addressing(), &mpdu),
+            Err(TkipError::IntegrityFailure(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_mic_key_fails_mic_but_passes_icv() {
+        let payload = b"wrong key test".to_vec();
+        let mpdu = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(9), &payload);
+        let wrong = MichaelKey { l: 1, r: 2 };
+        assert_eq!(
+            decapsulate(&TK, wrong, &addressing(), &mpdu).unwrap_err(),
+            TkipError::IntegrityFailure("Michael MIC")
+        );
+    }
+
+    #[test]
+    fn short_mpdu_rejected() {
+        let mpdu = EncryptedMpdu {
+            tsc: Tsc(0),
+            ciphertext: vec![0u8; 5],
+        };
+        assert!(matches!(
+            decapsulate(&TK, MIC_KEY, &addressing(), &mpdu),
+            Err(TkipError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailer_consistency_check() {
+        let payload = b"known plaintext packet body".to_vec();
+        let mpdu = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(5), &payload);
+        // Decrypt it ourselves to obtain the true trailer.
+        let key = mix_key(&TK, &addressing().transmitter, Tsc(5));
+        let mut plain = mpdu.ciphertext.clone();
+        rc4::apply(&key, &mut plain).unwrap();
+        let trailer: [u8; TRAILER_LEN] = plain[payload.len()..].try_into().unwrap();
+        assert!(trailer_is_consistent(&payload, &trailer));
+
+        let mut bad = trailer;
+        bad[0] ^= 1;
+        assert!(!trailer_is_consistent(&payload, &bad));
+    }
+
+    #[test]
+    fn mic_key_recovery_from_decrypted_packet() {
+        let payload = b"the packet the attacker decrypts".to_vec();
+        let mpdu = encapsulate(&TK, MIC_KEY, &addressing(), Tsc(123), &payload);
+        let key = mix_key(&TK, &addressing().transmitter, Tsc(123));
+        let mut plain = mpdu.ciphertext.clone();
+        rc4::apply(&key, &mut plain).unwrap();
+        let mic: [u8; 8] = plain[payload.len()..payload.len() + 8].try_into().unwrap();
+        let recovered = derive_mic_key(&addressing(), &payload, &mic);
+        assert_eq!(recovered, MIC_KEY);
+    }
+}

@@ -1,0 +1,292 @@
+//! Network packet encoding: LLC/SNAP, IPv4 and TCP with checksums.
+//!
+//! The packet the attacker injects (Sect. 5.2) is an ordinary TCP segment with
+//! a 7-byte payload, carried in an 802.11 data frame as
+//! `LLC/SNAP || IPv4 || TCP || payload`. The attack later relies on the IP and
+//! TCP checksums twice: to *know* most plaintext bytes of the injected packet,
+//! and to recover the few unknown header fields (TTL, internal address, source
+//! port) by candidate pruning. This module provides the encoders, checksum
+//! routines and parsers those steps need.
+
+use crate::TkipError;
+
+/// The 8-byte LLC/SNAP header announcing an IPv4 payload.
+pub const LLC_SNAP_IPV4: [u8; 8] = [0xAA, 0xAA, 0x03, 0x00, 0x00, 0x00, 0x08, 0x00];
+
+/// Length of the combined LLC/SNAP + IPv4 + TCP headers (without TCP options).
+pub const HEADERS_LEN: usize = 8 + 20 + 20;
+
+/// The Internet checksum (RFC 1071) over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A minimal IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services / TOS byte.
+    pub tos: u8,
+    /// Total length of the IP datagram (header + payload).
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits).
+    pub flags_fragment: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Upper-layer protocol (6 = TCP).
+    pub protocol: u8,
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+}
+
+impl Ipv4Header {
+    /// Creates a TCP-carrying header with common defaults.
+    pub fn tcp(src: [u8; 4], dst: [u8; 4], payload_len: u16, ttl: u8) -> Self {
+        Self {
+            tos: 0,
+            total_length: 20 + 20 + payload_len,
+            identification: 0,
+            flags_fragment: 0x4000, // don't fragment
+            ttl,
+            protocol: 6,
+            src,
+            dst,
+        }
+    }
+
+    /// Encodes the header with a correct checksum.
+    pub fn encode(&self) -> [u8; 20] {
+        let mut h = [0u8; 20];
+        h[0] = 0x45; // version 4, IHL 5
+        h[1] = self.tos;
+        h[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        h[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        h[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        h[8] = self.ttl;
+        h[9] = self.protocol;
+        // checksum zero for computation
+        h[12..16].copy_from_slice(&self.src);
+        h[16..20].copy_from_slice(&self.dst);
+        let csum = internet_checksum(&h);
+        h[10..12].copy_from_slice(&csum.to_be_bytes());
+        h
+    }
+
+    /// Parses and validates an encoded header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TkipError::Malformed`] on truncated input or an unsupported
+    /// IHL, and [`TkipError::IntegrityFailure`] when the checksum is wrong.
+    pub fn parse(bytes: &[u8]) -> Result<Self, TkipError> {
+        if bytes.len() < 20 {
+            return Err(TkipError::Malformed("IPv4 header too short".into()));
+        }
+        if bytes[0] != 0x45 {
+            return Err(TkipError::Malformed(format!(
+                "unsupported version/IHL byte 0x{:02x}",
+                bytes[0]
+            )));
+        }
+        if internet_checksum(&bytes[..20]) != 0 {
+            return Err(TkipError::IntegrityFailure("IPv4 checksum"));
+        }
+        Ok(Self {
+            tos: bytes[1],
+            total_length: u16::from_be_bytes([bytes[2], bytes[3]]),
+            identification: u16::from_be_bytes([bytes[4], bytes[5]]),
+            flags_fragment: u16::from_be_bytes([bytes[6], bytes[7]]),
+            ttl: bytes[8],
+            protocol: bytes[9],
+            src: [bytes[12], bytes[13], bytes[14], bytes[15]],
+            dst: [bytes[16], bytes[17], bytes[18], bytes[19]],
+        })
+    }
+}
+
+/// A minimal TCP header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// TCP flags (the low 6 bits: URG/ACK/PSH/RST/SYN/FIN).
+    pub flags: u8,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Encodes the header with a correct checksum for the given addresses and payload.
+    pub fn encode(&self, src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> [u8; 20] {
+        let mut h = [0u8; 20];
+        h[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        h[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        h[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        h[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        h[12] = 5 << 4; // data offset 5 words
+        h[13] = self.flags;
+        h[14..16].copy_from_slice(&self.window.to_be_bytes());
+        let csum = Self::checksum(&h, src_ip, dst_ip, payload);
+        h[16..18].copy_from_slice(&csum.to_be_bytes());
+        h
+    }
+
+    /// Computes the TCP checksum (pseudo-header + header + payload) for a header
+    /// whose checksum field is zero.
+    pub fn checksum(header: &[u8; 20], src_ip: [u8; 4], dst_ip: [u8; 4], payload: &[u8]) -> u16 {
+        let tcp_len = (20 + payload.len()) as u16;
+        let mut buf = Vec::with_capacity(12 + 20 + payload.len());
+        buf.extend_from_slice(&src_ip);
+        buf.extend_from_slice(&dst_ip);
+        buf.push(0);
+        buf.push(6);
+        buf.extend_from_slice(&tcp_len.to_be_bytes());
+        buf.extend_from_slice(header);
+        buf.extend_from_slice(payload);
+        internet_checksum(&buf)
+    }
+
+    /// Parses an encoded TCP header and verifies its checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TkipError::Malformed`] on truncated input and
+    /// [`TkipError::IntegrityFailure`] when the checksum does not verify.
+    pub fn parse(
+        bytes: &[u8],
+        src_ip: [u8; 4],
+        dst_ip: [u8; 4],
+        payload: &[u8],
+    ) -> Result<Self, TkipError> {
+        if bytes.len() < 20 {
+            return Err(TkipError::Malformed("TCP header too short".into()));
+        }
+        let mut zeroed: [u8; 20] = bytes[..20].try_into().expect("length checked");
+        let wire_csum = u16::from_be_bytes([zeroed[16], zeroed[17]]);
+        zeroed[16] = 0;
+        zeroed[17] = 0;
+        if Self::checksum(&zeroed, src_ip, dst_ip, payload) != wire_csum {
+            return Err(TkipError::IntegrityFailure("TCP checksum"));
+        }
+        Ok(Self {
+            src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
+            dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
+            seq: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            ack: u32::from_be_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]),
+            flags: bytes[13],
+            window: u16::from_be_bytes([bytes[14], bytes[15]]),
+        })
+    }
+}
+
+/// Builds the plaintext MSDU payload `LLC/SNAP || IPv4 || TCP || payload` for a
+/// TCP segment from `src` to `dst`.
+pub fn build_tcp_msdu(
+    ip: &Ipv4Header,
+    tcp: &TcpHeader,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADERS_LEN + payload.len());
+    out.extend_from_slice(&LLC_SNAP_IPV4);
+    out.extend_from_slice(&ip.encode());
+    out.extend_from_slice(&tcp.encode(ip.src, ip.dst, payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internet_checksum_rfc1071_example() {
+        // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), 0x220d);
+        // Odd-length input pads with zero.
+        assert_eq!(internet_checksum(&[0xff]), !0xff00u16);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_validation() {
+        let hdr = Ipv4Header::tcp([192, 168, 1, 2], [203, 0, 113, 5], 7, 64);
+        let enc = hdr.encode();
+        // A correctly encoded header checksums to zero.
+        assert_eq!(internet_checksum(&enc), 0);
+        let parsed = Ipv4Header::parse(&enc).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(parsed.total_length, 47);
+
+        let mut corrupted = enc;
+        corrupted[8] ^= 1; // flip TTL
+        assert_eq!(
+            Ipv4Header::parse(&corrupted).unwrap_err(),
+            TkipError::IntegrityFailure("IPv4 checksum")
+        );
+        assert!(Ipv4Header::parse(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_validation() {
+        let tcp = TcpHeader {
+            src_port: 52100,
+            dst_port: 80,
+            seq: 0x1234_5678,
+            ack: 0x9abc_def0,
+            flags: 0x18, // PSH|ACK
+            window: 29200,
+        };
+        let src = [192, 168, 1, 2];
+        let dst = [203, 0, 113, 5];
+        let payload = b"ABCDEFG";
+        let enc = tcp.encode(src, dst, payload);
+        let parsed = TcpHeader::parse(&enc, src, dst, payload).unwrap();
+        assert_eq!(parsed, tcp);
+
+        // Any change to the payload or ports must break the checksum.
+        assert!(TcpHeader::parse(&enc, src, dst, b"ABCDEFX").is_err());
+        let mut corrupted = enc;
+        corrupted[0] ^= 1;
+        assert!(TcpHeader::parse(&corrupted, src, dst, payload).is_err());
+    }
+
+    #[test]
+    fn msdu_layout() {
+        let ip = Ipv4Header::tcp([10, 0, 0, 2], [198, 51, 100, 7], 7, 64);
+        let tcp = TcpHeader {
+            src_port: 40000,
+            dst_port: 8080,
+            seq: 1,
+            ack: 1,
+            flags: 0x18,
+            window: 1024,
+        };
+        let msdu = build_tcp_msdu(&ip, &tcp, b"payload");
+        assert_eq!(msdu.len(), HEADERS_LEN + 7);
+        assert_eq!(&msdu[..8], &LLC_SNAP_IPV4);
+        assert_eq!(msdu[8], 0x45);
+        // The paper's observation: with a 7-byte payload the MIC starts at
+        // position 56 in the RC4 stream (1-based), i.e. byte index 55.
+        assert_eq!(msdu.len() + 1, 56);
+    }
+}

@@ -1,0 +1,142 @@
+//! The TKIP key-mixing S-box.
+//!
+//! TKIP's phase-1/phase-2 mixing uses a 16-bit S-box built from the AES
+//! (Rijndael) S-box: for input byte `i` with `s = AES_SBOX[i]`, the table entry
+//! is `(xtime(s) << 8) | (s ^ xtime(s))` — i.e. the GF(2^8) multiples `2·s` and
+//! `3·s` packed into one 16-bit word. The full 16-bit substitution is
+//! `S(v) = T[lo(v)] ^ swap16(T[hi(v)])`.
+//!
+//! Rather than embedding a 256-entry magic table, this module derives the AES
+//! S-box algebraically (multiplicative inverse in GF(2^8) followed by the
+//! affine transform) and builds the TKIP table from it, which both documents
+//! where the constants come from and gives the tests something independent to
+//! check against.
+
+use std::sync::OnceLock;
+
+/// Multiplies by `x` (i.e. by 2) in GF(2^8) modulo the AES polynomial `x^8 + x^4 + x^3 + x + 1`.
+#[inline]
+pub fn xtime(b: u8) -> u8 {
+    let shifted = (b as u16) << 1;
+    let reduced = if b & 0x80 != 0 { shifted ^ 0x11B } else { shifted };
+    reduced as u8
+}
+
+/// Multiplication in GF(2^8) with the AES reduction polynomial.
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Computes the AES S-box entry for `x` from first principles.
+fn aes_sbox_entry(x: u8) -> u8 {
+    // Multiplicative inverse in GF(2^8); 0 maps to 0.
+    let inv = if x == 0 {
+        0
+    } else {
+        // Brute-force inverse: the field is tiny and this runs once at startup.
+        (1u16..=255)
+            .map(|c| c as u8)
+            .find(|&c| gf_mul(x, c) == 1)
+            .expect("every non-zero element has an inverse")
+    };
+    // Affine transform: b ^ rotl(b,1) ^ rotl(b,2) ^ rotl(b,3) ^ rotl(b,4) ^ 0x63.
+    let b = inv;
+    b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63
+}
+
+/// The AES S-box (computed once).
+pub fn aes_sbox() -> &'static [u8; 256] {
+    static TABLE: OnceLock<[u8; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u8; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = aes_sbox_entry(i as u8);
+        }
+        t
+    })
+}
+
+/// The TKIP 16-bit S-box table `T` (computed once from the AES S-box).
+pub fn tkip_sbox_table() -> &'static [u16; 256] {
+    static TABLE: OnceLock<[u16; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let aes = aes_sbox();
+        let mut t = [0u16; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let s = aes[i];
+            let two = xtime(s);
+            let three = s ^ two;
+            *slot = ((two as u16) << 8) | three as u16;
+        }
+        t
+    })
+}
+
+/// The TKIP 16-bit substitution `S(v) = T[lo(v)] ^ swap16(T[hi(v)])`.
+#[inline]
+pub fn tkip_s(v: u16) -> u16 {
+    let t = tkip_sbox_table();
+    t[(v & 0xff) as usize] ^ t[(v >> 8) as usize].rotate_left(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xtime_and_gf_mul() {
+        assert_eq!(xtime(0x57), 0xAE);
+        assert_eq!(xtime(0xAE), 0x47);
+        // FIPS-197 example: 0x57 * 0x13 = 0xFE.
+        assert_eq!(gf_mul(0x57, 0x13), 0xFE);
+        assert_eq!(gf_mul(0x57, 0x01), 0x57);
+        assert_eq!(gf_mul(0x00, 0x13), 0x00);
+    }
+
+    #[test]
+    fn aes_sbox_known_entries() {
+        let s = aes_sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7C);
+        assert_eq!(s[0x02], 0x77);
+        assert_eq!(s[0x53], 0xED);
+        assert_eq!(s[0xFF], 0x16);
+    }
+
+    #[test]
+    fn aes_sbox_is_a_permutation() {
+        let s = aes_sbox();
+        let mut seen = [false; 256];
+        for &v in s.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn tkip_table_known_entries() {
+        // First entries of the 802.11 TKIP S-box: 0xC6A5, 0xF884, 0xEE99.
+        let t = tkip_sbox_table();
+        assert_eq!(t[0], 0xC6A5);
+        assert_eq!(t[1], 0xF884);
+        assert_eq!(t[2], 0xEE99);
+    }
+
+    #[test]
+    fn tkip_s_mixes_both_bytes() {
+        // Changing either input byte must change the output.
+        let base = tkip_s(0x1234);
+        assert_ne!(base, tkip_s(0x1235));
+        assert_ne!(base, tkip_s(0x1334));
+        // And the function is deterministic.
+        assert_eq!(tkip_s(0xABCD), tkip_s(0xABCD));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the TKIP substrate.
+
+use crypto_prims::michael::MichaelKey;
+use proptest::prelude::*;
+use wpa_tkip::{
+    keymix::mix_key,
+    mpdu::{decapsulate, derive_mic_key, encapsulate, trailer_is_consistent, FrameAddressing},
+    net::{internet_checksum, Ipv4Header, TcpHeader},
+    Tsc,
+};
+
+fn arb_addressing() -> impl Strategy<Value = FrameAddressing> {
+    (
+        prop::array::uniform6(any::<u8>()),
+        prop::array::uniform6(any::<u8>()),
+        prop::array::uniform6(any::<u8>()),
+        0u8..8,
+    )
+        .prop_map(|(dst, src, transmitter, priority)| FrameAddressing {
+            dst,
+            src,
+            transmitter,
+            priority,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TKIP encapsulation round-trips for arbitrary keys, addresses, TSCs and payloads,
+    /// and the decrypted trailer always satisfies the attack's consistency check.
+    #[test]
+    fn encapsulation_roundtrip(tk in prop::array::uniform16(any::<u8>()),
+                               l in any::<u32>(), r in any::<u32>(),
+                               addressing in arb_addressing(),
+                               tsc in 0u64..0xFFFF_FFFF,
+                               payload in prop::collection::vec(any::<u8>(), 1..256)) {
+        let mic_key = MichaelKey { l, r };
+        let mpdu = encapsulate(&tk, mic_key, &addressing, Tsc(tsc), &payload);
+        prop_assert_eq!(mpdu.ciphertext.len(), payload.len() + 12);
+        let plain = decapsulate(&tk, mic_key, &addressing, &mpdu).unwrap();
+        prop_assert_eq!(&plain, &payload);
+
+        // Decrypt manually and check the trailer consistency + MIC-key inversion.
+        let key = mix_key(&tk, &addressing.transmitter, Tsc(tsc));
+        let mut decrypted = mpdu.ciphertext.clone();
+        rc4::apply(&key, &mut decrypted).unwrap();
+        let trailer: [u8; 12] = decrypted[payload.len()..].try_into().unwrap();
+        prop_assert!(trailer_is_consistent(&payload, &trailer));
+        let mic: [u8; 8] = trailer[..8].try_into().unwrap();
+        prop_assert_eq!(derive_mic_key(&addressing, &payload, &mic), mic_key);
+    }
+
+    /// Corrupting any ciphertext byte is detected by the ICV or the MIC.
+    #[test]
+    fn corruption_detected(tk in prop::array::uniform16(any::<u8>()),
+                           addressing in arb_addressing(),
+                           payload in prop::collection::vec(any::<u8>(), 1..64),
+                           corrupt_at in 0usize..128,
+                           corrupt_bit in 0u8..8) {
+        let mic_key = MichaelKey { l: 7, r: 13 };
+        let mut mpdu = encapsulate(&tk, mic_key, &addressing, Tsc(5), &payload);
+        let idx = corrupt_at % mpdu.ciphertext.len();
+        mpdu.ciphertext[idx] ^= 1 << corrupt_bit;
+        prop_assert!(decapsulate(&tk, mic_key, &addressing, &mpdu).is_err());
+    }
+
+    /// The per-packet key always exposes the TSC-derived prefix and the TKIP
+    /// "weak key avoidance" bit pattern in byte 1.
+    #[test]
+    fn key_prefix_structure(tk in prop::array::uniform16(any::<u8>()),
+                            ta in prop::array::uniform6(any::<u8>()),
+                            tsc in any::<u64>()) {
+        let tsc = Tsc(tsc & 0xFFFF_FFFF_FFFF);
+        let key = mix_key(&tk, &ta, tsc);
+        prop_assert_eq!(key[0], tsc.tsc1());
+        prop_assert_eq!(key[1], (tsc.tsc1() | 0x20) & 0x7f);
+        prop_assert_eq!(key[2], tsc.tsc0());
+        // Byte 1 always has bit 5 set and bit 7 clear.
+        prop_assert_eq!(key[1] & 0x80, 0);
+        prop_assert_eq!(key[1] & 0x20, 0x20);
+    }
+
+    /// IPv4 and TCP headers round-trip and their checksums validate.
+    #[test]
+    fn ip_tcp_roundtrip(src in prop::array::uniform4(any::<u8>()),
+                        dst in prop::array::uniform4(any::<u8>()),
+                        ttl in 1u8..255,
+                        sport in any::<u16>(), dport in any::<u16>(),
+                        seq in any::<u32>(), ack in any::<u32>(),
+                        payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        let ip = Ipv4Header::tcp(src, dst, payload.len() as u16, ttl);
+        let encoded = ip.encode();
+        prop_assert_eq!(internet_checksum(&encoded), 0);
+        prop_assert_eq!(Ipv4Header::parse(&encoded).unwrap(), ip);
+
+        let tcp = TcpHeader { src_port: sport, dst_port: dport, seq, ack, flags: 0x18, window: 1024 };
+        let enc = tcp.encode(src, dst, &payload);
+        prop_assert_eq!(TcpHeader::parse(&enc, src, dst, &payload).unwrap(), tcp);
+    }
+}

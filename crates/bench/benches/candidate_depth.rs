@@ -18,7 +18,9 @@ fn synthetic_single(positions: usize) -> Vec<SingleLikelihoods> {
         .map(|p| {
             let log: Vec<f64> = (0..256)
                 .map(|v| {
-                    let x = (v as u64 + 1).wrapping_mul(p as u64 + 3).wrapping_mul(0x9E37);
+                    let x = (v as u64 + 1)
+                        .wrapping_mul(p as u64 + 3)
+                        .wrapping_mul(0x9E37);
                     ((x % 1000) as f64) / 250.0
                 })
                 .collect();
@@ -34,7 +36,9 @@ fn bench_algorithm1_depth(c: &mut Criterion) {
     for n in [1usize, 256, 4096, 65536] {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| generate_candidates(std::hint::black_box(&liks), n, &Charset::full()).unwrap());
+            b.iter(|| {
+                generate_candidates(std::hint::black_box(&liks), n, &Charset::full()).unwrap()
+            });
         });
     }
     group.finish();
@@ -47,7 +51,9 @@ fn bench_algorithm2_depth(c: &mut Criterion) {
         .map(|t| {
             let mut log = vec![0.0f64; 65536];
             for (i, slot) in log.iter_mut().enumerate() {
-                let x = (i as u64 + 1).wrapping_mul(t as u64 + 7).wrapping_mul(0x2545_F491);
+                let x = (i as u64 + 1)
+                    .wrapping_mul(t as u64 + 7)
+                    .wrapping_mul(0x2545_F491);
                 *slot = ((x >> 16) % 1000) as f64 / 300.0;
             }
             PairLikelihoods::from_log_values(log).unwrap()

@@ -34,7 +34,7 @@ fn bench_payload_choice_ablation(c: &mut Criterion) {
             max_candidates: 1 << 10,
             payload_len,
             model: TkipTrafficModel::Synthetic { relative_bias: 0.8 },
-            seed: 0xF16_8,
+            seed: 0xF168,
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(payload_len),

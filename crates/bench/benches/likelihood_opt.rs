@@ -45,11 +45,8 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
     });
     group.bench_function("dense_eq13", |b| {
         b.iter(|| {
-            PairLikelihoods::from_counts_dense(
-                std::hint::black_box(&counts),
-                dist.as_slice(),
-            )
-            .unwrap()
+            PairLikelihoods::from_counts_dense(std::hint::black_box(&counts), dist.as_slice())
+                .unwrap()
         });
     });
     group.finish();

@@ -33,7 +33,15 @@ fn fig7_config(scale: Scale) -> Fig7Config {
             ..Fig7Config::default()
         },
         Scale::Extended => Fig7Config {
-            ciphertext_counts: vec![1 << 27, 1 << 29, 1 << 31, 1 << 33, 1 << 35, 1 << 37, 1 << 39],
+            ciphertext_counts: vec![
+                1 << 27,
+                1 << 29,
+                1 << 31,
+                1 << 33,
+                1 << 35,
+                1 << 37,
+                1 << 39,
+            ],
             trials: 128,
             absab_relations: 258,
             ..Fig7Config::default()
@@ -111,10 +119,16 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let experiment = positional.first().map(|s| s.as_str()).unwrap_or("all");
-    let scale = positional
-        .get(1)
-        .and_then(|s| Scale::parse(s))
-        .unwrap_or(Scale::Quick);
+    let scale = match positional.get(1) {
+        None => Scale::Quick,
+        Some(s) => match Scale::parse(s) {
+            Some(scale) => scale,
+            None => {
+                eprintln!("repro: unknown scale '{s}' (expected quick | laptop | extended)");
+                std::process::exit(2);
+            }
+        },
+    };
 
     eprintln!("repro: experiment = {experiment}, scale = {scale:?}");
     match run_one(experiment, scale) {

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn known_values() {
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414FA339
+        );
         assert_eq!(crc32(&[0u8; 32]), 0x190A55AD);
         assert_eq!(crc32(&[0xFFu8; 32]), 0xFF6CAB0B);
     }

@@ -155,11 +155,7 @@ mod tests {
     /// IEEE 802.11i Michael test vectors: (key bytes, message, expected MIC).
     fn vectors() -> Vec<([u8; 8], &'static [u8], &'static str)> {
         vec![
-            (
-                [0, 0, 0, 0, 0, 0, 0, 0],
-                b"",
-                "82925c1ca1d130b8",
-            ),
+            ([0, 0, 0, 0, 0, 0, 0, 0], b"", "82925c1ca1d130b8"),
             (
                 [0x82, 0x92, 0x5c, 0x1c, 0xa1, 0xd1, 0x30, 0xb8],
                 b"M",
@@ -206,7 +202,12 @@ mod tests {
 
     #[test]
     fn block_inverse_is_inverse() {
-        let cases = [(0u32, 0u32), (1, 2), (0xdeadbeef, 0xcafebabe), (u32::MAX, 7)];
+        let cases = [
+            (0u32, 0u32),
+            (1, 2),
+            (0xdeadbeef, 0xcafebabe),
+            (u32::MAX, 7),
+        ];
         for (l, r) in cases {
             let (fl, fr) = block(l, r);
             assert_eq!(block_inverse(fl, fr), (l, r));

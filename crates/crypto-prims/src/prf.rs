@@ -8,13 +8,7 @@
 //! * TLS 1.0/1.1: `PRF(secret, label, seed) = P_MD5(S1, ...) XOR P_SHA1(S2, ...)`
 //! * TLS 1.2: `PRF(secret, label, seed) = P_SHA256(secret, ...)`
 
-use crate::{
-    hmac::Hmac,
-    md5::Md5,
-    sha1::Sha1,
-    sha256::Sha256,
-    Digest,
-};
+use crate::{hmac::Hmac, md5::Md5, sha1::Sha1, sha256::Sha256, Digest};
 
 /// The `P_hash` data expansion function from RFC 5246 Section 5.
 ///

@@ -1,0 +1,209 @@
+//! Known-answer tests for the from-scratch primitives.
+//!
+//! Sources: FIPS 180 (SHA-1 / SHA-256 examples), RFC 1321 appendix (MD5 test
+//! suite), RFC 2202 (HMAC-MD5 / HMAC-SHA1), RFC 4231 (HMAC-SHA256), the
+//! CRC-32/ISO-HDLC check value, and the IEEE 802.11i Michael test vectors
+//! (the chained `"" / M / Mi / Mic / Mich / Michael` table).
+
+use crypto_prims::crc32::{crc32, icv, verify_icv};
+use crypto_prims::hmac::{hmac_md5, hmac_sha1, hmac_sha256};
+use crypto_prims::md5::Md5;
+use crypto_prims::michael::{invert_key, michael, verify, MichaelKey};
+use crypto_prims::sha1::Sha1;
+use crypto_prims::sha256::Sha256;
+use crypto_prims::{from_hex, to_hex, Digest};
+
+fn check_digest<D: Digest>(msg: &[u8], expected_hex: &str) {
+    assert_eq!(to_hex(&D::digest(msg)), expected_hex, "one-shot digest");
+    // Same input absorbed byte-by-byte must agree (streaming correctness).
+    let mut d = D::new();
+    for b in msg {
+        d.update(core::slice::from_ref(b));
+    }
+    assert_eq!(to_hex(&d.finalize()), expected_hex, "streaming digest");
+}
+
+#[test]
+fn sha1_fips180_vectors() {
+    check_digest::<Sha1>(b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    check_digest::<Sha1>(b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+    check_digest::<Sha1>(
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    );
+    check_digest::<Sha1>(
+        b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+          ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "a49b2446a02c645bf419f995b67091253a04a259",
+    );
+}
+
+#[test]
+fn sha1_million_a() {
+    let msg = vec![b'a'; 1_000_000];
+    assert_eq!(
+        to_hex(&Sha1::digest(&msg)),
+        "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+    );
+}
+
+#[test]
+fn sha256_fips180_vectors() {
+    check_digest::<Sha256>(
+        b"",
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+    );
+    check_digest::<Sha256>(
+        b"abc",
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+    );
+    check_digest::<Sha256>(
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+    );
+    check_digest::<Sha256>(
+        b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+          ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+    );
+}
+
+#[test]
+fn sha256_million_a() {
+    let msg = vec![b'a'; 1_000_000];
+    assert_eq!(
+        to_hex(&Sha256::digest(&msg)),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
+}
+
+#[test]
+fn md5_rfc1321_suite() {
+    check_digest::<Md5>(b"", "d41d8cd98f00b204e9800998ecf8427e");
+    check_digest::<Md5>(b"a", "0cc175b9c0f1b6a831c399e269772661");
+    check_digest::<Md5>(b"abc", "900150983cd24fb0d6963f7d28e17f72");
+    check_digest::<Md5>(b"message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    check_digest::<Md5>(
+        b"abcdefghijklmnopqrstuvwxyz",
+        "c3fcd3d76192e4007dfb496cca67e13b",
+    );
+    check_digest::<Md5>(
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "d174ab98d277d9f5a5611c2c9f419d9f",
+    );
+    check_digest::<Md5>(
+        b"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+        "57edf4a22be3c955ac49da2e2107b67a",
+    );
+}
+
+/// RFC 2202 test cases 1-5 (the cases whose keys/data are length-independent
+/// of the digest) plus case 6's larger-than-block-size key.
+#[test]
+fn hmac_rfc2202_md5_and_sha1() {
+    struct Case {
+        md5_key: Vec<u8>,
+        sha1_key: Vec<u8>,
+        data: Vec<u8>,
+        md5: &'static str,
+        sha1: &'static str,
+    }
+    let cases = [
+        Case {
+            md5_key: vec![0x0b; 16],
+            sha1_key: vec![0x0b; 20],
+            data: b"Hi There".to_vec(),
+            md5: "9294727a3638bb1c13f48ef8158bfc9d",
+            sha1: "b617318655057264e28bc0b6fb378c8ef146be00",
+        },
+        Case {
+            md5_key: b"Jefe".to_vec(),
+            sha1_key: b"Jefe".to_vec(),
+            data: b"what do ya want for nothing?".to_vec(),
+            md5: "750c783e6ab0b503eaa86e310a5db738",
+            sha1: "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+        },
+        Case {
+            md5_key: vec![0xaa; 16],
+            sha1_key: vec![0xaa; 20],
+            data: vec![0xdd; 50],
+            md5: "56be34521d144c88dbb8c733f0e8b3f6",
+            sha1: "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
+        },
+        Case {
+            md5_key: from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819").unwrap(),
+            sha1_key: from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819").unwrap(),
+            data: vec![0xcd; 50],
+            md5: "697eaf0aca3a3aea3a75164746ffaa79",
+            sha1: "4c9007f4026250c6bc8414f9bf50c86c2d7235da",
+        },
+        Case {
+            md5_key: vec![0xaa; 80],
+            sha1_key: vec![0xaa; 80],
+            data: b"Test Using Larger Than Block-Size Key - Hash Key First".to_vec(),
+            md5: "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd",
+            sha1: "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+        },
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        assert_eq!(
+            to_hex(&hmac_md5(&case.md5_key, &case.data)),
+            case.md5,
+            "HMAC-MD5 case {}",
+            i + 1
+        );
+        assert_eq!(
+            to_hex(&hmac_sha1(&case.sha1_key, &case.data)),
+            case.sha1,
+            "HMAC-SHA1 case {}",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn hmac_sha256_rfc4231_vectors() {
+    assert_eq!(
+        to_hex(&hmac_sha256(&[0x0b; 20], b"Hi There")),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    );
+    assert_eq!(
+        to_hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    );
+}
+
+#[test]
+fn crc32_check_value() {
+    // The universal CRC-32/ISO-HDLC check value.
+    assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    // ICV is the little-endian serialization used on the wire by WEP/TKIP.
+    assert_eq!(icv(b"123456789"), 0xCBF4_3926u32.to_le_bytes());
+    assert!(verify_icv(b"123456789", &0xCBF4_3926u32.to_le_bytes()));
+    assert!(!verify_icv(b"123456789", &[0; 4]));
+    // Empty message: CRC-32 of nothing is 0.
+    assert_eq!(crc32(b""), 0);
+}
+
+/// The IEEE 802.11i Michael test table: each row's MIC is the next row's key.
+#[test]
+fn michael_ieee80211i_vectors() {
+    let rows: [(&str, &[u8], &str); 6] = [
+        ("0000000000000000", b"", "82925c1ca1d130b8"),
+        ("82925c1ca1d130b8", b"M", "434721ca40639b3f"),
+        ("434721ca40639b3f", b"Mi", "e8f9becae97e5d29"),
+        ("e8f9becae97e5d29", b"Mic", "90038fc6cf13c1db"),
+        ("90038fc6cf13c1db", b"Mich", "d55e100510128986"),
+        ("d55e100510128986", b"Michael", "0a942b124ecaa546"),
+    ];
+    for (key_hex, msg, mic_hex) in rows {
+        let key_bytes: [u8; 8] = from_hex(key_hex).unwrap().try_into().unwrap();
+        let key = MichaelKey::from_bytes(&key_bytes);
+        let mic = michael(key, msg);
+        assert_eq!(to_hex(&mic), mic_hex, "michael({key_hex}, {msg:?})");
+        assert!(verify(key, msg, &mic));
+        // The Tews-Beck inversion must recover the key from (msg, mic) —
+        // the property the Section-5 attack's payoff rests on.
+        assert_eq!(invert_key(msg, &mic), key, "invert_key({msg:?})");
+    }
+}

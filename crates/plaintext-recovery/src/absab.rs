@@ -63,7 +63,9 @@ pub fn absab_pair_likelihoods(
 /// # Errors
 ///
 /// Returns [`RecoveryError::InvalidInput`] if `parts` is empty.
-pub fn combine_pair_likelihoods(parts: &[PairLikelihoods]) -> Result<PairLikelihoods, RecoveryError> {
+pub fn combine_pair_likelihoods(
+    parts: &[PairLikelihoods],
+) -> Result<PairLikelihoods, RecoveryError> {
     let Some((first, rest)) = parts.split_first() else {
         return Err(RecoveryError::InvalidInput(
             "need at least one likelihood estimate to combine".into(),
@@ -150,7 +152,8 @@ mod tests {
         // several must score the true pair at least as well as any single one does.
         let parts: Vec<PairLikelihoods> = (0..6)
             .map(|g| {
-                let counts = synthetic_diff_counts(3, 3 + 2 + g, g as usize, true_diff, alpha, 400_000);
+                let counts =
+                    synthetic_diff_counts(3, 3 + 2 + g, g as usize, true_diff, alpha, 400_000);
                 absab_pair_likelihoods(&counts, known, alpha).unwrap()
             })
             .collect();

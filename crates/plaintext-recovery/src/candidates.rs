@@ -185,7 +185,8 @@ mod tests {
             lik_from(&[(1, 3.0), (2, 2.0), (3, 1.0)]),
             lik_from(&[(10, 5.0), (20, 4.5)]),
         ];
-        let cands = generate_candidates(&liks, 6, &Charset::new(&[1, 2, 3, 10, 20]).unwrap()).unwrap();
+        let cands =
+            generate_candidates(&liks, 6, &Charset::new(&[1, 2, 3, 10, 20]).unwrap()).unwrap();
         assert_eq!(cands.len(), 6);
         // Scores must be non-increasing.
         for w in cands.windows(2) {

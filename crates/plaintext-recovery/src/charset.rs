@@ -25,7 +25,9 @@ impl Charset {
     /// Returns [`RecoveryError::InvalidConfig`] if the list is empty.
     pub fn new(values: &[u8]) -> Result<Self, RecoveryError> {
         if values.is_empty() {
-            return Err(RecoveryError::InvalidConfig("charset must not be empty".into()));
+            return Err(RecoveryError::InvalidConfig(
+                "charset must not be empty".into(),
+            ));
         }
         let mut member = [false; 256];
         let mut unique = Vec::new();

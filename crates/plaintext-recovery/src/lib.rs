@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(RecoveryError::InvalidInput("x".into()).to_string().contains("x"));
+        assert!(RecoveryError::InvalidInput("x".into())
+            .to_string()
+            .contains("x"));
         assert!(RecoveryError::InvalidConfig("y".into())
             .to_string()
             .contains("configuration"));

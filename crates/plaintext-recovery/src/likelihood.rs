@@ -286,11 +286,11 @@ impl PairLikelihoods {
     /// log-likelihood over `mu2` (a max-marginal, adequate for ranking).
     pub fn max_marginal_first(&self) -> SingleLikelihoods {
         let mut log = vec![f64::NEG_INFINITY; 256];
-        for mu1 in 0..256usize {
+        for (mu1, slot) in log.iter_mut().enumerate() {
             for mu2 in 0..256usize {
                 let v = self.log[(mu1 << 8) | mu2];
-                if v > log[mu1] {
-                    log[mu1] = v;
+                if v > *slot {
+                    *slot = v;
                 }
             }
         }
@@ -318,7 +318,7 @@ mod tests {
         // Simulate ciphertext counts: C = P ^ Z, so counts[c] = N * p[c ^ P].
         let n = 1_000_000u64;
         let counts: Vec<u64> = (0..256)
-            .map(|c| (n as f64 * ks[(c ^ plaintext as usize) as usize]).round() as u64)
+            .map(|c| (n as f64 * ks[c ^ plaintext as usize]).round() as u64)
             .collect();
         let lik = SingleLikelihoods::from_counts(&counts, &ks).unwrap();
         assert_eq!(lik.best(), plaintext);
@@ -339,16 +339,14 @@ mod tests {
         let plaintext = 0x99u8;
         let n = 50_000u64;
         let counts: Vec<u64> = (0..256)
-            .map(|c| (n as f64 * ks[(c ^ plaintext as usize) as usize]).round() as u64)
+            .map(|c| (n as f64 * ks[c ^ plaintext as usize]).round() as u64)
             .collect();
         let a = SingleLikelihoods::from_counts(&counts, &ks).unwrap();
         let mut combined = a.clone();
         combined.combine(&a);
         // Combining two copies doubles every log-likelihood.
         for mu in 0..=255u8 {
-            assert!(
-                (combined.log_likelihood(mu) - 2.0 * a.log_likelihood(mu)).abs() < 1e-6
-            );
+            assert!((combined.log_likelihood(mu) - 2.0 * a.log_likelihood(mu)).abs() < 1e-6);
         }
     }
 
@@ -414,7 +412,11 @@ mod tests {
         assert_eq!(sparse.best(), mu);
         // The two estimates must rank a handful of competitive candidates identically.
         let mut idx: Vec<usize> = (0..65536).collect();
-        idx.sort_by(|&a, &b| dense.as_slice()[b].partial_cmp(&dense.as_slice()[a]).unwrap());
+        idx.sort_by(|&a, &b| {
+            dense.as_slice()[b]
+                .partial_cmp(&dense.as_slice()[a])
+                .unwrap()
+        });
         let top_dense: Vec<usize> = idx[..5].to_vec();
         let mut idx2: Vec<usize> = (0..65536).collect();
         idx2.sort_by(|&a, &b| {
@@ -429,10 +431,13 @@ mod tests {
     fn pair_validation() {
         assert!(PairLikelihoods::from_counts_dense(&[0; 3], &[0.0; 65536]).is_err());
         assert!(PairLikelihoods::from_counts_sparse(&[0; 65536], &[], 0.0, 0).is_err());
-        assert!(
-            PairLikelihoods::from_counts_sparse(&[0; 65536], &[(0, 0, -1.0)], 1.0 / 65536.0, 0)
-                .is_err()
-        );
+        assert!(PairLikelihoods::from_counts_sparse(
+            &[0; 65536],
+            &[(0, 0, -1.0)],
+            1.0 / 65536.0,
+            0
+        )
+        .is_err());
         assert!(PairLikelihoods::from_log_values(vec![0.0; 3]).is_err());
     }
 

@@ -138,7 +138,8 @@ pub fn list_viterbi(
         let mut new_frontier: Vec<Vec<f64>> = Vec::with_capacity(a);
         let mut new_back: Vec<Vec<(u16, u32)>> = Vec::with_capacity(a);
         for &v2 in alphabet {
-            let (scores, back) = merge_best(&frontier, alphabet, |v1| lik.log_likelihood(v1, v2), n);
+            let (scores, back) =
+                merge_best(&frontier, alphabet, |v1| lik.log_likelihood(v1, v2), n);
             new_frontier.push(scores);
             new_back.push(back);
         }
@@ -290,7 +291,8 @@ mod tests {
         for &a in alphabet.values() {
             for &b in alphabet.values() {
                 for &c in alphabet.values() {
-                    let score = weight(0, m1, a) + weight(1, a, b) + weight(2, b, c) + weight(3, c, ml);
+                    let score =
+                        weight(0, m1, a) + weight(1, a, b) + weight(2, b, c) + weight(3, c, ml);
                     all.push((score, vec![a, b, c]));
                 }
             }

@@ -16,13 +16,12 @@ use rc4_biases::{
     UNIFORM_PAIR, UNIFORM_SINGLE,
 };
 use rc4_stats::{
-    longterm::LongTermDataset,
-    pairs::PairDataset,
-    single::SingleByteDataset,
-    worker::generate,
+    longterm::LongTermDataset, pairs::PairDataset, single::SingleByteDataset, worker::generate,
     GenerationConfig, KeystreamCollector,
 };
-use stat_tests::{chisq::chi_squared_uniform, mtest::m_test_independence, proportion::proportion_test};
+use stat_tests::{
+    chisq::chi_squared_uniform, mtest::m_test_independence, proportion::proportion_test,
+};
 
 use crate::{
     report::{format_percent, format_pow2, ExperimentReport},
@@ -89,7 +88,13 @@ pub fn table1_fm_longterm(scale: &BiasScale) -> Result<ExperimentReport, Experim
     let mut report = ExperimentReport::new(
         "table1",
         "Generalized Fluhrer-McGrew biases (long-term keystream)",
-        &["digraph", "i condition", "paper prob", "measured prob", "rel. bias sign ok"],
+        &[
+            "digraph",
+            "i condition",
+            "paper prob",
+            "measured prob",
+            "rel. bias sign ok",
+        ],
     );
     report.note(format!(
         "{} keys x {} bytes after a 1023-byte drop (paper: 2^12 keys x 2^40 bytes)",
@@ -157,7 +162,13 @@ pub fn fig4_fm_shortterm(
     let mut report = ExperimentReport::new(
         "fig4",
         "Fluhrer-McGrew digraph relative biases in the initial keystream",
-        &["position", "digraph", "|q| measured", "sign (paper)", "dependence p-value"],
+        &[
+            "position",
+            "digraph",
+            "|q| measured",
+            "sign (paper)",
+            "dependence p-value",
+        ],
     );
     report.note(format!("{} keys (paper: 2^45)", scale.keys));
     for &r in positions {
@@ -203,7 +214,12 @@ pub fn table2_new_biases(scale: &BiasScale) -> Result<ExperimentReport, Experime
     let mut report = ExperimentReport::new(
         "table2",
         "New biases between (non-)consecutive initial bytes",
-        &["bytes", "paper prob", "measured prob", "rejects independence"],
+        &[
+            "bytes",
+            "paper prob",
+            "measured prob",
+            "rejects independence",
+        ],
     );
     report.note(format!("{} keys (paper: 2^44/2^45)", scale.keys));
 
@@ -274,7 +290,11 @@ pub fn eq345_equalities(scale: &BiasScale) -> Result<ExperimentReport, Experimen
             count += ds.count(idx, x, x);
         }
         let measured = count as f64 / ds.keystreams() as f64;
-        let sign = if measured >= UNIFORM_SINGLE { "positive" } else { "negative" };
+        let sign = if measured >= UNIFORM_SINGLE {
+            "positive"
+        } else {
+            "negative"
+        };
         report.push_row(&[
             format!("Z{} = Z{}", bias.pos_a, bias.pos_b),
             format_pow2(bias.paper_probability),
@@ -291,13 +311,22 @@ pub fn eq345_equalities(scale: &BiasScale) -> Result<ExperimentReport, Experimen
 /// # Errors
 ///
 /// Propagates dataset-generation errors.
-pub fn fig5_z1z2(scale: &BiasScale, positions: &[u16]) -> Result<ExperimentReport, ExperimentError> {
+pub fn fig5_z1z2(
+    scale: &BiasScale,
+    positions: &[u16],
+) -> Result<ExperimentReport, ExperimentError> {
     let max_pos = positions.iter().copied().max().unwrap_or(16).max(3) as usize;
     // first16-style dataset restricted to the pairs (1, i) and (2, i).
     let mut pairs = Vec::new();
     for &i in positions {
-        pairs.push(rc4_stats::pairs::PositionPair { a: 1, b: i as usize });
-        pairs.push(rc4_stats::pairs::PositionPair { a: 2, b: i as usize });
+        pairs.push(rc4_stats::pairs::PositionPair {
+            a: 1,
+            b: i as usize,
+        });
+        pairs.push(rc4_stats::pairs::PositionPair {
+            a: 2,
+            b: i as usize,
+        });
     }
     let _ = max_pos;
     let mut ds = PairDataset::new(pairs)?;
@@ -312,12 +341,20 @@ pub fn fig5_z1z2(scale: &BiasScale, positions: &[u16]) -> Result<ExperimentRepor
     let mut report = ExperimentReport::new(
         "fig5",
         "Influence of Z1 and Z2 on later keystream bytes",
-        &["family", "position i", "|q| measured", "sign measured", "sign paper"],
+        &[
+            "family",
+            "position i",
+            "|q| measured",
+            "sign measured",
+            "sign paper",
+        ],
     );
     report.note(format!("{} keys (paper: 2^44 first16 dataset)", scale.keys));
     for family in Z1Z2Family::ALL {
         for &i in positions {
-            let Some(event) = family.event(i) else { continue };
+            let Some(event) = family.event(i) else {
+                continue;
+            };
             let Some(idx) = ds.pair_index(event.early_pos as usize, event.late_pos as usize) else {
                 continue;
             };
@@ -356,7 +393,13 @@ pub fn fig6_single_byte(scale: &BiasScale) -> Result<ExperimentReport, Experimen
     let mut report = ExperimentReport::new(
         "fig6",
         "Single-byte biases beyond position 256 (key-length harmonics)",
-        &["position", "favoured value", "measured prob", "uniform", "uniformity p-value"],
+        &[
+            "position",
+            "favoured value",
+            "measured prob",
+            "uniform",
+            "uniformity p-value",
+        ],
     );
     report.note(format!("{} keys (paper: 2^47)", scale.keys));
     for bias in keylength::beyond_256_biases() {
@@ -538,7 +581,12 @@ mod tests {
         };
         let r = headline_detection(&scale).unwrap();
         assert_eq!(r.rows.len(), 3);
-        assert_eq!(r.rows[0].cells[2], "100.0%", "Z2=0 not detected: {}", r.render());
+        assert_eq!(
+            r.rows[0].cells[2],
+            "100.0%",
+            "Z2=0 not detected: {}",
+            r.render()
+        );
         assert!(r.rows[1].cells[0].contains("Z16"));
     }
 }

@@ -67,7 +67,7 @@ impl Default for Fig7Config {
             trials: 64,
             absab_relations: 258,
             position: 257,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     }
 }
@@ -115,34 +115,35 @@ fn simulate_trial(
         )?)
     };
 
-    let absab_likelihood = |gap: usize, rng: &mut StdRng| -> Result<PairLikelihoods, ExperimentError> {
-        // Known plaintext pair for this relation (arbitrary but known).
-        let known = ((gap as u8).wrapping_mul(17), (gap as u8).wrapping_add(91));
-        let a = alpha(gap);
-        // Differential distribution: the true differential with prob alpha,
-        // everything else uniform.
-        let true_diff = (truth.0 ^ known.0, truth.1 ^ known.1);
-        let mut probs = vec![(1.0 - a) / 65535.0; 65536];
-        probs[(true_diff.0 as usize) << 8 | true_diff.1 as usize] = a;
-        let counts = sample_counts_normal(&probs, n, rng);
-        let total: u64 = counts.iter().sum();
-        // Same scoring as `plaintext_recovery::absab::absab_pair_likelihoods`, but
-        // operating directly on the sampled differential-count table (that function
-        // takes a streaming `DifferentialCounts` collector, which would require
-        // materializing `n` ciphertexts).
-        let ln_alpha = a.ln();
-        let ln_rest = ((1.0 - a) / 65535.0).ln();
-        let mut log = vec![0.0f64; 65536];
-        for mu1 in 0..256usize {
-            let d0 = mu1 ^ known.0 as usize;
-            for mu2 in 0..256usize {
-                let d1 = mu2 ^ known.1 as usize;
-                let hits = counts[(d0 << 8) | d1] as f64;
-                log[(mu1 << 8) | mu2] = (total as f64 - hits) * ln_rest + hits * ln_alpha;
+    let absab_likelihood =
+        |gap: usize, rng: &mut StdRng| -> Result<PairLikelihoods, ExperimentError> {
+            // Known plaintext pair for this relation (arbitrary but known).
+            let known = ((gap as u8).wrapping_mul(17), (gap as u8).wrapping_add(91));
+            let a = alpha(gap);
+            // Differential distribution: the true differential with prob alpha,
+            // everything else uniform.
+            let true_diff = (truth.0 ^ known.0, truth.1 ^ known.1);
+            let mut probs = vec![(1.0 - a) / 65535.0; 65536];
+            probs[(true_diff.0 as usize) << 8 | true_diff.1 as usize] = a;
+            let counts = sample_counts_normal(&probs, n, rng);
+            let total: u64 = counts.iter().sum();
+            // Same scoring as `plaintext_recovery::absab::absab_pair_likelihoods`, but
+            // operating directly on the sampled differential-count table (that function
+            // takes a streaming `DifferentialCounts` collector, which would require
+            // materializing `n` ciphertexts).
+            let ln_alpha = a.ln();
+            let ln_rest = ((1.0 - a) / 65535.0).ln();
+            let mut log = vec![0.0f64; 65536];
+            for mu1 in 0..256usize {
+                let d0 = mu1 ^ known.0 as usize;
+                for mu2 in 0..256usize {
+                    let d1 = mu2 ^ known.1 as usize;
+                    let hits = counts[(d0 << 8) | d1] as f64;
+                    log[(mu1 << 8) | mu2] = (total as f64 - hits) * ln_rest + hits * ln_alpha;
+                }
             }
-        }
-        Ok(PairLikelihoods::from_log_values(log)?)
-    };
+            Ok(PairLikelihoods::from_log_values(log)?)
+        };
 
     let combined = match strategy {
         RecoveryStrategy::AbsabOnly => absab_likelihood(0, rng)?,
@@ -188,7 +189,10 @@ pub fn run(config: &Fig7Config) -> Result<ExperimentReport, ExperimentError> {
         "{} trials per point, {} ABSAB relations in the combined strategy (paper: 2048 trials, 258 relations)",
         config.trials, config.absab_relations
     ));
-    report.note("sampled mode: counts drawn from the analysis distributions (normal approximation)".to_string());
+    report.note(
+        "sampled mode: counts drawn from the analysis distributions (normal approximation)"
+            .to_string(),
+    );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     for &n in &config.ciphertext_counts {

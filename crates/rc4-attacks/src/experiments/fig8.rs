@@ -78,7 +78,7 @@ impl Default for Fig8Config {
             max_candidates: 1 << 16,
             payload_len: 55,
             model: TkipTrafficModel::Synthetic { relative_bias: 0.2 },
-            seed: 0xF16_8,
+            seed: 0xF168,
         }
     }
 }
@@ -137,8 +137,7 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
                 first_position + wpa_tkip::mpdu::TRAILER_LEN,
                 &rc4_stats::GenerationConfig::with_keys(keys).seed(config.seed ^ 0xE),
             )?;
-            let mut probs =
-                Vec::with_capacity(256 * wpa_tkip::mpdu::TRAILER_LEN * 256);
+            let mut probs = Vec::with_capacity(256 * wpa_tkip::mpdu::TRAILER_LEN * 256);
             for class in 0..256 {
                 for pos in first_position..first_position + wpa_tkip::mpdu::TRAILER_LEN {
                     probs.extend(ds.distribution(class, pos));
@@ -234,7 +233,12 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
     let mut report = ExperimentReport::new(
         "fig8_fig9",
         "TKIP MIC-key recovery success rate and median ICV-candidate position",
-        &["captures", "success (candidate list)", "success (2 candidates)", "median position (fig 9)"],
+        &[
+            "captures",
+            "success (candidate list)",
+            "success (2 candidates)",
+            "median position (fig 9)",
+        ],
     );
     report.note(format!(
         "{} trials per point, candidate budget {} (paper: 256 trials, ~2^30 candidates)",

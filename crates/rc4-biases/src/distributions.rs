@@ -27,7 +27,11 @@ impl SingleDistribution {
     ///
     /// Cells with zero total fall back to uniform.
     pub fn from_counts(counts: &[u64]) -> Self {
-        assert_eq!(counts.len(), 256, "single-byte distribution needs 256 cells");
+        assert_eq!(
+            counts.len(),
+            256,
+            "single-byte distribution needs 256 cells"
+        );
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return Self::uniform();
@@ -73,7 +77,10 @@ impl SingleDistribution {
 
     /// Natural logarithms of the probabilities (used by the likelihood engines).
     pub fn log_probs(&self) -> Vec<f64> {
-        self.probs.iter().map(|&p| p.max(f64::MIN_POSITIVE).ln()).collect()
+        self.probs
+            .iter()
+            .map(|&p| p.max(f64::MIN_POSITIVE).ln())
+            .collect()
     }
 }
 
@@ -155,12 +162,12 @@ impl PairDistribution {
     /// Marginal distribution of the first byte.
     pub fn marginal_first(&self) -> SingleDistribution {
         let mut m = vec![0.0f64; 256];
-        for x in 0..256 {
+        for (x, slot) in m.iter_mut().enumerate() {
             let mut s = 0.0;
             for y in 0..256 {
                 s += self.probs[x * 256 + y];
             }
-            m[x] = s;
+            *slot = s;
         }
         SingleDistribution::from_probabilities(&m)
     }
@@ -168,12 +175,12 @@ impl PairDistribution {
     /// Marginal distribution of the second byte.
     pub fn marginal_second(&self) -> SingleDistribution {
         let mut m = vec![0.0f64; 256];
-        for y in 0..256 {
+        for (y, slot) in m.iter_mut().enumerate() {
             let mut s = 0.0;
             for x in 0..256 {
                 s += self.probs[x * 256 + y];
             }
-            m[y] = s;
+            *slot = s;
         }
         SingleDistribution::from_probabilities(&m)
     }
@@ -235,7 +242,11 @@ mod tests {
         let fm_dist = PairDistribution::fluhrer_mcgrew(10);
         let cells = fm_dist.biased_cells(UNIFORM_PAIR, UNIFORM_PAIR * 2f64.powi(-10));
         // At most 8 biased digraphs at any position.
-        assert!(!cells.is_empty() && cells.len() <= 8, "{} cells", cells.len());
+        assert!(
+            !cells.is_empty() && cells.len() <= 8,
+            "{} cells",
+            cells.len()
+        );
         // The (0,0) cell is among them at i = 10.
         assert!(cells.iter().any(|&(x, y, _)| x == 0 && y == 0));
     }

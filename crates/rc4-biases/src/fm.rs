@@ -238,7 +238,10 @@ mod tests {
         // (255, i+2) only for i in [1, 252].
         assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(0), None);
         assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(253), None);
-        assert_eq!(FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(100), Some((255, 102)));
+        assert_eq!(
+            FmDigraph::TwoFiftyFiveIPlusTwo.pair_at(100),
+            Some((255, 102))
+        );
         // Edge rows.
         assert_eq!(FmDigraph::TwoFiftyFiveZero.pair_at(254), Some((255, 0)));
         assert_eq!(FmDigraph::TwoFiftyFiveOne.pair_at(255), Some((255, 1)));
@@ -261,7 +264,11 @@ mod tests {
         // The paper notes at most 8 of the 65536 pairs are biased at any position.
         for r in 1..=1024u64 {
             let biases = fm_biases_at(r);
-            assert!(biases.len() <= 8, "position {r} has {} biases", biases.len());
+            assert!(
+                biases.len() <= 8,
+                "position {r} has {} biases",
+                biases.len()
+            );
             assert!(!biases.is_empty(), "position {r} has no biases");
             // No duplicate value pairs.
             let mut pairs: Vec<(u8, u8)> = biases.iter().map(|b| (b.first, b.second)).collect();

@@ -168,6 +168,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_plausible() {
         assert!((MANTIN_SHAMIR_Z2_ZERO - 2.0 / 256.0).abs() < 1e-15);
         assert!(PAUL_PRENEEL_Z1_EQ_Z2 < UNIFORM_SINGLE);

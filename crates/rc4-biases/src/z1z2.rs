@@ -55,10 +55,7 @@ impl Z1Z2Family {
 
     /// Whether the family conditions on `Z_1` (`true`) or `Z_2` (`false`).
     pub fn conditions_on_z1(self) -> bool {
-        !matches!(
-            self,
-            Z1Z2Family::Z2ZeroAndZiZero | Z1Z2Family::Z2ZeroAndZiI
-        )
+        !matches!(self, Z1Z2Family::Z2ZeroAndZiZero | Z1Z2Family::Z2ZeroAndZiI)
     }
 
     /// The typical sign of the relative bias reported in the paper.

@@ -184,7 +184,9 @@ mod tests {
         // A deterministic but scattered update pattern.
         let mut x = 12345u64;
         for _ in 0..50_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let idx = (x >> 33) as usize % cells;
             batched.record(idx);
             plain.record(idx);

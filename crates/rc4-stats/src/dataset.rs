@@ -54,7 +54,7 @@ impl Default for GenerationConfig {
         Self {
             keys: 1 << 18,
             workers: 1,
-            seed: 0x5EED_0FAC_4B1A_5E5,
+            seed: 0x05EE_D0FA_C4B1_A5E5,
             key_len: 16,
         }
     }
@@ -148,10 +148,15 @@ mod tests {
     fn invalid_configs_detected() {
         assert!(GenerationConfig::with_keys(0).validate().is_err());
         assert!(GenerationConfig::default().workers(0).validate().is_err());
-        let mut c = GenerationConfig::default();
-        c.key_len = 0;
+        let c = GenerationConfig {
+            key_len: 0,
+            ..GenerationConfig::default()
+        };
         assert!(c.validate().is_err());
-        c.key_len = 300;
+        let c = GenerationConfig {
+            key_len: 300,
+            ..GenerationConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -35,7 +35,8 @@ impl KeyGenerator {
     pub fn new(master_seed: u64, worker_index: u64, key_len: usize) -> Self {
         // Mix the worker index into the seed with a splitmix64 step so that
         // nearby (seed, index) pairs do not produce correlated RNG streams.
-        let mixed = splitmix64(master_seed ^ splitmix64(worker_index.wrapping_add(0x9E37_79B9_7F4A_7C15)));
+        let mixed =
+            splitmix64(master_seed ^ splitmix64(worker_index.wrapping_add(0x9E37_79B9_7F4A_7C15)));
         let mut seed_bytes = [0u8; 32];
         let mut x = mixed;
         for chunk in seed_bytes.chunks_mut(8) {

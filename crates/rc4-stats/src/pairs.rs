@@ -81,7 +81,11 @@ impl PairDataset {
         if max_r == 0 {
             return Err(DatasetError::InvalidConfig("max_r must be > 0".into()));
         }
-        Self::new((1..=max_r).map(|r| PositionPair { a: r, b: r + 1 }).collect())
+        Self::new(
+            (1..=max_r)
+                .map(|r| PositionPair { a: r, b: r + 1 })
+                .collect(),
+        )
     }
 
     /// The `first16`-style dataset: pairs `(a, b)` for `1 <= a <= first`, `a < b <= max_b`.
@@ -137,7 +141,10 @@ impl PairDataset {
     /// Empirical joint distribution as a 65536-entry probability vector.
     pub fn joint_distribution(&self, pair_idx: usize) -> Vec<f64> {
         let n = self.keystreams.max(1) as f64;
-        self.joint_counts(pair_idx).iter().map(|&c| c as f64 / n).collect()
+        self.joint_counts(pair_idx)
+            .iter()
+            .map(|&c| c as f64 / n)
+            .collect()
     }
 
     /// Marginal counts of the first byte of a pair (256 entries).

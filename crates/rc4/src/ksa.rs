@@ -28,9 +28,7 @@ impl Ksa {
         let mut state = State::identity();
         let mut j: u8 = 0;
         for i in 0..PERM_SIZE {
-            j = j
-                .wrapping_add(state.s[i])
-                .wrapping_add(key[i % key.len()]);
+            j = j.wrapping_add(state.s[i]).wrapping_add(key[i % key.len()]);
             state.s.swap(i, j as usize);
         }
         state.i = 0;
@@ -55,9 +53,7 @@ impl Ksa {
         let mut trace = Vec::with_capacity(PERM_SIZE);
         let mut j: u8 = 0;
         for i in 0..PERM_SIZE {
-            j = j
-                .wrapping_add(state.s[i])
-                .wrapping_add(key[i % key.len()]);
+            j = j.wrapping_add(state.s[i]).wrapping_add(key[i % key.len()]);
             state.s.swap(i, j as usize);
             trace.push(j);
         }

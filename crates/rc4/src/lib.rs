@@ -106,54 +106,54 @@ mod tests {
             &[0x01, 0x02, 0x03, 0x04, 0x05],
             0,
             [
-                0xb2, 0x39, 0x63, 0x05, 0xf0, 0x3d, 0xc0, 0x27, 0xcc, 0xc3, 0x52, 0x4a, 0x0a,
-                0x11, 0x18, 0xa8,
+                0xb2, 0x39, 0x63, 0x05, 0xf0, 0x3d, 0xc0, 0x27, 0xcc, 0xc3, 0x52, 0x4a, 0x0a, 0x11,
+                0x18, 0xa8,
             ],
         ),
         (
             &[0x01, 0x02, 0x03, 0x04, 0x05],
             16,
             [
-                0x69, 0x82, 0x94, 0x4f, 0x18, 0xfc, 0x82, 0xd5, 0x89, 0xc4, 0x03, 0xa4, 0x7a,
-                0x0d, 0x09, 0x19,
+                0x69, 0x82, 0x94, 0x4f, 0x18, 0xfc, 0x82, 0xd5, 0x89, 0xc4, 0x03, 0xa4, 0x7a, 0x0d,
+                0x09, 0x19,
             ],
         ),
         (
             &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07],
             0,
             [
-                0x29, 0x3f, 0x02, 0xd4, 0x7f, 0x37, 0xc9, 0xb6, 0x33, 0xf2, 0xaf, 0x52, 0x85,
-                0xfe, 0xb4, 0x6b,
+                0x29, 0x3f, 0x02, 0xd4, 0x7f, 0x37, 0xc9, 0xb6, 0x33, 0xf2, 0xaf, 0x52, 0x85, 0xfe,
+                0xb4, 0x6b,
             ],
         ),
         (
             &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08],
             0,
             [
-                0x97, 0xab, 0x8a, 0x1b, 0xf0, 0xaf, 0xb9, 0x61, 0x32, 0xf2, 0xf6, 0x72, 0x58,
-                0xda, 0x15, 0xa8,
+                0x97, 0xab, 0x8a, 0x1b, 0xf0, 0xaf, 0xb9, 0x61, 0x32, 0xf2, 0xf6, 0x72, 0x58, 0xda,
+                0x15, 0xa8,
             ],
         ),
         (
             &[
-                0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
-                0x0e, 0x0f, 0x10,
+                0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e,
+                0x0f, 0x10,
             ],
             0,
             [
-                0x9a, 0xc7, 0xcc, 0x9a, 0x60, 0x9d, 0x1e, 0xf7, 0xb2, 0x93, 0x28, 0x99, 0xcd,
-                0xe4, 0x1b, 0x97,
+                0x9a, 0xc7, 0xcc, 0x9a, 0x60, 0x9d, 0x1e, 0xf7, 0xb2, 0x93, 0x28, 0x99, 0xcd, 0xe4,
+                0x1b, 0x97,
             ],
         ),
         (
             &[
-                0x83, 0x32, 0x22, 0x77, 0x2a, 0x61, 0x0b, 0xad, 0xea, 0x9d, 0xcf, 0x7d, 0x03,
-                0x36, 0x06, 0x9f,
+                0x83, 0x32, 0x22, 0x77, 0x2a, 0x61, 0x0b, 0xad, 0xea, 0x9d, 0xcf, 0x7d, 0x03, 0x36,
+                0x06, 0x9f,
             ],
             0,
             [
-                0x2b, 0x51, 0xb9, 0xd0, 0x69, 0x53, 0x94, 0x69, 0x31, 0xc8, 0xe0, 0xdc, 0xb4,
-                0xc3, 0xf5, 0x3c,
+                0x2b, 0x51, 0xb9, 0xd0, 0x69, 0x53, 0x94, 0x69, 0x31, 0xc8, 0xe0, 0xdc, 0xb4, 0xc3,
+                0xf5, 0x3c,
             ],
         ),
     ];

@@ -159,10 +159,7 @@ mod tests {
         let mut p = Prga::new(b"Key").unwrap();
         let mut data = *b"Plaintext";
         p.xor_into(&mut data);
-        assert_eq!(
-            data,
-            [0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]
-        );
+        assert_eq!(data, [0xBB, 0xF3, 0x16, 0xE8, 0xD9, 0x40, 0xAF, 0x0A, 0xD3]);
     }
 
     #[test]

@@ -112,7 +112,10 @@ mod tests {
         assert!(!out[1].rejected);
         assert!(!out[2].rejected);
         assert!(out[3].rejected);
-        assert_eq!(holm_rejections(&[0.01, 0.04, 0.03, 0.005], 0.05), vec![0, 3]);
+        assert_eq!(
+            holm_rejections(&[0.01, 0.04, 0.03, 0.005], 0.05),
+            vec![0, 3]
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ pub fn pair_proportion_test(
     p_second: f64,
 ) -> Result<ProportionResult, StatError> {
     if !(p_first > 0.0 && p_first < 1.0 && p_second > 0.0 && p_second < 1.0) {
-        return Err(StatError::Domain("marginal probabilities must be in (0, 1)"));
+        return Err(StatError::Domain(
+            "marginal probabilities must be in (0, 1)",
+        ));
     }
     proportion_test(pair_count, trials, p_first * p_second)
 }

@@ -145,7 +145,7 @@ impl CookieStatistics {
 
         let ct = &capture.ciphertext;
         let start = self.cookie_offset; // 0-based index of first cookie byte
-        // Transition t covers request bytes (start - 1 + t, start + t).
+                                        // Transition t covers request bytes (start - 1 + t, start + t).
         for t in 0..=self.cookie_len {
             let a = ct[start - 1 + t] as usize;
             let b = ct[start + t] as usize;
@@ -156,7 +156,7 @@ impl CookieStatistics {
         // pairs before the cookie and after it.
         for t in 0..=self.cookie_len {
             let u0 = start - 1 + t; // 0-based index of the first byte of the pair
-            // Known plaintext after the cookie: positions >= start + cookie_len.
+                                    // Known plaintext after the cookie: positions >= start + cookie_len.
             for gap in 0..=self.max_gap {
                 let k0 = u0 + gap + 2;
                 // Both known bytes must be in the known suffix region.
@@ -223,7 +223,10 @@ impl CookieStatistics {
     ///
     /// Returns [`TlsError::InvalidConfig`] when no requests have been added or
     /// both bias families are disabled.
-    pub fn likelihoods(&self, config: &CookieAttackConfig) -> Result<Vec<PairLikelihoods>, TlsError> {
+    pub fn likelihoods(
+        &self,
+        config: &CookieAttackConfig,
+    ) -> Result<Vec<PairLikelihoods>, TlsError> {
         if self.requests == 0 {
             return Err(TlsError::InvalidConfig("no captured requests".into()));
         }

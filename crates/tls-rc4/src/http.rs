@@ -60,7 +60,9 @@ impl RequestTemplate {
         }
         s.push_str(&format!("GET {path} HTTP/1.1\r\n"));
         s.push_str(&format!("Host: {}\r\n", self.host));
-        s.push_str("User-Agent: Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101 Firefox/32.0\r\n");
+        s.push_str(
+            "User-Agent: Mozilla/5.0 (X11; Linux i686; rv:32.0) Gecko/20100101 Firefox/32.0\r\n",
+        );
         s.push_str("Accept: text/html,application/xhtml+xml,application/xml;q=0.9,*/*;q=0.8\r\n");
         s.push_str("Accept-Language: en-US,en;q=0.5\r\n");
         s.push_str("Accept-Encoding: gzip, deflate\r\n");

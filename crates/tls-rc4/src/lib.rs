@@ -62,6 +62,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(TlsError::RecordRejected("MAC").to_string().contains("MAC"));
-        assert!(TlsError::AttackFailed("budget".into()).to_string().contains("budget"));
+        assert!(TlsError::AttackFailed("budget".into())
+            .to_string()
+            .contains("budget"));
     }
 }

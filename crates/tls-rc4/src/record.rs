@@ -8,11 +8,7 @@
 //! why a fixed plaintext at a fixed position keeps hitting the same biased
 //! keystream positions.
 
-use crypto_prims::{
-    hmac::Hmac,
-    prf::TlsVersion,
-    sha1::Sha1,
-};
+use crypto_prims::{hmac::Hmac, prf::TlsVersion, sha1::Sha1};
 use rc4::Rc4;
 
 use crate::TlsError;
@@ -212,12 +208,7 @@ mod tests {
     use super::*;
 
     fn keys() -> ConnectionKeys {
-        derive_keys(
-            TlsVersion::Tls12,
-            &[0x11; 48],
-            &[0x22; 32],
-            &[0x33; 32],
-        )
+        derive_keys(TlsVersion::Tls12, &[0x11; 48], &[0x22; 32], &[0x33; 32])
     }
 
     #[test]

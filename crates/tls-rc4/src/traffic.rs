@@ -110,7 +110,10 @@ impl TrafficGenerator {
         })
     }
 
-    fn fresh_connection(rng: &mut StdRng, version: TlsVersion) -> Result<RecordEncryptor, TlsError> {
+    fn fresh_connection(
+        rng: &mut StdRng,
+        version: TlsVersion,
+    ) -> Result<RecordEncryptor, TlsError> {
         let mut master = [0u8; 48];
         let mut client_random = [0u8; 32];
         let mut server_random = [0u8; 32];
@@ -227,7 +230,12 @@ mod tests {
     #[test]
     fn config_validation() {
         let template = RequestTemplate::new("site.com", "auth", 4);
-        assert!(TrafficGenerator::new(template.clone(), b"toolong".to_vec(), TrafficConfig::default()).is_err());
+        assert!(TrafficGenerator::new(
+            template.clone(),
+            b"toolong".to_vec(),
+            TrafficConfig::default()
+        )
+        .is_err());
         let bad = TrafficConfig {
             requests_per_connection: 0,
             ..TrafficConfig::default()

@@ -86,7 +86,9 @@ impl TrailerStatistics {
     /// Returns [`TkipError::InvalidConfig`] if `classes == 0`.
     pub fn new(classes: usize, payload_len: usize) -> Result<Self, TkipError> {
         if classes == 0 {
-            return Err(TkipError::InvalidConfig("need at least one TSC class".into()));
+            return Err(TkipError::InvalidConfig(
+                "need at least one TSC class".into(),
+            ));
         }
         let first_position = payload_len + 1;
         let positions: Vec<u64> = (0..TRAILER_LEN as u64)
@@ -457,7 +459,13 @@ mod tests {
         // And with no captures at all the configuration is rejected.
         let empty = TrailerStatistics::new(256, 55).unwrap();
         assert!(matches!(
-            recover_mic_key(&empty, &model, &payload, &addressing(), &AttackConfig::default()),
+            recover_mic_key(
+                &empty,
+                &model,
+                &payload,
+                &addressing(),
+                &AttackConfig::default()
+            ),
             Err(TkipError::InvalidConfig(_))
         ));
     }

@@ -15,7 +15,7 @@ use crypto_prims::michael::MichaelKey;
 use crate::{
     keymix::TemporalKey,
     mpdu::{encapsulate, EncryptedMpdu, FrameAddressing},
-    Tsc, TkipError,
+    TkipError, Tsc,
 };
 
 /// Configuration of the injection/capture simulation.
@@ -195,7 +195,10 @@ mod tests {
         let caps = sim.capture(200);
         assert_eq!(caps.len(), 200);
         for w in caps.windows(2) {
-            assert!(w[1].tsc > w[0].tsc, "TSC must strictly increase after dedup");
+            assert!(
+                w[1].tsc > w[0].tsc,
+                "TSC must strictly increase after dedup"
+            );
         }
         // All ciphertexts have payload + 12 trailer bytes.
         assert!(caps.iter().all(|c| c.ciphertext.len() == 55 + 12));

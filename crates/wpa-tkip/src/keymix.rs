@@ -186,7 +186,10 @@ mod tests {
         let tsc_a = Tsc(0x0001_0000_0005);
         let tsc_b = Tsc(0x0001_0000_FFFF);
         assert_eq!(tsc_a.iv32(), tsc_b.iv32());
-        assert_eq!(phase1(&TK, &TA, tsc_a.iv32()), phase1(&TK, &TA, tsc_b.iv32()));
+        assert_eq!(
+            phase1(&TK, &TA, tsc_a.iv32()),
+            phase1(&TK, &TA, tsc_b.iv32())
+        );
         // But the final keys still differ because IV16 differs.
         assert_ne!(mix_key(&TK, &TA, tsc_a), mix_key(&TK, &TA, tsc_b));
     }

@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TkipError::IntegrityFailure("ICV").to_string().contains("ICV"));
+        assert!(TkipError::IntegrityFailure("ICV")
+            .to_string()
+            .contains("ICV"));
         assert!(TkipError::AttackFailed("no candidate".into())
             .to_string()
             .contains("no candidate"));

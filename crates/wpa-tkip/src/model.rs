@@ -13,7 +13,7 @@
 //! Either way the model is a table of per-class, per-position probability
 //! vectors plus the class-index function.
 
-use crate::{Tsc, TkipError};
+use crate::{TkipError, Tsc};
 
 /// How captured packets are mapped to keystream-distribution classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,8 +213,9 @@ mod tests {
 
     #[test]
     fn from_probabilities_validation() {
-        assert!(TkipKeystreamModel::from_probabilities(TscClassing::Tsc1, 1, 1, vec![0.0; 10])
-            .is_err());
+        assert!(
+            TkipKeystreamModel::from_probabilities(TscClassing::Tsc1, 1, 1, vec![0.0; 10]).is_err()
+        );
         assert!(TkipKeystreamModel::from_probabilities(TscClassing::Tsc1, 0, 1, vec![]).is_err());
         let ok = TkipKeystreamModel::from_probabilities(
             TscClassing::Tsc1,

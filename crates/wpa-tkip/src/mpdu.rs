@@ -21,7 +21,7 @@ use crypto_prims::{
 
 use crate::{
     keymix::{mix_key, TemporalKey},
-    Tsc, TkipError,
+    TkipError, Tsc,
 };
 
 /// Addressing and priority information entering the Michael header.

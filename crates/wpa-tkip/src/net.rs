@@ -201,11 +201,7 @@ impl TcpHeader {
 
 /// Builds the plaintext MSDU payload `LLC/SNAP || IPv4 || TCP || payload` for a
 /// TCP segment from `src` to `dst`.
-pub fn build_tcp_msdu(
-    ip: &Ipv4Header,
-    tcp: &TcpHeader,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_tcp_msdu(ip: &Ipv4Header, tcp: &TcpHeader, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADERS_LEN + payload.len());
     out.extend_from_slice(&LLC_SNAP_IPV4);
     out.extend_from_slice(&ip.encode());

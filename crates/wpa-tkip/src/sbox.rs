@@ -18,7 +18,11 @@ use std::sync::OnceLock;
 #[inline]
 pub fn xtime(b: u8) -> u8 {
     let shifted = (b as u16) << 1;
-    let reduced = if b & 0x80 != 0 { shifted ^ 0x11B } else { shifted };
+    let reduced = if b & 0x80 != 0 {
+        shifted ^ 0x11B
+    } else {
+        shifted
+    };
     reduced as u8
 }
 

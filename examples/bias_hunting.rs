@@ -17,8 +17,13 @@ use rc4_attacks::experiments::{
 };
 
 fn scale_from_args() -> (Scale, BiasScale) {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
-    let scale = Scale::parse(&name).unwrap_or(Scale::Quick);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "quick".to_string());
+    let scale = Scale::parse(&name).unwrap_or_else(|| {
+        eprintln!("unknown scale '{name}' (expected quick | laptop | extended)");
+        std::process::exit(2);
+    });
     let bias_scale = match scale {
         Scale::Quick => BiasScale::quick(),
         Scale::Laptop => BiasScale::default(),

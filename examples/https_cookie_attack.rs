@@ -30,12 +30,9 @@ fn main() {
     );
 
     println!("\n== 2. Victim traffic over real TLS RC4-SHA1 connections ==");
-    let mut traffic = TrafficGenerator::new(
-        template.clone(),
-        cookie.to_vec(),
-        TrafficConfig::default(),
-    )
-    .expect("valid traffic config");
+    let mut traffic =
+        TrafficGenerator::new(template.clone(), cookie.to_vec(), TrafficConfig::default())
+            .expect("valid traffic config");
     let captures = traffic.capture(5_000).expect("captures");
     println!(
         "captured {} encrypted requests; the paper's 9 * 2^27 requests take about {:.0} hours at 4450 req/s",

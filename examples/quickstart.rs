@@ -8,8 +8,7 @@
 //! ```
 
 use plaintext_recovery::{
-    candidates::most_likely, charset::Charset, counts::SingleCounts,
-    likelihood::SingleLikelihoods,
+    candidates::most_likely, charset::Charset, counts::SingleCounts, likelihood::SingleLikelihoods,
 };
 use rc4_attacks::experiments::biases::{headline_detection, BiasScale};
 use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig};
@@ -63,7 +62,9 @@ fn main() {
     let best = most_likely(&[likelihood], &Charset::full()).expect("candidates exist");
     println!(
         "true byte = {:?}, recovered = {:?} ({} ciphertexts)",
-        secret as char, best.plaintext[0] as char, counts.ciphertexts()
+        secret as char,
+        best.plaintext[0] as char,
+        counts.ciphertexts()
     );
     assert_eq!(best.plaintext[0], secret);
     println!("\nDone — see the other examples for the full WPA-TKIP and HTTPS attacks.");

@@ -17,14 +17,22 @@ use stat_tests::{
 #[test]
 fn mantin_shamir_detected_end_to_end() {
     let mut ds = SingleByteDataset::new(4);
-    generate(&mut ds, &GenerationConfig::with_keys(1 << 16).workers(2).seed(11)).unwrap();
+    generate(
+        &mut ds,
+        &GenerationConfig::with_keys(1 << 16).workers(2).seed(11),
+    )
+    .unwrap();
 
     let uniform_test = chi_squared_uniform(ds.counts_at(2)).unwrap();
     assert!(uniform_test.rejects(), "p = {}", uniform_test.p_value);
 
     let z2_zero = proportion_test(ds.count(2, 0), ds.keystreams(), UNIFORM_SINGLE).unwrap();
     assert!(z2_zero.test.rejects());
-    assert!(z2_zero.relative_bias > 0.5, "bias {}", z2_zero.relative_bias);
+    assert!(
+        z2_zero.relative_bias > 0.5,
+        "bias {}",
+        z2_zero.relative_bias
+    );
 
     // Position 1 is much closer to uniform: its strongest single-value deviation
     // is far weaker than the Z2 = 0 one.
@@ -47,7 +55,10 @@ fn holm_correction_flags_only_strong_values() {
         })
         .collect();
     let rejected = holm_rejections(&p_values, 1e-4);
-    assert!(rejected.contains(&0), "value 0 must be flagged: {rejected:?}");
+    assert!(
+        rejected.contains(&0),
+        "value 0 must be flagged: {rejected:?}"
+    );
     assert!(rejected.len() <= 8, "too many values flagged: {rejected:?}");
 }
 

@@ -4,9 +4,7 @@
 //! keystream distributions measured with `rc4-stats`.
 
 use plaintext_recovery::{
-    candidates::generate_candidates,
-    charset::Charset,
-    counts::SingleCounts,
+    candidates::generate_candidates, charset::Charset, counts::SingleCounts,
     likelihood::SingleLikelihoods,
 };
 use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig};
@@ -88,8 +86,8 @@ fn candidate_list_invariants_hold() {
     seen.dedup();
     assert_eq!(seen.len(), cands.len(), "duplicate candidates emitted");
     for cand in cands.iter().take(16) {
-        let expected: f64 = liks[0].log_likelihood(cand.plaintext[0])
-            + liks[1].log_likelihood(cand.plaintext[1]);
+        let expected: f64 =
+            liks[0].log_likelihood(cand.plaintext[0]) + liks[1].log_likelihood(cand.plaintext[1]);
         assert!((cand.log_likelihood - expected).abs() < 1e-9);
     }
 }

@@ -38,7 +38,11 @@ fn tkip_network_roundtrip_and_mic_key_inversion() {
         window: 512,
     };
     let msdu = build_tcp_msdu(&ip, &tcp, b"payload");
-    assert_eq!(msdu.len(), 55, "7-byte payload places the trailer at position 56");
+    assert_eq!(
+        msdu.len(),
+        55,
+        "7-byte payload places the trailer at position 56"
+    );
 
     let tk = [0x3Cu8; 16];
     let mic_key = MichaelKey {

@@ -76,5 +76,9 @@ fn fig10_driver_candidate_list_dominates() {
     assert_eq!(points.len(), 1);
     let p = points[0];
     assert!(p.success_list >= p.success_top1);
-    assert!(p.success_list > 0.4, "success too low: {p:?}\n{}", report.render());
+    assert!(
+        p.success_list > 0.4,
+        "success too low: {p:?}\n{}",
+        report.render()
+    );
 }

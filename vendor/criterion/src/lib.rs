@@ -1,0 +1,397 @@
+//! Vendored, offline subset of the `criterion` crate.
+//!
+//! Implements the benchmark API this workspace uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — with a
+//! simple adaptive wall-clock measurement loop instead of criterion's
+//! statistical machinery. Results are printed per benchmark; when the
+//! `CRITERION_JSON` environment variable names a file, one JSON line per
+//! benchmark is appended to it so baselines can be recorded
+//! (`BENCH_*.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Workload size metadata used to derive throughput numbers.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The measured routine processes this many bytes per iteration.
+    Bytes(u64),
+    /// The measured routine processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier of a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Values accepted as benchmark identifiers.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and estimate a batch size targeting ~10ms per sample.
+        let mut batch: u64 = 1;
+        let target = Duration::from_millis(10);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= target || batch >= 1 << 24 {
+                break;
+            }
+            // Grow towards the target, at least doubling.
+            batch = (batch * 2).max(
+                (batch as f64 * target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)) as u64,
+            );
+        }
+
+        let samples = self.sample_size.clamp(3, 100);
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            best = best.min(ns);
+            total += ns;
+        }
+        // Mean is reported; the minimum is folded in to damp scheduler noise.
+        self.ns_per_iter = 0.5 * (total / samples as f64) + 0.5 * best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how much work one iteration represents, enabling throughput output.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measures a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.report(&id, b.ns_per_iter);
+        self
+    }
+
+    /// Measures a benchmark closure that receives a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            ns_per_iter: f64::NAN,
+            sample_size: self.sample_size,
+        };
+        f(&mut b, input);
+        self.report(&id, b.ns_per_iter);
+        self
+    }
+
+    fn report(&mut self, id: &BenchmarkId, ns: f64) {
+        // An empty group name means a group-less `Criterion::bench_function`;
+        // the id stands alone rather than being prefixed with itself.
+        let full = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let throughput = self.throughput.map(|t| match t {
+            Throughput::Bytes(n) => {
+                let gib = n as f64 / ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+                (
+                    format!("{gib:.3} GiB/s"),
+                    "bytes_per_sec",
+                    n as f64 / ns * 1e9,
+                )
+            }
+            Throughput::Elements(n) => {
+                let meps = n as f64 / ns * 1e9 / 1e6;
+                (
+                    format!("{meps:.3} Melem/s"),
+                    "elements_per_sec",
+                    n as f64 / ns * 1e9,
+                )
+            }
+        });
+        match &throughput {
+            Some((human, _, _)) => {
+                println!("{full:<60} time: {:>12}   thrpt: {human}", format_ns(ns))
+            }
+            None => println!("{full:<60} time: {:>12}", format_ns(ns)),
+        }
+        self.criterion
+            .record(&full, ns, throughput.map(|(_, k, v)| (k, v)));
+    }
+
+    /// Finishes the group (upstream renders summaries here; a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    json_lines: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Upstream-compatible configuration hook (ignored).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Upstream-compatible configuration hook (ignored).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Benchmarks a closure outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        self.benchmark_group(String::new()).bench_function(id, f);
+        self
+    }
+
+    fn record(&mut self, full_id: &str, ns: f64, throughput: Option<(&str, f64)>) {
+        // NaN/Inf (e.g. a closure that never called `b.iter`) are not valid
+        // JSON number literals; emit null so consumers can still parse.
+        let json_num = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let mut line = format!(
+            "{{\"bench\":\"{}\",\"ns_per_iter\":{}",
+            full_id.replace('"', "'"),
+            json_num(ns)
+        );
+        if let Some((key, v)) = throughput {
+            line.push_str(&format!(",\"{key}\":{}", json_num(v)));
+        }
+        line.push('}');
+        self.json_lines.push(line);
+    }
+
+    /// Appends recorded results to `$CRITERION_JSON` (one JSON object per
+    /// line), if that environment variable is set.
+    pub fn flush_json(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.json_lines.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("CRITERION_JSON path must be writable");
+        for line in self.json_lines.drain(..) {
+            writeln!(file, "{line}").expect("CRITERION_JSON write failed");
+        }
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.flush_json();
+    }
+}
+
+/// Declares a group of benchmark functions as a single runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; they are
+            // irrelevant to this simplified runner.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendored");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..1024u64).map(black_box).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benches_run_and_record() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+        assert_eq!(c.json_lines.len(), 2);
+        assert!(c.json_lines[0].contains("\"bench\":\"vendored/sum\""));
+        assert!(c.json_lines[0].contains("bytes_per_sec"));
+        // Never flush to a file during tests.
+        c.json_lines.clear();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn groupless_bench_function_is_not_double_prefixed() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+        assert!(
+            c.json_lines[0].contains("\"bench\":\"standalone\""),
+            "got {}",
+            c.json_lines[0]
+        );
+        c.json_lines.clear();
+    }
+
+    #[test]
+    fn non_finite_measurements_serialize_as_null() {
+        let mut c = Criterion::default();
+        // A closure that never calls b.iter leaves ns_per_iter as NaN.
+        c.benchmark_group("g").bench_function("skipped", |_b| {});
+        assert!(
+            c.json_lines[0].contains("\"ns_per_iter\":null"),
+            "got {}",
+            c.json_lines[0]
+        );
+        c.json_lines.clear();
+    }
+}

@@ -1,0 +1,96 @@
+//! Vendored, offline subset of the `crossbeam` crate API.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace; it is
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63), with
+//! the crossbeam calling convention: the spawn closure receives the scope,
+//! handles expose `join() -> thread::Result<T>`, and `scope` itself returns a
+//! `Result` that is `Err` when the scope body panicked.
+
+/// Scoped threads with the `crossbeam::thread` calling convention.
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result of joining a scoped thread (or of the scope body itself).
+    pub type Result<T> = stdthread::Result<T>;
+
+    /// A scope handle passed to [`scope`] bodies and spawn closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope so
+        /// it can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned; all
+    /// spawned threads are joined before `scope` returns. Returns `Err` with
+    /// the panic payload if the scope body (or an unjoined thread) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panicking_scope_returns_err() {
+        let r = thread::scope(|_| panic!("boom"));
+        assert!(r.is_err());
+        let _: Box<dyn std::any::Any + Send> = r.unwrap_err();
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let n = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

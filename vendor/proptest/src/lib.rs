@@ -1,0 +1,552 @@
+//! Vendored, offline subset of the `proptest` crate.
+//!
+//! Implements the API surface this workspace uses: the [`proptest!`] macro
+//! (with optional `#![proptest_config(...)]`), [`Strategy`] over ranges,
+//! tuples, `any::<T>()`, `prop::collection::vec` and `prop::array::uniformN`,
+//! plus the `prop_assert*` / `prop_assume!` macros. Each test's random stream
+//! is seeded from a hash of the test's name, so runs are fully deterministic.
+//! Failing inputs are reported but not shrunk.
+
+use rand::{rngs::StdRng, RngCore, SeedableRng};
+
+/// Random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates a generator deterministically seeded from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a, stable across platforms and runs.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.0.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Generation strategy for values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values; cases failing the predicate are rejected
+    /// (regenerated), not failures.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            reason,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+/// Strategy that always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, moderately sized values; uniform bit patterns would be
+        // dominated by NaN/Inf/subnormals which upstream proptest also avoids
+        // by default.
+        (rng.next_f64() - 0.5) * 2e6
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of values drawn from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a `Vec` strategy; `size` may be a `usize`, a `Range` or a
+    /// `RangeInclusive`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + (rng.next_u64() as usize) % span;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]` drawing each element independently.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            core::array::from_fn(|_| self.0.new_value(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident $n:literal),*) => {$(
+            /// Array strategy of the corresponding length.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray(element)
+            }
+        )*};
+    }
+    uniform_fns!(
+        uniform2 2, uniform3 3, uniform4 4, uniform5 5, uniform6 6, uniform8 8,
+        uniform12 12, uniform16 16, uniform24 24, uniform32 32
+    );
+}
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream default is 256; 64 keeps `cargo test` CI-friendly while
+        // still exercising each property across a spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; it is skipped, not failed.
+    Reject(String),
+    /// The property was violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runs `body` until `config.cases` cases pass. Called by the [`proptest!`]
+/// macro; panics on the first failing case (inputs are reported by the
+/// macro-generated message, no shrinking is attempted).
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(16).saturating_add(256);
+    while passed < config.cases {
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "proptest `{name}`: too many rejected cases ({rejected}) — \
+                     assumptions are unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {passed}: {msg}")
+            }
+        }
+    }
+}
+
+/// Defines property tests.
+///
+/// Supports the upstream form: an optional `#![proptest_config(...)]` header
+/// followed by `#[test]` functions whose arguments are `name in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Strategies are built once; values are drawn per case.
+                let strategies = ($($strat,)+);
+                let ($($arg,)+) = &strategies;
+                $crate::run_cases(config, concat!(module_path!(), "::", stringify!($name)),
+                    |prop_rng| {
+                        $(let $arg = $crate::Strategy::new_value($arg, prop_rng);)+
+                        let prop_case = move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            Ok(())
+                        };
+                        prop_case()
+                    });
+            }
+        )*
+    };
+    ($($tt:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($tt)*
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (prop_left, prop_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *prop_left == *prop_right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), prop_left, prop_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (prop_left, prop_right) = (&$left, &$right);
+        $crate::prop_assert!(*prop_left == *prop_right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (prop_left, prop_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *prop_left != *prop_right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            prop_left
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The upstream-compatible prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Arbitrary,
+        Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Namespace mirror of upstream `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_deterministic_per_name() {
+        let mut a = crate::TestRng::from_name("tests::fixed");
+        let mut b = crate::TestRng::from_name("tests::fixed");
+        let s = crate::collection::vec(any::<u8>(), 1..=32);
+        for _ in 0..20 {
+            assert_eq!(s.new_value(&mut a), s.new_value(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_in_bounds(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() <= 6, "len {}", v.len());
+        }
+
+        #[test]
+        fn exact_len_vec(v in prop::collection::vec(any::<u8>(), 16)) {
+            prop_assert_eq!(v.len(), 16);
+        }
+
+        #[test]
+        fn arrays_and_tuples(a in prop::array::uniform6(any::<u8>()),
+                             pair in (0u8..4, 10u16..=20)) {
+            prop_assert_eq!(a.len(), 6);
+            prop_assert!(pair.0 < 4);
+            prop_assert!((10..=20).contains(&pair.1));
+        }
+
+        #[test]
+        fn mapped_strategy(v in (0u8..10).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 20);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u8..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_form_compiles(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::run_cases(ProptestConfig::with_cases(10), "always_fails", |_| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+}

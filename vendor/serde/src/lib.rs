@@ -1,0 +1,392 @@
+//! Vendored, offline subset of `serde`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of serde the workspace uses: `#[derive(Serialize, Deserialize)]` on
+//! named-field structs and unit enums, driven through a small JSON-shaped
+//! [`Value`] tree instead of upstream serde's visitor machinery. The
+//! companion `serde_json` vendored crate renders and parses that tree.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Array of non-negative integers, stored compactly. The workspace's
+    /// statistics datasets serialize multi-million-entry `Vec<u64>` counter
+    /// tables; boxing each element as a [`Value`] costs ~4x the memory and an
+    /// order of magnitude in time, so homogeneous integer arrays short-cut
+    /// into this variant (the JSON text is identical).
+    UIntArray(Vec<u64>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up an object field, erroring if `self` is not an object or the
+    /// field is absent.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError(format!("missing field `{name}`"))),
+            other => Err(DeError(format!(
+                "expected object with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Human-readable name of the value's variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) | Value::UIntArray(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl core::fmt::Display for DeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+
+    /// Bulk hook used by the `Vec<T>`/`[T; N]` impls: element types with a
+    /// compact array representation override this (see [`Value::UIntArray`]).
+    fn slice_to_value(slice: &[Self]) -> Value
+    where
+        Self: Sized,
+    {
+        Value::Array(slice.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Conversion out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value tree into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Bulk hook used by the `Vec<Self>` impl; the compact-array counterpart
+    /// of [`Serialize::slice_to_value`].
+    fn vec_from_value(v: &Value) -> Result<Vec<Self>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+            Value::UIntArray(items) => items
+                .iter()
+                .map(|n| Self::from_value(&Value::UInt(*n)))
+                .collect(),
+            other => Err(DeError(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+            fn slice_to_value(slice: &[Self]) -> Value {
+                Value::UIntArray(slice.iter().map(|&n| n as u64).collect())
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    // `as u64` saturates, so range-check before casting:
+                    // 2^64 is exactly representable as f64.
+                    Value::Float(f)
+                        if f.fract() == 0.0
+                            && *f >= 0.0
+                            && *f < 18_446_744_073_709_551_616.0 =>
+                    {
+                        *f as u64
+                    }
+                    other => return Err(DeError(format!(
+                        concat!("expected ", stringify!($t), ", found {}"), other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    concat!("integer {} out of range for ", stringify!($t)), n)))
+            }
+            fn vec_from_value(v: &Value) -> Result<Vec<Self>, DeError> {
+                match v {
+                    Value::UIntArray(items) => items
+                        .iter()
+                        .map(|&n| <$t>::try_from(n).map_err(|_| DeError(format!(
+                            concat!("integer {} out of range for ", stringify!($t)), n))))
+                        .collect(),
+                    Value::Array(items) => items.iter().map(Deserialize::from_value).collect(),
+                    other => Err(DeError(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError(format!("integer {n} out of range")))?,
+                    // `as i64` saturates, so range-check before casting:
+                    // +/-2^63 are exactly representable as f64.
+                    Value::Float(f)
+                        if f.fract() == 0.0
+                            && *f >= -9_223_372_036_854_775_808.0
+                            && *f < 9_223_372_036_854_775_808.0 =>
+                    {
+                        *f as i64
+                    }
+                    other => return Err(DeError(format!(
+                        concat!("expected ", stringify!($t), ", found {}"), other.kind()))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError(format!(
+                    concat!("integer {} out of range for ", stringify!($t)), n)))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        T::slice_to_value(self)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::vec_from_value(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        T::slice_to_value(self)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$(stringify!($n)),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected tuple of length {expected}, found {}", items.len())));
+                        }
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::from_value(&vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(
+            <[u8; 3]>::from_value(&[9u8, 8, 7].to_value()).unwrap(),
+            [9, 8, 7]
+        );
+    }
+
+    #[test]
+    fn uint_range_checks() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u8::from_value(&Value::UInt(255)).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_floats_are_rejected_not_saturated() {
+        // 2e19 > u64::MAX: must error, not clamp to u64::MAX.
+        assert!(u64::from_value(&Value::Float(2e19)).is_err());
+        assert!(u64::from_value(&Value::Float(-1.0)).is_err());
+        assert!(i64::from_value(&Value::Float(1e19)).is_err());
+        assert!(i64::from_value(&Value::Float(-1e19)).is_err());
+        assert_eq!(
+            u64::from_value(&Value::Float(1e15)).unwrap(),
+            1_000_000_000_000_000
+        );
+        assert_eq!(i64::from_value(&Value::Float(-3.0)).unwrap(), -3);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let v = Value::Object(vec![("x".into(), Value::UInt(1))]);
+        assert!(v.field("x").is_ok());
+        assert!(v.field("y").is_err());
+        assert!(Value::Null.field("x").is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with named
+//! fields (serialized as JSON objects keyed by field name) and enums whose
+//! variants are all unit variants (serialized as the variant name string).
+//! Written against `proc_macro` directly so the build needs no network access
+//! for `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving type.
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with only unit variants.
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parses the item a derive macro was attached to into a [`Shape`].
+///
+/// Panics (producing a compile error) on unsupported shapes: tuple structs,
+/// generic types, and enums with data-carrying variants.
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde derive (vendored): only brace-bodied types are supported, found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        },
+        other => panic!("serde derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Extracts the field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:` then the type; skip to the comma at depth zero.
+                // Generic argument lists (`Vec<u64>`) contain no top-level
+                // commas because `<`/`>` are punctuation, so track them.
+                let mut angle_depth = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("serde derive: unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Extracts the variant names of a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                i += 1;
+                // `= discriminant` is tolerated; data variants are not.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    panic!(
+                        "serde derive (vendored): data-carrying enum variants are not \
+                         supported (variant `{id}` has body {g})"
+                    );
+                }
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '=' {
+                        while i < tokens.len() {
+                            if let TokenTree::Punct(p) = &tokens[i] {
+                                if p.as_char() == ',' {
+                                    break;
+                                }
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            other => panic!("serde derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\""))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {} }}.to_string())\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {},\n\
+                                 other => Err(::serde::DeError(format!(\n\
+                                     \"unknown variant `{{other}}` for {name}\")))\n\
+                             }},\n\
+                             other => Err(::serde::DeError(format!(\n\
+                                 \"expected string variant for {name}, found {{}}\", other.kind())))\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}

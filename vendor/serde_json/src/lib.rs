@@ -1,0 +1,538 @@
+//! Vendored, offline subset of `serde_json`.
+//!
+//! Provides `to_string`, `to_string_pretty` and `from_str` over the vendored
+//! serde [`serde::Value`] tree. The emitted JSON is standard; the parser
+//! accepts standard JSON (no comments, no trailing commas).
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// Error produced by serialization or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses a JSON string into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{}` on f64 prints the shortest representation that parses
+                // back to the same value, so roundtrips are exact.
+                out.push_str(&f.to_string());
+            } else {
+                // JSON cannot represent NaN/Inf; follow the common lenient
+                // convention of emitting null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            out,
+            indent,
+            level,
+            '[',
+            ']',
+            |item, out, level| write_value(item, out, indent, level),
+        ),
+        Value::UIntArray(items) if indent.is_none() => {
+            // Hot path for the statistics datasets' huge counter tables:
+            // append digits directly, no per-element Value dispatch.
+            out.push('[');
+            let mut buf = itoa_buffer();
+            for (i, n) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(format_u64(*n, &mut buf));
+            }
+            out.push(']');
+        }
+        Value::UIntArray(items) => {
+            write_seq(items.iter(), out, indent, level, '[', ']', |n, out, _| {
+                out.push_str(&n.to_string())
+            })
+        }
+        Value::Object(fields) => write_seq(
+            fields.iter(),
+            out,
+            indent,
+            level,
+            '{',
+            '}',
+            |(k, v), out, level| {
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(v, out, indent, level);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(I::Item, &mut String, usize),
+{
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * level));
+    }
+    out.push(close);
+}
+
+/// Scratch space for [`format_u64`].
+fn itoa_buffer() -> [u8; 20] {
+    [0u8; 20]
+}
+
+/// Formats `n` into `buf` without allocating, returning the digits.
+fn format_u64(mut n: u64, buf: &mut [u8; 20]) -> &str {
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    // Digits are ASCII by construction.
+    core::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Value::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(Error(format!(
+                "unexpected byte `{}` at offset {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid utf-8 in number".into()))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}` at offset {start}")))
+    }
+
+    /// Reads 4 hex digits starting at `at` (does not advance `self.pos`).
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        u32::from_str_radix(
+            core::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("invalid \\u escape".into()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a conforming encoder escapes
+                                // non-BMP chars as a \uXXXX\uXXXX pair.
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    == Some(b"\\u".as_slice())
+                                {
+                                    let low = self.read_hex4(self.pos + 3)?;
+                                    if (0xDC00..=0xDFFF).contains(&low) {
+                                        self.pos += 6;
+                                        let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        out.push(char::from_u32(c).expect("valid surrogate pair"));
+                                    } else {
+                                        // High surrogate followed by a non-low
+                                        // escape: lone surrogate.
+                                        out.push('\u{fffd}');
+                                    }
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                // Lone low surrogates map to the replacement
+                                // character; everything else is a scalar value.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            }
+                        }
+                        other => {
+                            return Err(Error(format!("invalid escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    // ASCII fast path (the overwhelmingly common case).
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte char: validate only its own (<= 4 byte) window,
+                    // not the entire remaining input.
+                    let end = (self.pos + 4).min(self.bytes.len());
+                    let window = &self.bytes[self.pos..end];
+                    let c = match core::str::from_utf8(window) {
+                        Ok(s) => s.chars().next().unwrap(),
+                        // A trailing char can leave extra bytes in the window;
+                        // from_utf8 reports how much of the prefix was valid.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            core::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                                .chars()
+                                .next()
+                                .unwrap()
+                        }
+                        Err(_) => return Err(Error("invalid utf-8 in string".into())),
+                    };
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(Vec::new()));
+        }
+        // Fast path: as long as elements are plain non-negative integers,
+        // accumulate them compactly (counter tables run to millions of
+        // entries). Fall back to the general representation on the first
+        // element of any other shape.
+        let mut uints: Vec<u64> = Vec::new();
+        loop {
+            self.skip_ws();
+            let v = self.parse_value()?;
+            match v {
+                Value::UInt(n) => uints.push(n),
+                other => {
+                    // Mixed array: box what we have and continue generally.
+                    let mut items: Vec<Value> = uints.drain(..).map(Value::UInt).collect();
+                    items.push(other);
+                    return self.parse_array_rest(items);
+                }
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::UIntArray(uints));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    /// Continues parsing an array after its first non-integer element.
+    fn parse_array_rest(&mut self, mut items: Vec<Value>) -> Result<Value, Error> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+            self.skip_ws();
+            items.push(self.parse_value()?);
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<f64>("1.25").unwrap(), 1.25);
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert!(!from_str::<bool>("false").unwrap());
+    }
+
+    #[test]
+    fn float_roundtrip_is_exact() {
+        for f in [0.1, 1.0, -2.5e-8, 1e300, 0.30000000000000004] {
+            let s = to_string(&f).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), f, "via {s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote\" slash\\ newline\n tab\t unicode\u{1F980} ctrl\u{1}".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), v);
+        assert_eq!(from_str::<Vec<u64>>("[]").unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(
+            from_str::<Vec<u64>>(" [ 1 , 2 ,\n\t3 ] ").unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = vec![vec![1u64], vec![2, 3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u64>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_char() {
+        // A conforming ASCII-escaping encoder writes U+1F980 as a pair.
+        assert_eq!(
+            from_str::<String>("\"\\ud83e\\udd80\"").unwrap(),
+            "\u{1F980}"
+        );
+        // Lone surrogates become the replacement character, not an error.
+        assert_eq!(from_str::<String>("\"\\ud83e!\"").unwrap(), "\u{fffd}!");
+        assert_eq!(from_str::<String>("\"\\udd80\"").unwrap(), "\u{fffd}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(from_str::<u64>("{").is_err());
+        assert!(from_str::<u64>("12 34").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+    }
+}

@@ -1,148 +1,330 @@
-//! `repro` — regenerate every table and figure of the paper at a chosen scale.
+//! `repro` — thin driver over the experiment registry: regenerate every
+//! table, figure and end-to-end attack of the paper at a chosen scale.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro [EXPERIMENT] [SCALE] [--json]
+//! repro list
+//! repro run <NAME...|all> [--scale quick|laptop|extended] [--seed N]
+//!           [--workers W] [--json] [--config FILE]
 //!
-//! EXPERIMENT: all | table1 | fig4 | table2 | eq345 | fig5 | fig6 | longterm |
-//!             headline | fig7 | fig8 | fig10          (default: all)
-//! SCALE:      quick | laptop | extended               (default: quick)
-//! --json:     additionally print each report as JSON
+//! --scale    per-experiment preset to start from        (default: quick)
+//! --seed     global seed mixed into every experiment    (default: 0)
+//! --workers  dataset-generation worker threads          (default: 1)
+//! --json     print ONLY a JSON array with one report per experiment
+//! --config   JSON object {"<experiment>": {<config>}, ...}; each value is a
+//!            COMPLETE config object that replaces the scale preset for that
+//!            experiment (print a template with `Experiment::config_json`)
+//!
+//! # legacy form, kept for muscle memory and old scripts:
+//! repro [EXPERIMENT] [SCALE] [--json]
 //! ```
+//!
+//! Everything experiment-specific — names, summaries, per-scale defaults,
+//! config schemas — lives in the registry (`rc4_attacks::Registry`); this
+//! binary only parses arguments and renders reports.
 
-use rc4_attacks::experiments::{
-    biases::{
-        eq345_equalities, fig4_fm_shortterm, fig5_z1z2, fig6_single_byte, headline_detection,
-        longterm_aligned, table1_fm_longterm, table2_new_biases,
-    },
-    fig10::{self, Fig10Config},
-    fig7::{self, Fig7Config},
-    fig8::{self, Fig8Config, TkipTrafficModel},
-    Scale,
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use rc4_attacks::{
+    context::StderrSink, experiments::Scale, Experiment, ExperimentContext, ExperimentReport,
+    Registry,
 };
-use rc4_attacks::{ExperimentError, ExperimentReport};
 
-fn fig7_config(scale: Scale) -> Fig7Config {
-    match scale {
-        Scale::Quick => Fig7Config::quick(),
-        Scale::Laptop => Fig7Config {
-            ciphertext_counts: vec![1 << 27, 1 << 29, 1 << 31, 1 << 33, 1 << 35],
-            trials: 32,
-            absab_relations: 64,
-            ..Fig7Config::default()
-        },
-        Scale::Extended => Fig7Config {
-            ciphertext_counts: vec![
-                1 << 27,
-                1 << 29,
-                1 << 31,
-                1 << 33,
-                1 << 35,
-                1 << 37,
-                1 << 39,
-            ],
-            trials: 128,
-            absab_relations: 258,
-            ..Fig7Config::default()
-        },
-    }
+/// Parsed command line.
+struct Args {
+    command: Command,
+    scale: Scale,
+    seed: u64,
+    workers: usize,
+    json: bool,
+    config_path: Option<String>,
 }
 
-fn fig8_config(scale: Scale) -> Fig8Config {
-    match scale {
-        Scale::Quick => Fig8Config::quick(),
-        Scale::Laptop => Fig8Config::default(),
-        Scale::Extended => Fig8Config {
-            capture_counts: vec![1 << 13, 1 << 15, 1 << 17, 1 << 19, 1 << 21],
-            trials: 64,
-            max_candidates: 1 << 20,
-            model: TkipTrafficModel::Empirical { keys: 1 << 22 },
-            ..Fig8Config::default()
-        },
-    }
+enum Command {
+    List,
+    Run(Vec<String>),
 }
 
-fn fig10_config(scale: Scale) -> Fig10Config {
-    match scale {
-        Scale::Quick => Fig10Config::quick(),
-        Scale::Laptop => Fig10Config::default(),
-        Scale::Extended => Fig10Config {
-            request_counts: (1..=15u64).step_by(2).map(|k| k << 27).collect(),
-            trials: 64,
-            cookie_len: 16,
-            candidates: 1 << 17,
-            absab_relations: 258,
-            ..Fig10Config::default()
-        },
-    }
+fn usage() -> String {
+    "usage: repro list\n       repro run <NAME...|all> [--scale S] [--seed N] [--workers W] [--json] [--config FILE]".to_string()
 }
 
-fn run_one(id: &str, scale: Scale) -> Result<Vec<ExperimentReport>, ExperimentError> {
-    let bias_scale = bench::bias_scale_for(scale);
-    let reports = match id {
-        "table1" => vec![table1_fm_longterm(&bias_scale)?],
-        "fig4" => vec![fig4_fm_shortterm(
-            &bias_scale,
-            &[1, 2, 5, 17, 32, 64, 96, 130, 192, 257, 288],
-        )?],
-        "table2" => vec![table2_new_biases(&bias_scale)?],
-        "eq345" => vec![eq345_equalities(&bias_scale)?],
-        "fig5" => vec![fig5_z1z2(&bias_scale, &[4, 8, 16, 32, 64, 128, 192, 256])?],
-        "fig6" => vec![fig6_single_byte(&bias_scale)?],
-        "longterm" => vec![longterm_aligned(&bias_scale)?],
-        "headline" => vec![headline_detection(&bias_scale)?],
-        "fig7" => vec![fig7::run(&fig7_config(scale))?],
-        "fig8" | "fig9" => vec![fig8::run(&fig8_config(scale))?.1],
-        "fig10" => vec![fig10::run(&fig10_config(scale))?.1],
-        "all" => {
-            let mut all = Vec::new();
-            for id in [
-                "headline", "table1", "fig4", "table2", "eq345", "fig5", "fig6", "longterm",
-                "fig7", "fig8", "fig10",
-            ] {
-                all.extend(run_one(id, scale)?);
-            }
-            all
-        }
-        other => {
-            return Err(ExperimentError::InvalidConfig(format!(
-                "unknown experiment '{other}'"
-            )))
-        }
-    };
-    Ok(reports)
-}
+/// Parses the command line; `Err` carries the message and exit status
+/// (`--help` exits 0 with usage on stdout, parse errors exit 2 on stderr).
+fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
+    let mut positional: Vec<String> = Vec::new();
+    let mut scale: Option<Scale> = None;
+    let mut seed = 0u64;
+    let mut workers = 1usize;
+    let mut json = false;
+    let mut config_path = None;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let experiment = positional.first().map(|s| s.as_str()).unwrap_or("all");
-    let scale = match positional.get(1) {
-        None => Scale::Quick,
-        Some(s) => match Scale::parse(s) {
-            Some(scale) => scale,
-            None => {
-                eprintln!("repro: unknown scale '{s}' (expected quick | laptop | extended)");
-                std::process::exit(2);
-            }
-        },
-    };
-
-    eprintln!("repro: experiment = {experiment}, scale = {scale:?}");
-    match run_one(experiment, scale) {
-        Ok(reports) => {
-            for report in reports {
-                println!("{}", report.render());
-                if json {
-                    println!("{}", report.to_json());
+    let fail = |msg: String| (msg, 2u8);
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--scale" | "--seed" | "--workers" | "--config" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| fail(format!("{arg} requires a value\n{}", usage())))?;
+                match arg.as_str() {
+                    "--scale" => scale = Some(parse_scale(value).map_err(fail)?),
+                    "--seed" => {
+                        seed = value.parse().map_err(|_| {
+                            fail(format!("--seed expects an integer, got '{value}'"))
+                        })?;
+                    }
+                    "--workers" => {
+                        workers = value.parse().map_err(|_| {
+                            fail(format!("--workers expects an integer, got '{value}'"))
+                        })?;
+                    }
+                    _ => config_path = Some(value.clone()),
                 }
             }
+            "--help" | "-h" => return Err((usage(), 0)),
+            other if other.starts_with("--") => {
+                return Err(fail(format!("unknown flag '{other}'\n{}", usage())))
+            }
+            other => positional.push(other.to_string()),
         }
-        Err(e) => {
-            eprintln!("repro failed: {e}");
-            std::process::exit(1);
+    }
+
+    let command = match positional.split_first() {
+        None => Command::Run(vec!["all".to_string()]),
+        Some((first, rest)) => match first.as_str() {
+            "list" => {
+                if !rest.is_empty() {
+                    return Err(fail(format!(
+                        "'repro list' takes no arguments\n{}",
+                        usage()
+                    )));
+                }
+                Command::List
+            }
+            "run" => {
+                if rest.is_empty() {
+                    return Err(fail(format!(
+                        "'repro run' needs experiment names\n{}",
+                        usage()
+                    )));
+                }
+                Command::Run(rest.to_vec())
+            }
+            // Legacy form: exactly one experiment plus an optional scale.
+            // Anything longer is ambiguous (name list vs name+scale), so
+            // point at the explicit `run` subcommand instead of guessing.
+            _ => {
+                match rest {
+                    [] => {}
+                    [scale_name] => {
+                        if scale.is_some() {
+                            return Err(fail(format!(
+                                "give the scale either positionally or via --scale, not both\n{}",
+                                usage()
+                            )));
+                        }
+                        scale = Some(parse_scale(scale_name).map_err(fail)?);
+                    }
+                    _ => {
+                        return Err(fail(format!(
+                            "the legacy form takes one experiment and an optional scale; \
+                             use 'repro run <NAME...>' to run several experiments\n{}",
+                            usage()
+                        )));
+                    }
+                }
+                Command::Run(vec![first.to_string()])
+            }
+        },
+    };
+
+    Ok(Args {
+        command,
+        scale: scale.unwrap_or(Scale::Quick),
+        seed,
+        workers,
+        json,
+        config_path,
+    })
+}
+
+fn parse_scale(name: &str) -> Result<Scale, String> {
+    Scale::parse(name).ok_or_else(|| {
+        let known: Vec<&str> = Scale::ALL.iter().map(|s| s.name()).collect();
+        format!("unknown scale '{name}' (expected {})", known.join(" | "))
+    })
+}
+
+/// Loads and validates the `--config` overrides: a JSON object keyed by
+/// registered experiment name (or alias), with each value a *complete*
+/// config object for that experiment. Keys are canonicalized through the
+/// registry so alias-keyed entries (e.g. `"fig9"`) reach the experiment.
+fn load_config_overrides(
+    registry: &Registry,
+    path: &str,
+) -> Result<Vec<(String, serde::Value)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read config {path}: {e}"))?;
+    let value: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("config {path} is not valid JSON: {e}"))?;
+    let serde::Value::Object(fields) = value else {
+        return Err(format!(
+            "config {path} must be a JSON object keyed by experiment name"
+        ));
+    };
+    let mut overrides: Vec<(String, serde::Value)> = Vec::with_capacity(fields.len());
+    for (name, value) in fields {
+        let Some(entry) = registry.find(&name) else {
+            return Err(format!(
+                "config {path} mentions unknown experiment '{name}'; registered experiments: {}",
+                registry.names().join(", ")
+            ));
+        };
+        let canonical = entry.name().to_string();
+        if overrides.iter().any(|(n, _)| *n == canonical) {
+            return Err(format!(
+                "config {path} configures '{canonical}' twice (aliases count)"
+            ));
+        }
+        overrides.push((canonical, value));
+    }
+    Ok(overrides)
+}
+
+/// Resolves `names` ("all" expands to the whole registry) into instantiated
+/// experiments at `scale` with `overrides` applied.
+fn build_experiments(
+    registry: &Registry,
+    names: &[String],
+    scale: Scale,
+    overrides: &[(String, serde::Value)],
+) -> Result<Vec<Box<dyn Experiment>>, String> {
+    let mut resolved: Vec<&str> = Vec::new();
+    for name in names {
+        if name == "all" {
+            resolved.extend(registry.names());
+        } else {
+            resolved.push(name.as_str());
+        }
+    }
+    let mut experiments = Vec::with_capacity(resolved.len());
+    let mut overrides_used = vec![false; overrides.len()];
+    for name in resolved {
+        let mut experiment = registry.create(name).map_err(|e| e.to_string())?;
+        experiment.apply_scale(scale);
+        let canonical = experiment.name();
+        if let Some(idx) = overrides.iter().position(|(n, _)| n == canonical) {
+            experiment
+                .set_config_value(&overrides[idx].1)
+                .map_err(|e| e.to_string())?;
+            overrides_used[idx] = true;
+        }
+        experiments.push(experiment);
+    }
+    // A validated-but-unused override would silently produce preset results
+    // the user believes were overridden; refuse instead.
+    let unused: Vec<&str> = overrides
+        .iter()
+        .zip(&overrides_used)
+        .filter(|(_, used)| !**used)
+        .map(|((name, _), _)| name.as_str())
+        .collect();
+    if !unused.is_empty() {
+        return Err(format!(
+            "--config configures {} but {} not being run; add the name(s) to 'repro run' or drop the entry",
+            unused.join(", "),
+            if unused.len() == 1 { "it is" } else { "they are" }
+        ));
+    }
+    Ok(experiments)
+}
+
+fn run() -> Result<(), (String, u8)> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw)?;
+    let registry = Registry::with_defaults();
+
+    match args.command {
+        Command::List => {
+            if args.json {
+                let entries: Vec<serde::Value> = registry
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        serde::Value::Object(vec![
+                            ("name".into(), serde::Value::Str(e.name().into())),
+                            ("summary".into(), serde::Value::Str(e.summary().into())),
+                        ])
+                    })
+                    .collect();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&entries).expect("list serializes")
+                );
+            } else {
+                let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+                for entry in registry.entries() {
+                    println!("{:width$}  {}", entry.name(), entry.summary());
+                }
+            }
+            Ok(())
+        }
+        Command::Run(names) => {
+            let overrides = match &args.config_path {
+                Some(path) => load_config_overrides(&registry, path).map_err(|msg| (msg, 2))?,
+                None => Vec::new(),
+            };
+            let experiments = build_experiments(&registry, &names, args.scale, &overrides)
+                .map_err(|msg| (msg, 2))?;
+
+            let ctx = ExperimentContext::new()
+                .with_seed(args.seed)
+                .with_workers(args.workers)
+                .with_sink(Arc::new(StderrSink));
+            eprintln!(
+                "repro: running {} experiment(s) at scale {} (seed {}, {} worker(s))",
+                experiments.len(),
+                args.scale.name(),
+                args.seed,
+                args.workers
+            );
+
+            let mut reports: Vec<ExperimentReport> = Vec::with_capacity(experiments.len());
+            for experiment in &experiments {
+                let report = experiment
+                    .run(&ctx)
+                    .map_err(|e| (format!("experiment '{}' failed: {e}", experiment.name()), 1))?;
+                if !args.json {
+                    println!("{}", report.render());
+                }
+                reports.push(report);
+            }
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&reports).expect("reports serialize")
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        // Exit 0 is the --help path: usage belongs on stdout, unprefixed.
+        Err((msg, 0)) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err((msg, code)) => {
+            eprintln!("repro: {msg}");
+            ExitCode::from(code)
         }
     }
 }

@@ -4,27 +4,21 @@
 //!
 //! * the Criterion benchmarks (`benches/`), one per paper table/figure plus the
 //!   ablation benches called out in DESIGN.md, and
-//! * the `repro` binary (`src/bin/repro.rs`), which regenerates the rows/series
-//!   of every table and figure at a chosen scale and renders them as text or
+//! * the `repro` binary (`src/bin/repro.rs`), a thin driver over
+//!   `rc4_attacks::Registry` that regenerates every table, figure and
+//!   end-to-end attack at a chosen scale and renders the reports as text or
 //!   JSON (the numbers recorded in `EXPERIMENTS.md` come from this binary).
 //!
-//! The library portion only exposes small helpers shared between the two.
+//! The library portion only exposes small helpers shared by the benches.
 
 use rc4_attacks::experiments::{biases::BiasScale, Scale};
 
-/// Maps a scale preset to the bias-experiment configuration used by both the
-/// benches and the `repro` binary.
+/// Maps a scale preset to the bias-experiment configuration.
+///
+/// Kept as a bench-facing alias; the presets themselves live with the
+/// experiments in [`BiasScale::for_scale`].
 pub fn bias_scale_for(scale: Scale) -> BiasScale {
-    match scale {
-        Scale::Quick => BiasScale::quick(),
-        Scale::Laptop => BiasScale::default(),
-        Scale::Extended => BiasScale {
-            keys: 1 << 26,
-            longterm_keys: 1 << 12,
-            longterm_block: 1 << 22,
-            ..BiasScale::default()
-        },
-    }
+    BiasScale::for_scale(scale)
 }
 
 #[cfg(test)]

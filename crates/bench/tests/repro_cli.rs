@@ -1,0 +1,186 @@
+//! Integration test for the `repro` binary: the CLI contract the CI workflow
+//! and the determinism guarantees rely on.
+
+use std::process::{Command, Output};
+
+use rc4_attacks::{ExperimentReport, Registry};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8(output.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8(output.stderr.clone()).expect("stderr is UTF-8")
+}
+
+/// `repro list` prints every registered experiment with its summary.
+#[test]
+fn list_prints_the_registry() {
+    let output = repro(&["list"]);
+    assert!(output.status.success());
+    let text = stdout(&output);
+    let registry = Registry::with_defaults();
+    assert!(registry.len() >= 13);
+    for entry in registry.entries() {
+        assert!(
+            text.contains(entry.name()) && text.contains(entry.summary()),
+            "list output is missing '{}'",
+            entry.name()
+        );
+    }
+}
+
+/// `repro run all --scale quick --json` emits a single parseable JSON array
+/// with exactly one report per registered experiment, and two runs with the
+/// same (default) seed are byte-identical.
+#[test]
+fn run_all_json_is_parseable_complete_and_deterministic() {
+    let args = ["run", "all", "--scale", "quick", "--json"];
+    let first = repro(&args);
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+    let text = stdout(&first);
+
+    let reports: Vec<ExperimentReport> =
+        serde_json::from_str(&text).expect("stdout is one JSON array of reports");
+    let registry = Registry::with_defaults();
+    assert_eq!(
+        reports.len(),
+        registry.len(),
+        "expected one report per registered experiment"
+    );
+    for report in &reports {
+        assert!(!report.rows.is_empty(), "{} report is empty", report.id);
+    }
+
+    let second = repro(&args);
+    assert!(second.status.success());
+    assert_eq!(
+        text,
+        stdout(&second),
+        "same-seed runs must produce byte-identical --json output"
+    );
+}
+
+/// A `--seed` override reaches the experiments: output differs from the
+/// default-seed run but remains self-consistent.
+#[test]
+fn seed_flag_changes_and_pins_the_output() {
+    let base = ["run", "headline", "--scale", "quick", "--json"];
+    let seeded = [
+        "run", "headline", "--scale", "quick", "--json", "--seed", "7",
+    ];
+    let default_out = stdout(&repro(&base));
+    let seeded_a = stdout(&repro(&seeded));
+    let seeded_b = stdout(&repro(&seeded));
+    assert_eq!(seeded_a, seeded_b);
+    assert_ne!(default_out, seeded_a);
+}
+
+/// Unknown experiment names exit non-zero and list every registered name —
+/// sourced from the registry, never hardcoded.
+#[test]
+fn unknown_experiment_lists_registered_names_and_fails() {
+    let output = repro(&["run", "fig99"]);
+    assert_eq!(output.status.code(), Some(2));
+    let err = stderr(&output);
+    for name in Registry::with_defaults().names() {
+        assert!(err.contains(name), "error message is missing '{name}'");
+    }
+}
+
+/// Unknown scales exit non-zero and name the valid scales.
+#[test]
+fn unknown_scale_fails_with_the_valid_choices() {
+    for args in [
+        &["run", "headline", "--scale", "galactic"][..],
+        &["headline", "galactic"][..],
+    ] {
+        let output = repro(args);
+        assert_eq!(output.status.code(), Some(2), "args: {args:?}");
+        let err = stderr(&output);
+        assert!(err.contains("quick") && err.contains("laptop") && err.contains("extended"));
+    }
+}
+
+/// The pre-redesign positional form keeps working for one experiment plus an
+/// optional scale; longer positional lists are rejected with a pointer to
+/// `run` instead of being guessed at.
+#[test]
+fn legacy_positional_form_still_runs() {
+    let output = repro(&["headline", "quick"]);
+    assert!(output.status.success());
+    assert!(stdout(&output).contains("headline"));
+
+    let ambiguous = repro(&["fig7", "fig8", "quick"]);
+    assert_eq!(ambiguous.status.code(), Some(2));
+    assert!(stderr(&ambiguous).contains("repro run"));
+}
+
+/// `--help` is not an error: usage goes to stdout with exit 0.
+#[test]
+fn help_exits_zero_with_usage_on_stdout() {
+    let output = repro(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(stdout(&output).contains("usage: repro"));
+}
+
+/// `--config` entries keyed by an alias reach the canonical experiment, and
+/// duplicate entries (via aliasing) are rejected.
+#[test]
+fn config_overrides_resolve_aliases() {
+    use rc4_attacks::experiments::fig8::{Fig8Config, TkipTrafficModel};
+    use serde::Serialize;
+
+    let config = Fig8Config {
+        capture_counts: vec![512],
+        trials: 1,
+        max_candidates: 128,
+        payload_len: 55,
+        model: TkipTrafficModel::Synthetic { relative_bias: 0.9 },
+        seed: 99,
+    };
+    let dir = std::env::temp_dir();
+    let path = dir.join("repro_cli_alias_config.json");
+    std::fs::write(
+        &path,
+        format!(
+            "{{\"fig9\": {}}}",
+            serde_json::to_string(&config.to_value()).unwrap()
+        ),
+    )
+    .unwrap();
+    let output = repro(&["run", "fig8", "--json", "--config", path.to_str().unwrap()]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let reports: Vec<ExperimentReport> = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(reports.len(), 1);
+    // The alias-keyed override must actually land: one sweep point (512
+    // captures), not the quick preset's two.
+    assert_eq!(reports[0].rows.len(), 1, "override was not applied");
+    assert_eq!(reports[0].rows[0].cells[0], "512");
+
+    let dup_path = dir.join("repro_cli_dup_config.json");
+    std::fs::write(
+        &dup_path,
+        format!(
+            "{{\"fig8\": {cfg}, \"fig9\": {cfg}}}",
+            cfg = serde_json::to_string(&config.to_value()).unwrap()
+        ),
+    )
+    .unwrap();
+    let dup = repro(&["run", "fig8", "--config", dup_path.to_str().unwrap()]);
+    assert_eq!(dup.status.code(), Some(2));
+    assert!(stderr(&dup).contains("twice"));
+
+    // An override for an experiment that is not part of the run is an error,
+    // not a silent no-op.
+    let unused = repro(&["run", "fig7", "--config", path.to_str().unwrap()]);
+    assert_eq!(unused.status.code(), Some(2));
+    assert!(stderr(&unused).contains("not being run"));
+}

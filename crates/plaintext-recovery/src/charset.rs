@@ -6,6 +6,8 @@
 //! the brute-force bound; in the algorithms the restriction simply replaces the
 //! loops over 256 byte values with loops over the allowed alphabet.
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::RecoveryError;
 
 /// A plaintext alphabet: the set of byte values a plaintext byte may take.
@@ -117,9 +119,34 @@ impl Charset {
     }
 }
 
+/// Serialized as the plain list of allowed byte values (the membership table
+/// is derived data), so experiment configs embedding a charset stay readable.
+impl Serialize for Charset {
+    fn to_value(&self) -> Value {
+        self.values.to_value()
+    }
+}
+
+impl Deserialize for Charset {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let values = Vec::<u8>::from_value(v)?;
+        Charset::new(&values).map_err(|e| DeError(e.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serde_roundtrip_preserves_order_and_membership() {
+        let c = Charset::base64();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Charset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+        // An empty list must fail through the constructor's validation.
+        assert!(serde_json::from_str::<Charset>("[]").is_err());
+    }
 
     #[test]
     fn cookie_charset_has_90_values() {

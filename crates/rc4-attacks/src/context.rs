@@ -1,0 +1,327 @@
+//! The run context every experiment executes under.
+//!
+//! [`ExperimentContext`] is the one argument of [`crate::Experiment::run`]: it
+//! carries the global seed and worker count, a progress/event sink, and a
+//! cooperative cancellation flag. Experiments must
+//!
+//! * derive every RNG seed through [`ExperimentContext::mix_seed`] so a
+//!   `--seed` override reaches all of them deterministically,
+//! * use [`ExperimentContext::workers`] for dataset-generation parallelism,
+//! * call [`ExperimentContext::checkpoint`] inside their hot loops (per trial
+//!   or per sweep point) and pass [`ExperimentContext::cancel_flag`] into the
+//!   `rc4-stats` worker pool so a raised flag aborts within milliseconds, and
+//! * report coarse progress through [`ExperimentContext::emit`].
+//!
+//! The default context (seed mix `0`, one worker, no sink, never cancelled)
+//! reproduces the historical behaviour of the standalone experiment functions
+//! bit for bit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::ExperimentError;
+
+/// A coarse progress event emitted by a running experiment.
+///
+/// Events are advisory: sinks must not influence the experiment's results
+/// (reports are byte-identical whatever sink is installed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressEvent<'a> {
+    /// The experiment began executing.
+    Started {
+        /// Registry name of the experiment.
+        experiment: &'a str,
+    },
+    /// `completed` of `total` units (sweep points, trials, datasets) are done.
+    Progress {
+        /// Registry name of the experiment.
+        experiment: &'a str,
+        /// Units finished so far.
+        completed: u64,
+        /// Total units, when known in advance.
+        total: u64,
+        /// What one unit is ("point", "trial", "dataset", ...).
+        unit: &'a str,
+    },
+    /// The experiment finished (successfully or not — errors surface through
+    /// the `run` return value, not through the sink).
+    Finished {
+        /// Registry name of the experiment.
+        experiment: &'a str,
+    },
+}
+
+impl ProgressEvent<'_> {
+    /// One-line human-readable rendering, shared by the stderr and memory sinks.
+    pub fn render(&self) -> String {
+        match self {
+            ProgressEvent::Started { experiment } => format!("{experiment}: started"),
+            ProgressEvent::Progress {
+                experiment,
+                completed,
+                total,
+                unit,
+            } => format!("{experiment}: {completed}/{total} {unit}s"),
+            ProgressEvent::Finished { experiment } => format!("{experiment}: finished"),
+        }
+    }
+}
+
+/// Receiver of [`ProgressEvent`]s; installed on a context via
+/// [`ExperimentContext::with_sink`].
+pub trait EventSink: Send + Sync {
+    /// Called synchronously from the experiment's thread for each event.
+    fn on_event(&self, event: &ProgressEvent<'_>);
+}
+
+/// Discards all events (the default sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn on_event(&self, _event: &ProgressEvent<'_>) {}
+}
+
+/// Prints each event as one `stderr` line, prefixed so driver output and
+/// report text on `stdout` stay machine-parseable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl EventSink for StderrSink {
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        eprintln!("repro: {}", event.render());
+    }
+}
+
+/// Records rendered events in memory; used by tests to assert that
+/// experiments actually report progress.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The rendered events received so far.
+    pub fn events(&self) -> Vec<String> {
+        self.events.lock().expect("sink mutex poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn on_event(&self, event: &ProgressEvent<'_>) {
+        self.events
+            .lock()
+            .expect("sink mutex poisoned")
+            .push(event.render());
+    }
+}
+
+/// Shared, clonable handle to an experiment run's cancellation flag.
+///
+/// Raise it from any thread (a signal handler, a UI, a timeout) and every
+/// cooperative loop in the run — the `rc4-stats` worker pool and the
+/// fig7/fig8/fig10 trial loops — stops at its next checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Creates a fresh, unraised handle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raises the flag; idempotent and irrevocable for the run it is wired to.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The underlying atomic, for APIs (like
+    /// `rc4_stats::worker::generate_with_cancel`) that poll a raw flag.
+    pub fn as_atomic(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
+
+/// Everything an [`crate::Experiment`] needs from its environment.
+#[derive(Clone)]
+pub struct ExperimentContext {
+    seed: u64,
+    workers: usize,
+    sink: Arc<dyn EventSink>,
+    cancel: CancelHandle,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            workers: 1,
+            sink: Arc::new(NullSink),
+            cancel: CancelHandle::new(),
+        }
+    }
+}
+
+impl core::fmt::Debug for ExperimentContext {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ExperimentContext")
+            .field("seed", &self.seed)
+            .field("workers", &self.workers)
+            .field("cancelled", &self.cancel.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExperimentContext {
+    /// The default context: seed mix `0`, one worker, no sink, never
+    /// cancelled — exactly the historical standalone-function behaviour.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the global seed, XOR-mixed into every experiment's base seed by
+    /// [`ExperimentContext::mix_seed`]. Seed `0` (the default) leaves each
+    /// experiment's documented base seed untouched.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count used for dataset generation (clamped to
+    /// at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Installs a progress sink.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Wires the context to an externally-owned cancellation handle.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelHandle) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The global seed mix.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Worker threads available for dataset generation (always ≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Derives the effective seed for a component whose documented default
+    /// seed is `base`. XOR keeps the default run (`seed == 0`) bit-identical
+    /// to the historical outputs while any other global seed shifts every
+    /// component deterministically.
+    pub fn mix_seed(&self, base: u64) -> u64 {
+        base ^ self.seed
+    }
+
+    /// A clone of the run's cancellation handle.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    /// The raw cancellation flag, for `rc4_stats::worker::generate_with_cancel`.
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        self.cancel.as_atomic()
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
+    }
+
+    /// Hot-loop cancellation checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Cancelled`] once the flag has been raised.
+    pub fn checkpoint(&self) -> Result<(), ExperimentError> {
+        if self.is_cancelled() {
+            Err(ExperimentError::Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Emits a progress event to the installed sink.
+    pub fn emit(&self, event: ProgressEvent<'_>) {
+        self.sink.on_event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_matches_historical_behaviour() {
+        let ctx = ExperimentContext::new();
+        assert_eq!(ctx.seed(), 0);
+        assert_eq!(ctx.workers(), 1);
+        assert_eq!(ctx.mix_seed(0xB1A5), 0xB1A5);
+        assert!(!ctx.is_cancelled());
+        assert!(ctx.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn seed_mixing_and_worker_clamp() {
+        let ctx = ExperimentContext::new().with_seed(0xFF).with_workers(0);
+        assert_eq!(ctx.mix_seed(0x0F), 0xF0);
+        assert_eq!(ctx.workers(), 1);
+    }
+
+    #[test]
+    fn cancellation_propagates_through_checkpoint() {
+        let handle = CancelHandle::new();
+        let ctx = ExperimentContext::new().with_cancel(handle.clone());
+        assert!(ctx.checkpoint().is_ok());
+        handle.cancel();
+        assert!(ctx.is_cancelled());
+        assert_eq!(ctx.checkpoint(), Err(ExperimentError::Cancelled));
+        // The raw flag view agrees.
+        assert!(ctx.cancel_flag().load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn memory_sink_records_rendered_events() {
+        let sink = Arc::new(MemorySink::new());
+        let ctx = ExperimentContext::new().with_sink(sink.clone());
+        ctx.emit(ProgressEvent::Started { experiment: "x" });
+        ctx.emit(ProgressEvent::Progress {
+            experiment: "x",
+            completed: 1,
+            total: 4,
+            unit: "point",
+        });
+        ctx.emit(ProgressEvent::Finished { experiment: "x" });
+        assert_eq!(
+            sink.events(),
+            vec!["x: started", "x: 1/4 points", "x: finished"]
+        );
+    }
+}

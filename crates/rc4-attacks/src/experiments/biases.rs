@@ -16,14 +16,18 @@ use rc4_biases::{
     UNIFORM_PAIR, UNIFORM_SINGLE,
 };
 use rc4_stats::{
-    longterm::LongTermDataset, pairs::PairDataset, single::SingleByteDataset, worker::generate,
-    GenerationConfig, KeystreamCollector,
+    longterm::LongTermDataset, pairs::PairDataset, single::SingleByteDataset,
+    worker::generate_with_cancel, GenerationConfig, KeystreamCollector,
 };
+use serde::{Deserialize, Serialize};
 use stat_tests::{
     chisq::chi_squared_uniform, mtest::m_test_independence, proportion::proportion_test,
 };
 
 use crate::{
+    context::{ExperimentContext, ProgressEvent},
+    experiment::{config_from_value, config_to_value, Experiment},
+    experiments::Scale,
     report::{format_percent, format_pow2, ExperimentReport},
     ExperimentError,
 };
@@ -67,6 +71,229 @@ impl BiasScale {
             ..Self::default()
         }
     }
+
+    /// The preset for a [`Scale`]: `Quick` for CI, `Laptop` (the default) for
+    /// readable curves, `Extended` approaching paper parameters.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self::quick(),
+            Scale::Laptop => Self::default(),
+            Scale::Extended => Self {
+                keys: 1 << 26,
+                longterm_keys: 1 << 12,
+                longterm_block: 1 << 22,
+                ..Self::default()
+            },
+        }
+    }
+}
+
+/// Serde-roundtrippable configuration shared by all eight bias experiments.
+///
+/// `workers` is intentionally absent: parallelism comes from the
+/// [`ExperimentContext`]. `seed` is the experiment's *base* seed (each driver
+/// XORs its own tweak internally, as before); the context seed is mixed on
+/// top, so the default context reproduces the historical outputs exactly.
+/// `positions` is consumed only by `fig4` (digraph positions) and `fig5`
+/// (late keystream positions) and ignored by the other experiments.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BiasConfig {
+    /// Number of random keys for the pair/single-byte datasets.
+    pub keys: u64,
+    /// Number of keys for the long-term dataset.
+    pub longterm_keys: u64,
+    /// Keystream bytes consumed per key in the long-term dataset.
+    pub longterm_block: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Keystream positions swept by `fig4`/`fig5`; ignored elsewhere.
+    pub positions: Vec<u64>,
+}
+
+impl BiasConfig {
+    /// The preset for `scale`, with the given position sweep.
+    pub fn for_scale(scale: Scale, positions: &[u64]) -> Self {
+        let preset = BiasScale::for_scale(scale);
+        Self {
+            keys: preset.keys,
+            longterm_keys: preset.longterm_keys,
+            longterm_block: preset.longterm_block,
+            seed: preset.seed,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// The effective [`BiasScale`] under `ctx`.
+    fn scale(&self, ctx: &ExperimentContext) -> BiasScale {
+        BiasScale {
+            keys: self.keys,
+            longterm_keys: self.longterm_keys,
+            longterm_block: self.longterm_block,
+            workers: ctx.workers(),
+            seed: ctx.mix_seed(self.seed),
+        }
+    }
+}
+
+/// Uniform runner signature shared by the eight bias experiments.
+type BiasRunner =
+    fn(&BiasScale, &[u64], &ExperimentContext) -> Result<ExperimentReport, ExperimentError>;
+
+/// [`Experiment`] carrier for the Section-3 bias experiments: one struct,
+/// eight constructors, each pairing a runner with its default position sweep.
+pub struct BiasExperiment {
+    name: &'static str,
+    summary: &'static str,
+    default_positions: &'static [u64],
+    runner: BiasRunner,
+    config: BiasConfig,
+}
+
+impl BiasExperiment {
+    fn new(
+        name: &'static str,
+        summary: &'static str,
+        default_positions: &'static [u64],
+        runner: BiasRunner,
+    ) -> Self {
+        Self {
+            name,
+            summary,
+            default_positions,
+            runner,
+            config: BiasConfig::for_scale(Scale::Laptop, default_positions),
+        }
+    }
+
+    /// Table 1 — generalized Fluhrer–McGrew long-term digraph biases.
+    pub fn table1() -> Self {
+        Self::new(
+            "table1",
+            "Generalized Fluhrer-McGrew digraph biases in the long-term keystream",
+            &[],
+            |s, _, ctx| table1_fm_longterm_ctx(s, ctx),
+        )
+    }
+
+    /// Fig. 4 — FM digraph biases in the initial keystream bytes.
+    pub fn fig4() -> Self {
+        Self::new(
+            "fig4",
+            "Fluhrer-McGrew digraph relative biases in the initial keystream",
+            &[1, 2, 5, 17, 32, 64, 96, 130, 192, 257, 288],
+            |s, p, ctx| {
+                let positions: Vec<usize> = p.iter().map(|&v| v as usize).collect();
+                fig4_fm_shortterm_ctx(s, &positions, ctx)
+            },
+        )
+    }
+
+    /// Table 2 — new biases between (non-)consecutive initial bytes.
+    pub fn table2() -> Self {
+        Self::new(
+            "table2",
+            "New biases between (non-)consecutive initial keystream bytes",
+            &[],
+            |s, _, ctx| table2_new_biases_ctx(s, ctx),
+        )
+    }
+
+    /// Eq. 3–5 — equality biases among the first four keystream bytes.
+    pub fn eq345() -> Self {
+        Self::new(
+            "eq345",
+            "Equality biases among the first four keystream bytes (Eq. 3-5)",
+            &[],
+            |s, _, ctx| eq345_equalities_ctx(s, ctx),
+        )
+    }
+
+    /// Fig. 5 — influence of `Z_1`/`Z_2` on later keystream bytes.
+    pub fn fig5() -> Self {
+        Self::new(
+            "fig5",
+            "Influence of Z1 and Z2 on later keystream bytes",
+            &[4, 8, 16, 32, 64, 128, 192, 256],
+            |s, p, ctx| {
+                let positions: Vec<u16> = p
+                    .iter()
+                    .map(|&v| {
+                        u16::try_from(v).map_err(|_| {
+                            ExperimentError::InvalidConfig(format!(
+                                "fig5 position {v} exceeds the u16 keystream-position range"
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                fig5_z1z2_ctx(s, &positions, ctx)
+            },
+        )
+    }
+
+    /// Fig. 6 — single-byte biases beyond position 256.
+    pub fn fig6() -> Self {
+        Self::new(
+            "fig6",
+            "Single-byte biases beyond position 256 (key-length harmonics)",
+            &[],
+            |s, _, ctx| fig6_single_byte_ctx(s, ctx),
+        )
+    }
+
+    /// Sect. 3.4 — long-term biases at 256-aligned positions.
+    pub fn longterm() -> Self {
+        Self::new(
+            "longterm",
+            "Long-term biases at 256-aligned positions (Sect. 3.4)",
+            &[],
+            |s, _, ctx| longterm_aligned_ctx(s, ctx),
+        )
+    }
+
+    /// Headline short-term bias re-detection summary.
+    pub fn headline() -> Self {
+        Self::new(
+            "headline",
+            "Headline short-term biases re-detected by the hypothesis tests",
+            &[],
+            |s, _, ctx| headline_detection_ctx(s, ctx),
+        )
+    }
+}
+
+impl Experiment for BiasExperiment {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    fn apply_scale(&mut self, scale: Scale) {
+        self.config = BiasConfig::for_scale(scale, self.default_positions);
+    }
+
+    fn config_value(&self) -> serde::Value {
+        config_to_value(&self.config)
+    }
+
+    fn set_config_value(&mut self, value: &serde::Value) -> Result<(), ExperimentError> {
+        self.config = config_from_value(self.name, value)?;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError> {
+        ctx.emit(ProgressEvent::Started {
+            experiment: self.name,
+        });
+        let scale = self.config.scale(ctx);
+        let report = (self.runner)(&scale, &self.config.positions, ctx)?;
+        ctx.emit(ProgressEvent::Finished {
+            experiment: self.name,
+        });
+        Ok(report)
+    }
 }
 
 /// Table 1: verifies the generalized Fluhrer–McGrew digraph biases in the
@@ -76,6 +303,13 @@ impl BiasScale {
 ///
 /// Propagates dataset-generation and test errors.
 pub fn table1_fm_longterm(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    table1_fm_longterm_ctx(scale, &ExperimentContext::default())
+}
+
+fn table1_fm_longterm_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = LongTermDataset::paper_shape(scale.longterm_block)?;
     let config = GenerationConfig {
         keys: scale.longterm_keys,
@@ -83,7 +317,7 @@ pub fn table1_fm_longterm(scale: &BiasScale) -> Result<ExperimentReport, Experim
         seed: scale.seed,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "table1",
@@ -149,6 +383,14 @@ pub fn fig4_fm_shortterm(
     scale: &BiasScale,
     positions: &[usize],
 ) -> Result<ExperimentReport, ExperimentError> {
+    fig4_fm_shortterm_ctx(scale, positions, &ExperimentContext::default())
+}
+
+fn fig4_fm_shortterm_ctx(
+    scale: &BiasScale,
+    positions: &[usize],
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let max_pos = positions.iter().copied().max().unwrap_or(1).max(2);
     let mut ds = PairDataset::consecutive(max_pos)?;
     let config = GenerationConfig {
@@ -157,7 +399,7 @@ pub fn fig4_fm_shortterm(
         seed: scale.seed ^ 4,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "fig4",
@@ -202,6 +444,13 @@ pub fn fig4_fm_shortterm(
 ///
 /// Propagates dataset-generation errors.
 pub fn table2_new_biases(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    table2_new_biases_ctx(scale, &ExperimentContext::default())
+}
+
+fn table2_new_biases_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = PairDataset::consecutive(112)?;
     let config = GenerationConfig {
         keys: scale.keys,
@@ -209,7 +458,7 @@ pub fn table2_new_biases(scale: &BiasScale) -> Result<ExperimentReport, Experime
         seed: scale.seed ^ 2,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "table2",
@@ -261,6 +510,13 @@ pub fn table2_new_biases(scale: &BiasScale) -> Result<ExperimentReport, Experime
 ///
 /// Propagates dataset-generation errors.
 pub fn eq345_equalities(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    eq345_equalities_ctx(scale, &ExperimentContext::default())
+}
+
+fn eq345_equalities_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = PairDataset::new(vec![
         rc4_stats::pairs::PositionPair { a: 1, b: 3 },
         rc4_stats::pairs::PositionPair { a: 1, b: 4 },
@@ -272,7 +528,7 @@ pub fn eq345_equalities(scale: &BiasScale) -> Result<ExperimentReport, Experimen
         seed: scale.seed ^ 345,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "eq345",
@@ -315,6 +571,14 @@ pub fn fig5_z1z2(
     scale: &BiasScale,
     positions: &[u16],
 ) -> Result<ExperimentReport, ExperimentError> {
+    fig5_z1z2_ctx(scale, positions, &ExperimentContext::default())
+}
+
+fn fig5_z1z2_ctx(
+    scale: &BiasScale,
+    positions: &[u16],
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let max_pos = positions.iter().copied().max().unwrap_or(16).max(3) as usize;
     // first16-style dataset restricted to the pairs (1, i) and (2, i).
     let mut pairs = Vec::new();
@@ -336,7 +600,7 @@ pub fn fig5_z1z2(
         seed: scale.seed ^ 5,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "fig5",
@@ -381,6 +645,13 @@ pub fn fig5_z1z2(
 ///
 /// Propagates dataset-generation errors.
 pub fn fig6_single_byte(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    fig6_single_byte_ctx(scale, &ExperimentContext::default())
+}
+
+fn fig6_single_byte_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = SingleByteDataset::new(384);
     let config = GenerationConfig {
         keys: scale.keys,
@@ -388,7 +659,7 @@ pub fn fig6_single_byte(scale: &BiasScale) -> Result<ExperimentReport, Experimen
         seed: scale.seed ^ 6,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "fig6",
@@ -443,6 +714,13 @@ pub fn fig6_single_byte(scale: &BiasScale) -> Result<ExperimentReport, Experimen
 ///
 /// Propagates dataset-generation errors.
 pub fn longterm_aligned(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    longterm_aligned_ctx(scale, &ExperimentContext::default())
+}
+
+fn longterm_aligned_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = LongTermDataset::new(255, scale.longterm_block)?;
     let config = GenerationConfig {
         keys: scale.longterm_keys,
@@ -450,7 +728,7 @@ pub fn longterm_aligned(scale: &BiasScale) -> Result<ExperimentReport, Experimen
         seed: scale.seed ^ 8,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
 
     let mut report = ExperimentReport::new(
         "longterm",
@@ -480,6 +758,13 @@ pub fn longterm_aligned(scale: &BiasScale) -> Result<ExperimentReport, Experimen
 ///
 /// Propagates dataset-generation errors.
 pub fn headline_detection(scale: &BiasScale) -> Result<ExperimentReport, ExperimentError> {
+    headline_detection_ctx(scale, &ExperimentContext::default())
+}
+
+fn headline_detection_ctx(
+    scale: &BiasScale,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     let mut ds = SingleByteDataset::new(16);
     let config = GenerationConfig {
         keys: scale.keys,
@@ -487,7 +772,7 @@ pub fn headline_detection(scale: &BiasScale) -> Result<ExperimentReport, Experim
         seed: scale.seed ^ 99,
         key_len: 16,
     };
-    generate(&mut ds, &config)?;
+    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
     let mut report = ExperimentReport::new(
         "headline",
         "Headline short-term biases re-detected by the hypothesis tests",
@@ -567,6 +852,60 @@ mod tests {
         assert!(f6.rows.len() >= 9);
         let lt = longterm_aligned(&tiny()).unwrap();
         assert_eq!(lt.rows.len(), 2);
+    }
+
+    #[test]
+    fn bias_experiment_trait_matches_free_function_and_roundtrips() {
+        // The trait path with a default context must reproduce the free
+        // function bit for bit (the numerical-identity guarantee of the
+        // experiment-API redesign).
+        let mut exp = BiasExperiment::headline();
+        exp.apply_scale(Scale::Quick);
+        exp.set_config_value(&config_to_value(&BiasConfig {
+            keys: 1 << 13,
+            longterm_keys: 4,
+            longterm_block: 4096,
+            seed: 7,
+            positions: vec![],
+        }))
+        .unwrap();
+        let via_trait = exp.run(&ExperimentContext::default()).unwrap();
+        let direct = headline_detection(&tiny()).unwrap();
+        assert_eq!(via_trait, direct);
+
+        // Config roundtrip through JSON is lossless.
+        let json = exp.config_json();
+        let mut other = BiasExperiment::headline();
+        other.set_config_json(&json).unwrap();
+        assert_eq!(other.config_value(), exp.config_value());
+
+        // A non-zero context seed changes the measured numbers.
+        let reseeded = exp.run(&ExperimentContext::default().with_seed(1)).unwrap();
+        assert_ne!(reseeded, direct);
+    }
+
+    #[test]
+    fn fig5_rejects_positions_beyond_u16() {
+        let mut exp = BiasExperiment::fig5();
+        exp.set_config_value(&config_to_value(&BiasConfig {
+            positions: vec![65600],
+            ..BiasConfig::for_scale(Scale::Quick, &[])
+        }))
+        .unwrap();
+        match exp.run(&ExperimentContext::default()) {
+            Err(ExperimentError::InvalidConfig(msg)) => assert!(msg.contains("65600")),
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|r| r.id)),
+        }
+    }
+
+    #[test]
+    fn bias_experiment_cancellation_aborts_generation() {
+        let handle = crate::context::CancelHandle::new();
+        handle.cancel();
+        let ctx = ExperimentContext::default().with_cancel(handle);
+        let mut exp = BiasExperiment::table1();
+        exp.apply_scale(Scale::Quick);
+        assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
     }
 
     #[test]

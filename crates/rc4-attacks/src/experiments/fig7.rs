@@ -12,11 +12,15 @@
 //! added — is what the experiment checks.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use plaintext_recovery::{absab::combine_pair_likelihoods, likelihood::PairLikelihoods};
 use rc4_biases::{absab::alpha, distributions::PairDistribution, UNIFORM_PAIR};
 
 use crate::{
+    context::{ExperimentContext, ProgressEvent},
+    experiment::{config_from_value, config_to_value, Experiment},
+    experiments::Scale,
     report::{format_percent, ExperimentReport},
     sampling::sample_counts_normal,
     ExperimentError,
@@ -45,7 +49,7 @@ impl RecoveryStrategy {
 }
 
 /// Configuration of the Fig. 7 simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig7Config {
     /// Ciphertext counts to sweep (the paper sweeps `2^27 ..= 2^39`).
     pub ciphertext_counts: Vec<u64>,
@@ -80,6 +84,33 @@ impl Fig7Config {
             trials: 8,
             absab_relations: 32,
             ..Self::default()
+        }
+    }
+
+    /// The preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self::quick(),
+            Scale::Laptop => Self {
+                ciphertext_counts: vec![1 << 27, 1 << 29, 1 << 31, 1 << 33, 1 << 35],
+                trials: 32,
+                absab_relations: 64,
+                ..Self::default()
+            },
+            Scale::Extended => Self {
+                ciphertext_counts: vec![
+                    1 << 27,
+                    1 << 29,
+                    1 << 31,
+                    1 << 33,
+                    1 << 35,
+                    1 << 37,
+                    1 << 39,
+                ],
+                trials: 128,
+                absab_relations: 258,
+                ..Self::default()
+            },
         }
     }
 }
@@ -169,6 +200,20 @@ fn simulate_trial(
 /// Returns [`ExperimentError::InvalidConfig`] for empty sweeps and propagates
 /// component errors.
 pub fn run(config: &Fig7Config) -> Result<ExperimentReport, ExperimentError> {
+    run_with_context(config, &ExperimentContext::default())
+}
+
+/// [`run`] under an explicit [`ExperimentContext`]: the context seed is mixed
+/// into `config.seed`, progress is reported per sweep point, and the
+/// cancellation flag is honoured between trials.
+///
+/// # Errors
+///
+/// Everything [`run`] returns, plus [`ExperimentError::Cancelled`].
+pub fn run_with_context(
+    config: &Fig7Config,
+    ctx: &ExperimentContext,
+) -> Result<ExperimentReport, ExperimentError> {
     if config.ciphertext_counts.is_empty() || config.trials == 0 {
         return Err(ExperimentError::InvalidConfig(
             "need at least one ciphertext count and one trial".into(),
@@ -194,8 +239,9 @@ pub fn run(config: &Fig7Config) -> Result<ExperimentReport, ExperimentError> {
             .to_string(),
     );
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    for &n in &config.ciphertext_counts {
+    let mut rng = StdRng::seed_from_u64(ctx.mix_seed(config.seed));
+    let total = config.ciphertext_counts.len() as u64;
+    for (point, &n) in config.ciphertext_counts.iter().enumerate() {
         let mut rates = Vec::new();
         for strategy in [
             RecoveryStrategy::AbsabOnly,
@@ -204,6 +250,7 @@ pub fn run(config: &Fig7Config) -> Result<ExperimentReport, ExperimentError> {
         ] {
             let mut successes = 0usize;
             for _ in 0..config.trials {
+                ctx.checkpoint()?;
                 if simulate_trial(strategy, n, config, &fm_dist, &fm_cells, &mut rng)? {
                     successes += 1;
                 }
@@ -216,8 +263,64 @@ pub fn run(config: &Fig7Config) -> Result<ExperimentReport, ExperimentError> {
             format_percent(rates[1]),
             format_percent(rates[2]),
         ]);
+        ctx.emit(ProgressEvent::Progress {
+            experiment: "fig7",
+            completed: point as u64 + 1,
+            total,
+            unit: "point",
+        });
     }
     Ok(report)
+}
+
+/// [`Experiment`] carrier for the Fig. 7 two-byte recovery simulation.
+pub struct Fig7Experiment {
+    config: Fig7Config,
+}
+
+impl Fig7Experiment {
+    /// Creates the experiment with the `Laptop`-scale preset.
+    pub fn new() -> Self {
+        Self {
+            config: Fig7Config::for_scale(Scale::Laptop),
+        }
+    }
+}
+
+impl Default for Fig7Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Experiment for Fig7Experiment {
+    fn name(&self) -> &'static str {
+        "fig7"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Success rate of decrypting two bytes: ABSAB vs FM vs combined (Sect. 4.3)"
+    }
+
+    fn apply_scale(&mut self, scale: Scale) {
+        self.config = Fig7Config::for_scale(scale);
+    }
+
+    fn config_value(&self) -> serde::Value {
+        config_to_value(&self.config)
+    }
+
+    fn set_config_value(&mut self, value: &serde::Value) -> Result<(), ExperimentError> {
+        self.config = config_from_value(self.name(), value)?;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError> {
+        ctx.emit(ProgressEvent::Started { experiment: "fig7" });
+        let report = run_with_context(&self.config, ctx)?;
+        ctx.emit(ProgressEvent::Finished { experiment: "fig7" });
+        Ok(report)
+    }
 }
 
 /// Extracts the success rates from a Fig. 7 report row for programmatic checks.
@@ -256,6 +359,31 @@ mod tests {
         assert!(combined >= fm, "combined {combined} < fm {fm}");
         assert!(combined >= absab, "combined {combined} < absab {absab}");
         assert!(combined > 0.8, "combined rate too low: {combined}");
+    }
+
+    #[test]
+    fn trait_run_matches_free_function_and_cancels() {
+        let mut exp = Fig7Experiment::new();
+        exp.apply_scale(Scale::Quick);
+        let config = Fig7Config {
+            ciphertext_counts: vec![1 << 28],
+            trials: 2,
+            absab_relations: 4,
+            ..Fig7Config::quick()
+        };
+        exp.set_config_value(&config_to_value(&config)).unwrap();
+        let via_trait = exp.run(&ExperimentContext::default()).unwrap();
+        let direct = run(&config).unwrap();
+        assert_eq!(via_trait, direct);
+        // Config JSON roundtrip is lossless.
+        let json = serde_json::to_string(&config).unwrap();
+        let back: Fig7Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+        // Cancellation aborts between trials.
+        let handle = crate::context::CancelHandle::new();
+        handle.cancel();
+        let ctx = ExperimentContext::default().with_cancel(handle);
+        assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
     }
 
     #[test]

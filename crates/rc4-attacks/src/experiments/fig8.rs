@@ -21,6 +21,7 @@
 //!   requires capture counts that grow towards the paper's numbers.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crypto_prims::{crc32, michael::MichaelKey};
 use plaintext_recovery::candidates::generate_candidates;
@@ -33,13 +34,16 @@ use wpa_tkip::{
 };
 
 use crate::{
+    context::{ExperimentContext, ProgressEvent},
+    experiment::{config_from_value, config_to_value, Experiment},
+    experiments::Scale,
     report::{format_percent, ExperimentReport},
     sampling::sample_index,
     ExperimentError,
 };
 
 /// Traffic/keystream model used by the simulation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TkipTrafficModel {
     /// Synthetic per-TSC1 distributions with the given relative bias strength.
     Synthetic {
@@ -53,8 +57,43 @@ pub enum TkipTrafficModel {
     },
 }
 
+/// Serialized as a tagged object: `{"kind": "synthetic", "relative_bias": x}`
+/// or `{"kind": "empirical", "keys": n}`. Hand-written because the vendored
+/// serde derive only covers unit-variant enums.
+impl Serialize for TkipTrafficModel {
+    fn to_value(&self) -> Value {
+        match self {
+            TkipTrafficModel::Synthetic { relative_bias } => Value::Object(vec![
+                ("kind".into(), Value::Str("synthetic".into())),
+                ("relative_bias".into(), relative_bias.to_value()),
+            ]),
+            TkipTrafficModel::Empirical { keys } => Value::Object(vec![
+                ("kind".into(), Value::Str("empirical".into())),
+                ("keys".into(), keys.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for TkipTrafficModel {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind = String::from_value(v.field("kind")?)?;
+        match kind.as_str() {
+            "synthetic" => Ok(TkipTrafficModel::Synthetic {
+                relative_bias: f64::from_value(v.field("relative_bias")?)?,
+            }),
+            "empirical" => Ok(TkipTrafficModel::Empirical {
+                keys: u64::from_value(v.field("keys")?)?,
+            }),
+            other => Err(DeError(format!(
+                "unknown traffic model kind '{other}' (expected synthetic | empirical)"
+            ))),
+        }
+    }
+}
+
 /// Configuration of the Fig. 8 / Fig. 9 simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fig8Config {
     /// Capture counts to sweep (the paper sweeps `1..=15 x 2^20`).
     pub capture_counts: Vec<u64>,
@@ -94,6 +133,21 @@ impl Fig8Config {
             ..Self::default()
         }
     }
+
+    /// The preset for a [`Scale`].
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Quick => Self::quick(),
+            Scale::Laptop => Self::default(),
+            Scale::Extended => Self {
+                capture_counts: vec![1 << 13, 1 << 15, 1 << 17, 1 << 19, 1 << 21],
+                trials: 64,
+                max_candidates: 1 << 20,
+                model: TkipTrafficModel::Empirical { keys: 1 << 22 },
+                ..Self::default()
+            },
+        }
+    }
 }
 
 /// Per-point aggregate of the simulation.
@@ -118,12 +172,28 @@ pub struct Fig8Point {
 /// Returns [`ExperimentError::InvalidConfig`] on an empty sweep and propagates
 /// component errors.
 pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), ExperimentError> {
+    run_with_context(config, &ExperimentContext::default())
+}
+
+/// [`run`] under an explicit [`ExperimentContext`]: the context seed is mixed
+/// into `config.seed`, progress is reported per sweep point, and cancellation
+/// is honoured between trials and capture batches.
+///
+/// # Errors
+///
+/// Everything [`run`] returns, plus [`ExperimentError::Cancelled`].
+pub fn run_with_context(
+    config: &Fig8Config,
+    ctx: &ExperimentContext,
+) -> Result<(Vec<Fig8Point>, ExperimentReport), ExperimentError> {
     if config.capture_counts.is_empty() || config.trials == 0 {
         return Err(ExperimentError::InvalidConfig(
             "need at least one capture count and one trial".into(),
         ));
     }
+    let seed = ctx.mix_seed(config.seed);
     let first_position = config.payload_len + 1;
+    ctx.checkpoint()?;
     let model = match config.model {
         TkipTrafficModel::Synthetic { relative_bias } => TkipKeystreamModel::synthetic(
             TscClassing::Tsc1,
@@ -132,10 +202,11 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
             relative_bias,
         ),
         TkipTrafficModel::Empirical { keys } => {
-            let ds = rc4_stats::tsc::PerTscDataset::generate(
+            let ds = rc4_stats::tsc::PerTscDataset::generate_with_cancel(
                 rc4_stats::tsc::TscConditioning::Tsc1,
                 first_position + wpa_tkip::mpdu::TRAILER_LEN,
-                &rc4_stats::GenerationConfig::with_keys(keys).seed(config.seed ^ 0xE),
+                &rc4_stats::GenerationConfig::with_keys(keys).seed(seed ^ 0xE),
+                Some(ctx.cancel_flag()),
             )?;
             let mut probs = Vec::with_capacity(256 * wpa_tkip::mpdu::TRAILER_LEN * 256);
             for class in 0..256 {
@@ -159,13 +230,15 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
         priority: 0,
     };
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut points = Vec::with_capacity(config.capture_counts.len());
-    for &captures in &config.capture_counts {
+    let total_points = config.capture_counts.len() as u64;
+    for (point, &captures) in config.capture_counts.iter().enumerate() {
         let mut success_full = 0usize;
         let mut success_top2 = 0usize;
         let mut positions: Vec<usize> = Vec::new();
         for _ in 0..config.trials {
+            ctx.checkpoint()?;
             // A fresh injected packet per trial: random payload, random MIC key.
             let payload: Vec<u8> = (0..config.payload_len).map(|_| rng.gen()).collect();
             let mic_key = MichaelKey {
@@ -186,6 +259,9 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
             // keystream bytes from the model's class distribution and XOR.
             let mut stats = TrailerStatistics::new(256, config.payload_len)?;
             for i in 0..captures {
+                if i % 4096 == 0 {
+                    ctx.checkpoint()?;
+                }
                 let tsc = Tsc(i + 1);
                 let class = model.class_of(tsc);
                 let mut ct = vec![0u8; config.payload_len + wpa_tkip::mpdu::TRAILER_LEN];
@@ -228,6 +304,12 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
             success_top2: success_top2 as f64 / config.trials as f64,
             median_position: median,
         });
+        ctx.emit(ProgressEvent::Progress {
+            experiment: "fig8",
+            completed: point as u64 + 1,
+            total: total_points,
+            unit: "point",
+        });
     }
 
     let mut report = ExperimentReport::new(
@@ -265,6 +347,58 @@ pub fn run(config: &Fig8Config) -> Result<(Vec<Fig8Point>, ExperimentReport), Ex
     Ok((points, report))
 }
 
+/// [`Experiment`] carrier for the Fig. 8 / Fig. 9 TKIP MIC-key recovery
+/// simulation (the report covers both figures, so the registry also exposes
+/// this experiment under the `fig9` alias).
+pub struct Fig8Experiment {
+    config: Fig8Config,
+}
+
+impl Fig8Experiment {
+    /// Creates the experiment with the `Laptop`-scale preset.
+    pub fn new() -> Self {
+        Self {
+            config: Fig8Config::for_scale(Scale::Laptop),
+        }
+    }
+}
+
+impl Default for Fig8Experiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Experiment for Fig8Experiment {
+    fn name(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn summary(&self) -> &'static str {
+        "TKIP MIC-key recovery success rate and candidate position (Fig. 8/9)"
+    }
+
+    fn apply_scale(&mut self, scale: Scale) {
+        self.config = Fig8Config::for_scale(scale);
+    }
+
+    fn config_value(&self) -> Value {
+        config_to_value(&self.config)
+    }
+
+    fn set_config_value(&mut self, value: &Value) -> Result<(), ExperimentError> {
+        self.config = config_from_value(self.name(), value)?;
+        Ok(())
+    }
+
+    fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError> {
+        ctx.emit(ProgressEvent::Started { experiment: "fig8" });
+        let (_points, report) = run_with_context(&self.config, ctx)?;
+        ctx.emit(ProgressEvent::Finished { experiment: "fig8" });
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +410,47 @@ mod tests {
             ..Fig8Config::quick()
         };
         assert!(run(&bad).is_err());
+    }
+
+    #[test]
+    fn traffic_model_and_config_serde_roundtrip() {
+        for model in [
+            TkipTrafficModel::Synthetic {
+                relative_bias: 0.25,
+            },
+            TkipTrafficModel::Empirical { keys: 1 << 20 },
+        ] {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: TkipTrafficModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model);
+        }
+        assert!(serde_json::from_str::<TkipTrafficModel>("{\"kind\":\"psychic\"}").is_err());
+
+        let config = Fig8Config::for_scale(Scale::Extended);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: Fig8Config = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn trait_run_matches_free_function_and_cancels() {
+        let config = Fig8Config {
+            capture_counts: vec![1 << 9],
+            trials: 2,
+            max_candidates: 256,
+            model: TkipTrafficModel::Synthetic { relative_bias: 0.9 },
+            ..Fig8Config::quick()
+        };
+        let mut exp = Fig8Experiment::new();
+        exp.set_config_value(&config_to_value(&config)).unwrap();
+        let via_trait = exp.run(&ExperimentContext::default()).unwrap();
+        let (_, direct) = run(&config).unwrap();
+        assert_eq!(via_trait, direct);
+
+        let handle = crate::context::CancelHandle::new();
+        handle.cancel();
+        let ctx = ExperimentContext::default().with_cancel(handle);
+        assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
     }
 
     #[test]

@@ -7,14 +7,23 @@
 //! * [`fig8`] — the TKIP MIC-key recovery success rate and candidate-position
 //!   curves of Section 5 (Fig. 8 and Fig. 9).
 //! * [`fig10`] — the HTTPS cookie brute-force success curve of Section 6.
+//! * [`tkip_attack`] — the end-to-end WPA-TKIP attack of Section 5.
+//! * [`tls_cookie`] — the end-to-end HTTPS cookie attack of Section 6.
 //!
 //! All drivers are deterministic for a fixed configuration (seeds included in
-//! the configs) and return [`crate::report::ExperimentReport`]s.
+//! the configs) and return [`crate::report::ExperimentReport`]s. Every driver
+//! is also exposed as a [`crate::Experiment`] through
+//! [`crate::Registry::with_defaults`], which is built from
+//! [`default_experiments`].
 
 pub mod biases;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;
+pub mod tkip_attack;
+pub mod tls_cookie;
+
+use crate::{experiment::Experiment, registry::ExperimentFactory};
 
 /// Scale presets shared by the drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +37,9 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// All presets, in increasing effort order.
+    pub const ALL: [Scale; 3] = [Scale::Quick, Scale::Laptop, Scale::Extended];
+
     /// Parses a scale name.
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
@@ -37,6 +49,42 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// The canonical name (the one [`Scale::parse`] always accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Laptop => "laptop",
+            Scale::Extended => "extended",
+        }
+    }
+}
+
+/// The built-in experiments in canonical `run all` order, each with its alias
+/// list — the single source [`crate::Registry::with_defaults`] is built from.
+pub fn default_experiments() -> Vec<(ExperimentFactory, &'static [&'static str])> {
+    fn boxed<E: Experiment + Default + 'static>() -> Box<dyn Experiment> {
+        Box::new(E::default())
+    }
+    // `BiasExperiment` has per-experiment constructors rather than `Default`.
+    vec![
+        (|| Box::new(biases::BiasExperiment::headline()), &[]),
+        (|| Box::new(biases::BiasExperiment::table1()), &[]),
+        (|| Box::new(biases::BiasExperiment::fig4()), &[]),
+        (|| Box::new(biases::BiasExperiment::table2()), &[]),
+        (|| Box::new(biases::BiasExperiment::eq345()), &[]),
+        (|| Box::new(biases::BiasExperiment::fig5()), &[]),
+        (|| Box::new(biases::BiasExperiment::fig6()), &[]),
+        (|| Box::new(biases::BiasExperiment::longterm()), &[]),
+        (boxed::<fig7::Fig7Experiment>, &[]),
+        (
+            boxed::<fig8::Fig8Experiment>,
+            &["fig9", "fig8_fig9"] as &[&str],
+        ),
+        (boxed::<fig10::Fig10Experiment>, &[]),
+        (boxed::<tkip_attack::TkipAttackExperiment>, &[]),
+        (boxed::<tls_cookie::TlsCookieExperiment>, &[]),
+    ]
 }
 
 #[cfg(test)]
@@ -49,5 +97,9 @@ mod tests {
         assert_eq!(Scale::parse("LAPTOP"), Some(Scale::Laptop));
         assert_eq!(Scale::parse("full"), Some(Scale::Extended));
         assert_eq!(Scale::parse("nonsense"), None);
+        // Canonical names parse back to themselves.
+        for scale in Scale::ALL {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
     }
 }

@@ -15,11 +15,17 @@
 //! | Fig. 7 — two-byte recovery: ABSAB vs FM vs combined | [`experiments::fig7`] |
 //! | Fig. 8 / Fig. 9 — TKIP MIC-key recovery | [`experiments::fig8`] |
 //! | Fig. 10 — HTTPS cookie brute force | [`experiments::fig10`] |
+//! | Sect. 5 — end-to-end WPA-TKIP attack | [`experiments::tkip_attack`] |
+//! | Sect. 6 — end-to-end HTTPS cookie attack | [`experiments::tls_cookie`] |
 //!
-//! Every experiment takes a scale configuration (laptop-scale defaults,
-//! paper-scale documented), runs deterministically for a given seed, and
-//! returns a [`report::ExperimentReport`] that the `repro` binary renders and
-//! that `EXPERIMENTS.md` summarizes.
+//! Every experiment implements the [`Experiment`] trait — a
+//! serde-roundtrippable config with per-scale defaults plus a deterministic
+//! `run(&ExperimentContext)` — and is registered in
+//! [`Registry::with_defaults`], which drivers like `repro` iterate instead of
+//! hardcoding experiment lists. The [`ExperimentContext`] carries the global
+//! seed, worker count, progress sink and cooperative cancellation flag. Each
+//! run returns a [`report::ExperimentReport`] that the `repro` binary renders
+//! and that `EXPERIMENTS.md` summarizes.
 //!
 //! Because the paper-scale data volumes (`2^44+` keys, `2^27`–`2^31`
 //! ciphertexts) are not laptop-feasible, attack experiments support a
@@ -31,10 +37,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
+pub mod experiment;
 pub mod experiments;
+pub mod registry;
 pub mod report;
 pub mod sampling;
 
+pub use context::{CancelHandle, EventSink, ExperimentContext, ProgressEvent};
+pub use experiment::Experiment;
+pub use registry::Registry;
 pub use report::{ExperimentReport, ReportRow};
 
 /// Errors surfaced by the experiment drivers.
@@ -44,6 +56,16 @@ pub enum ExperimentError {
     InvalidConfig(String),
     /// A lower-level component failed.
     Component(String),
+    /// The run's cooperative cancellation flag was raised mid-experiment.
+    Cancelled,
+    /// A registry lookup failed; carries every registered name so callers can
+    /// print an always-current list.
+    UnknownExperiment {
+        /// The name that was requested.
+        name: String,
+        /// All registered primary names, in registration order.
+        registered: Vec<String>,
+    },
 }
 
 impl core::fmt::Display for ExperimentError {
@@ -51,6 +73,12 @@ impl core::fmt::Display for ExperimentError {
         match self {
             ExperimentError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ExperimentError::Component(msg) => write!(f, "component failure: {msg}"),
+            ExperimentError::Cancelled => write!(f, "experiment cancelled"),
+            ExperimentError::UnknownExperiment { name, registered } => write!(
+                f,
+                "unknown experiment '{name}'; registered experiments: {}",
+                registered.join(", ")
+            ),
         }
     }
 }
@@ -59,7 +87,10 @@ impl std::error::Error for ExperimentError {}
 
 impl From<rc4_stats::DatasetError> for ExperimentError {
     fn from(e: rc4_stats::DatasetError) -> Self {
-        ExperimentError::Component(e.to_string())
+        match e {
+            rc4_stats::DatasetError::Cancelled => ExperimentError::Cancelled,
+            other => ExperimentError::Component(other.to_string()),
+        }
     }
 }
 
@@ -100,5 +131,13 @@ mod tests {
         assert!(matches!(from_stats, ExperimentError::Component(_)));
         let from_tkip: ExperimentError = wpa_tkip::TkipError::IntegrityFailure("ICV").into();
         assert!(from_tkip.to_string().contains("ICV"));
+        let cancelled: ExperimentError = rc4_stats::DatasetError::Cancelled.into();
+        assert_eq!(cancelled, ExperimentError::Cancelled);
+        let unknown = ExperimentError::UnknownExperiment {
+            name: "fig99".into(),
+            registered: vec!["fig7".into(), "fig8".into()],
+        };
+        let msg = unknown.to_string();
+        assert!(msg.contains("fig99") && msg.contains("fig7, fig8"));
     }
 }

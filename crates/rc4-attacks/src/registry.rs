@@ -1,0 +1,259 @@
+//! The experiment registry: one catalogue for every figure, table and
+//! end-to-end attack of the reproduction.
+//!
+//! A [`Registry`] maps stable experiment names to factories producing boxed
+//! [`Experiment`]s. Drivers iterate it instead of hardcoding experiment
+//! lists: `repro list` prints it, `repro run all` walks it in registration
+//! order, and unknown-name errors quote it. [`Registry::with_defaults`]
+//! registers the full paper pipeline (11 figure/table experiments plus the
+//! `tkip-attack` and `tls-cookie` end-to-end attacks); [`Registry::register`]
+//! adds custom experiments — see the README for a complete example.
+
+use crate::{experiment::Experiment, ExperimentError};
+
+/// Factory producing a fresh experiment instance (with its `Laptop`-scale
+/// default configuration; drivers call `apply_scale` afterwards).
+pub type ExperimentFactory = fn() -> Box<dyn Experiment>;
+
+/// One registered experiment.
+pub struct RegistryEntry {
+    name: &'static str,
+    summary: &'static str,
+    aliases: &'static [&'static str],
+    factory: ExperimentFactory,
+}
+
+impl RegistryEntry {
+    /// Stable registry/CLI name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Alternative lookup names (e.g. `fig9` for the `fig8` experiment, whose
+    /// report carries both figures).
+    pub fn aliases(&self) -> &'static [&'static str] {
+        self.aliases
+    }
+
+    /// Instantiates the experiment.
+    pub fn create(&self) -> Box<dyn Experiment> {
+        (self.factory)()
+    }
+}
+
+impl core::fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RegistryEntry")
+            .field("name", &self.name)
+            .field("aliases", &self.aliases)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An ordered, name-addressable catalogue of experiments.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the registry of all built-in experiments, in canonical
+    /// `run all` order.
+    pub fn with_defaults() -> Self {
+        let mut registry = Self::new();
+        for (factory, aliases) in crate::experiments::default_experiments() {
+            registry
+                .register_with_aliases(factory, aliases)
+                .expect("built-in experiment names are unique");
+        }
+        registry
+    }
+
+    /// Registers an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::InvalidConfig`] if the factory's name (or
+    /// one of its aliases) is already taken.
+    pub fn register(&mut self, factory: ExperimentFactory) -> Result<(), ExperimentError> {
+        self.register_with_aliases(factory, &[])
+    }
+
+    /// Registers an experiment reachable under extra alias names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::InvalidConfig`] on any name collision.
+    pub fn register_with_aliases(
+        &mut self,
+        factory: ExperimentFactory,
+        aliases: &'static [&'static str],
+    ) -> Result<(), ExperimentError> {
+        let instance = factory();
+        let name = instance.name();
+        let summary = instance.summary();
+        for candidate in std::iter::once(name).chain(aliases.iter().copied()) {
+            if self.find(candidate).is_some() {
+                return Err(ExperimentError::InvalidConfig(format!(
+                    "experiment name '{candidate}' is already registered"
+                )));
+            }
+        }
+        self.entries.push(RegistryEntry {
+            name,
+            summary,
+            aliases,
+            factory,
+        });
+        Ok(())
+    }
+
+    /// The registered entries, in registration order.
+    pub fn entries(&self) -> &[RegistryEntry] {
+        &self.entries
+    }
+
+    /// The primary names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Number of registered experiments.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by name or alias (case-sensitive).
+    pub fn find(&self, name: &str) -> Option<&RegistryEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name || e.aliases.contains(&name))
+    }
+
+    /// Instantiates the experiment registered under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::UnknownExperiment`] carrying the full list
+    /// of registered names, so callers (and CLI error messages) never go
+    /// stale.
+    pub fn create(&self, name: &str) -> Result<Box<dyn Experiment>, ExperimentError> {
+        self.find(name).map(RegistryEntry::create).ok_or_else(|| {
+            ExperimentError::UnknownExperiment {
+                name: name.to_string(),
+                registered: self.names().iter().map(|n| n.to_string()).collect(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        context::ExperimentContext, experiments::Scale, report::ExperimentReport, ExperimentError,
+    };
+    use serde::Value;
+
+    struct Probe;
+
+    impl Experiment for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn summary(&self) -> &'static str {
+            "registry test probe"
+        }
+        fn apply_scale(&mut self, _scale: Scale) {}
+        fn config_value(&self) -> Value {
+            Value::Object(vec![])
+        }
+        fn set_config_value(&mut self, _value: &Value) -> Result<(), ExperimentError> {
+            Ok(())
+        }
+        fn run(&self, _ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError> {
+            Ok(ExperimentReport::new("probe", "probe", &[]))
+        }
+    }
+
+    fn probe_factory() -> Box<dyn Experiment> {
+        Box::new(Probe)
+    }
+
+    #[test]
+    fn register_lookup_and_duplicate_rejection() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.register_with_aliases(probe_factory, &["sonde"]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.names(), vec!["probe"]);
+        assert!(r.find("probe").is_some());
+        assert!(r.find("sonde").is_some());
+        assert!(r.find("nope").is_none());
+        assert!(r.register(probe_factory).is_err());
+
+        let e = r.create("probe").unwrap();
+        assert_eq!(e.name(), "probe");
+        let Err(err) = r.create("nope") else {
+            panic!("lookup of an unregistered name should fail")
+        };
+        match err {
+            ExperimentError::UnknownExperiment { name, registered } => {
+                assert_eq!(name, "nope");
+                assert_eq!(registered, vec!["probe".to_string()]);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_registry_covers_the_paper_pipeline() {
+        let r = Registry::with_defaults();
+        assert!(
+            r.len() >= 13,
+            "expected the 11 figure/table experiments plus 2 attacks, got {:?}",
+            r.names()
+        );
+        for name in [
+            "headline",
+            "table1",
+            "fig4",
+            "table2",
+            "eq345",
+            "fig5",
+            "fig6",
+            "longterm",
+            "fig7",
+            "fig8",
+            "fig10",
+            "tkip-attack",
+            "tls-cookie",
+        ] {
+            assert!(r.find(name).is_some(), "'{name}' missing from registry");
+        }
+        // The fig8 experiment also answers to the fig9 alias (one report
+        // carries both figures).
+        assert_eq!(r.find("fig9").unwrap().name(), "fig8");
+        // Every entry instantiates with a matching name and a non-empty summary.
+        for entry in r.entries() {
+            let instance = entry.create();
+            assert_eq!(instance.name(), entry.name());
+            assert!(!entry.summary().is_empty());
+        }
+    }
+}

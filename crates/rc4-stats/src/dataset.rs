@@ -12,6 +12,9 @@ pub enum DatasetError {
     ShapeMismatch(String),
     /// Serialization or deserialization failed.
     Serialization(String),
+    /// Generation was cancelled through a cooperative cancellation flag before
+    /// it completed; any partially-filled collector must be discarded.
+    Cancelled,
 }
 
 impl core::fmt::Display for DatasetError {
@@ -20,6 +23,7 @@ impl core::fmt::Display for DatasetError {
             DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DatasetError::ShapeMismatch(msg) => write!(f, "dataset shape mismatch: {msg}"),
             DatasetError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            DatasetError::Cancelled => write!(f, "generation cancelled"),
         }
     }
 }

@@ -165,6 +165,23 @@ impl PerTscDataset {
         positions: usize,
         config: &GenerationConfig,
     ) -> Result<Self, DatasetError> {
+        Self::generate_with_cancel(conditioning, positions, config, None)
+    }
+
+    /// [`PerTscDataset::generate`] with a cooperative cancellation flag,
+    /// polled every few hundred keys (generation is single-threaded: the
+    /// per-class counter tables are too large to clone per worker).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PerTscDataset::generate`] returns, plus
+    /// [`DatasetError::Cancelled`] when the flag was observed set.
+    pub fn generate_with_cancel(
+        conditioning: TscConditioning,
+        positions: usize,
+        config: &GenerationConfig,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<Self, DatasetError> {
         config.validate()?;
         if config.key_len < 3 {
             return Err(DatasetError::InvalidConfig(
@@ -174,7 +191,11 @@ impl PerTscDataset {
         let mut ds = Self::new(conditioning, positions)?;
         let mut gen = KeyGenerator::new(config.seed, 0, config.key_len);
         let mut key = vec![0u8; config.key_len];
-        for _ in 0..config.keys {
+        for i in 0..config.keys {
+            if i % 512 == 0 && cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            {
+                return Err(DatasetError::Cancelled);
+            }
             gen.fill_key(&mut key);
             let tsc0 = (gen.next_below(256)) as u8;
             let tsc1 = (gen.next_below(256)) as u8;
@@ -243,6 +264,18 @@ pub struct PerTscGenerationNote;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_generation() {
+        let cancel = std::sync::atomic::AtomicBool::new(true);
+        let result = PerTscDataset::generate_with_cancel(
+            TscConditioning::Tsc1,
+            8,
+            &GenerationConfig::with_keys(1_000_000),
+            Some(&cancel),
+        );
+        assert!(matches!(result, Err(DatasetError::Cancelled)));
+    }
 
     #[test]
     fn key_prefix_matches_spec() {

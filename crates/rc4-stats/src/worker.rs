@@ -7,6 +7,13 @@
 //! workers never share mutable state during generation, the pool scales
 //! linearly with cores and the result is identical to a single-threaded run
 //! over the union of the per-worker key sequences.
+//!
+//! Long runs can be aborted cooperatively: [`generate_with_cancel`] takes an
+//! [`AtomicBool`] that every worker polls between key batches, so an
+//! experiment driver (e.g. `rc4-attacks`' `ExperimentContext`) can stop a
+//! multi-minute generation within milliseconds of the flag being raised.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam::thread;
 
@@ -14,6 +21,11 @@ use crate::{
     dataset::{DatasetError, GenerationConfig, KeystreamCollector},
     keygen::KeyGenerator,
 };
+
+/// How many keystreams a worker generates between cancellation-flag polls.
+/// Small enough to abort within milliseconds, large enough that the relaxed
+/// atomic load is invisible next to the RC4 work per key.
+const CANCEL_POLL_INTERVAL: u64 = 512;
 
 /// Generates `config.keys` keystreams and accumulates them into `collector`.
 ///
@@ -41,12 +53,44 @@ pub fn generate<C>(collector: &mut C, config: &GenerationConfig) -> Result<(), D
 where
     C: KeystreamCollector,
 {
+    generate_with_cancel(collector, config, None)
+}
+
+/// [`generate`] with a cooperative cancellation flag.
+///
+/// Workers poll `cancel` every [`CANCEL_POLL_INTERVAL`] keys. When the flag is
+/// raised mid-run the pool stops promptly and returns
+/// [`DatasetError::Cancelled`] **without** merging the partial per-worker
+/// counts, leaving `collector` exactly as it was handed in (single-worker runs
+/// accumulate in place and are instead left partially filled — on `Cancelled`,
+/// discard the collector either way).
+///
+/// # Errors
+///
+/// Everything [`generate`] returns, plus [`DatasetError::Cancelled`] when the
+/// flag was observed set before the run completed.
+pub fn generate_with_cancel<C>(
+    collector: &mut C,
+    config: &GenerationConfig,
+    cancel: Option<&AtomicBool>,
+) -> Result<(), DatasetError>
+where
+    C: KeystreamCollector,
+{
     config.validate()?;
     let needed = collector.required_len();
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+
+    if cancelled() {
+        return Err(DatasetError::Cancelled);
+    }
 
     if config.workers == 1 {
         let mut gen = KeyGenerator::new(config.seed, 0, config.key_len);
-        run_worker(collector, &mut gen, config.keys, needed);
+        run_worker(collector, &mut gen, config.keys, needed, cancel);
+        if cancelled() {
+            return Err(DatasetError::Cancelled);
+        }
         return Ok(());
     }
 
@@ -63,7 +107,7 @@ where
             let key_len = config.key_len;
             handles.push(scope.spawn(move |_| {
                 let mut gen = KeyGenerator::new(seed, w as u64, key_len);
-                run_worker(&mut local, &mut gen, keys, needed);
+                run_worker(&mut local, &mut gen, keys, needed, cancel);
                 local
             }));
         }
@@ -74,22 +118,30 @@ where
     })
     .expect("worker scope panicked");
 
+    if cancelled() {
+        return Err(DatasetError::Cancelled);
+    }
     for partial in partials {
         collector.merge(partial)?;
     }
     Ok(())
 }
 
-/// Inner loop of one worker: generate `keys` keystreams of `needed` bytes.
+/// Inner loop of one worker: generate `keys` keystreams of `needed` bytes,
+/// polling `cancel` between batches.
 fn run_worker<C: KeystreamCollector>(
     collector: &mut C,
     gen: &mut KeyGenerator,
     keys: u64,
     needed: usize,
+    cancel: Option<&AtomicBool>,
 ) {
     let mut key = vec![0u8; gen.key_len()];
     let mut ks = vec![0u8; needed];
-    for _ in 0..keys {
+    for i in 0..keys {
+        if i % CANCEL_POLL_INTERVAL == 0 && cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+            return;
+        }
         gen.fill_key(&mut key);
         let mut prga = rc4::Prga::new(&key).expect("worker key length is valid");
         prga.fill(&mut ks);
@@ -149,5 +201,32 @@ mod tests {
     fn invalid_config_is_rejected() {
         let mut ds = SingleByteDataset::new(2);
         assert!(generate(&mut ds, &GenerationConfig::with_keys(0)).is_err());
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_before_any_work() {
+        let cancel = AtomicBool::new(true);
+        for workers in [1, 4] {
+            let mut ds = SingleByteDataset::new(4);
+            let config = GenerationConfig::with_keys(1_000_000).workers(workers);
+            assert_eq!(
+                generate_with_cancel(&mut ds, &config, Some(&cancel)),
+                Err(DatasetError::Cancelled),
+                "{workers}-worker run ignored the cancellation flag"
+            );
+        }
+    }
+
+    #[test]
+    fn absent_flag_matches_plain_generate() {
+        let config = GenerationConfig::with_keys(300).workers(2).seed(5);
+        let mut plain = SingleByteDataset::new(4);
+        let mut with_flag = SingleByteDataset::new(4);
+        generate(&mut plain, &config).unwrap();
+        let never = AtomicBool::new(false);
+        generate_with_cancel(&mut with_flag, &config, Some(&never)).unwrap();
+        for r in 1..=4 {
+            assert_eq!(plain.counts_at(r), with_flag.counts_at(r));
+        }
     }
 }

@@ -1,88 +1,71 @@
-//! End-to-end HTTPS cookie attack demo (Section 6).
+//! End-to-end HTTPS cookie attack demo (Section 6), driven through the
+//! experiment registry.
 //!
-//! Drives a real TLS (RC4-SHA1) record layer carrying the manipulated request
-//! of Listing 3, captures the encrypted requests, accumulates Fluhrer–McGrew
-//! and ABSAB statistics, and shows the Fig. 10-style sweep in sampled mode.
+//! The attack itself lives in the registered `tls-cookie` experiment
+//! (`rc4_attacks::experiments::tls_cookie`): build the manipulated request of
+//! Listing 3, capture encrypted copies over real TLS RC4-SHA1 connections,
+//! accumulate FM + ABSAB statistics and brute-force the ranked candidate
+//! list. Real biases need ~2^30 captures for a hit, so this demo pairs the
+//! end-to-end pipeline with the `fig10` experiment, whose sampled mode shows
+//! the success curve at paper-scale request counts.
 //!
 //! ```text
 //! cargo run --release --example https_cookie_attack
 //! ```
 
-use plaintext_recovery::charset::Charset;
-use rc4_attacks::experiments::fig10::{run, Fig10Config};
-use tls_rc4::{
-    attack::{brute_force_rate_seconds, CookieAttackConfig, CookieStatistics},
-    http::RequestTemplate,
-    traffic::{TrafficConfig, TrafficGenerator},
+use std::sync::Arc;
+
+use rc4_attacks::{
+    context::StderrSink,
+    experiments::{fig10::Fig10Config, tls_cookie::TlsCookieConfig, Scale},
+    ExperimentContext, Registry,
 };
+use serde::Serialize;
 
 fn main() {
-    println!("== 1. The manipulated request ==");
-    let mut template = RequestTemplate::new("site.com", "auth", 16);
-    template.align_cookie(0, 0, tls_rc4::record::MAC_LEN);
-    let cookie = b"dGhpc2lzc2VjcmV0";
-    let request = template.build(cookie).expect("cookie length matches");
-    println!(
-        "request is {} bytes ({} known before the cookie, 16 secret, {} known after)",
-        request.len(),
-        template.cookie_offset(),
-        template.known_suffix().len()
-    );
+    let registry = Registry::with_defaults();
+    let ctx = ExperimentContext::new().with_sink(Arc::new(StderrSink));
 
-    println!("\n== 2. Victim traffic over real TLS RC4-SHA1 connections ==");
-    let mut traffic =
-        TrafficGenerator::new(template.clone(), cookie.to_vec(), TrafficConfig::default())
-            .expect("valid traffic config");
-    let captures = traffic.capture(5_000).expect("captures");
-    println!(
-        "captured {} encrypted requests; the paper's 9 * 2^27 requests take about {:.0} hours at 4450 req/s",
-        captures.len(),
-        traffic.hours_for(9 * (1u64 << 27))
-    );
-
-    println!("\n== 3. Accumulating FM + ABSAB statistics at the cookie positions ==");
-    let mut stats = CookieStatistics::new(&template, 64).expect("valid template");
-    for cap in &captures {
-        stats.add(cap).expect("aligned capture");
-    }
-    let attack_config = CookieAttackConfig {
-        candidates: 64,
-        ..CookieAttackConfig::default()
+    println!("== 1. The end-to-end pipeline over real TLS traffic ==");
+    let mut pipeline = registry
+        .create("tls-cookie")
+        .expect("tls-cookie is a built-in experiment");
+    // Configs are replaced wholesale (never merged), so one complete
+    // config derived from the quick preset is all that is needed.
+    let config = TlsCookieConfig {
+        captures: 5_000,
+        ..TlsCookieConfig::for_scale(Scale::Quick)
     };
-    let candidates =
-        tls_rc4::attack::cookie_candidates(&stats, &attack_config).expect("candidate generation");
-    println!(
-        "generated {} ranked cookie candidates from {} captures (far too few for success — the real \
-         attack needs ~2^30; see the sweep below)",
-        candidates.len(),
-        stats.requests()
-    );
-    println!(
-        "brute-forcing 2^23 candidates at 20000 req/s would take {:.1} minutes",
-        brute_force_rate_seconds(1 << 23, 20_000) / 60.0
-    );
+    pipeline
+        .set_config_value(&config.to_value())
+        .expect("hand-built config is valid");
+    match pipeline.run(&ctx) {
+        Ok(report) => print!("{}", report.render()),
+        Err(e) => eprintln!("pipeline failed: {e}"),
+    }
 
-    println!("\n== 4. Fig. 10 sweep in sampled mode ==");
-    let config = Fig10Config {
+    println!("\n== 2. The Fig. 10 success curve in sampled mode ==");
+    let mut sweep = registry
+        .create("fig10")
+        .expect("fig10 is a built-in experiment");
+    let sweep_config = Fig10Config {
         request_counts: vec![1 << 29, 1 << 31, 1 << 33],
         trials: 4,
         cookie_len: 8,
-        charset: Charset::base64(),
         candidates: 1 << 12,
         absab_relations: 48,
-        ..Fig10Config::default()
+        ..Fig10Config::for_scale(Scale::Quick)
     };
-    match run(&config) {
-        Ok((points, report)) => {
+    sweep
+        .set_config_value(&sweep_config.to_value())
+        .expect("hand-built config is valid");
+    match sweep.run(&ctx) {
+        Ok(report) => {
             print!("{}", report.render());
-            if let Some(best) = points.last() {
-                println!(
-                    "\nAt {} sampled requests the candidate-list brute force succeeds in {:.0}% of trials — \
-                     the same qualitative behaviour as the paper's 94% at 9 * 2^27.",
-                    best.requests,
-                    best.success_list * 100.0
-                );
-            }
+            println!(
+                "\nThe candidate-list rule reaches the paper's ~94% at 9 x 2^27 requests; \
+                 `repro run fig10 --scale laptop` sweeps the full curve."
+            );
         }
         Err(e) => eprintln!("sweep failed: {e}"),
     }

@@ -1,102 +1,58 @@
-//! End-to-end WPA-TKIP attack demo (Section 5).
+//! End-to-end WPA-TKIP attack demo (Section 5), driven through the
+//! experiment registry.
 //!
-//! Builds a real TKIP network in software (temporal key, MIC key, per-packet
-//! key mixing, Michael, ICV), injects identical TCP packets, captures the
-//! encrypted copies, and runs the MIC-key recovery attack. The keystream model
-//! used for the likelihoods is the synthetic per-TSC model (see DESIGN.md,
-//! substitution #2) so the demo finishes in seconds; swap in
-//! `TkipTrafficModel::Empirical` via the fig8 experiment for the faithful path.
+//! The attack itself lives in the registered `tkip-attack` experiment
+//! (`rc4_attacks::experiments::tkip_attack`): build the injected TCP packet,
+//! round-trip it through real TKIP encapsulation, sniff encrypted copies,
+//! recover the MIC key statistically and forge packets with it. This demo
+//! shows the registry workflow — instantiate by name, override the config,
+//! watch progress on stderr — which is exactly what `repro run tkip-attack`
+//! does.
 //!
 //! ```text
 //! cargo run --release --example wpa_tkip_attack
 //! ```
 
-use crypto_prims::michael::MichaelKey;
-use rc4_attacks::experiments::fig8::{run, Fig8Config, TkipTrafficModel};
-use wpa_tkip::{
-    injection::{InjectionConfig, InjectionSimulator},
-    mpdu::{decapsulate, encapsulate, FrameAddressing},
-    net::{build_tcp_msdu, Ipv4Header, TcpHeader},
-    Tsc,
+use std::sync::Arc;
+
+use rc4_attacks::{
+    context::StderrSink,
+    experiments::{tkip_attack::TkipAttackConfig, Scale},
+    ExperimentContext, Registry,
 };
+use serde::Serialize;
 
 fn main() {
-    println!("== 1. Build the injected TCP packet (LLC/SNAP + IPv4 + TCP + 7-byte payload) ==");
-    let ip = Ipv4Header::tcp([192, 168, 1, 7], [203, 0, 113, 10], 7, 64);
-    let tcp = TcpHeader {
-        src_port: 52311,
-        dst_port: 80,
-        seq: 0x1000_0000,
-        ack: 0x2000_0000,
-        flags: 0x18,
-        window: 29200,
-    };
-    let msdu = build_tcp_msdu(&ip, &tcp, b"ATTACK!");
-    println!(
-        "MSDU is {} bytes; the MIC/ICV trailer therefore sits at keystream positions {}..{} — \
-         the strongly biased region the paper selects with the 7-byte payload",
-        msdu.len(),
-        msdu.len() + 1,
-        msdu.len() + 12
-    );
+    let registry = Registry::with_defaults();
+    let mut experiment = registry
+        .create("tkip-attack")
+        .expect("tkip-attack is a built-in experiment");
+    println!("{} — {}\n", experiment.name(), experiment.summary());
 
-    println!("\n== 2. TKIP encapsulation round-trip on a software network ==");
-    let tk = [0xA5u8; 16];
-    let mic_key = MichaelKey {
-        l: 0x1234_5678,
-        r: 0x9ABC_DEF0,
-    };
-    let addressing = FrameAddressing {
-        dst: [0x00, 0x0c, 0x29, 0x11, 0x22, 0x33],
-        src: [0x00, 0x0c, 0x29, 0x44, 0x55, 0x66],
-        transmitter: [0x00, 0x0c, 0x29, 0x44, 0x55, 0x66],
-        priority: 0,
-    };
-    let mpdu = encapsulate(&tk, mic_key, &addressing, Tsc(1), &msdu);
-    let plain = decapsulate(&tk, mic_key, &addressing, &mpdu).expect("round trip");
-    assert_eq!(plain, msdu);
-    println!(
-        "encapsulate/decapsulate round-trips; ciphertext is {} bytes",
-        mpdu.ciphertext.len()
-    );
-
-    println!("\n== 3. Injection / capture simulation ==");
-    let mut sim = InjectionSimulator::new(
-        tk,
-        mic_key,
-        addressing,
-        msdu.clone(),
-        InjectionConfig::default(),
-    )
-    .expect("valid config");
-    let captures = sim.capture(2_000);
-    println!(
-        "captured {} unique encrypted copies (the live attack gathers ~9.5 * 2^20 in about {:.1} hours at 2500 pkt/s)",
-        captures.len(),
-        sim.seconds_for((9.5 * (1u64 << 20) as f64) as u64) / 3600.0
-    );
-
-    println!("\n== 4. MIC-key recovery sweep (Fig. 8 / Fig. 9 shape) ==");
-    let config = Fig8Config {
-        capture_counts: vec![1 << 11, 1 << 13, 1 << 15],
+    // Install a complete config derived from the quick preset (configs are
+    // replaced wholesale, never merged) — the same override mechanism
+    // `repro run --config file.json` uses.
+    let config = TkipAttackConfig {
+        captures: 8_192,
         trials: 8,
-        max_candidates: 1 << 14,
-        payload_len: msdu.len(),
-        model: TkipTrafficModel::Synthetic { relative_bias: 0.5 },
-        seed: 0xDE30,
+        relative_bias: 0.9,
+        ..TkipAttackConfig::for_scale(Scale::Quick)
     };
-    match run(&config) {
-        Ok((points, report)) => {
+    experiment
+        .set_config_value(&config.to_value())
+        .expect("hand-built config is valid");
+    println!("config:\n{}\n", experiment.config_json());
+
+    let ctx = ExperimentContext::new().with_sink(Arc::new(StderrSink));
+    match experiment.run(&ctx) {
+        Ok(report) => {
             print!("{}", report.render());
-            if let Some(best) = points.last() {
-                println!(
-                    "\nAt {} captures the MIC key is recovered in {:.0}% of trials; \
-                     with the key an attacker can inject and decrypt packets (Sect. 5).",
-                    best.captures,
-                    best.success_full_list * 100.0
-                );
-            }
+            println!(
+                "\nWith the recovered MIC key an attacker can inject and decrypt \
+                 arbitrary packets towards the client (Sect. 5); `repro run \
+                 tkip-attack --scale laptop` runs the faithful larger sweep."
+            );
         }
-        Err(e) => eprintln!("attack sweep failed: {e}"),
+        Err(e) => eprintln!("attack failed: {e}"),
     }
 }

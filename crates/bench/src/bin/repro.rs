@@ -6,15 +6,25 @@
 //! ```text
 //! repro list
 //! repro run <NAME...|all> [--scale quick|laptop|extended] [--seed N]
-//!           [--workers W] [--json] [--config FILE]
+//!           [--workers W] [--json] [--config FILE] [--cache-dir DIR]
 //!
-//! --scale    per-experiment preset to start from        (default: quick)
-//! --seed     global seed mixed into every experiment    (default: 0)
-//! --workers  dataset-generation worker threads          (default: 1)
-//! --json     print ONLY a JSON array with one report per experiment
-//! --config   JSON object {"<experiment>": {<config>}, ...}; each value is a
-//!            COMPLETE config object that replaces the scale preset for that
-//!            experiment (print a template with `Experiment::config_json`)
+//! --scale      per-experiment preset to start from        (default: quick)
+//! --seed       global seed mixed into every experiment    (default: 0)
+//! --workers    dataset-generation worker threads          (default: 1)
+//! --json       print ONLY a JSON array with one report per experiment
+//! --config     JSON object {"<experiment>": {<config>}, ...}; each value is a
+//!              COMPLETE config object that replaces the scale preset for that
+//!              experiment (print a template with `Experiment::config_json`)
+//! --cache-dir  dataset cache directory: matching complete datasets are
+//!              loaded instead of regenerated, fresh ones are persisted
+//!
+//! # the persistent dataset store (see README "On-disk dataset store"):
+//! repro dataset generate --out FILE --kind KIND [shape flags] [config flags]
+//!                        [--worker-range LO..HI] [--checkpoint-keys N]
+//!                        [--stop-after-keys N]
+//! repro dataset resume FILE [--checkpoint-keys N] [--stop-after-keys N]
+//! repro dataset merge --out FILE SHARD...
+//! repro dataset info FILE [--json]
 //!
 //! # legacy form, kept for muscle memory and old scripts:
 //! repro [EXPERIMENT] [SCALE] [--json]
@@ -40,6 +50,7 @@ struct Args {
     workers: usize,
     json: bool,
     config_path: Option<String>,
+    cache_dir: Option<String>,
 }
 
 enum Command {
@@ -48,7 +59,10 @@ enum Command {
 }
 
 fn usage() -> String {
-    "usage: repro list\n       repro run <NAME...|all> [--scale S] [--seed N] [--workers W] [--json] [--config FILE]".to_string()
+    "usage: repro list\n       \
+     repro run <NAME...|all> [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
+     repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)"
+        .to_string()
 }
 
 /// Parses the command line; `Err` carries the message and exit status
@@ -60,20 +74,21 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
     let mut workers = 1usize;
     let mut json = false;
     let mut config_path = None;
+    let mut cache_dir = None;
 
     let fail = |msg: String| (msg, 2u8);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
-            "--scale" | "--seed" | "--workers" | "--config" => {
+            "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" => {
                 let value = it
                     .next()
                     .ok_or_else(|| fail(format!("{arg} requires a value\n{}", usage())))?;
                 match arg.as_str() {
                     "--scale" => scale = Some(parse_scale(value).map_err(fail)?),
                     "--seed" => {
-                        seed = value.parse().map_err(|_| {
+                        seed = parse_u64(value).map_err(|_| {
                             fail(format!("--seed expects an integer, got '{value}'"))
                         })?;
                     }
@@ -81,7 +96,15 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
                         workers = value.parse().map_err(|_| {
                             fail(format!("--workers expects an integer, got '{value}'"))
                         })?;
+                        if workers == 0 {
+                            return Err(fail(
+                                "--workers must be at least 1: the worker count partitions the \
+                                 deterministic key space, so there is no meaningful zero-worker run"
+                                    .to_string(),
+                            ));
+                        }
                     }
+                    "--cache-dir" => cache_dir = Some(value.clone()),
                     _ => config_path = Some(value.clone()),
                 }
             }
@@ -149,6 +172,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         workers,
         json,
         config_path,
+        cache_dir,
     })
 }
 
@@ -157,6 +181,16 @@ fn parse_scale(name: &str) -> Result<Scale, String> {
         let known: Vec<&str> = Scale::ALL.iter().map(|s| s.name()).collect();
         format!("unknown scale '{name}' (expected {})", known.join(" | "))
     })
+}
+
+/// Parses a u64 accepting both decimal and `0x`-prefixed hex (seeds are
+/// usually quoted in hex in the experiment docs).
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.map_err(|_| format!("expected an integer, got '{s}'"))
 }
 
 /// Loads and validates the `--config` overrides: a JSON object keyed by
@@ -245,6 +279,9 @@ fn build_experiments(
 
 fn run() -> Result<(), (String, u8)> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("dataset") {
+        return dataset_cli::run(&raw[1..]);
+    }
     let args = parse_args(&raw)?;
     let registry = Registry::with_defaults();
 
@@ -281,16 +318,25 @@ fn run() -> Result<(), (String, u8)> {
             let experiments = build_experiments(&registry, &names, args.scale, &overrides)
                 .map_err(|msg| (msg, 2))?;
 
-            let ctx = ExperimentContext::new()
+            let mut ctx = ExperimentContext::new()
                 .with_seed(args.seed)
                 .with_workers(args.workers)
                 .with_sink(Arc::new(StderrSink));
+            if let Some(dir) = &args.cache_dir {
+                ctx = ctx
+                    .with_cache_dir(dir)
+                    .map_err(|e| (format!("--cache-dir {dir}: {e}"), 2))?;
+            }
             eprintln!(
-                "repro: running {} experiment(s) at scale {} (seed {}, {} worker(s))",
+                "repro: running {} experiment(s) at scale {} (seed {}, {} worker(s){})",
                 experiments.len(),
                 args.scale.name(),
                 args.seed,
-                args.workers
+                args.workers,
+                args.cache_dir
+                    .as_deref()
+                    .map(|d| format!(", cache {d}"))
+                    .unwrap_or_default()
             );
 
             let mut reports: Vec<ExperimentReport> = Vec::with_capacity(experiments.len());
@@ -311,6 +357,480 @@ fn run() -> Result<(), (String, u8)> {
             }
             Ok(())
         }
+    }
+}
+
+/// The `repro dataset` subcommand family: drive the `rc4-store` persistence
+/// layer (generate / resume / merge / info) from the command line.
+mod dataset_cli {
+    use std::path::{Path, PathBuf};
+
+    use rc4_stats::{
+        longterm::LongTermDataset,
+        pairs::{PairDataset, PositionPair},
+        single::SingleByteDataset,
+        tsc::{PerTscDataset, TscConditioning},
+        DatasetError, GenerationConfig,
+    };
+    use rc4_store::{
+        generate_shard, merge_shards, peek_header, read_shard, resume_shard, GenerateOptions,
+        GenerateStatus, ShardHeader, ShardSpec,
+    };
+
+    use super::parse_u64;
+
+    const KINDS: &str = "single | pairs | longterm | per-tsc";
+
+    fn usage() -> String {
+        "usage: repro dataset generate --out FILE --kind KIND [shape flags] \
+         [--keys N] [--workers W] [--seed N] [--key-len L] [--worker-range LO..HI] \
+         [--checkpoint-keys N] [--stop-after-keys N]\n       \
+         repro dataset resume FILE [--checkpoint-keys N] [--stop-after-keys N]\n       \
+         repro dataset merge --out FILE SHARD SHARD...\n       \
+         repro dataset info FILE [--json]\n\
+         \n\
+         kinds and their shape flags:\n  \
+         single    --positions P                 per-position byte counts (Fig. 6 style)\n  \
+         pairs     --consecutive R | --pairs a:b,c:d...   joint pair counts (consec512/first16 style)\n  \
+         longterm  --block B [--drop D]          long-term digraphs (default drop 1023)\n  \
+         per-tsc   --positions P [--conditioning tsc1|tsc0tsc1]   TKIP per-TSC counts (Fig. 8)"
+            .to_string()
+    }
+
+    /// The dataset shape selected on the command line.
+    enum KindSpec {
+        Single {
+            positions: usize,
+        },
+        Pairs(Vec<PositionPair>),
+        LongTerm {
+            drop: usize,
+            block: usize,
+        },
+        PerTsc {
+            conditioning: TscConditioning,
+            positions: usize,
+        },
+    }
+
+    /// Flags shared by `generate` (and partially by `resume`).
+    struct GenerateArgs {
+        out: PathBuf,
+        spec: KindSpec,
+        config: GenerationConfig,
+        worker_range: Option<(u64, u64)>,
+        opts: GenerateOptions,
+    }
+
+    type CliResult<T> = Result<T, (String, u8)>;
+
+    fn fail<T>(msg: impl Into<String>) -> CliResult<T> {
+        Err((msg.into(), 2))
+    }
+
+    fn runtime<T>(e: DatasetError) -> CliResult<T> {
+        Err((e.to_string(), 1))
+    }
+
+    pub fn run(args: &[String]) -> CliResult<()> {
+        match args.first().map(String::as_str) {
+            Some("--help") | Some("-h") => Err((usage(), 0)),
+            None => Err((
+                format!("'repro dataset' needs a subcommand\n{}", usage()),
+                2,
+            )),
+            Some("generate") => generate(&args[1..]),
+            Some("resume") => resume(&args[1..]),
+            Some("merge") => merge(&args[1..]),
+            Some("info") => info(&args[1..]),
+            Some(other) => fail(format!("unknown dataset subcommand '{other}'\n{}", usage())),
+        }
+    }
+
+    /// Stderr progress line per checkpoint.
+    fn progress_printer(label: String) -> impl FnMut(u64, u64) {
+        move |done, total| {
+            let pct = if total == 0 {
+                100.0
+            } else {
+                done as f64 / total as f64 * 100.0
+            };
+            eprintln!("repro: dataset {label}: {done}/{total} keys ({pct:.1}%)");
+        }
+    }
+
+    fn parse_generate(args: &[String]) -> CliResult<GenerateArgs> {
+        let mut out: Option<PathBuf> = None;
+        let mut kind: Option<String> = None;
+        let mut positions: Option<usize> = None;
+        let mut pairs: Option<Vec<PositionPair>> = None;
+        let mut consecutive: Option<usize> = None;
+        let mut drop: Option<usize> = None;
+        let mut block: Option<usize> = None;
+        let mut conditioning = TscConditioning::Tsc1;
+        let mut config = GenerationConfig::default();
+        let mut worker_range = None;
+        let mut opts = GenerateOptions::default();
+
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = || -> CliResult<&String> {
+                it.next()
+                    .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2))
+            };
+            match arg.as_str() {
+                "--out" => out = Some(PathBuf::from(value()?)),
+                "--kind" => kind = Some(value()?.clone()),
+                "--positions" => positions = Some(parse_usize(value()?)?),
+                "--pairs" => pairs = Some(parse_pairs(value()?)?),
+                "--consecutive" => consecutive = Some(parse_usize(value()?)?),
+                "--drop" => drop = Some(parse_usize(value()?)?),
+                "--block" => block = Some(parse_usize(value()?)?),
+                "--conditioning" => {
+                    conditioning = match value()?.as_str() {
+                        "tsc1" => TscConditioning::Tsc1,
+                        "tsc0tsc1" => TscConditioning::Tsc0Tsc1,
+                        other => {
+                            return fail(format!(
+                                "unknown conditioning '{other}' (expected tsc1 | tsc0tsc1)"
+                            ))
+                        }
+                    }
+                }
+                "--keys" => config.keys = parse_int(value()?)?,
+                "--workers" => {
+                    config.workers = parse_usize(value()?)?;
+                    if config.workers == 0 {
+                        return fail(
+                            "--workers must be at least 1: the worker count partitions the \
+                             deterministic key space, so there is no meaningful zero-worker run",
+                        );
+                    }
+                }
+                "--seed" => config.seed = parse_int(value()?)?,
+                "--key-len" => config.key_len = parse_usize(value()?)?,
+                "--worker-range" => worker_range = Some(parse_range(value()?)?),
+                "--checkpoint-keys" => opts.checkpoint_keys = parse_int(value()?)?,
+                "--stop-after-keys" => opts.stop_after_keys = Some(parse_int(value()?)?),
+                other => return fail(format!("unknown flag '{other}'\n{}", usage())),
+            }
+        }
+
+        let Some(out) = out else {
+            return fail(format!("--out is required\n{}", usage()));
+        };
+        let Some(kind) = kind else {
+            return fail(format!("--kind is required ({KINDS})\n{}", usage()));
+        };
+        let spec = match kind.as_str() {
+            "single" => KindSpec::Single {
+                positions: positions
+                    .ok_or_else(|| ("kind 'single' needs --positions".to_string(), 2))?,
+            },
+            "pairs" => match (pairs, consecutive) {
+                (Some(p), None) => KindSpec::Pairs(p),
+                (None, Some(r)) if r > 0 => {
+                    KindSpec::Pairs((1..=r).map(|a| PositionPair { a, b: a + 1 }).collect())
+                }
+                (None, Some(_)) => return fail("--consecutive must be at least 1"),
+                (Some(_), Some(_)) => {
+                    return fail("give either --pairs or --consecutive, not both")
+                }
+                (None, None) => {
+                    return fail("kind 'pairs' needs --pairs a:b,c:d or --consecutive R")
+                }
+            },
+            "longterm" => KindSpec::LongTerm {
+                drop: drop.unwrap_or(LongTermDataset::DEFAULT_DROP),
+                block: block.ok_or_else(|| ("kind 'longterm' needs --block".to_string(), 2))?,
+            },
+            "per-tsc" => KindSpec::PerTsc {
+                conditioning,
+                positions: positions
+                    .ok_or_else(|| ("kind 'per-tsc' needs --positions".to_string(), 2))?,
+            },
+            other => return fail(format!("unknown kind '{other}' (expected {KINDS})")),
+        };
+        Ok(GenerateArgs {
+            out,
+            spec,
+            config,
+            worker_range,
+            opts,
+        })
+    }
+
+    fn generate(args: &[String]) -> CliResult<()> {
+        let parsed = parse_generate(args)?;
+        let (lo, hi) = parsed
+            .worker_range
+            .unwrap_or((0, parsed.config.workers as u64));
+        let spec = ShardSpec::workers(parsed.config, lo, hi);
+        let label = parsed.out.display().to_string();
+        let mut progress = progress_printer(label.clone());
+        let status = match parsed.spec {
+            KindSpec::Single { positions } => {
+                if positions == 0 {
+                    return fail("--positions must be at least 1");
+                }
+                generate_shard(
+                    &parsed.out,
+                    SingleByteDataset::new(positions),
+                    &spec,
+                    &parsed.opts,
+                    None,
+                    &mut progress,
+                )
+            }
+            KindSpec::Pairs(pairs) => match PairDataset::new(pairs) {
+                Ok(empty) => {
+                    generate_shard(&parsed.out, empty, &spec, &parsed.opts, None, &mut progress)
+                }
+                Err(e) => return fail(e.to_string()),
+            },
+            KindSpec::LongTerm { drop, block } => match LongTermDataset::new(drop, block) {
+                Ok(empty) => {
+                    generate_shard(&parsed.out, empty, &spec, &parsed.opts, None, &mut progress)
+                }
+                Err(e) => return fail(e.to_string()),
+            },
+            KindSpec::PerTsc {
+                conditioning,
+                positions,
+            } => match PerTscDataset::new(conditioning, positions) {
+                Ok(empty) => {
+                    generate_shard(&parsed.out, empty, &spec, &parsed.opts, None, &mut progress)
+                }
+                Err(e) => return fail(e.to_string()),
+            },
+        };
+        let status = match status {
+            Ok(status) => status,
+            Err(e) => return runtime(e),
+        };
+        report_status(&label, status)
+    }
+
+    fn resume(args: &[String]) -> CliResult<()> {
+        let mut file: Option<PathBuf> = None;
+        let mut opts = GenerateOptions::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = || -> CliResult<&String> {
+                it.next()
+                    .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2))
+            };
+            match arg.as_str() {
+                "--checkpoint-keys" => opts.checkpoint_keys = parse_int(value()?)?,
+                "--stop-after-keys" => opts.stop_after_keys = Some(parse_int(value()?)?),
+                other if other.starts_with("--") => {
+                    return fail(format!("unknown flag '{other}'\n{}", usage()))
+                }
+                path if file.is_none() => file = Some(PathBuf::from(path)),
+                _ => return fail(format!("'dataset resume' takes one file\n{}", usage())),
+            }
+        }
+        let Some(file) = file else {
+            return fail(format!("'dataset resume' needs a shard file\n{}", usage()));
+        };
+        let header = match peek_header(&file) {
+            Ok(h) => h,
+            Err(e) => return runtime(e),
+        };
+        let label = file.display().to_string();
+        let mut progress = progress_printer(label.clone());
+        let status = dispatch_kind(&header.kind, |d| match d {
+            Dispatch::Single => {
+                resume_shard::<SingleByteDataset>(&file, &opts, None, &mut progress)
+            }
+            Dispatch::Pairs => resume_shard::<PairDataset>(&file, &opts, None, &mut progress),
+            Dispatch::LongTerm => {
+                resume_shard::<LongTermDataset>(&file, &opts, None, &mut progress)
+            }
+            Dispatch::PerTsc => resume_shard::<PerTscDataset>(&file, &opts, None, &mut progress),
+        })?;
+        report_status(&label, status)
+    }
+
+    fn merge(args: &[String]) -> CliResult<()> {
+        let mut out: Option<PathBuf> = None;
+        let mut inputs: Vec<PathBuf> = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--out" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--out requires a value".to_string(), 2))?;
+                    out = Some(PathBuf::from(value));
+                }
+                other if other.starts_with("--") => {
+                    return fail(format!("unknown flag '{other}'\n{}", usage()))
+                }
+                path => inputs.push(PathBuf::from(path)),
+            }
+        }
+        let Some(out) = out else {
+            return fail(format!("'dataset merge' needs --out\n{}", usage()));
+        };
+        if inputs.len() < 2 {
+            return fail(format!(
+                "'dataset merge' needs at least two input shards\n{}",
+                usage()
+            ));
+        }
+        let header = match peek_header(&inputs[0]) {
+            Ok(h) => h,
+            Err(e) => return runtime(e),
+        };
+        let refs: Vec<&Path> = inputs.iter().map(PathBuf::as_path).collect();
+        let merged = dispatch_kind(&header.kind, |d| match d {
+            Dispatch::Single => merge_shards::<SingleByteDataset>(&refs, &out),
+            Dispatch::Pairs => merge_shards::<PairDataset>(&refs, &out),
+            Dispatch::LongTerm => merge_shards::<LongTermDataset>(&refs, &out),
+            Dispatch::PerTsc => merge_shards::<PerTscDataset>(&refs, &out),
+        })?;
+        eprintln!(
+            "repro: dataset {}: merged {} shard(s), workers {}..{}, {} keys",
+            out.display(),
+            inputs.len(),
+            merged.worker_lo,
+            merged.worker_hi,
+            merged.keys_done()
+        );
+        Ok(())
+    }
+
+    fn info(args: &[String]) -> CliResult<()> {
+        let mut file: Option<PathBuf> = None;
+        let mut json = false;
+        for arg in args {
+            match arg.as_str() {
+                "--json" => json = true,
+                other if other.starts_with("--") => {
+                    return fail(format!("unknown flag '{other}'\n{}", usage()))
+                }
+                path if file.is_none() => file = Some(PathBuf::from(path)),
+                _ => return fail(format!("'dataset info' takes one file\n{}", usage())),
+            }
+        }
+        let Some(file) = file else {
+            return fail(format!("'dataset info' needs a shard file\n{}", usage()));
+        };
+        let header = match peek_header(&file) {
+            Ok(h) => h,
+            Err(e) => return runtime(e),
+        };
+        // A full typed read doubles as an integrity check (CRC, cell count).
+        let verified = dispatch_kind(&header.kind, |d| match d {
+            Dispatch::Single => read_shard::<SingleByteDataset>(&file).map(|s| s.header),
+            Dispatch::Pairs => read_shard::<PairDataset>(&file).map(|s| s.header),
+            Dispatch::LongTerm => read_shard::<LongTermDataset>(&file).map(|s| s.header),
+            Dispatch::PerTsc => read_shard::<PerTscDataset>(&file).map(|s| s.header),
+        })?;
+        print_info(&file, &verified, json);
+        Ok(())
+    }
+
+    fn print_info(file: &Path, header: &ShardHeader, json: bool) {
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(header).expect("header serializes")
+            );
+            return;
+        }
+        println!("file:        {}", file.display());
+        println!("kind:        {}", header.kind);
+        println!("shape:       {:?}", header.shape);
+        println!(
+            "config:      keys={} workers={} seed={:#x} key_len={}",
+            header.config.keys, header.config.workers, header.config.seed, header.config.key_len
+        );
+        println!(
+            "workers:     {}..{} of {}",
+            header.worker_lo, header.worker_hi, header.config.workers
+        );
+        println!(
+            "progress:    {}/{} keys ({})",
+            header.keys_done(),
+            header.keys_total(),
+            if header.is_complete() {
+                "complete"
+            } else {
+                "resumable"
+            }
+        );
+        println!("cells:       {}", header.cells);
+        println!("integrity:   CRC-32 verified");
+    }
+
+    /// The four storable kinds, for typed dispatch off a header's kind tag.
+    enum Dispatch {
+        Single,
+        Pairs,
+        LongTerm,
+        PerTsc,
+    }
+
+    fn dispatch_kind<T>(
+        kind: &str,
+        f: impl FnOnce(Dispatch) -> Result<T, DatasetError>,
+    ) -> CliResult<T> {
+        let d = match kind {
+            "single" => Dispatch::Single,
+            "pairs" => Dispatch::Pairs,
+            "longterm" => Dispatch::LongTerm,
+            "per-tsc" => Dispatch::PerTsc,
+            other => return fail(format!("unknown dataset kind '{other}' (expected {KINDS})")),
+        };
+        f(d).or_else(|e| runtime(e))
+    }
+
+    fn report_status(label: &str, status: GenerateStatus) -> CliResult<()> {
+        match status {
+            GenerateStatus::Complete => {
+                eprintln!("repro: dataset {label}: complete");
+            }
+            GenerateStatus::Stopped => {
+                eprintln!(
+                    "repro: dataset {label}: stopped at the requested key count \
+                     (checkpointed; continue with `repro dataset resume`)"
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_int(s: &str) -> CliResult<u64> {
+        parse_u64(s).map_err(|msg| (msg, 2))
+    }
+
+    fn parse_usize(s: &str) -> CliResult<usize> {
+        parse_int(s).map(|v| v as usize)
+    }
+
+    /// `--pairs a:b,c:d,...`
+    fn parse_pairs(s: &str) -> CliResult<Vec<PositionPair>> {
+        let mut pairs = Vec::new();
+        for part in s.split(',') {
+            let Some((a, b)) = part.split_once(':') else {
+                return fail(format!("--pairs expects a:b,c:d,... (got '{part}')"));
+            };
+            pairs.push(PositionPair {
+                a: parse_usize(a.trim())?,
+                b: parse_usize(b.trim())?,
+            });
+        }
+        Ok(pairs)
+    }
+
+    /// `--worker-range LO..HI`
+    fn parse_range(s: &str) -> CliResult<(u64, u64)> {
+        let Some((lo, hi)) = s.split_once("..") else {
+            return fail(format!("--worker-range expects LO..HI (got '{s}')"));
+        };
+        Ok((parse_int(lo.trim())?, parse_int(hi.trim())?))
     }
 }
 

@@ -19,6 +19,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use rc4_stats::{GenerationConfig, StorableDataset};
+use rc4_store::DatasetCache;
+
 use crate::ExperimentError;
 
 /// A coarse progress event emitted by a running experiment.
@@ -49,6 +52,14 @@ pub enum ProgressEvent<'a> {
         /// Registry name of the experiment.
         experiment: &'a str,
     },
+    /// A dataset-cache interaction: `hit` (generation skipped entirely),
+    /// `miss` (about to generate) or `stored` (fresh result persisted).
+    DatasetCache {
+        /// Dataset kind tag (`single`, `pairs`, `longterm`, `per-tsc`).
+        kind: &'a str,
+        /// `"hit"`, `"miss"` or `"stored"`.
+        outcome: &'a str,
+    },
 }
 
 impl ProgressEvent<'_> {
@@ -63,6 +74,9 @@ impl ProgressEvent<'_> {
                 unit,
             } => format!("{experiment}: {completed}/{total} {unit}s"),
             ProgressEvent::Finished { experiment } => format!("{experiment}: finished"),
+            ProgressEvent::DatasetCache { kind, outcome } => {
+                format!("dataset cache {outcome} ({kind})")
+            }
         }
     }
 }
@@ -161,6 +175,7 @@ pub struct ExperimentContext {
     workers: usize,
     sink: Arc<dyn EventSink>,
     cancel: CancelHandle,
+    cache: Option<Arc<DatasetCache>>,
 }
 
 impl Default for ExperimentContext {
@@ -170,6 +185,7 @@ impl Default for ExperimentContext {
             workers: 1,
             sink: Arc::new(NullSink),
             cancel: CancelHandle::new(),
+            cache: None,
         }
     }
 }
@@ -222,6 +238,34 @@ impl ExperimentContext {
         self
     }
 
+    /// Attaches a dataset cache directory (created if absent). Experiments
+    /// that generate keystream datasets will load matching complete datasets
+    /// from it instead of regenerating, and persist fresh generations into it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::Component`] when the directory cannot be
+    /// created.
+    pub fn with_cache_dir(
+        mut self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, ExperimentError> {
+        self.cache = Some(Arc::new(DatasetCache::open(dir)?));
+        Ok(self)
+    }
+
+    /// Attaches an already-open dataset cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<DatasetCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached dataset cache, if any.
+    pub fn cache(&self) -> Option<&DatasetCache> {
+        self.cache.as_deref()
+    }
+
     /// The global seed mix.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -272,6 +316,58 @@ impl ExperimentContext {
     pub fn emit(&self, event: ProgressEvent<'_>) {
         self.sink.on_event(&event);
     }
+
+    /// Load-or-generate for keystream datasets: the shared cache protocol of
+    /// every dataset-backed experiment.
+    ///
+    /// With no cache attached this simply runs `fill` on `empty` — exactly
+    /// the historical behaviour, bit for bit. With a cache attached, a
+    /// complete dataset matching `(kind, shape of empty, config)` is loaded
+    /// and returned *without any generation work*; on a miss, `fill`
+    /// generates into `empty` and the result is persisted for the next run.
+    /// Because cache entries are validated against the full configuration and
+    /// the store reproduces generation exactly (see `rc4-store`), cached and
+    /// fresh runs produce identical experiment output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `fill`'s error, and cache I/O / corruption errors as
+    /// [`ExperimentError::Component`] (a damaged matching cache entry is
+    /// reported, never silently regenerated).
+    pub fn load_or_generate<D, F>(
+        &self,
+        mut empty: D,
+        config: &GenerationConfig,
+        fill: F,
+    ) -> Result<D, ExperimentError>
+    where
+        D: StorableDataset,
+        F: FnOnce(&mut D) -> Result<(), ExperimentError>,
+    {
+        let Some(cache) = self.cache.as_deref() else {
+            fill(&mut empty)?;
+            return Ok(empty);
+        };
+        let shape = empty.shape_params();
+        if let Some(hit) = cache.load::<D>(&shape, config)? {
+            self.emit(ProgressEvent::DatasetCache {
+                kind: D::kind(),
+                outcome: "hit",
+            });
+            return Ok(hit);
+        }
+        self.emit(ProgressEvent::DatasetCache {
+            kind: D::kind(),
+            outcome: "miss",
+        });
+        fill(&mut empty)?;
+        cache.store(&empty, config)?;
+        self.emit(ProgressEvent::DatasetCache {
+            kind: D::kind(),
+            outcome: "stored",
+        });
+        Ok(empty)
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +401,62 @@ mod tests {
         assert_eq!(ctx.checkpoint(), Err(ExperimentError::Cancelled));
         // The raw flag view agrees.
         assert!(ctx.cancel_flag().load(std::sync::atomic::Ordering::Relaxed));
+    }
+
+    #[test]
+    fn load_or_generate_without_cache_matches_direct_generation() {
+        use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig};
+        let ctx = ExperimentContext::new();
+        let config = GenerationConfig::with_keys(300).seed(3);
+        let via_ctx = ctx
+            .load_or_generate(SingleByteDataset::new(4), &config, |ds| {
+                generate(ds, &config)?;
+                Ok(())
+            })
+            .unwrap();
+        let mut direct = SingleByteDataset::new(4);
+        generate(&mut direct, &config).unwrap();
+        for r in 1..=4 {
+            assert_eq!(via_ctx.counts_at(r), direct.counts_at(r));
+        }
+    }
+
+    #[test]
+    fn load_or_generate_misses_then_hits_and_reports_events() {
+        use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig};
+        let dir =
+            std::env::temp_dir().join(format!("rc4-attacks-ctx-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = Arc::new(MemorySink::new());
+        let ctx = ExperimentContext::new()
+            .with_sink(sink.clone())
+            .with_cache_dir(&dir)
+            .unwrap();
+        let config = GenerationConfig::with_keys(200).seed(7);
+        let fresh = ctx
+            .load_or_generate(SingleByteDataset::new(3), &config, |ds| {
+                generate(ds, &config)?;
+                Ok(())
+            })
+            .unwrap();
+        // Second call must not invoke the generator at all.
+        let cached = ctx
+            .load_or_generate(SingleByteDataset::new(3), &config, |_| {
+                panic!("cache hit must skip generation")
+            })
+            .unwrap();
+        for r in 1..=3 {
+            assert_eq!(cached.counts_at(r), fresh.counts_at(r));
+        }
+        assert_eq!(
+            sink.events(),
+            vec![
+                "dataset cache miss (single)",
+                "dataset cache stored (single)",
+                "dataset cache hit (single)"
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

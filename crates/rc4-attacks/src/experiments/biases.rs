@@ -310,14 +310,20 @@ fn table1_fm_longterm_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = LongTermDataset::paper_shape(scale.longterm_block)?;
     let config = GenerationConfig {
         keys: scale.longterm_keys,
         workers: scale.workers,
         seed: scale.seed,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(
+        LongTermDataset::paper_shape(scale.longterm_block)?,
+        &config,
+        |ds| {
+            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            Ok(())
+        },
+    )?;
 
     let mut report = ExperimentReport::new(
         "table1",
@@ -392,14 +398,16 @@ fn fig4_fm_shortterm_ctx(
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
     let max_pos = positions.iter().copied().max().unwrap_or(1).max(2);
-    let mut ds = PairDataset::consecutive(max_pos)?;
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 4,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(PairDataset::consecutive(max_pos)?, &config, |ds| {
+        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        Ok(())
+    })?;
 
     let mut report = ExperimentReport::new(
         "fig4",
@@ -451,14 +459,16 @@ fn table2_new_biases_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = PairDataset::consecutive(112)?;
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 2,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(PairDataset::consecutive(112)?, &config, |ds| {
+        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        Ok(())
+    })?;
 
     let mut report = ExperimentReport::new(
         "table2",
@@ -517,18 +527,24 @@ fn eq345_equalities_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = PairDataset::new(vec![
-        rc4_stats::pairs::PositionPair { a: 1, b: 3 },
-        rc4_stats::pairs::PositionPair { a: 1, b: 4 },
-        rc4_stats::pairs::PositionPair { a: 2, b: 4 },
-    ])?;
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 345,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(
+        PairDataset::new(vec![
+            rc4_stats::pairs::PositionPair { a: 1, b: 3 },
+            rc4_stats::pairs::PositionPair { a: 1, b: 4 },
+            rc4_stats::pairs::PositionPair { a: 2, b: 4 },
+        ])?,
+        &config,
+        |ds| {
+            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            Ok(())
+        },
+    )?;
 
     let mut report = ExperimentReport::new(
         "eq345",
@@ -593,14 +609,16 @@ fn fig5_z1z2_ctx(
         });
     }
     let _ = max_pos;
-    let mut ds = PairDataset::new(pairs)?;
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 5,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(PairDataset::new(pairs)?, &config, |ds| {
+        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        Ok(())
+    })?;
 
     let mut report = ExperimentReport::new(
         "fig5",
@@ -652,14 +670,16 @@ fn fig6_single_byte_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = SingleByteDataset::new(384);
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 6,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(SingleByteDataset::new(384), &config, |ds| {
+        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        Ok(())
+    })?;
 
     let mut report = ExperimentReport::new(
         "fig6",
@@ -721,14 +741,20 @@ fn longterm_aligned_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = LongTermDataset::new(255, scale.longterm_block)?;
     let config = GenerationConfig {
         keys: scale.longterm_keys,
         workers: scale.workers,
         seed: scale.seed ^ 8,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(
+        LongTermDataset::new(255, scale.longterm_block)?,
+        &config,
+        |ds| {
+            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            Ok(())
+        },
+    )?;
 
     let mut report = ExperimentReport::new(
         "longterm",
@@ -765,14 +791,16 @@ fn headline_detection_ctx(
     scale: &BiasScale,
     ctx: &ExperimentContext,
 ) -> Result<ExperimentReport, ExperimentError> {
-    let mut ds = SingleByteDataset::new(16);
     let config = GenerationConfig {
         keys: scale.keys,
         workers: scale.workers,
         seed: scale.seed ^ 99,
         key_len: 16,
     };
-    generate_with_cancel(&mut ds, &config, Some(ctx.cancel_flag()))?;
+    let ds = ctx.load_or_generate(SingleByteDataset::new(16), &config, |ds| {
+        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        Ok(())
+    })?;
     let mut report = ExperimentReport::new(
         "headline",
         "Headline short-term biases re-detected by the hypothesis tests",
@@ -906,6 +934,25 @@ mod tests {
         let mut exp = BiasExperiment::table1();
         exp.apply_scale(Scale::Quick);
         assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
+    }
+
+    #[test]
+    fn cached_bias_run_is_byte_identical_and_skips_generation() {
+        let dir = std::env::temp_dir().join(format!("biases-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fresh = headline_detection(&tiny()).unwrap();
+        let ctx = ExperimentContext::default().with_cache_dir(&dir).unwrap();
+        let miss = headline_detection_ctx(&tiny(), &ctx).unwrap();
+        let hit = headline_detection_ctx(&tiny(), &ctx).unwrap();
+        assert_eq!(miss, fresh);
+        assert_eq!(hit, fresh);
+        // eq345 uses a different seed tweak and shape: a separate cache entry,
+        // no false sharing.
+        let eq_fresh = eq345_equalities(&tiny()).unwrap();
+        let eq_cached = eq345_equalities_ctx(&tiny(), &ctx).unwrap();
+        assert_eq!(eq_cached, eq_fresh);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -12,15 +12,20 @@
 //! added — is what the experiment checks.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use plaintext_recovery::{absab::combine_pair_likelihoods, likelihood::PairLikelihoods};
 use rc4_biases::{absab::alpha, distributions::PairDistribution, UNIFORM_PAIR};
+use rc4_stats::{
+    pairs::{PairDataset, PositionPair},
+    worker::generate_with_cancel,
+    GenerationConfig,
+};
 
 use crate::{
     context::{ExperimentContext, ProgressEvent},
     experiment::{config_from_value, config_to_value, Experiment},
-    experiments::Scale,
+    experiments::{CountSource, Scale},
     report::{format_percent, ExperimentReport},
     sampling::sample_counts_normal,
     ExperimentError,
@@ -49,7 +54,7 @@ impl RecoveryStrategy {
 }
 
 /// Configuration of the Fig. 7 simulation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Fig7Config {
     /// Ciphertext counts to sweep (the paper sweeps `2^27 ..= 2^39`).
     pub ciphertext_counts: Vec<u64>,
@@ -60,8 +65,29 @@ pub struct Fig7Config {
     pub absab_relations: usize,
     /// Keystream position of the unknown pair (determines the FM cells).
     pub position: u64,
+    /// Where the ground-truth keystream-pair distribution comes from:
+    /// the analytic FM model (default) or measurement over real keystreams.
+    pub source: CountSource,
     /// RNG seed.
     pub seed: u64,
+}
+
+/// Hand-written so config files from before the `source` field existed keep
+/// deserializing (an absent `source` means the historical analytic mode).
+impl Deserialize for Fig7Config {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            ciphertext_counts: Vec::<u64>::from_value(v.field("ciphertext_counts")?)?,
+            trials: usize::from_value(v.field("trials")?)?,
+            absab_relations: usize::from_value(v.field("absab_relations")?)?,
+            position: u64::from_value(v.field("position")?)?,
+            source: match v.field("source") {
+                Ok(source) => CountSource::from_value(source)?,
+                Err(_) => CountSource::Analytic,
+            },
+            seed: u64::from_value(v.field("seed")?)?,
+        })
+    }
 }
 
 impl Default for Fig7Config {
@@ -71,6 +97,7 @@ impl Default for Fig7Config {
             trials: 64,
             absab_relations: 258,
             position: 257,
+            source: CountSource::Analytic,
             seed: 0xF167,
         }
     }
@@ -120,7 +147,7 @@ fn simulate_trial(
     strategy: RecoveryStrategy,
     n: u64,
     config: &Fig7Config,
-    fm_dist: &PairDistribution,
+    key_pair_probs: &[f64],
     fm_cells: &[(u8, u8, f64)],
     rng: &mut StdRng,
 ) -> Result<bool, ExperimentError> {
@@ -133,7 +160,7 @@ fn simulate_trial(
             for k2 in 0..256usize {
                 let c1 = k1 ^ truth.0 as usize;
                 let c2 = k2 ^ truth.1 as usize;
-                ct_probs[(c1 << 8) | c2] = fm_dist.prob(k1 as u8, k2 as u8);
+                ct_probs[(c1 << 8) | c2] = key_pair_probs[(k1 << 8) | k2];
             }
         }
         let counts = sample_counts_normal(&ct_probs, n, rng);
@@ -219,7 +246,41 @@ pub fn run_with_context(
             "need at least one ciphertext count and one trial".into(),
         ));
     }
-    let fm_dist = PairDistribution::fluhrer_mcgrew(config.position);
+    // Ground-truth keystream-pair distribution for the target position:
+    // analytic FM model, or measured from real keystreams (cache-served).
+    let key_pair_probs: Vec<f64> = match config.source {
+        CountSource::Analytic => {
+            let fm_dist = PairDistribution::fluhrer_mcgrew(config.position);
+            let mut probs = vec![0.0f64; 65536];
+            for k1 in 0..256usize {
+                for k2 in 0..256usize {
+                    probs[(k1 << 8) | k2] = fm_dist.prob(k1 as u8, k2 as u8);
+                }
+            }
+            probs
+        }
+        CountSource::Empirical { keys } => {
+            let position = config.position as usize;
+            let gen_config = GenerationConfig {
+                keys,
+                workers: ctx.workers(),
+                seed: ctx.mix_seed(config.seed) ^ 0x7E1,
+                key_len: 16,
+            };
+            let ds = ctx.load_or_generate(
+                PairDataset::new(vec![PositionPair {
+                    a: position,
+                    b: position + 1,
+                }])?,
+                &gen_config,
+                |ds| {
+                    generate_with_cancel(ds, &gen_config, Some(ctx.cancel_flag()))?;
+                    Ok(())
+                },
+            )?;
+            ds.joint_distribution(0)
+        }
+    };
     let fm_cells: Vec<(u8, u8, f64)> = rc4_biases::fm::fm_biases_at(config.position)
         .into_iter()
         .map(|b| (b.first, b.second, b.probability))
@@ -238,6 +299,12 @@ pub fn run_with_context(
         "sampled mode: counts drawn from the analysis distributions (normal approximation)"
             .to_string(),
     );
+    if let CountSource::Empirical { keys } = config.source {
+        report.note(format!(
+            "empirical ground truth: pair distribution at position {} measured from {keys} keystreams",
+            config.position
+        ));
+    }
 
     let mut rng = StdRng::seed_from_u64(ctx.mix_seed(config.seed));
     let total = config.ciphertext_counts.len() as u64;
@@ -251,7 +318,7 @@ pub fn run_with_context(
             let mut successes = 0usize;
             for _ in 0..config.trials {
                 ctx.checkpoint()?;
-                if simulate_trial(strategy, n, config, &fm_dist, &fm_cells, &mut rng)? {
+                if simulate_trial(strategy, n, config, &key_pair_probs, &fm_cells, &mut rng)? {
                     successes += 1;
                 }
             }
@@ -384,6 +451,42 @@ mod tests {
         handle.cancel();
         let ctx = ExperimentContext::default().with_cancel(handle);
         assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
+    }
+
+    #[test]
+    fn config_without_source_field_defaults_to_analytic() {
+        // Config files written before the `source` field existed keep working.
+        let legacy = r#"{"ciphertext_counts":[1024],"trials":2,"absab_relations":4,"position":257,"seed":9}"#;
+        let config: Fig7Config = serde_json::from_str(legacy).unwrap();
+        assert_eq!(config.source, CountSource::Analytic);
+        assert_eq!(config.trials, 2);
+    }
+
+    #[test]
+    fn empirical_source_runs_and_is_cache_stable() {
+        let config = Fig7Config {
+            ciphertext_counts: vec![1 << 33],
+            trials: 2,
+            absab_relations: 4,
+            source: CountSource::Empirical { keys: 1 << 13 },
+            ..Fig7Config::quick()
+        };
+        let fresh = run(&config).unwrap();
+        assert!(fresh
+            .notes
+            .iter()
+            .any(|n| n.contains("empirical ground truth")));
+
+        // A cached context must reproduce the uncached run byte for byte:
+        // first call populates the cache, second call loads from it.
+        let dir = std::env::temp_dir().join(format!("fig7-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = ExperimentContext::default().with_cache_dir(&dir).unwrap();
+        let miss = run_with_context(&config, &ctx).unwrap();
+        let hit = run_with_context(&config, &ctx).unwrap();
+        assert_eq!(miss, fresh);
+        assert_eq!(hit, fresh);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

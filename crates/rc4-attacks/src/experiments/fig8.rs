@@ -202,11 +202,20 @@ pub fn run_with_context(
             relative_bias,
         ),
         TkipTrafficModel::Empirical { keys } => {
-            let ds = rc4_stats::tsc::PerTscDataset::generate_with_cancel(
-                rc4_stats::tsc::TscConditioning::Tsc1,
-                first_position + wpa_tkip::mpdu::TRAILER_LEN,
-                &rc4_stats::GenerationConfig::with_keys(keys).seed(seed ^ 0xE),
-                Some(ctx.cancel_flag()),
+            let positions = first_position + wpa_tkip::mpdu::TRAILER_LEN;
+            let gen_config = rc4_stats::GenerationConfig::with_keys(keys)
+                .seed(seed ^ 0xE)
+                .workers(ctx.workers());
+            let ds = ctx.load_or_generate(
+                rc4_stats::tsc::PerTscDataset::new(
+                    rc4_stats::tsc::TscConditioning::Tsc1,
+                    positions,
+                )?,
+                &gen_config,
+                |ds| {
+                    ds.generate_into(&gen_config, Some(ctx.cancel_flag()))?;
+                    Ok(())
+                },
             )?;
             let mut probs = Vec::with_capacity(256 * wpa_tkip::mpdu::TRAILER_LEN * 256);
             for class in 0..256 {
@@ -451,6 +460,35 @@ mod tests {
         handle.cancel();
         let ctx = ExperimentContext::default().with_cancel(handle);
         assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
+    }
+
+    #[test]
+    fn empirical_model_cached_run_is_byte_identical_to_fresh() {
+        let config = Fig8Config {
+            capture_counts: vec![1 << 8],
+            trials: 1,
+            max_candidates: 64,
+            model: TkipTrafficModel::Empirical { keys: 2_000 },
+            ..Fig8Config::quick()
+        };
+        let (fresh_points, fresh) = run(&config).unwrap();
+        assert_eq!(fresh_points.len(), 1);
+
+        let dir = std::env::temp_dir().join(format!("fig8-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ctx = ExperimentContext::default().with_cache_dir(&dir).unwrap();
+        let (_, miss) = run_with_context(&config, &ctx).unwrap();
+        let (_, hit) = run_with_context(&config, &ctx).unwrap();
+        assert_eq!(miss, fresh, "cache-miss run must match the uncached run");
+        assert_eq!(hit, fresh, "cache-hit run must match the uncached run");
+        // Exactly one per-TSC dataset landed in the cache.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries.len(), 1, "cache dir: {entries:?}");
+        assert!(entries[0].starts_with("per-tsc-"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

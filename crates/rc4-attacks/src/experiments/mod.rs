@@ -23,6 +23,8 @@ pub mod fig8;
 pub mod tkip_attack;
 pub mod tls_cookie;
 
+use serde::{DeError, Deserialize, Serialize, Value};
+
 use crate::{experiment::Experiment, registry::ExperimentFactory};
 
 /// Scale presets shared by the drivers.
@@ -60,6 +62,60 @@ impl Scale {
     }
 }
 
+/// Where a sampled-mode recovery experiment (`fig7`, `fig10`) takes its
+/// ground-truth keystream-pair distributions from.
+///
+/// The default, [`CountSource::Analytic`], samples ciphertext counts from the
+/// closed-form Fluhrer–McGrew distributions the likelihood analysis assumes —
+/// the historical behaviour, bit for bit. [`CountSource::Empirical`] instead
+/// *measures* the joint distribution of the relevant keystream positions from
+/// `keys` real RC4 keystreams (a `rc4-stats` pair dataset, served through the
+/// context's dataset cache when one is attached) and samples counts from
+/// that, so the estimator is exercised against reality rather than against
+/// its own model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CountSource {
+    /// Closed-form Fluhrer–McGrew distributions (the paper's analysis model).
+    Analytic,
+    /// Distributions measured from real keystreams.
+    Empirical {
+        /// Number of RC4 keys used to measure the distributions.
+        keys: u64,
+    },
+}
+
+/// Serialized as a tagged object: `{"kind": "analytic"}` or
+/// `{"kind": "empirical", "keys": n}`. Hand-written because the vendored
+/// serde derive only covers unit-variant enums.
+impl Serialize for CountSource {
+    fn to_value(&self) -> Value {
+        match self {
+            CountSource::Analytic => {
+                Value::Object(vec![("kind".into(), Value::Str("analytic".into()))])
+            }
+            CountSource::Empirical { keys } => Value::Object(vec![
+                ("kind".into(), Value::Str("empirical".into())),
+                ("keys".into(), keys.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for CountSource {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let kind = String::from_value(v.field("kind")?)?;
+        match kind.as_str() {
+            "analytic" => Ok(CountSource::Analytic),
+            "empirical" => Ok(CountSource::Empirical {
+                keys: u64::from_value(v.field("keys")?)?,
+            }),
+            other => Err(DeError(format!(
+                "unknown count source kind '{other}' (expected analytic | empirical)"
+            ))),
+        }
+    }
+}
+
 /// The built-in experiments in canonical `run all` order, each with its alias
 /// list — the single source [`crate::Registry::with_defaults`] is built from.
 pub fn default_experiments() -> Vec<(ExperimentFactory, &'static [&'static str])> {
@@ -90,6 +146,19 @@ pub fn default_experiments() -> Vec<(ExperimentFactory, &'static [&'static str])
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn count_source_serde_roundtrip() {
+        for source in [
+            CountSource::Analytic,
+            CountSource::Empirical { keys: 1 << 18 },
+        ] {
+            let json = serde_json::to_string(&source).unwrap();
+            let back: CountSource = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, source);
+        }
+        assert!(serde_json::from_str::<CountSource>("{\"kind\":\"vibes\"}").is_err());
+    }
 
     #[test]
     fn scale_parsing() {

@@ -12,9 +12,27 @@ pub enum DatasetError {
     ShapeMismatch(String),
     /// Serialization or deserialization failed.
     Serialization(String),
+    /// A file operation failed. The message names the path involved.
+    Io(String),
+    /// An on-disk dataset failed validation (bad magic, unsupported format
+    /// version, truncation, CRC mismatch, inconsistent header). The message
+    /// names the path involved.
+    Corrupt(String),
     /// Generation was cancelled through a cooperative cancellation flag before
     /// it completed; any partially-filled collector must be discarded.
     Cancelled,
+}
+
+impl DatasetError {
+    /// An [`DatasetError::Io`] that names the offending path.
+    pub fn io(path: &std::path::Path, err: impl core::fmt::Display) -> Self {
+        DatasetError::Io(format!("{}: {err}", path.display()))
+    }
+
+    /// A [`DatasetError::Corrupt`] that names the offending path.
+    pub fn corrupt(path: &std::path::Path, what: impl core::fmt::Display) -> Self {
+        DatasetError::Corrupt(format!("{}: {what}", path.display()))
+    }
 }
 
 impl core::fmt::Display for DatasetError {
@@ -23,6 +41,8 @@ impl core::fmt::Display for DatasetError {
             DatasetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DatasetError::ShapeMismatch(msg) => write!(f, "dataset shape mismatch: {msg}"),
             DatasetError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            DatasetError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DatasetError::Corrupt(msg) => write!(f, "corrupt dataset: {msg}"),
             DatasetError::Cancelled => write!(f, "generation cancelled"),
         }
     }
@@ -83,6 +103,19 @@ impl GenerationConfig {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Number of keys logical worker `w` contributes: an even split with the
+    /// first `keys % workers` workers taking one extra key.
+    ///
+    /// This is THE key-space partition rule — the in-memory worker pool, the
+    /// per-TSC generator and the on-disk store (`rc4-store`) all share it, so
+    /// a shard merged from per-worker files is cell-for-cell identical to an
+    /// uninterrupted in-memory run.
+    pub fn keys_for_worker(&self, w: u64) -> u64 {
+        let per_worker = self.keys / self.workers as u64;
+        let remainder = self.keys % self.workers as u64;
+        per_worker + u64::from(w < remainder)
     }
 
     /// Validates the configuration.

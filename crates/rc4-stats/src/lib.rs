@@ -38,11 +38,13 @@ pub mod keygen;
 pub mod longterm;
 pub mod pairs;
 pub mod single;
+pub mod storable;
 pub mod tsc;
 pub mod worker;
 
 pub use dataset::{DatasetError, GenerationConfig, KeystreamCollector};
 pub use keygen::KeyGenerator;
+pub use storable::StorableDataset;
 
 /// Number of possible byte values; the alphabet size of every distribution here.
 pub const NUM_VALUES: usize = 256;

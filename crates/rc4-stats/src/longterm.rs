@@ -11,6 +11,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     dataset::{DatasetError, KeystreamCollector},
+    keygen::KeyGenerator,
+    storable::{record_next_generic, StorableDataset},
     NUM_PAIRS, NUM_VALUES,
 };
 
@@ -204,6 +206,78 @@ impl KeystreamCollector for LongTermDataset {
 
     fn keystreams(&self) -> u64 {
         self.keystreams
+    }
+}
+
+impl StorableDataset for LongTermDataset {
+    fn kind() -> &'static str {
+        "longterm"
+    }
+
+    fn shape_params(&self) -> Vec<u64> {
+        vec![self.drop as u64, self.block_len as u64]
+    }
+
+    fn empty_with_shape(params: &[u64]) -> Result<Self, DatasetError> {
+        let [drop, block_len] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "long-term shape needs 2 parameters, got {}",
+                params.len()
+            )));
+        };
+        Self::new(*drop as usize, *block_len as usize)
+    }
+
+    /// Cells are the digraph table, the aligned table, and the two derived
+    /// totals (digraph and aligned sample counts) as single-cell slices, so
+    /// the whole state survives a store round-trip.
+    fn cell_slices(&self) -> Vec<&[u64]> {
+        vec![
+            &self.digraph_counts,
+            &self.aligned_counts,
+            core::slice::from_ref(&self.digraphs),
+            core::slice::from_ref(&self.aligned_samples),
+        ]
+    }
+
+    fn cell_slices_mut(&mut self) -> Vec<&mut [u64]> {
+        let Self {
+            digraph_counts,
+            aligned_counts,
+            digraphs,
+            aligned_samples,
+            ..
+        } = self;
+        vec![
+            digraph_counts.as_mut_slice(),
+            aligned_counts.as_mut_slice(),
+            core::slice::from_mut(digraphs),
+            core::slice::from_mut(aligned_samples),
+        ]
+    }
+
+    fn recorded_keystreams(&self) -> u64 {
+        self.keystreams
+    }
+
+    fn set_recorded_keystreams(&mut self, keystreams: u64) {
+        self.keystreams = keystreams;
+    }
+
+    fn required_keystream_len(&self) -> usize {
+        self.drop + self.block_len
+    }
+
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+        record_next_generic(self, gen, key, ks);
+    }
+
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
+        gen.fill_key(key);
+    }
+
+    fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError> {
+        self.merge(other)
     }
 }
 

@@ -14,6 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     dataset::{DatasetError, KeystreamCollector},
+    keygen::KeyGenerator,
+    storable::{record_next_generic, StorableDataset},
     NUM_PAIRS, NUM_VALUES,
 };
 
@@ -258,6 +260,72 @@ impl KeystreamCollector for PairDataset {
 
     fn keystreams(&self) -> u64 {
         self.keystreams
+    }
+}
+
+impl StorableDataset for PairDataset {
+    fn kind() -> &'static str {
+        "pairs"
+    }
+
+    /// Shape is the flattened pair list `[a1, b1, a2, b2, ...]`, which covers
+    /// the explicit-list, `consecutive` and `first16` constructors uniformly.
+    fn shape_params(&self) -> Vec<u64> {
+        let mut params = Vec::with_capacity(self.pairs.len() * 2);
+        for p in &self.pairs {
+            params.push(p.a as u64);
+            params.push(p.b as u64);
+        }
+        params
+    }
+
+    fn empty_with_shape(params: &[u64]) -> Result<Self, DatasetError> {
+        if params.is_empty() || params.len() % 2 != 0 {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "pair shape needs an even, non-zero parameter count, got {}",
+                params.len()
+            )));
+        }
+        let pairs = params
+            .chunks_exact(2)
+            .map(|c| PositionPair {
+                a: c[0] as usize,
+                b: c[1] as usize,
+            })
+            .collect();
+        Self::new(pairs)
+    }
+
+    fn cell_slices(&self) -> Vec<&[u64]> {
+        vec![&self.counts]
+    }
+
+    fn cell_slices_mut(&mut self) -> Vec<&mut [u64]> {
+        vec![&mut self.counts]
+    }
+
+    fn recorded_keystreams(&self) -> u64 {
+        self.keystreams
+    }
+
+    fn set_recorded_keystreams(&mut self, keystreams: u64) {
+        self.keystreams = keystreams;
+    }
+
+    fn required_keystream_len(&self) -> usize {
+        self.max_position
+    }
+
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+        record_next_generic(self, gen, key, ks);
+    }
+
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
+        gen.fill_key(key);
+    }
+
+    fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError> {
+        self.merge(other)
     }
 }
 

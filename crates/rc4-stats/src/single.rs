@@ -8,6 +8,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     dataset::{DatasetError, KeystreamCollector},
+    keygen::KeyGenerator,
+    storable::{record_next_generic, StorableDataset},
     NUM_VALUES,
 };
 
@@ -149,6 +151,63 @@ impl KeystreamCollector for SingleByteDataset {
 
     fn keystreams(&self) -> u64 {
         self.keystreams
+    }
+}
+
+impl StorableDataset for SingleByteDataset {
+    fn kind() -> &'static str {
+        "single"
+    }
+
+    fn shape_params(&self) -> Vec<u64> {
+        vec![self.positions as u64]
+    }
+
+    fn empty_with_shape(params: &[u64]) -> Result<Self, DatasetError> {
+        let [positions] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "single-byte shape needs 1 parameter, got {}",
+                params.len()
+            )));
+        };
+        if *positions == 0 {
+            return Err(DatasetError::InvalidConfig(
+                "single-byte dataset needs at least one position".into(),
+            ));
+        }
+        Ok(Self::new(*positions as usize))
+    }
+
+    fn cell_slices(&self) -> Vec<&[u64]> {
+        vec![&self.counts]
+    }
+
+    fn cell_slices_mut(&mut self) -> Vec<&mut [u64]> {
+        vec![&mut self.counts]
+    }
+
+    fn recorded_keystreams(&self) -> u64 {
+        self.keystreams
+    }
+
+    fn set_recorded_keystreams(&mut self, keystreams: u64) {
+        self.keystreams = keystreams;
+    }
+
+    fn required_keystream_len(&self) -> usize {
+        self.positions
+    }
+
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+        record_next_generic(self, gen, key, ks);
+    }
+
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
+        gen.fill_key(key);
+    }
+
+    fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError> {
+        self.merge(other)
     }
 }
 

@@ -1,0 +1,227 @@
+//! The [`StorableDataset`] trait: everything the on-disk dataset store
+//! (`rc4-store`) needs from a counter dataset.
+//!
+//! The store persists a dataset as a *kind* tag, a flat `Vec<u64>` shape
+//! descriptor, the recorded-keystream total, and an ordered sequence of `u64`
+//! counter cells. Each dataset type maps its internal state onto that model:
+//!
+//! * [`crate::single::SingleByteDataset`] — kind `"single"`, shape
+//!   `[positions]`, cells = the per-position count table.
+//! * [`crate::pairs::PairDataset`] — kind `"pairs"`, shape
+//!   `[a1, b1, a2, b2, ...]`, cells = the per-pair joint count tables.
+//! * [`crate::longterm::LongTermDataset`] — kind `"longterm"`, shape
+//!   `[drop, block_len]`, cells = digraph counts, aligned counts and the two
+//!   derived totals.
+//! * [`crate::tsc::PerTscDataset`] — kind `"per-tsc"`, shape
+//!   `[conditioning, positions]`, cells = per-class counts plus the per-class
+//!   keystream totals.
+//!
+//! The trait also owns the *key-space walk*: [`StorableDataset::record_next`]
+//! consumes exactly one key's worth of RNG state from a [`KeyGenerator`] and
+//! records the resulting keystream, and [`StorableDataset::skip_next`]
+//! consumes the same RNG state without doing the RC4 work. Per-kind skip
+//! matters because the kinds draw differently (per-TSC keys also draw two TSC
+//! bytes per key); it is what lets a resumed generation fast-forward a worker
+//! stream to the checkpointed position at a fraction of the generation cost.
+
+use crate::{dataset::DatasetError, keygen::KeyGenerator};
+
+/// A dataset that can be persisted by the `rc4-store` shard format and
+/// (re)generated deterministically from per-worker key streams.
+///
+/// # Contract
+///
+/// * `empty_with_shape(shape_params())` must reconstruct an empty dataset of
+///   identical shape, and `cell_slices()` must return the same slice lengths
+///   in the same order for any two datasets of equal shape.
+/// * `record_next` and `skip_next` must consume *exactly* the same amount of
+///   RNG state from the generator, so that a skip-reconstructed stream
+///   position is indistinguishable from a recorded one.
+/// * All cell values must be additive: summing the cells of two datasets over
+///   disjoint key sets must equal the cells of one dataset over the union.
+///   This is what makes shard merging exact.
+pub trait StorableDataset: Send + Sized {
+    /// Stable kind tag written into shard headers (also the CLI name).
+    fn kind() -> &'static str;
+
+    /// Flat shape descriptor, sufficient for [`StorableDataset::empty_with_shape`].
+    fn shape_params(&self) -> Vec<u64>;
+
+    /// Reconstructs an empty dataset from a shape descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Corrupt`]-free validation errors
+    /// ([`DatasetError::InvalidConfig`] or [`DatasetError::ShapeMismatch`])
+    /// when the descriptor does not describe a valid shape.
+    fn empty_with_shape(params: &[u64]) -> Result<Self, DatasetError>;
+
+    /// The dataset's counter state as an ordered list of `u64` slices. The
+    /// store writes them back-to-back; the total length is the shard's cell
+    /// count.
+    fn cell_slices(&self) -> Vec<&[u64]>;
+
+    /// Mutable view of the same slices, in the same order, for loading.
+    fn cell_slices_mut(&mut self) -> Vec<&mut [u64]>;
+
+    /// Total number of keystreams recorded (one per generated key).
+    fn recorded_keystreams(&self) -> u64;
+
+    /// Sets the recorded-keystream total after the cells were loaded from a
+    /// shard (cells carry every other piece of state).
+    fn set_recorded_keystreams(&mut self, keystreams: u64);
+
+    /// Keystream bytes needed per key; the store sizes its scratch buffer
+    /// (`ks` in [`StorableDataset::record_next`]) to this.
+    fn required_keystream_len(&self) -> usize;
+
+    /// Generates one key from `gen`, runs RC4 and records the keystream.
+    /// `key` has the configured key length, `ks` has
+    /// [`StorableDataset::required_keystream_len`] bytes.
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]);
+
+    /// Consumes one key's worth of RNG state from `gen` without recording.
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]);
+
+    /// Merges a dataset of identical shape into `self`, summing all cells and
+    /// keystream totals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ShapeMismatch`] when shapes differ.
+    fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError>;
+
+    /// Total number of cells (provided; the sum of the slice lengths).
+    fn cell_count(&self) -> usize {
+        self.cell_slices().iter().map(|s| s.len()).sum()
+    }
+
+    /// Kind-specific generation-config validation, called by drivers before
+    /// any key is generated. The default accepts everything
+    /// [`crate::dataset::GenerationConfig::validate`] accepts; kinds with
+    /// extra requirements (per-TSC needs room for the 3-byte TKIP prefix)
+    /// override this so misconfigurations fail typed instead of panicking in
+    /// the record loop.
+    fn validate_config(
+        &self,
+        config: &crate::dataset::GenerationConfig,
+    ) -> Result<(), DatasetError> {
+        config.validate()
+    }
+}
+
+/// Shared `record_next` body for datasets fed by the generic worker pool: one
+/// uniformly random key, one keystream, one `record_keystream` call. This is
+/// bit-for-bit the inner loop of `crate::worker::run_worker`, so store-driven
+/// and in-memory generation observe identical key sequences.
+pub(crate) fn record_next_generic<C: crate::dataset::KeystreamCollector>(
+    collector: &mut C,
+    gen: &mut KeyGenerator,
+    key: &mut [u8],
+    ks: &mut [u8],
+) {
+    gen.fill_key(key);
+    let mut prga = rc4::Prga::new(key).expect("worker key length is valid");
+    prga.fill(ks);
+    collector.record_keystream(ks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        longterm::LongTermDataset,
+        pairs::{PairDataset, PositionPair},
+        single::SingleByteDataset,
+        tsc::{PerTscDataset, TscConditioning},
+    };
+
+    /// Exercise the shape/cells/skip contract uniformly over every kind.
+    fn roundtrip_shape<D: StorableDataset>(ds: &D) {
+        let shape = ds.shape_params();
+        let empty = D::empty_with_shape(&shape).expect("shape descriptor reconstructs");
+        assert_eq!(empty.shape_params(), shape);
+        assert_eq!(empty.cell_count(), ds.cell_count());
+        let lens_a: Vec<usize> = ds.cell_slices().iter().map(|s| s.len()).collect();
+        let lens_b: Vec<usize> = empty.cell_slices().iter().map(|s| s.len()).collect();
+        assert_eq!(lens_a, lens_b);
+        assert_eq!(empty.recorded_keystreams(), 0);
+    }
+
+    #[test]
+    fn shape_roundtrip_for_every_kind() {
+        roundtrip_shape(&SingleByteDataset::new(7));
+        roundtrip_shape(
+            &PairDataset::new(vec![
+                PositionPair { a: 1, b: 3 },
+                PositionPair { a: 2, b: 9 },
+            ])
+            .unwrap(),
+        );
+        roundtrip_shape(&LongTermDataset::new(3, 16).unwrap());
+        roundtrip_shape(&PerTscDataset::new(TscConditioning::Tsc1, 5).unwrap());
+    }
+
+    #[test]
+    fn invalid_shape_descriptors_are_rejected() {
+        assert!(SingleByteDataset::empty_with_shape(&[]).is_err());
+        assert!(SingleByteDataset::empty_with_shape(&[0]).is_err());
+        assert!(PairDataset::empty_with_shape(&[1]).is_err());
+        assert!(PairDataset::empty_with_shape(&[3, 3]).is_err());
+        assert!(LongTermDataset::empty_with_shape(&[0, 1]).is_err());
+        assert!(PerTscDataset::empty_with_shape(&[2, 8]).is_err());
+        assert!(PerTscDataset::empty_with_shape(&[0, 0]).is_err());
+    }
+
+    /// `skip_next` must consume exactly the RNG state `record_next` does:
+    /// skipping `k` keys and recording the rest equals recording everything
+    /// and subtracting the first `k` (verified via a fresh recorder).
+    fn skip_matches_record<D: StorableDataset>(mut full: D, mut tail: D, key_len: usize) {
+        let mut gen_a = KeyGenerator::new(42, 0, key_len);
+        let mut gen_b = KeyGenerator::new(42, 0, key_len);
+        let mut key = vec![0u8; key_len];
+        let mut ks = vec![0u8; full.required_keystream_len()];
+        for _ in 0..10 {
+            full.record_next(&mut gen_a, &mut key, &mut ks);
+        }
+        for _ in 0..4 {
+            tail.skip_next(&mut gen_b, &mut key);
+        }
+        for _ in 0..6 {
+            tail.record_next(&mut gen_b, &mut key, &mut ks);
+        }
+        // The tail dataset saw keys 4..10 of the same stream; its cells must
+        // be the suffix contribution, i.e. merging the first four keys into a
+        // fresh dataset reproduces `full`.
+        let mut head = D::empty_with_shape(&full.shape_params()).unwrap();
+        let mut gen_c = KeyGenerator::new(42, 0, key_len);
+        for _ in 0..4 {
+            head.record_next(&mut gen_c, &mut key, &mut ks);
+        }
+        head.merge_same_shape(tail).unwrap();
+        assert_eq!(head.recorded_keystreams(), full.recorded_keystreams());
+        let a: Vec<u64> = head.cell_slices().concat();
+        let b: Vec<u64> = full.cell_slices().concat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skip_consumes_identical_rng_state_for_every_kind() {
+        skip_matches_record(SingleByteDataset::new(4), SingleByteDataset::new(4), 16);
+        skip_matches_record(
+            PairDataset::consecutive(2).unwrap(),
+            PairDataset::consecutive(2).unwrap(),
+            16,
+        );
+        skip_matches_record(
+            LongTermDataset::new(1, 8).unwrap(),
+            LongTermDataset::new(1, 8).unwrap(),
+            16,
+        );
+        skip_matches_record(
+            PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap(),
+            PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap(),
+            16,
+        );
+    }
+}

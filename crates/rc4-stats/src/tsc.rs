@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::{
     dataset::{DatasetError, GenerationConfig},
     keygen::KeyGenerator,
+    storable::StorableDataset,
     NUM_VALUES,
 };
 
@@ -169,8 +170,16 @@ impl PerTscDataset {
     }
 
     /// [`PerTscDataset::generate`] with a cooperative cancellation flag,
-    /// polled every few hundred keys (generation is single-threaded: the
-    /// per-class counter tables are too large to clone per worker).
+    /// polled every few hundred keys.
+    ///
+    /// Execution is single-threaded (the per-class counter tables are too
+    /// large to clone per thread), but the *key space* is still partitioned
+    /// across `config.workers` deterministic streams exactly like the generic
+    /// worker pool: logical worker `w` draws its keys (and TSC bytes) from
+    /// `KeyGenerator::new(config.seed, w, ..)`. A one-worker configuration —
+    /// the default everywhere — reproduces the historical single-stream
+    /// behaviour bit for bit, while multi-worker configurations define the
+    /// per-worker shards the on-disk store (`rc4-store`) generates and merges.
     ///
     /// # Errors
     ///
@@ -182,30 +191,46 @@ impl PerTscDataset {
         config: &GenerationConfig,
         cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Result<Self, DatasetError> {
-        config.validate()?;
-        if config.key_len < 3 {
+        let mut ds = Self::new(conditioning, positions)?;
+        ds.generate_into(config, cancel)?;
+        Ok(ds)
+    }
+
+    /// Generates into an *existing empty* dataset — the allocation-free body
+    /// of [`PerTscDataset::generate_with_cancel`], used directly by callers
+    /// (like the experiment dataset cache) that already hold the empty
+    /// dataset, so no second table set is ever allocated.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PerTscDataset::generate_with_cancel`] returns, plus
+    /// [`DatasetError::InvalidConfig`] when `self` is not empty.
+    pub fn generate_into(
+        &mut self,
+        config: &GenerationConfig,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Result<(), DatasetError> {
+        self.validate_config(config)?;
+        if self.keystreams != 0 {
             return Err(DatasetError::InvalidConfig(
-                "TKIP keys must be at least 3 bytes".into(),
+                "generate_into needs an empty dataset".into(),
             ));
         }
-        let mut ds = Self::new(conditioning, positions)?;
-        let mut gen = KeyGenerator::new(config.seed, 0, config.key_len);
         let mut key = vec![0u8; config.key_len];
-        for i in 0..config.keys {
-            if i % 512 == 0 && cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-            {
-                return Err(DatasetError::Cancelled);
+        let mut ks = vec![0u8; self.positions];
+        for w in 0..config.workers {
+            let keys = config.keys_for_worker(w as u64);
+            let mut gen = KeyGenerator::new(config.seed, w as u64, config.key_len);
+            for i in 0..keys {
+                if i % 512 == 0
+                    && cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                {
+                    return Err(DatasetError::Cancelled);
+                }
+                self.record_next(&mut gen, &mut key, &mut ks);
             }
-            gen.fill_key(&mut key);
-            let tsc0 = (gen.next_below(256)) as u8;
-            let tsc1 = (gen.next_below(256)) as u8;
-            let prefix = tkip_key_prefix(tsc0, tsc1);
-            key[..3].copy_from_slice(&prefix);
-            let ks = rc4::keystream(&key, positions)
-                .map_err(|e| DatasetError::InvalidConfig(e.to_string()))?;
-            ds.record(tsc0, tsc1, &ks);
         }
-        Ok(ds)
+        Ok(())
     }
 
     /// Merges another per-TSC dataset of identical shape.
@@ -253,13 +278,103 @@ impl PerTscDataset {
     }
 }
 
-/// A wrapper implementing [`KeystreamCollector`] by drawing the TSC from the
-/// keystream-independent per-worker RNG is not meaningful; per-TSC generation
-/// therefore goes through [`PerTscDataset::generate`] rather than the generic
-/// worker pool. This marker type documents that design decision for readers
-/// navigating the module.
-#[derive(Debug, Clone, Copy)]
-pub struct PerTscGenerationNote;
+impl StorableDataset for PerTscDataset {
+    fn kind() -> &'static str {
+        "per-tsc"
+    }
+
+    /// Shape is `[conditioning, positions]` with `conditioning` encoded as
+    /// `0 = Tsc1`, `1 = Tsc0Tsc1`.
+    fn shape_params(&self) -> Vec<u64> {
+        let cond = match self.conditioning {
+            TscConditioning::Tsc1 => 0,
+            TscConditioning::Tsc0Tsc1 => 1,
+        };
+        vec![cond, self.positions as u64]
+    }
+
+    fn empty_with_shape(params: &[u64]) -> Result<Self, DatasetError> {
+        let [cond, positions] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "per-TSC shape needs 2 parameters, got {}",
+                params.len()
+            )));
+        };
+        let conditioning = match cond {
+            0 => TscConditioning::Tsc1,
+            1 => TscConditioning::Tsc0Tsc1,
+            other => {
+                return Err(DatasetError::ShapeMismatch(format!(
+                    "unknown TSC conditioning code {other} (expected 0 or 1)"
+                )))
+            }
+        };
+        Self::new(conditioning, *positions as usize)
+    }
+
+    /// Cells are the per-class count tables followed by the per-class
+    /// keystream totals.
+    fn cell_slices(&self) -> Vec<&[u64]> {
+        vec![&self.counts, &self.class_keystreams]
+    }
+
+    fn cell_slices_mut(&mut self) -> Vec<&mut [u64]> {
+        let Self {
+            counts,
+            class_keystreams,
+            ..
+        } = self;
+        vec![counts.as_mut_slice(), class_keystreams.as_mut_slice()]
+    }
+
+    fn recorded_keystreams(&self) -> u64 {
+        self.keystreams
+    }
+
+    fn set_recorded_keystreams(&mut self, keystreams: u64) {
+        self.keystreams = keystreams;
+    }
+
+    fn required_keystream_len(&self) -> usize {
+        self.positions
+    }
+
+    /// One TKIP-structured key: uniform key material, a uniformly drawn TSC
+    /// pair, the public 3-byte prefix, then RC4. This is the shared inner
+    /// loop of [`PerTscDataset::generate_with_cancel`] and the store's
+    /// shard-generation engine, so both observe identical key sequences.
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+        gen.fill_key(key);
+        let tsc0 = gen.next_below(256) as u8;
+        let tsc1 = gen.next_below(256) as u8;
+        key[..3].copy_from_slice(&tkip_key_prefix(tsc0, tsc1));
+        let mut prga = rc4::Prga::new(key).expect("key length validated by config");
+        prga.fill(ks);
+        self.record(tsc0, tsc1, ks);
+    }
+
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
+        gen.fill_key(key);
+        let _ = gen.next_below(256);
+        let _ = gen.next_below(256);
+    }
+
+    /// TKIP keys carry a 3-byte public prefix, so `record_next` needs
+    /// `key_len >= 3`.
+    fn validate_config(&self, config: &GenerationConfig) -> Result<(), DatasetError> {
+        config.validate()?;
+        if config.key_len < 3 {
+            return Err(DatasetError::InvalidConfig(
+                "TKIP keys must be at least 3 bytes".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError> {
+        self.merge(other)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -94,15 +94,11 @@ where
         return Ok(());
     }
 
-    // Split the work as evenly as possible; the first `remainder` workers get one extra key.
-    let per_worker = config.keys / config.workers as u64;
-    let remainder = config.keys % config.workers as u64;
-
     let partials: Vec<C> = thread::scope(|scope| {
         let mut handles = Vec::with_capacity(config.workers);
         for w in 0..config.workers {
             let mut local = collector.clone_empty();
-            let keys = per_worker + u64::from((w as u64) < remainder);
+            let keys = config.keys_for_worker(w as u64);
             let seed = config.seed;
             let key_len = config.key_len;
             handles.push(scope.spawn(move |_| {

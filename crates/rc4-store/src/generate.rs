@@ -1,0 +1,537 @@
+//! Checkpointed shard generation with resume.
+//!
+//! Generation proceeds in *rounds*: every covered worker advances its
+//! deterministic key stream by up to a chunk of keys, the per-worker deltas
+//! are merged into the accumulating dataset, and the whole shard —
+//! header (with updated per-worker progress) plus cells — is flushed to disk
+//! atomically. A cancelled or killed run therefore loses at most one round of
+//! work; [`resume_shard`] reloads the last flushed chunk, fast-forwards each
+//! worker stream to its checkpointed position (via
+//! [`rc4_stats::StorableDataset::skip_next`], which replays only the RNG
+//! draws, not the RC4 work) and continues.
+//!
+//! Because counter cells are additive and every worker records exactly the
+//! same key prefix it would record in an uninterrupted run, a
+//! generate → cancel → resume sequence produces cell-for-cell the dataset a
+//! single uninterrupted run produces — the property the dataset cache's
+//! byte-identity guarantee rests on.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam::thread;
+
+use rc4_stats::{DatasetError, GenerationConfig, KeyGenerator, StorableDataset};
+
+use crate::format::ShardHeader;
+use crate::shard::{read_shard, write_shard};
+
+/// How often workers poll the cancellation flag, mirroring the in-memory
+/// worker pool's interval.
+const CANCEL_POLL_INTERVAL: u64 = 512;
+
+/// Tuning knobs for [`generate_shard`] / [`resume_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenerateOptions {
+    /// Target number of keys generated (across the whole shard) between
+    /// on-disk checkpoints. Smaller values bound the re-work after a crash;
+    /// larger values amortize the flush cost.
+    pub checkpoint_keys: u64,
+    /// Stop — after a checkpoint — once at least this many keys of the shard
+    /// have been generated. The file stays resumable; the run reports
+    /// [`GenerateStatus::Stopped`]. This is the deterministic stand-in for an
+    /// operator cancelling a long collection run.
+    pub stop_after_keys: Option<u64>,
+}
+
+impl Default for GenerateOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_keys: 1 << 18,
+            stop_after_keys: None,
+        }
+    }
+}
+
+/// How a generation call ended (errors are reported through `Result`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerateStatus {
+    /// Every covered worker generated its full allotment; the shard is
+    /// complete and mergeable.
+    Complete,
+    /// `stop_after_keys` was reached; the shard is checkpointed and resumable.
+    Stopped,
+}
+
+/// Which slice of a master configuration's key space a shard covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// The master generation configuration.
+    pub config: GenerationConfig,
+    /// First logical worker index covered.
+    pub worker_lo: u64,
+    /// One past the last logical worker index covered.
+    pub worker_hi: u64,
+}
+
+impl ShardSpec {
+    /// A spec covering the whole configuration (workers `0..config.workers`).
+    pub fn full(config: GenerationConfig) -> Self {
+        Self {
+            config,
+            worker_lo: 0,
+            worker_hi: config.workers as u64,
+        }
+    }
+
+    /// A spec covering the contiguous worker range `lo..hi`.
+    pub fn workers(config: GenerationConfig, lo: u64, hi: u64) -> Self {
+        Self {
+            config,
+            worker_lo: lo,
+            worker_hi: hi,
+        }
+    }
+}
+
+/// Starts generating a fresh shard of `spec.config`'s key space into `path`.
+///
+/// `empty` fixes the dataset kind and shape; `spec` selects the contiguous
+/// range of logical workers this shard covers. The file is created
+/// immediately and checkpointed after every round.
+///
+/// # Errors
+///
+/// * [`DatasetError::InvalidConfig`] — bad configuration or worker range, or
+///   a non-empty `empty` dataset.
+/// * [`DatasetError::Io`] — `path` already exists (refuse to clobber; resume
+///   instead) or a file operation failed.
+/// * [`DatasetError::Cancelled`] — the flag was raised; the last checkpoint
+///   remains on disk.
+pub fn generate_shard<D: StorableDataset>(
+    path: &Path,
+    empty: D,
+    spec: &ShardSpec,
+    opts: &GenerateOptions,
+    cancel: Option<&AtomicBool>,
+    progress: &mut dyn FnMut(u64, u64),
+) -> Result<GenerateStatus, DatasetError> {
+    if empty.recorded_keystreams() != 0 {
+        return Err(DatasetError::InvalidConfig(
+            "generate_shard needs an empty dataset".into(),
+        ));
+    }
+    if path.exists() {
+        return Err(DatasetError::io(
+            path,
+            "already exists; use resume to continue it",
+        ));
+    }
+    let header = ShardHeader::new(
+        D::kind(),
+        spec.config,
+        empty.shape_params(),
+        spec.worker_lo,
+        spec.worker_hi,
+        empty.cell_count() as u64,
+    )?;
+    run_rounds(path, header, empty, opts, cancel, progress)
+}
+
+/// Resumes a checkpointed shard at `path` until complete (or stopped again).
+///
+/// # Errors
+///
+/// Everything [`crate::shard::read_shard`] and [`generate_shard`] return.
+/// Resuming an already-complete shard is a no-op reporting
+/// [`GenerateStatus::Complete`].
+pub fn resume_shard<D: StorableDataset>(
+    path: &Path,
+    opts: &GenerateOptions,
+    cancel: Option<&AtomicBool>,
+    progress: &mut dyn FnMut(u64, u64),
+) -> Result<GenerateStatus, DatasetError> {
+    let loaded = read_shard::<D>(path)?;
+    run_rounds(path, loaded.header, loaded.dataset, opts, cancel, progress)
+}
+
+/// The round loop shared by fresh and resumed runs.
+fn run_rounds<D: StorableDataset>(
+    path: &Path,
+    mut header: ShardHeader,
+    mut dataset: D,
+    opts: &GenerateOptions,
+    cancel: Option<&AtomicBool>,
+    progress: &mut dyn FnMut(u64, u64),
+) -> Result<GenerateStatus, DatasetError> {
+    if opts.checkpoint_keys == 0 {
+        return Err(DatasetError::InvalidConfig(
+            "checkpoint_keys must be > 0".into(),
+        ));
+    }
+    dataset.validate_config(&header.config)?;
+    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
+    let workers = (header.worker_hi - header.worker_lo) as usize;
+    let key_len = header.config.key_len;
+    let keys_total = header.keys_total();
+
+    // An already-complete shard (or a stop target already met) is a cheap
+    // no-op: no generator replay, no file rewrite.
+    if header.is_complete() {
+        if !path.exists() {
+            write_shard(path, &header, &dataset)?;
+        }
+        return Ok(GenerateStatus::Complete);
+    }
+    if opts
+        .stop_after_keys
+        .is_some_and(|stop| header.keys_done() >= stop)
+    {
+        if !path.exists() {
+            write_shard(path, &header, &dataset)?;
+        }
+        return Ok(GenerateStatus::Stopped);
+    }
+
+    // Reconstruct each covered worker's generator at its checkpointed stream
+    // position. Skipping replays only the RNG draws (a small fraction of the
+    // RC4 cost per key), so resume start-up stays cheap.
+    let mut gens: Vec<KeyGenerator> = Vec::with_capacity(workers);
+    {
+        let mut key = vec![0u8; key_len];
+        for (i, &done) in header.progress.iter().enumerate() {
+            let mut gen =
+                KeyGenerator::new(header.config.seed, header.worker_lo + i as u64, key_len);
+            for _ in 0..done {
+                dataset.skip_next(&mut gen, &mut key);
+            }
+            gens.push(gen);
+        }
+    }
+
+    // Claim the path (fresh runs) / refresh the checkpoint (resumed runs)
+    // before doing any work, so the file exists from the first moment on.
+    write_shard(path, &header, &dataset)?;
+    progress(header.keys_done(), keys_total);
+
+    // Per-worker round deltas are whole extra copies of the counter tables.
+    // That is fine for the usual shapes (a consec-16 pair dataset is ~8 MiB)
+    // but ruinous for e.g. per-TSC Tsc0Tsc1 (gigabytes per clone), so large
+    // datasets fall back to recording the round's workers sequentially into
+    // the accumulator — same cells, same checkpoints, no clones.
+    const PARALLEL_CLONE_MAX_CELLS: usize = 1 << 24;
+    let sequential = workers == 1 || dataset.cell_count() > PARALLEL_CLONE_MAX_CELLS;
+
+    let chunk = (opts.checkpoint_keys / workers as u64).max(1);
+    loop {
+        if header.is_complete() {
+            return Ok(GenerateStatus::Complete);
+        }
+        if opts
+            .stop_after_keys
+            .is_some_and(|stop| header.keys_done() >= stop)
+        {
+            return Ok(GenerateStatus::Stopped);
+        }
+        if cancelled() {
+            return Err(DatasetError::Cancelled);
+        }
+
+        // One round: every worker with remaining keys advances by up to
+        // `chunk` keys into a private delta; the deltas are merged in worker
+        // order and the shard is flushed.
+        let round: Vec<(usize, u64)> = (0..workers)
+            .filter_map(|i| {
+                let n = header.remaining_for(i).min(chunk);
+                (n > 0).then_some((i, n))
+            })
+            .collect();
+
+        if sequential || round.len() == 1 {
+            // Record straight into the accumulator, worker by worker. A
+            // cancelled round is not flushed, so the on-disk checkpoint stays
+            // consistent with its header either way.
+            let mut key = vec![0u8; key_len];
+            let mut ks = vec![0u8; dataset.required_keystream_len()];
+            for &(i, n) in &round {
+                let mut done = 0;
+                for k in 0..n {
+                    if k % CANCEL_POLL_INTERVAL == 0 && cancelled() {
+                        break;
+                    }
+                    dataset.record_next(&mut gens[i], &mut key, &mut ks);
+                    done += 1;
+                }
+                if done < n {
+                    return Err(DatasetError::Cancelled);
+                }
+                header.progress[i] += n;
+            }
+        } else {
+            let shape = dataset.shape_params();
+            let deltas: Vec<(usize, u64, D)> = thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(round.len());
+                for (&(i, n), gen) in round.iter().zip(disjoint_mut(&mut gens, &round)) {
+                    let mut delta = D::empty_with_shape(&shape)?;
+                    handles.push(scope.spawn(move |_| {
+                        let mut key = vec![0u8; key_len];
+                        let mut ks = vec![0u8; delta.required_keystream_len()];
+                        let mut done = 0;
+                        for k in 0..n {
+                            if k % CANCEL_POLL_INTERVAL == 0
+                                && cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+                            {
+                                break;
+                            }
+                            delta.record_next(gen, &mut key, &mut ks);
+                            done += 1;
+                        }
+                        (i, done, delta)
+                    }));
+                }
+                Ok::<_, DatasetError>(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("store generation worker panicked"))
+                        .collect(),
+                )
+            })
+            .expect("store generation scope panicked")?;
+            if deltas.iter().any(|&(i, done, _)| {
+                done < round.iter().find(|&&(j, _)| j == i).expect("same round").1
+            }) {
+                // At least one worker saw the flag mid-round; discard the
+                // partial deltas and leave the last checkpoint untouched.
+                return Err(DatasetError::Cancelled);
+            }
+            for (i, done, delta) in deltas {
+                dataset.merge_same_shape(delta)?;
+                header.progress[i] += done;
+            }
+        }
+
+        write_shard(path, &header, &dataset)?;
+        progress(header.keys_done(), keys_total);
+    }
+}
+
+/// Hands each round entry an exclusive `&mut` to its worker's generator.
+///
+/// The round list indexes `gens` in strictly increasing order, so repeated
+/// `split_at_mut` carves out non-overlapping borrows.
+fn disjoint_mut<'a, T>(items: &'a mut [T], round: &[(usize, u64)]) -> Vec<&'a mut T> {
+    let mut rest = items;
+    let mut base = 0usize;
+    let mut out = Vec::with_capacity(round.len());
+    for &(i, _) in round {
+        let (_, tail) = rest.split_at_mut(i - base);
+        let (item, tail) = tail.split_first_mut().expect("round index in range");
+        out.push(item);
+        rest = tail;
+        base = i + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc4_stats::{
+        single::SingleByteDataset,
+        worker::{generate, generate_with_cancel},
+        KeystreamCollector,
+    };
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rc4-store-gen-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn no_progress() -> impl FnMut(u64, u64) {
+        |_, _| {}
+    }
+
+    #[test]
+    fn full_shard_matches_in_memory_pool_generation() {
+        let dir = temp_dir("full");
+        let path = dir.join("full.ds");
+        let config = GenerationConfig::with_keys(1_003).workers(3).seed(99);
+        let status = generate_shard(
+            &path,
+            SingleByteDataset::new(8),
+            &ShardSpec::full(config),
+            &GenerateOptions {
+                checkpoint_keys: 200,
+                stop_after_keys: None,
+            },
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        assert_eq!(status, GenerateStatus::Complete);
+
+        let loaded = read_shard::<SingleByteDataset>(&path).unwrap();
+        assert!(loaded.header.is_complete());
+        let mut expect = SingleByteDataset::new(8);
+        generate(&mut expect, &config).unwrap();
+        assert_eq!(loaded.dataset.keystreams(), expect.keystreams());
+        for r in 1..=8 {
+            assert_eq!(loaded.dataset.counts_at(r), expect.counts_at(r));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stop_resume_produces_identical_cells() {
+        let dir = temp_dir("resume");
+        let config = GenerationConfig::with_keys(900).workers(2).seed(5);
+        let opts = GenerateOptions {
+            checkpoint_keys: 128,
+            stop_after_keys: Some(300),
+        };
+        let path = dir.join("stopped.ds");
+        let status = generate_shard(
+            &path,
+            SingleByteDataset::new(6),
+            &ShardSpec::full(config),
+            &opts,
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        assert_eq!(status, GenerateStatus::Stopped);
+        let partial = read_shard::<SingleByteDataset>(&path).unwrap();
+        assert!(!partial.header.is_complete());
+        assert!(partial.header.keys_done() >= 300);
+        assert!(partial.header.keys_done() < 900);
+
+        let status = resume_shard::<SingleByteDataset>(
+            &path,
+            &GenerateOptions {
+                checkpoint_keys: 64,
+                stop_after_keys: None,
+            },
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        assert_eq!(status, GenerateStatus::Complete);
+
+        let resumed = read_shard::<SingleByteDataset>(&path).unwrap();
+        let mut direct = SingleByteDataset::new(6);
+        generate(&mut direct, &config).unwrap();
+        for r in 1..=6 {
+            assert_eq!(resumed.dataset.counts_at(r), direct.counts_at(r));
+        }
+        assert_eq!(resumed.dataset.keystreams(), 900);
+
+        // Resuming a complete shard is a cheap no-op.
+        let again = resume_shard::<SingleByteDataset>(
+            &path,
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        assert_eq!(again, GenerateStatus::Complete);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellation_leaves_a_resumable_checkpoint() {
+        let dir = temp_dir("cancel");
+        let path = dir.join("cancelled.ds");
+        let config = GenerationConfig::with_keys(50_000).workers(2).seed(1);
+        let cancel = AtomicBool::new(false);
+        let mut rounds = 0u32;
+        let result = generate_shard(
+            &path,
+            SingleByteDataset::new(4),
+            &ShardSpec::full(config),
+            &GenerateOptions {
+                checkpoint_keys: 1_000,
+                stop_after_keys: None,
+            },
+            Some(&cancel),
+            &mut |_done, _total| {
+                rounds += 1;
+                if rounds == 3 {
+                    cancel.store(true, Ordering::Relaxed);
+                }
+            },
+        );
+        assert_eq!(result, Err(DatasetError::Cancelled));
+
+        // The file holds a consistent checkpoint and resumes to the same
+        // final state as an uncancelled run.
+        let partial = read_shard::<SingleByteDataset>(&path).unwrap();
+        assert!(partial.header.keys_done() > 0);
+        resume_shard::<SingleByteDataset>(
+            &path,
+            &GenerateOptions {
+                checkpoint_keys: 10_000,
+                stop_after_keys: None,
+            },
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let full = read_shard::<SingleByteDataset>(&path).unwrap();
+        let mut direct = SingleByteDataset::new(4);
+        let never = AtomicBool::new(false);
+        generate_with_cancel(&mut direct, &config, Some(&never)).unwrap();
+        for r in 1..=4 {
+            assert_eq!(full.dataset.counts_at(r), direct.counts_at(r));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn refuses_to_clobber_an_existing_file() {
+        let dir = temp_dir("clobber");
+        let path = dir.join("x.ds");
+        let config = GenerationConfig::with_keys(10);
+        generate_shard(
+            &path,
+            SingleByteDataset::new(2),
+            &ShardSpec::full(config),
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let again = generate_shard(
+            &path,
+            SingleByteDataset::new(2),
+            &ShardSpec::full(config),
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        );
+        assert!(matches!(again, Err(DatasetError::Io(msg)) if msg.contains("resume")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_worker_range_covers_only_its_streams() {
+        let dir = temp_dir("range");
+        let config = GenerationConfig::with_keys(100).workers(4).seed(3);
+        let path = dir.join("w13.ds");
+        generate_shard(
+            &path,
+            SingleByteDataset::new(3),
+            &ShardSpec::workers(config, 1, 3),
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let shard = read_shard::<SingleByteDataset>(&path).unwrap();
+        assert_eq!(shard.header.keys_total(), 50);
+        assert_eq!(shard.dataset.keystreams(), 50);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

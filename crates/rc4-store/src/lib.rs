@@ -1,0 +1,53 @@
+//! Persistent sharded storage for keystream counter datasets.
+//!
+//! The paper's headline statistics were counted over `2^44`–`2^47` RC4 keys
+//! on roughly 80 machines and merged afterwards (Section 3.2). That workflow
+//! — long-running distributed *collection*, cheap repeated *re-analysis* —
+//! needs counter datasets that survive the process that generated them. This
+//! crate provides it:
+//!
+//! * [`format`] — a versioned binary on-disk format: magic, format version, a
+//!   JSON header (dataset kind, shape, [`rc4_stats::GenerationConfig`],
+//!   per-worker progress), little-endian `u64` counter cells, and a CRC-32
+//!   trailer (via `crypto-prims`) over the whole file.
+//! * [`shard`] — [`shard::write_shard`] / [`shard::read_shard`] /
+//!   [`shard::peek_header`]: atomic (write-to-temp + rename) persistence and
+//!   fully validated loading of any [`rc4_stats::StorableDataset`].
+//! * [`generate`] — a checkpointing generation engine. The key space of a
+//!   configuration is partitioned into per-worker streams exactly as the
+//!   `rc4-stats` worker pool partitions it; a *shard* covers a contiguous
+//!   range of those workers. Completed chunks are streamed to disk at a
+//!   configurable interval, so a cancelled or crashed run resumes from the
+//!   last flushed chunk ([`generate::resume_shard`]) instead of starting
+//!   over — the on-disk analogue of `Batched16Counter`'s flush-and-aggregate
+//!   design.
+//! * [`merge`] — an n-way merge that validates shape equality and
+//!   seed-disjointness (disjoint worker ranges of the *same* master
+//!   configuration; each worker index derives an independent seed stream) and
+//!   sums the shards into a master dataset. Merging every shard of a
+//!   configuration yields cell-for-cell the dataset an uninterrupted
+//!   in-memory generation would have produced.
+//! * [`cache`] — a load-or-generate dataset cache keyed by a SHA-256 hash of
+//!   `(kind, shape, config)`. Experiment drivers consult it before
+//!   generating; a hit skips generation entirely and is guaranteed to be the
+//!   dataset the generation would have produced.
+//!
+//! All errors surface as typed [`rc4_stats::DatasetError`] variants —
+//! [`rc4_stats::DatasetError::Io`] for file-system failures and
+//! [`rc4_stats::DatasetError::Corrupt`] for validation failures — with the
+//! offending path in the message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod format;
+pub mod generate;
+pub mod merge;
+pub mod shard;
+
+pub use cache::DatasetCache;
+pub use format::{ShardHeader, FORMAT_VERSION, MAGIC};
+pub use generate::{generate_shard, resume_shard, GenerateOptions, GenerateStatus, ShardSpec};
+pub use merge::merge_shards;
+pub use shard::{peek_header, read_shard, write_shard};

@@ -1,0 +1,274 @@
+//! N-way shard merge: the on-disk analogue of the paper's "merge the counts
+//! from ~80 machines" step.
+//!
+//! Merging validates that every input shard belongs to the *same* master
+//! dataset — identical kind, shape and generation configuration — that each
+//! shard is complete, and that the covered worker ranges are seed-disjoint
+//! (non-overlapping) and tile a contiguous range with no gaps. Counter cells
+//! are then summed, which is exact: the result is cell-for-cell the dataset a
+//! single run over the union of the worker streams would have produced.
+
+use std::path::Path;
+
+use rc4_stats::{DatasetError, StorableDataset};
+
+use crate::format::ShardHeader;
+use crate::shard::{read_shard, write_shard};
+
+/// Merges `inputs` (two or more complete, disjoint shards of one master
+/// configuration) into a single shard at `out`, returning the merged header.
+///
+/// # Errors
+///
+/// * [`DatasetError::InvalidConfig`] — fewer than two inputs, or an input is
+///   incomplete (resume it first).
+/// * [`DatasetError::ShapeMismatch`] — inputs disagree on kind, shape or
+///   configuration, overlap in worker ranges (duplicate derived seeds), or
+///   leave a gap in the covered range.
+/// * Everything [`read_shard`] / [`write_shard`] return.
+pub fn merge_shards<D: StorableDataset>(
+    inputs: &[&Path],
+    out: &Path,
+) -> Result<ShardHeader, DatasetError> {
+    if inputs.len() < 2 {
+        return Err(DatasetError::InvalidConfig(
+            "merge needs at least two input shards".into(),
+        ));
+    }
+
+    let mut shards = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let shard = read_shard::<D>(path)?;
+        if !shard.header.is_complete() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{}: shard is incomplete ({} of {} keys); resume it before merging",
+                path.display(),
+                shard.header.keys_done(),
+                shard.header.keys_total()
+            )));
+        }
+        shards.push((*path, shard));
+    }
+
+    let (first_path, first) = &shards[0];
+    for (path, shard) in &shards[1..] {
+        if shard.header.kind != first.header.kind || shard.header.shape != first.header.shape {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} and {} hold differently shaped datasets",
+                first_path.display(),
+                path.display()
+            )));
+        }
+        if shard.header.config != first.header.config {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} and {} belong to different generation configurations \
+                 (keys/workers/seed/key_len must all match)",
+                first_path.display(),
+                path.display()
+            )));
+        }
+    }
+
+    // Worker ranges must be pairwise disjoint (each worker index is a
+    // distinct derived seed stream; overlap would double-count keys) and
+    // tile a contiguous range (a gap would silently drop part of the key
+    // space).
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| shards[i].1.header.worker_lo);
+    for w in order.windows(2) {
+        let (prev_path, prev) = &shards[w[0]];
+        let (next_path, next) = &shards[w[1]];
+        if next.header.worker_lo < prev.header.worker_hi {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} (workers {}..{}) and {} (workers {}..{}) overlap: \
+                 the same derived seed streams would be counted twice",
+                prev_path.display(),
+                prev.header.worker_lo,
+                prev.header.worker_hi,
+                next_path.display(),
+                next.header.worker_lo,
+                next.header.worker_hi
+            )));
+        }
+        if next.header.worker_lo > prev.header.worker_hi {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "workers {}..{} are covered by no input shard (gap between {} and {})",
+                prev.header.worker_hi,
+                next.header.worker_lo,
+                prev_path.display(),
+                next_path.display()
+            )));
+        }
+    }
+
+    let worker_lo = shards[order[0]].1.header.worker_lo;
+    let worker_hi = shards[*order.last().expect("non-empty")].1.header.worker_hi;
+    let mut progress = Vec::with_capacity((worker_hi - worker_lo) as usize);
+    for &i in &order {
+        progress.extend_from_slice(&shards[i].1.header.progress);
+    }
+    let (kind, config, shape, cells) = {
+        let h = &shards[0].1.header;
+        (h.kind.clone(), h.config, h.shape.clone(), h.cells)
+    };
+
+    let mut merged: Option<D> = None;
+    for &i in &order {
+        let dataset = std::mem::replace(&mut shards[i].1.dataset, D::empty_with_shape(&shape)?);
+        merged = Some(match merged {
+            None => dataset,
+            Some(mut acc) => {
+                acc.merge_same_shape(dataset)?;
+                acc
+            }
+        });
+    }
+    let merged = merged.expect("at least two shards");
+
+    let header = ShardHeader {
+        kind,
+        config,
+        shape,
+        worker_lo,
+        worker_hi,
+        progress,
+        cells,
+    };
+    header.validate(out)?;
+    write_shard(out, &header, &merged)?;
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_shard, GenerateOptions, ShardSpec};
+    use rc4_stats::{single::SingleByteDataset, GenerationConfig, KeystreamCollector};
+    use std::path::PathBuf;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rc4-store-merge-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn shard(dir: &Path, name: &str, config: &GenerationConfig, lo: u64, hi: u64) -> PathBuf {
+        let path = dir.join(name);
+        generate_shard(
+            &path,
+            SingleByteDataset::new(5),
+            &ShardSpec::workers(*config, lo, hi),
+            &GenerateOptions::default(),
+            None,
+            &mut |_, _| {},
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn merging_all_shards_reproduces_the_full_dataset() {
+        let dir = temp_dir("full");
+        let config = GenerationConfig::with_keys(700).workers(3).seed(17);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let b = shard(&dir, "b.ds", &config, 1, 3);
+        let out = dir.join("master.ds");
+        let header = merge_shards::<SingleByteDataset>(&[&a, &b], &out).unwrap();
+        assert_eq!((header.worker_lo, header.worker_hi), (0, 3));
+        assert!(header.is_complete());
+
+        let master = crate::shard::read_shard::<SingleByteDataset>(&out).unwrap();
+        let mut direct = SingleByteDataset::new(5);
+        rc4_stats::worker::generate(&mut direct, &config).unwrap();
+        assert_eq!(master.dataset.keystreams(), direct.keystreams());
+        for r in 1..=5 {
+            assert_eq!(master.dataset.counts_at(r), direct.counts_at(r));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_and_overlapping_inputs_are_rejected() {
+        let dir = temp_dir("bad");
+        let config = GenerationConfig::with_keys(100).workers(2).seed(1);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let b = shard(&dir, "b.ds", &config, 1, 2);
+
+        // Different seed => different configuration.
+        let other = GenerationConfig::with_keys(100).workers(2).seed(2);
+        let c = shard(&dir, "c.ds", &other, 1, 2);
+        let out = dir.join("out.ds");
+        assert!(matches!(
+            merge_shards::<SingleByteDataset>(&[&a, &c], &out),
+            Err(DatasetError::ShapeMismatch(msg)) if msg.contains("configurations")
+        ));
+
+        // Overlap: the same worker twice.
+        assert!(matches!(
+            merge_shards::<SingleByteDataset>(&[&b, &b], &out),
+            Err(DatasetError::ShapeMismatch(msg)) if msg.contains("overlap")
+        ));
+
+        // Different shape.
+        let wide = dir.join("wide.ds");
+        generate_shard(
+            &wide,
+            SingleByteDataset::new(9),
+            &ShardSpec::workers(config, 1, 2),
+            &GenerateOptions::default(),
+            None,
+            &mut |_, _| {},
+        )
+        .unwrap();
+        assert!(matches!(
+            merge_shards::<SingleByteDataset>(&[&a, &wide], &out),
+            Err(DatasetError::ShapeMismatch(msg)) if msg.contains("shaped")
+        ));
+
+        // A single input is not a merge.
+        assert!(merge_shards::<SingleByteDataset>(&[&a], &out).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gap_in_worker_coverage_is_rejected() {
+        let dir = temp_dir("gap");
+        let config = GenerationConfig::with_keys(100).workers(3).seed(1);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let b = shard(&dir, "b.ds", &config, 2, 3);
+        let out = dir.join("out.ds");
+        assert!(matches!(
+            merge_shards::<SingleByteDataset>(&[&a, &b], &out),
+            Err(DatasetError::ShapeMismatch(msg)) if msg.contains("no input shard")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn incomplete_shard_is_rejected_with_a_resume_hint() {
+        let dir = temp_dir("incomplete");
+        let config = GenerationConfig::with_keys(10_000).workers(2).seed(1);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let partial = dir.join("partial.ds");
+        generate_shard(
+            &partial,
+            SingleByteDataset::new(5),
+            &ShardSpec::workers(config, 1, 2),
+            &GenerateOptions {
+                checkpoint_keys: 500,
+                stop_after_keys: Some(1_000),
+            },
+            None,
+            &mut |_, _| {},
+        )
+        .unwrap();
+        let out = dir.join("out.ds");
+        assert!(matches!(
+            merge_shards::<SingleByteDataset>(&[&a, &partial], &out),
+            Err(DatasetError::InvalidConfig(msg)) if msg.contains("resume")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

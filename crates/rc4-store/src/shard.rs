@@ -1,0 +1,352 @@
+//! Reading and writing shard files.
+//!
+//! Writes are atomic: the file is assembled in a sibling `*.tmp` file and
+//! renamed over the destination, so a crash mid-checkpoint leaves the
+//! previous complete checkpoint intact. Reads validate everything — magic,
+//! format version, header consistency, cell count, file length and the
+//! CRC-32 trailer — before any cell reaches a dataset, and surface failures
+//! as typed [`DatasetError::Io`] / [`DatasetError::Corrupt`] errors naming
+//! the path.
+
+use std::fs;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crypto_prims::crc32::Crc32;
+use rc4_stats::{DatasetError, StorableDataset};
+
+use crate::format::{ShardHeader, FORMAT_VERSION, MAGIC, MAX_HEADER_LEN, PREAMBLE_LEN};
+
+/// A fully loaded shard: its header plus the reconstructed dataset.
+#[derive(Debug, Clone)]
+pub struct ShardFile<D> {
+    /// The validated on-disk header.
+    pub header: ShardHeader,
+    /// The dataset, with cells and keystream totals restored.
+    pub dataset: D,
+}
+
+/// Sibling temp path used for atomic writes, salted with the process id and
+/// a counter so concurrent writers of the same destination (e.g. two runs
+/// filling one shared cache entry) never interleave into one temp file —
+/// last rename wins with a complete file either way.
+fn tmp_path(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SERIAL: AtomicU64 = AtomicU64::new(0);
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(
+        ".{}-{}.tmp",
+        std::process::id(),
+        SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    path.with_file_name(name)
+}
+
+/// Serializes `dataset` under `header` to `path` atomically.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] on file-system failures,
+/// [`DatasetError::Serialization`] if the header fails to encode, and
+/// [`DatasetError::InvalidConfig`] if `header.cells` disagrees with the
+/// dataset's cell count (a caller bug worth catching before it reaches disk).
+pub fn write_shard<D: StorableDataset>(
+    path: &Path,
+    header: &ShardHeader,
+    dataset: &D,
+) -> Result<(), DatasetError> {
+    if header.cells != dataset.cell_count() as u64 {
+        return Err(DatasetError::InvalidConfig(format!(
+            "header declares {} cells but the dataset holds {}",
+            header.cells,
+            dataset.cell_count()
+        )));
+    }
+    let header_json = serde_json::to_string(header)
+        .map_err(|e| DatasetError::Serialization(format!("shard header: {e}")))?;
+    let header_bytes = header_json.as_bytes();
+    if header_bytes.len() > MAX_HEADER_LEN {
+        return Err(DatasetError::InvalidConfig(format!(
+            "shard header would be {} bytes, over the {MAX_HEADER_LEN}-byte format limit \
+             (usually an extreme worker count; split the run into more shards)",
+            header_bytes.len()
+        )));
+    }
+    let header_len = header_bytes.len() as u32;
+
+    let tmp = tmp_path(path);
+    let file = fs::File::create(&tmp).map_err(|e| DatasetError::io(&tmp, e))?;
+    let mut out = BufWriter::new(file);
+    let mut crc = Crc32::new();
+    let mut emit = |out: &mut BufWriter<fs::File>, bytes: &[u8]| -> Result<(), DatasetError> {
+        crc.update(bytes);
+        out.write_all(bytes).map_err(|e| DatasetError::io(&tmp, e))
+    };
+
+    emit(&mut out, &MAGIC)?;
+    emit(&mut out, &FORMAT_VERSION.to_le_bytes())?;
+    emit(&mut out, &header_len.to_le_bytes())?;
+    emit(&mut out, header_bytes)?;
+    // Cells, buffered in ~512 KiB chunks so CRC and write syscalls both see
+    // large runs instead of 8-byte pieces.
+    let mut buf = Vec::with_capacity(1 << 19);
+    for slice in dataset.cell_slices() {
+        for &cell in slice {
+            buf.extend_from_slice(&cell.to_le_bytes());
+            if buf.len() >= (1 << 19) {
+                emit(&mut out, &buf)?;
+                buf.clear();
+            }
+        }
+    }
+    if !buf.is_empty() {
+        emit(&mut out, &buf)?;
+    }
+    let digest = crc.finalize();
+    out.write_all(&digest.to_le_bytes())
+        .map_err(|e| DatasetError::io(&tmp, e))?;
+    out.flush().map_err(|e| DatasetError::io(&tmp, e))?;
+    out.into_inner()
+        .map_err(|e| DatasetError::io(&tmp, e.to_string()))?
+        .sync_all()
+        .map_err(|e| DatasetError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| DatasetError::io(path, e))?;
+    Ok(())
+}
+
+/// Parses and validates the preamble and header from raw bytes.
+fn decode_header(path: &Path, bytes: &[u8]) -> Result<(ShardHeader, usize), DatasetError> {
+    if bytes.len() < PREAMBLE_LEN {
+        return Err(DatasetError::corrupt(
+            path,
+            format!("truncated file ({} bytes, preamble needs 16)", bytes.len()),
+        ));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DatasetError::corrupt(
+            path,
+            "not an rc4-store dataset (bad magic)",
+        ));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DatasetError::corrupt(
+            path,
+            format!("unsupported format version {version} (this build reads {FORMAT_VERSION})"),
+        ));
+    }
+    let header_len = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+    if header_len > MAX_HEADER_LEN {
+        return Err(DatasetError::corrupt(
+            path,
+            format!("implausible header length {header_len} (limit {MAX_HEADER_LEN})"),
+        ));
+    }
+    let header_end = PREAMBLE_LEN
+        .checked_add(header_len)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| {
+            DatasetError::corrupt(path, "truncated file (header extends past end of file)")
+        })?;
+    let header_json = std::str::from_utf8(&bytes[PREAMBLE_LEN..header_end])
+        .map_err(|_| DatasetError::corrupt(path, "shard header is not UTF-8"))?;
+    let header: ShardHeader = serde_json::from_str(header_json)
+        .map_err(|e| DatasetError::corrupt(path, format!("unreadable shard header: {e}")))?;
+    header.validate(path)?;
+    Ok((header, header_end))
+}
+
+/// Reads only the header of a shard file (cells are not touched and the CRC
+/// is *not* verified — use [`read_shard`] before trusting the counts).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Io`] when the file cannot be read and
+/// [`DatasetError::Corrupt`] when the preamble or header is invalid.
+pub fn peek_header(path: &Path) -> Result<ShardHeader, DatasetError> {
+    let mut file = fs::File::open(path).map_err(|e| DatasetError::io(path, e))?;
+    let eof_or_io = |e: std::io::Error, what: &str| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            DatasetError::corrupt(path, format!("truncated file ({what})"))
+        } else {
+            DatasetError::io(path, e)
+        }
+    };
+    let mut preamble = [0u8; PREAMBLE_LEN];
+    file.read_exact(&mut preamble)
+        .map_err(|e| eof_or_io(e, "shorter than the 16-byte preamble"))?;
+    if preamble[..8] != MAGIC {
+        return Err(DatasetError::corrupt(
+            path,
+            "not an rc4-store dataset (bad magic)",
+        ));
+    }
+    let version = u32::from_le_bytes(preamble[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(DatasetError::corrupt(
+            path,
+            format!("unsupported format version {version} (this build reads {FORMAT_VERSION})"),
+        ));
+    }
+    let header_len = u32::from_le_bytes(preamble[12..16].try_into().expect("4 bytes")) as usize;
+    if header_len > MAX_HEADER_LEN {
+        return Err(DatasetError::corrupt(
+            path,
+            format!("implausible header length {header_len} (limit {MAX_HEADER_LEN})"),
+        ));
+    }
+    let mut bytes = preamble.to_vec();
+    bytes.resize(PREAMBLE_LEN + header_len, 0);
+    file.read_exact(&mut bytes[PREAMBLE_LEN..])
+        .map_err(|e| eof_or_io(e, "header extends past end of file"))?;
+    decode_header(path, &bytes).map(|(h, _)| h)
+}
+
+/// Reads and fully validates a shard file, reconstructing the dataset.
+///
+/// # Errors
+///
+/// * [`DatasetError::Io`] — the file cannot be read.
+/// * [`DatasetError::Corrupt`] — bad magic, unsupported format version,
+///   truncation, header/shape/cell-count inconsistency, or CRC mismatch.
+pub fn read_shard<D: StorableDataset>(path: &Path) -> Result<ShardFile<D>, DatasetError> {
+    let bytes = fs::read(path).map_err(|e| DatasetError::io(path, e))?;
+    let (header, header_end) = decode_header(path, &bytes)?;
+    if header.kind != D::kind() {
+        return Err(DatasetError::corrupt(
+            path,
+            format!(
+                "holds a '{}' dataset, expected '{}'",
+                header.kind,
+                D::kind()
+            ),
+        ));
+    }
+    let mut dataset = D::empty_with_shape(&header.shape)
+        .map_err(|e| DatasetError::corrupt(path, format!("invalid stored shape: {e}")))?;
+    if dataset.cell_count() as u64 != header.cells {
+        return Err(DatasetError::corrupt(
+            path,
+            format!(
+                "header declares {} cells but the shape implies {}",
+                header.cells,
+                dataset.cell_count()
+            ),
+        ));
+    }
+    let cells_len = (header.cells as usize)
+        .checked_mul(8)
+        .ok_or_else(|| DatasetError::corrupt(path, "cell count overflows"))?;
+    let expected_len = header_end + cells_len + 4;
+    if bytes.len() < expected_len {
+        return Err(DatasetError::corrupt(
+            path,
+            format!(
+                "truncated file ({} bytes, expected {expected_len})",
+                bytes.len()
+            ),
+        ));
+    }
+    if bytes.len() > expected_len {
+        return Err(DatasetError::corrupt(
+            path,
+            format!(
+                "trailing bytes after the CRC ({} bytes, expected {expected_len})",
+                bytes.len()
+            ),
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(bytes[expected_len - 4..].try_into().expect("4 bytes"));
+    let mut crc = Crc32::new();
+    crc.update(&bytes[..expected_len - 4]);
+    if crc.finalize() != stored_crc {
+        return Err(DatasetError::corrupt(
+            path,
+            "CRC-32 mismatch (bit flip or torn write)",
+        ));
+    }
+    let mut offset = header_end;
+    for slice in dataset.cell_slices_mut() {
+        for cell in slice.iter_mut() {
+            *cell = u64::from_le_bytes(bytes[offset..offset + 8].try_into().expect("8 bytes"));
+            offset += 8;
+        }
+    }
+    dataset.set_recorded_keystreams(header.keys_done());
+    Ok(ShardFile { header, dataset })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc4_stats::{single::SingleByteDataset, GenerationConfig, KeystreamCollector};
+
+    fn temp_file(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("rc4-store-shard-{}-{name}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        dir.join("shard.ds")
+    }
+
+    fn sample() -> (ShardHeader, SingleByteDataset) {
+        let mut ds = SingleByteDataset::new(4);
+        ds.record_keystream(&[1, 2, 3, 4]);
+        ds.record_keystream(&[1, 9, 3, 4]);
+        let mut header = ShardHeader::new(
+            "single",
+            GenerationConfig::with_keys(2),
+            ds.shape_params(),
+            0,
+            1,
+            ds.cell_count() as u64,
+        )
+        .unwrap();
+        header.progress = vec![2];
+        (header, ds)
+    }
+
+    #[test]
+    fn write_read_roundtrip_preserves_everything() {
+        let path = temp_file("roundtrip");
+        let (header, ds) = sample();
+        write_shard(&path, &header, &ds).unwrap();
+
+        let peeked = peek_header(&path).unwrap();
+        assert_eq!(peeked, header);
+
+        let loaded: ShardFile<SingleByteDataset> = read_shard(&path).unwrap();
+        assert_eq!(loaded.header, header);
+        assert_eq!(loaded.dataset.count(1, 1), 2);
+        assert_eq!(loaded.dataset.count(2, 9), 1);
+        assert_eq!(loaded.dataset.keystreams(), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cell_count_mismatch_is_a_caller_error() {
+        let path = temp_file("cellcount");
+        let (mut header, ds) = sample();
+        header.cells += 1;
+        assert!(matches!(
+            write_shard(&path, &header, &ds),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_corrupt() {
+        let path = temp_file("kind");
+        let (header, ds) = sample();
+        write_shard(&path, &header, &ds).unwrap();
+        let r: Result<ShardFile<rc4_stats::pairs::PairDataset>, _> = read_shard(&path);
+        assert!(matches!(r, Err(DatasetError::Corrupt(msg)) if msg.contains("'single'")));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io() {
+        let r: Result<ShardFile<SingleByteDataset>, _> =
+            read_shard(Path::new("/nonexistent/rc4-store.ds"));
+        assert!(matches!(r, Err(DatasetError::Io(msg)) if msg.contains("rc4-store.ds")));
+    }
+}

@@ -70,6 +70,7 @@ fn fig10_driver_candidate_list_dominates() {
         candidates: 256,
         absab_relations: 32,
         cookie_position: 321,
+        source: rc4_attacks::experiments::CountSource::Analytic,
         seed: 9,
     };
     let (points, report) = run(&config).unwrap();

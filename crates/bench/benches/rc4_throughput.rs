@@ -1,10 +1,15 @@
-//! Throughput of the RC4 substrate: KSA cost and bulk keystream generation.
+//! Throughput of the RC4 substrate: KSA cost, bulk keystream generation, and
+//! the batched multi-key engine's lane-count sweep.
 //!
 //! The statistics datasets (Sect. 3.2) are bounded by how fast keystreams can
-//! be generated; this bench pins that number down on the build machine.
+//! be generated; this bench pins that number down on the build machine. The
+//! `rc4_batch_*` groups sweep the interleaved engine's lane count — they are
+//! how `rc4::batch::DEFAULT_LANES` was chosen (see README "Performance").
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rc4::batch::{InterleavedBatch, KeystreamBatch};
 use rc4::{Prga, Rc4};
+use rc4_accel::AutoBatch;
 
 fn bench_ksa(c: &mut Criterion) {
     let mut group = c.benchmark_group("rc4_ksa");
@@ -32,6 +37,75 @@ fn bench_keystream(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flat lane-major key buffer with `n` distinct 16-byte keys.
+fn batch_keys(n: usize) -> Vec<u8> {
+    let mut keys = vec![0u8; n * 16];
+    for (k, key) in keys.chunks_exact_mut(16).enumerate() {
+        for (b, slot) in key.iter_mut().enumerate() {
+            *slot = (0x37 + 11 * k + 3 * b) as u8;
+        }
+    }
+    keys
+}
+
+/// One iteration = schedule `N` fresh keys + generate `per_lane` bytes per
+/// lane, the exact shape of the dataset workers' hot loop.
+fn bench_batch_lane<const N: usize>(group: &mut criterion::BenchmarkGroup<'_>, per_lane: usize) {
+    let keys = batch_keys(N);
+    group.throughput(Throughput::Bytes((N * per_lane) as u64));
+    group.bench_with_input(BenchmarkId::from_parameter(N), &keys, |b, keys| {
+        let mut engine = InterleavedBatch::<N>::new();
+        let mut out = vec![0u8; N * per_lane];
+        b.iter(|| {
+            engine.schedule(std::hint::black_box(keys), 16).unwrap();
+            engine.fill(std::hint::black_box(&mut out), per_lane);
+        });
+    });
+}
+
+fn bench_batch_keystream(c: &mut Criterion) {
+    // Long streams: PRGA-bound, the regime of the long-term dataset.
+    let mut group = c.benchmark_group("rc4_batch_keystream");
+    bench_batch_lane::<1>(&mut group, 4096);
+    bench_batch_lane::<4>(&mut group, 4096);
+    bench_batch_lane::<8>(&mut group, 4096);
+    bench_batch_lane::<16>(&mut group, 4096);
+    bench_batch_lane::<32>(&mut group, 4096);
+    group.finish();
+}
+
+fn bench_batch_short_streams(c: &mut Criterion) {
+    // Short streams: KSA-bound, the regime of the single-byte / pair /
+    // per-TSC datasets (64 bytes ≈ the per-TSC quick shape).
+    let mut group = c.benchmark_group("rc4_batch_short");
+    bench_batch_lane::<1>(&mut group, 64);
+    bench_batch_lane::<8>(&mut group, 64);
+    bench_batch_lane::<16>(&mut group, 64);
+    bench_batch_lane::<32>(&mut group, 64);
+    group.finish();
+}
+
+/// The engine consumers actually run (AVX-512 where the CPU has it, the
+/// portable interleaved engine elsewhere), in both regimes. These are the
+/// headline numbers the `repro bench` perf gate tracks.
+fn bench_batch_auto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rc4_batch_auto");
+    for per_lane in [64usize, 4096] {
+        let mut engine = AutoBatch::new();
+        let lanes = engine.lanes();
+        let keys = batch_keys(lanes);
+        group.throughput(Throughput::Bytes((lanes * per_lane) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(per_lane), &keys, |b, keys| {
+            let mut out = vec![0u8; lanes * per_lane];
+            b.iter(|| {
+                engine.schedule(std::hint::black_box(keys), 16).unwrap();
+                engine.fill(std::hint::black_box(&mut out), per_lane);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_encrypt(c: &mut Criterion) {
     let mut group = c.benchmark_group("rc4_encrypt");
     let data = vec![0x5Au8; 1500];
@@ -44,5 +118,13 @@ fn bench_encrypt(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ksa, bench_keystream, bench_encrypt);
+criterion_group!(
+    benches,
+    bench_ksa,
+    bench_keystream,
+    bench_batch_keystream,
+    bench_batch_short_streams,
+    bench_batch_auto,
+    bench_encrypt
+);
 criterion_main!(benches);

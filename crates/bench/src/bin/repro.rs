@@ -26,6 +26,9 @@
 //! repro dataset merge --out FILE SHARD...
 //! repro dataset info FILE [--json]
 //!
+//! # the perf smoke mode and CI regression gate (see README "Performance"):
+//! repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]
+//!
 //! # legacy form, kept for muscle memory and old scripts:
 //! repro [EXPERIMENT] [SCALE] [--json]
 //! ```
@@ -61,7 +64,8 @@ enum Command {
 fn usage() -> String {
     "usage: repro list\n       \
      repro run <NAME...|all> [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
-     repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)"
+     repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
+     repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]"
         .to_string()
 }
 
@@ -281,6 +285,9 @@ fn run() -> Result<(), (String, u8)> {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.first().map(String::as_str) == Some("dataset") {
         return dataset_cli::run(&raw[1..]);
+    }
+    if raw.first().map(String::as_str) == Some("bench") {
+        return bench_cli::run(&raw[1..]);
     }
     let args = parse_args(&raw)?;
     let registry = Registry::with_defaults();
@@ -560,12 +567,29 @@ mod dataset_cli {
         })
     }
 
+    /// Warns when the requested checkpoint interval exceeds the shard's key
+    /// range: the interval is clamped (see
+    /// `GenerateOptions::effective_checkpoint_keys`), so the run only
+    /// checkpoints at completion — an operator who asked for intermediate
+    /// checkpoints should know they are not getting any.
+    fn warn_oversized_checkpoint(opts: &GenerateOptions, keys_total: u64) {
+        if opts.checkpoint_keys > keys_total.max(1) {
+            eprintln!(
+                "repro: warning: --checkpoint-keys {} exceeds the shard's {} keys; \
+                 clamping — the run will only checkpoint at completion",
+                opts.checkpoint_keys, keys_total
+            );
+        }
+    }
+
     fn generate(args: &[String]) -> CliResult<()> {
         let parsed = parse_generate(args)?;
         let (lo, hi) = parsed
             .worker_range
             .unwrap_or((0, parsed.config.workers as u64));
         let spec = ShardSpec::workers(parsed.config, lo, hi);
+        let shard_keys: u64 = (lo..hi).map(|w| parsed.config.keys_for_worker(w)).sum();
+        warn_oversized_checkpoint(&parsed.opts, shard_keys);
         let label = parsed.out.display().to_string();
         let mut progress = progress_printer(label.clone());
         let status = match parsed.spec {
@@ -637,6 +661,7 @@ mod dataset_cli {
             Ok(h) => h,
             Err(e) => return runtime(e),
         };
+        warn_oversized_checkpoint(&opts, header.keys_total());
         let label = file.display().to_string();
         let mut progress = progress_printer(label.clone());
         let status = dispatch_kind(&header.kind, |d| match d {
@@ -831,6 +856,414 @@ mod dataset_cli {
             return fail(format!("--worker-range expects LO..HI (got '{s}')"));
         };
         Ok((parse_int(lo.trim())?, parse_int(hi.trim())?))
+    }
+}
+
+/// The `repro bench` subcommand: a fixed-seed, quick-scale performance smoke
+/// run plus the CI regression gate.
+///
+/// Each measurement replays the workload of the same-named criterion bench
+/// (`bench/benches/`), so the numbers are directly comparable with the
+/// committed `BENCH_*.json` trajectory. `--compare FILE` checks every
+/// measured bench that also appears in `FILE` and fails (exit 1) when one is
+/// more than `--tolerance` percent slower; the text output is a markdown
+/// table suitable for a CI job summary.
+mod bench_cli {
+    use std::time::Instant;
+
+    use rc4_accel::{AutoBatch, KeystreamBatch};
+    use rc4_attacks::experiments::fig8::{run as fig8_run, Fig8Config, TkipTrafficModel};
+    use rc4_stats::{single::SingleByteDataset, worker, GenerationConfig};
+
+    type CliResult<T> = Result<T, (String, u8)>;
+
+    /// Default regression tolerance in percent: generous enough for
+    /// run-to-run noise on shared CI runners, tight enough to catch a real
+    /// hot-path regression (the batch engine is worth ~300%).
+    const DEFAULT_TOLERANCE_PCT: f64 = 25.0;
+
+    /// Wall-clock budget per measurement; the whole smoke mode stays under
+    /// ~10 s so it can gate every CI run. `REPRO_BENCH_FAST=1` shrinks the
+    /// budget further for the CLI contract tests, where only the schema and
+    /// gate logic matter, not measurement quality.
+    const TARGET_MS_PER_BENCH: u64 = 300;
+
+    fn target_ms_per_bench() -> u64 {
+        if std::env::var_os("REPRO_BENCH_FAST").is_some() {
+            40
+        } else {
+            TARGET_MS_PER_BENCH
+        }
+    }
+
+    fn usage() -> String {
+        "usage: repro bench [--json] [--save-json FILE] [--compare BENCH_FILE] [--tolerance PCT]\n\
+         \n\
+         Runs the quick perf smoke suite (fixed seeds) and prints one entry per\n\
+         bench: ns per iteration plus throughput where meaningful. With\n\
+         --compare, entries also present in BENCH_FILE are checked and the run\n\
+         fails (exit 1) if any is more than PCT percent slower (default 25).\n\
+         --save-json additionally writes the JSON report of the SAME\n\
+         measurement pass to FILE (so a CI job gets the human summary, the\n\
+         machine artifact and the gate from one run)."
+            .to_string()
+    }
+
+    struct Measurement {
+        name: &'static str,
+        ns_per_iter: f64,
+        bytes_per_iter: Option<u64>,
+    }
+
+    /// Times `f`: one warm-up call, then enough iterations to fill the time
+    /// budget, reporting the MINIMUM — the least noise-contaminated sample,
+    /// which is what a regression gate should compare.
+    fn time_min<F: FnMut()>(mut f: F) -> f64 {
+        f();
+        let start = Instant::now();
+        f();
+        let first_ns = start.elapsed().as_nanos().max(1) as u64;
+        let iters = (target_ms_per_bench() * 1_000_000 / first_ns).clamp(3, 400);
+        let mut best = first_ns as f64;
+        for _ in 0..iters {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_nanos() as f64);
+        }
+        best
+    }
+
+    /// Flat lane-major buffer of `n` distinct 16-byte keys (fixed pattern, so
+    /// every run measures the same work).
+    fn smoke_keys(n: usize) -> Vec<u8> {
+        let mut keys = vec![0u8; n * 16];
+        for (k, key) in keys.chunks_exact_mut(16).enumerate() {
+            for (b, slot) in key.iter_mut().enumerate() {
+                *slot = (0x37 + 11 * k + 3 * b) as u8;
+            }
+        }
+        keys
+    }
+
+    /// Schedules `keys` through `engine` in lane-sized batches, generating
+    /// `per_key` bytes per key into `out` — the dataset workers' hot-loop
+    /// shape.
+    fn batch_generate(engine: &mut AutoBatch, keys: &[u8], out: &mut [u8], per_key: usize) {
+        let lanes = engine.lanes();
+        let total = keys.len() / 16;
+        let mut done = 0usize;
+        while done < total {
+            let n = (total - done).min(lanes);
+            engine
+                .schedule(&keys[done * 16..(done + n) * 16], 16)
+                .expect("16-byte keys are valid");
+            engine.fill(&mut out[done * per_key..(done + n) * per_key], per_key);
+            done += n;
+        }
+    }
+
+    fn measure_all() -> Vec<Measurement> {
+        let mut results = Vec::new();
+
+        // Scalar PRGA bulk fill — same workload as rc4_throughput's
+        // `rc4_keystream/65536`.
+        let mut prga = rc4::Prga::new(b"benchmark key 16").expect("valid key");
+        let mut buf = vec![0u8; 65536];
+        results.push(Measurement {
+            name: "rc4_keystream/65536",
+            ns_per_iter: time_min(|| prga.fill(std::hint::black_box(&mut buf))),
+            bytes_per_iter: Some(65536),
+        });
+
+        // Batched engine, PRGA-bound regime: 16 fresh keys x 4 KiB each.
+        let mut engine = AutoBatch::new();
+        let keys = smoke_keys(16);
+        let mut out = vec![0u8; 16 * 4096];
+        results.push(Measurement {
+            name: "rc4_batch_keystream/16x4096",
+            ns_per_iter: time_min(|| {
+                batch_generate(
+                    &mut engine,
+                    std::hint::black_box(&keys),
+                    std::hint::black_box(&mut out),
+                    4096,
+                )
+            }),
+            bytes_per_iter: Some(16 * 4096),
+        });
+
+        // Batched engine, KSA-bound regime: 256 keys x 68 B (the per-TSC
+        // dataset shape, the dominant generation workload).
+        let keys = smoke_keys(256);
+        let mut out = vec![0u8; 256 * 68];
+        results.push(Measurement {
+            name: "rc4_batch_rekey/256x68",
+            ns_per_iter: time_min(|| {
+                batch_generate(
+                    &mut engine,
+                    std::hint::black_box(&keys),
+                    std::hint::black_box(&mut out),
+                    68,
+                )
+            }),
+            bytes_per_iter: Some(256 * 68),
+        });
+
+        // End-to-end dataset generation through the worker pool.
+        let config = GenerationConfig::with_keys(1 << 15).seed(0xBE_EF);
+        results.push(Measurement {
+            name: "dataset_generate/single_32768x64",
+            ns_per_iter: time_min(|| {
+                let mut ds = SingleByteDataset::new(64);
+                worker::generate(std::hint::black_box(&mut ds), &config).expect("valid config");
+            }),
+            bytes_per_iter: Some((1u64 << 15) * 64),
+        });
+
+        // Fig. 8 quick sweep — same workload as fig8_fig9_tkip's
+        // `quick_sweep` criterion bench.
+        let fig8_config = Fig8Config {
+            capture_counts: vec![1 << 11],
+            trials: 2,
+            max_candidates: 1 << 10,
+            model: TkipTrafficModel::Synthetic { relative_bias: 0.8 },
+            ..Fig8Config::quick()
+        };
+        results.push(Measurement {
+            name: "fig8_tkip_recovery/quick_sweep",
+            ns_per_iter: time_min(|| {
+                fig8_run(std::hint::black_box(&fig8_config)).expect("fig8 quick config runs");
+            }),
+            bytes_per_iter: None,
+        });
+
+        results
+    }
+
+    /// One committed-vs-measured comparison row.
+    struct CompareRow {
+        name: String,
+        committed_ns: f64,
+        measured_ns: f64,
+        delta_pct: f64,
+        regressed: bool,
+    }
+
+    fn load_committed(path: &str) -> CliResult<Vec<(String, f64)>> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| (format!("cannot read bench file {path}: {e}"), 2))?;
+        let value: serde::Value = serde_json::from_str(&text)
+            .map_err(|e| (format!("bench file {path} is not valid JSON: {e}"), 2))?;
+        let Ok(serde::Value::Array(benches)) = value.field("benches") else {
+            return Err((format!("bench file {path} has no `benches` array"), 2));
+        };
+        let mut committed = Vec::with_capacity(benches.len());
+        for entry in benches {
+            let Ok(serde::Value::Str(name)) = entry.field("bench") else {
+                continue;
+            };
+            let ns = match entry.field("ns_per_iter") {
+                Ok(serde::Value::Float(ns)) => *ns,
+                Ok(serde::Value::UInt(ns)) => *ns as f64,
+                _ => continue,
+            };
+            committed.push((name.clone(), ns));
+        }
+        Ok(committed)
+    }
+
+    fn compare(
+        measurements: &[Measurement],
+        committed: &[(String, f64)],
+        tolerance_pct: f64,
+    ) -> Vec<CompareRow> {
+        measurements
+            .iter()
+            .filter_map(|m| {
+                let (_, committed_ns) = committed.iter().find(|(name, _)| name == m.name)?;
+                let delta_pct = (m.ns_per_iter / committed_ns - 1.0) * 100.0;
+                Some(CompareRow {
+                    name: m.name.to_string(),
+                    committed_ns: *committed_ns,
+                    measured_ns: m.ns_per_iter,
+                    delta_pct,
+                    regressed: delta_pct > tolerance_pct,
+                })
+            })
+            .collect()
+    }
+
+    fn gib_per_sec(m: &Measurement) -> Option<f64> {
+        m.bytes_per_iter
+            .map(|b| b as f64 / m.ns_per_iter * 1e9 / (1u64 << 30) as f64)
+    }
+
+    fn render_markdown(
+        measurements: &[Measurement],
+        rows: &[CompareRow],
+        tolerance_pct: f64,
+    ) -> String {
+        let mut out = String::from(
+            "### repro bench (perf smoke)\n\n\
+             | bench | ns/iter | throughput |\n|---|---:|---:|\n",
+        );
+        for m in measurements {
+            let thrpt = gib_per_sec(m)
+                .map(|g| format!("{g:.3} GiB/s"))
+                .unwrap_or_else(|| "—".to_string());
+            out.push_str(&format!(
+                "| {} | {:.0} | {} |\n",
+                m.name, m.ns_per_iter, thrpt
+            ));
+        }
+        if !rows.is_empty() {
+            out.push_str(&format!(
+                "\n#### vs committed trajectory (tolerance {tolerance_pct:.0}%)\n\n\
+                 | bench | committed ns | measured ns | Δ | status |\n|---|---:|---:|---:|---|\n"
+            ));
+            for row in rows {
+                out.push_str(&format!(
+                    "| {} | {:.0} | {:.0} | {:+.1}% | {} |\n",
+                    row.name,
+                    row.committed_ns,
+                    row.measured_ns,
+                    row.delta_pct,
+                    if row.regressed { "REGRESSED" } else { "ok" }
+                ));
+            }
+        }
+        out
+    }
+
+    fn to_json(measurements: &[Measurement], rows: &[CompareRow]) -> serde::Value {
+        let benches: Vec<serde::Value> = measurements
+            .iter()
+            .map(|m| {
+                let mut fields = vec![
+                    ("bench".to_string(), serde::Value::Str(m.name.to_string())),
+                    (
+                        "ns_per_iter".to_string(),
+                        serde::Value::Float(m.ns_per_iter),
+                    ),
+                ];
+                if let Some(bytes) = m.bytes_per_iter {
+                    fields.push((
+                        "bytes_per_sec".to_string(),
+                        serde::Value::Float(bytes as f64 / m.ns_per_iter * 1e9),
+                    ));
+                }
+                serde::Value::Object(fields)
+            })
+            .collect();
+        let mut root = vec![("benches".to_string(), serde::Value::Array(benches))];
+        if !rows.is_empty() {
+            let compare: Vec<serde::Value> = rows
+                .iter()
+                .map(|row| {
+                    serde::Value::Object(vec![
+                        ("bench".to_string(), serde::Value::Str(row.name.clone())),
+                        (
+                            "committed_ns".to_string(),
+                            serde::Value::Float(row.committed_ns),
+                        ),
+                        (
+                            "measured_ns".to_string(),
+                            serde::Value::Float(row.measured_ns),
+                        ),
+                        ("delta_pct".to_string(), serde::Value::Float(row.delta_pct)),
+                        ("regressed".to_string(), serde::Value::Bool(row.regressed)),
+                    ])
+                })
+                .collect();
+            root.push(("compare".to_string(), serde::Value::Array(compare)));
+        }
+        serde::Value::Object(root)
+    }
+
+    pub fn run(args: &[String]) -> CliResult<()> {
+        let mut json = false;
+        let mut save_json: Option<String> = None;
+        let mut compare_path: Option<String> = None;
+        let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err((usage(), 0)),
+                "--json" => json = true,
+                "--save-json" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--save-json requires a file".to_string(), 2))?;
+                    save_json = Some(value.clone());
+                }
+                "--compare" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--compare requires a file".to_string(), 2))?;
+                    compare_path = Some(value.clone());
+                }
+                "--tolerance" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--tolerance requires a percentage".to_string(), 2))?;
+                    tolerance_pct = value
+                        .parse()
+                        .map_err(|_| (format!("--tolerance expects a number, got '{value}'"), 2))?;
+                }
+                other => return Err((format!("unknown flag '{other}'\n{}", usage()), 2)),
+            }
+        }
+
+        let committed = match &compare_path {
+            Some(path) => load_committed(path)?,
+            None => Vec::new(),
+        };
+        eprintln!(
+            "repro: bench smoke run ({} engine){}",
+            AutoBatch::new().engine_name(),
+            compare_path
+                .as_deref()
+                .map(|p| format!(", gating against {p}"))
+                .unwrap_or_default()
+        );
+        let measurements = measure_all();
+        let rows = compare(&measurements, &committed, tolerance_pct);
+
+        let json_report = serde_json::to_string_pretty(&to_json(&measurements, &rows))
+            .expect("bench report serializes");
+        if let Some(path) = &save_json {
+            std::fs::write(path, format!("{json_report}\n"))
+                .map_err(|e| (format!("cannot write {path}: {e}"), 1))?;
+        }
+        if json {
+            println!("{json_report}");
+        } else {
+            println!("{}", render_markdown(&measurements, &rows, tolerance_pct));
+        }
+
+        let regressions: Vec<&CompareRow> = rows.iter().filter(|r| r.regressed).collect();
+        if !regressions.is_empty() {
+            return Err((
+                format!(
+                    "perf regression gate failed: {} bench(es) more than {tolerance_pct:.0}% \
+                     slower than the committed trajectory ({})",
+                    regressions.len(),
+                    regressions
+                        .iter()
+                        .map(|r| format!("{} {:+.1}%", r.name, r.delta_pct))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                1,
+            ));
+        }
+        if compare_path.is_some() {
+            eprintln!(
+                "repro: perf gate passed ({} bench(es) within {tolerance_pct:.0}%)",
+                rows.len()
+            );
+        }
+        Ok(())
     }
 }
 

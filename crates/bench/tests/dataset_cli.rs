@@ -239,6 +239,63 @@ fn dataset_subcommand_error_contract() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `--checkpoint-keys` larger than the shard's key range used to silently
+/// produce zero intermediate checkpoints; now it is clamped with a warning,
+/// and the run still completes (with correct data — pinned by the store's
+/// unit tests).
+#[test]
+fn oversized_checkpoint_keys_warns_and_clamps() {
+    let dir = scratch("clampwarn");
+    let out = path_str(&dir.join("clamped.ds"));
+    let gen = repro(&[
+        "dataset",
+        "generate",
+        "--out",
+        &out,
+        "--kind",
+        "single",
+        "--positions",
+        "4",
+        "--keys",
+        "200",
+        "--checkpoint-keys",
+        "1000000",
+    ]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+    let err = stderr(&gen);
+    assert!(
+        err.contains("--checkpoint-keys 1000000 exceeds the shard's 200 keys"),
+        "missing clamp warning in: {err}"
+    );
+    assert!(err.contains("clamping"), "missing clamp wording in: {err}");
+    let info = repro(&["dataset", "info", &out]);
+    assert!(stdout(&info).contains("complete"), "{}", stdout(&info));
+
+    // A sane interval stays warning-free.
+    let quiet = path_str(&dir.join("quiet.ds"));
+    let gen = repro(&[
+        "dataset",
+        "generate",
+        "--out",
+        &quiet,
+        "--kind",
+        "single",
+        "--positions",
+        "4",
+        "--keys",
+        "200",
+        "--checkpoint-keys",
+        "100",
+    ]);
+    assert!(gen.status.success(), "{}", stderr(&gen));
+    assert!(
+        !stderr(&gen).contains("warning"),
+        "unexpected warning: {}",
+        stderr(&gen)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `dataset info --json` emits the parsed header as JSON.
 #[test]
 fn dataset_info_json_is_parseable() {

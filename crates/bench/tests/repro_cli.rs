@@ -184,3 +184,90 @@ fn config_overrides_resolve_aliases() {
     assert_eq!(unused.status.code(), Some(2));
     assert!(stderr(&unused).contains("not being run"));
 }
+
+/// `repro bench --json` emits the BENCH_*.json schema (a `benches` array of
+/// `{bench, ns_per_iter[, bytes_per_sec]}`) with every smoke workload
+/// present, and the compare gate passes against its own numbers.
+#[test]
+fn bench_smoke_mode_contract() {
+    // The fast-mode knob travels per child process (never via set_var: tests
+    // run multi-threaded, and mutating this process's environment races the
+    // spawns of sibling tests).
+    let bench_fast = |args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .env("REPRO_BENCH_FAST", "1")
+            .output()
+            .expect("repro binary runs")
+    };
+    let output = bench_fast(&["bench", "--json"]);
+    assert!(output.status.success(), "{}", stderr(&output));
+    let report: serde::Value = serde_json::from_str(&stdout(&output)).expect("bench JSON parses");
+    let serde::Value::Array(benches) = report.field("benches").expect("benches array").clone()
+    else {
+        panic!("`benches` is not an array");
+    };
+    let names: Vec<String> = benches
+        .iter()
+        .map(|b| match b.field("bench") {
+            Ok(serde::Value::Str(name)) => name.clone(),
+            other => panic!("bench entry without name: {other:?}"),
+        })
+        .collect();
+    for expected in [
+        "rc4_keystream/65536",
+        "rc4_batch_keystream/16x4096",
+        "rc4_batch_rekey/256x68",
+        "dataset_generate/single_32768x64",
+        "fig8_tkip_recovery/quick_sweep",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+    for bench in &benches {
+        match bench.field("ns_per_iter") {
+            Ok(serde::Value::Float(ns)) => assert!(*ns > 0.0),
+            Ok(serde::Value::UInt(ns)) => assert!(*ns > 0),
+            other => panic!("ns_per_iter missing or non-numeric: {other:?}"),
+        }
+    }
+
+    // Self-compare: the measured file gates itself (exit 0, markdown table).
+    // The wide tolerance keeps this a test of the gate *mechanism* — in fast
+    // mode under a fully loaded test machine, run-to-run noise alone can
+    // exceed the default 25%.
+    let dir = std::env::temp_dir();
+    let bench_file = dir.join(format!("repro-bench-self-{}.json", std::process::id()));
+    std::fs::write(&bench_file, stdout(&output)).unwrap();
+    let gate = bench_fast(&[
+        "bench",
+        "--compare",
+        bench_file.to_str().unwrap(),
+        "--tolerance",
+        "400",
+    ]);
+    assert!(gate.status.success(), "{}", stderr(&gate));
+    let table = stdout(&gate);
+    assert!(table.contains("vs committed trajectory"), "{table}");
+    assert!(table.contains("| ok |"), "{table}");
+    assert!(!table.contains("REGRESSED"), "{table}");
+
+    // A tiny committed value must trip the gate with exit 1.
+    std::fs::write(
+        &bench_file,
+        r#"{"benches": [{"bench": "rc4_keystream/65536", "ns_per_iter": 1.0}]}"#,
+    )
+    .unwrap();
+    let fail = bench_fast(&["bench", "--compare", bench_file.to_str().unwrap()]);
+    assert_eq!(fail.status.code(), Some(1), "{}", stderr(&fail));
+    assert!(stderr(&fail).contains("perf regression gate failed"));
+    assert!(stdout(&fail).contains("REGRESSED"));
+    let _ = std::fs::remove_file(&bench_file);
+}
+
+/// Unknown bench flags exit 2 with usage.
+#[test]
+fn bench_rejects_unknown_flags() {
+    let output = repro(&["bench", "--frobnicate"]);
+    assert_eq!(output.status.code(), Some(2));
+    assert!(stderr(&output).contains("usage: repro bench"));
+}

@@ -1,0 +1,72 @@
+//! Quick timing for the accelerated engines: `cargo run --release -p
+//! rc4-accel --example accel_tune`. Compares scalar, the portable batch and
+//! AutoBatch (AVX-512 where available) in the two regimes that matter: long
+//! streams (PRGA-bound) and rekey-per-68-bytes (KSA-bound, per-TSC-shaped).
+
+use std::time::Instant;
+
+use rc4_accel::{AutoBatch, DefaultBatch, KeystreamBatch};
+
+fn keys(n: usize) -> Vec<u8> {
+    (0..n * 16).map(|i| (i * 2654435761) as u8).collect()
+}
+
+fn time<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_engine<B: KeystreamBatch>(name: &str, engine: &mut B, per_lane: usize, iters: u32) {
+    let n = engine.lanes();
+    let keys = keys(n);
+    let mut out = vec![0u8; n * per_lane];
+    let ns = time(
+        || {
+            engine.schedule(std::hint::black_box(&keys), 16).unwrap();
+            engine.fill(std::hint::black_box(&mut out), per_lane);
+        },
+        iters,
+    );
+    let bytes = (n * per_lane) as f64;
+    println!(
+        "  {name:<22} ({n:>2} lanes): {:7.3} ns/B  {:8.1} ns/key  {:6.3} GiB/s",
+        ns / bytes,
+        ns / n as f64,
+        bytes / ns * 1e9 / (1u64 << 30) as f64
+    );
+}
+
+fn main() {
+    let mut prga = rc4::Prga::new(b"benchmark key 16").unwrap();
+    let mut buf = vec![0u8; 65536];
+    let scalar = time(|| prga.fill(std::hint::black_box(&mut buf)), 200);
+    println!(
+        "scalar fill: {:.3} ns/B ({:.3} GiB/s); scalar KSA+68B ≈ {:.0} ns/key",
+        scalar / 65536.0,
+        65536.0 / scalar * 1e9 / (1u64 << 30) as f64,
+        {
+            let key = [0xA5u8; 16];
+            let mut ks = [0u8; 68];
+            time(
+                || {
+                    let mut p = rc4::Prga::new(std::hint::black_box(&key)).unwrap();
+                    p.fill(std::hint::black_box(&mut ks));
+                },
+                20000,
+            )
+        }
+    );
+
+    println!("long streams (4096 B/lane):");
+    bench_engine("portable", &mut DefaultBatch::new(), 4096, 300);
+    bench_engine("auto", &mut AutoBatch::new(), 4096, 300);
+
+    println!("short streams (68 B/lane):");
+    bench_engine("portable", &mut DefaultBatch::new(), 68, 3000);
+    bench_engine("auto", &mut AutoBatch::new(), 68, 3000);
+    println!("auto engine: {}", AutoBatch::new().engine_name());
+}

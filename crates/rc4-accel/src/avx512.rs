@@ -1,0 +1,358 @@
+//! The AVX-512 batched RC4 engine: 16 lanes per gather/scatter instruction.
+//!
+//! # Layout
+//!
+//! The 16 permutations are interleaved as `u32` cells — `s[v * 16 + l]` is
+//! `S_l[v]` zero-extended — so row `v` of all lanes is one 64-byte zmm
+//! register. Per PRGA round the engine executes (vectors hold one 32-bit
+//! element per lane):
+//!
+//! ```text
+//! row  = load  s[i]                 ; 1 aligned zmm load
+//! j    = (j + row) & 0xFF           ; vpaddd + vpandd
+//! idx  = (j << 4) + lane_iota       ; element index of s[j][l]
+//! sj   = gather s[idx]              ; vpgatherdd
+//! scatter s[idx] <- row             ; vpscatterdd   (S[j] = S[i])
+//! store s[i] <- sj                  ; 1 zmm store   (S[i] = S[j])
+//! t    = (row + sj) & 0xFF
+//! out  = gather s[(t << 4) + iota]  ; vpgatherdd
+//! ```
+//!
+//! Memory-ordering subtleties mirror the portable engine: the gather of
+//! `S[j]` runs *before* the scatter (so a lane with `j == i` reads the
+//! pre-swap value it is about to overwrite, which is what the swap leaves
+//! there), and the output gather runs after both swap stores are committed,
+//! so no stale-row select is needed at all. Scatter element order is
+//! irrelevant because lane `l` only ever touches column `l`: all 16
+//! addresses are distinct by construction.
+//!
+//! # Safety
+//!
+//! The unsafe surface is exactly: (a) calling `#[target_feature(avx512f)]`
+//! functions, guarded by `is_x86_feature_detected!` at construction — the
+//! only way to obtain an [`Avx512Batch`]; (b) gather/scatter/load/store
+//! intrinsics whose addresses are provably in bounds: every row index is
+//! masked to `0..256` and lane offsets are `0..16`, so element indices stay
+//! within the 4096-element table, and output scatters use byte offsets
+//! `l * len + pos` with `l < scheduled`, `pos < len`, both checked against
+//! `out.len() == scheduled * len` before the unsafe call.
+
+use std::arch::x86_64::*;
+
+use rc4::batch::{check_schedule, KeystreamBatch};
+use rc4::KeyError;
+
+/// Lane count of the AVX-512 engine: one `u32` element per zmm slot.
+pub const AVX512_LANES: usize = 16;
+
+const LANES: usize = AVX512_LANES;
+const TABLE: usize = 256 * LANES;
+
+/// The two per-engine tables, cache-line aligned so row loads/stores are
+/// aligned zmm accesses.
+#[repr(align(64))]
+#[derive(Debug, Clone)]
+struct Tables {
+    /// Lane-interleaved permutations, `u32`-widened: `s[v * 16 + l] = S_l[v]`.
+    s: [u32; TABLE],
+    /// Lane-interleaved expanded key rows; only the first `key_len` rows are
+    /// live after a `schedule` call.
+    kt: [u32; TABLE],
+}
+
+/// Batched RC4 over AVX-512F gather/scatter; 16 independent keystreams.
+///
+/// Construct through [`Avx512Batch::new`] (runtime feature detection) or use
+/// [`crate::AutoBatch`] to fall back to the portable engine automatically.
+/// Streams are bit-identical to the scalar [`rc4::Prga`] per lane.
+#[derive(Debug, Clone)]
+pub struct Avx512Batch {
+    t: Box<Tables>,
+    /// Per-lane private index `j` (bottom 8 bits live), vector-resident
+    /// during fills.
+    j: [u32; LANES],
+    /// Shared public counter `i`.
+    i: u8,
+    /// Key length of the last schedule, for the expanded-key row cycle.
+    key_len: usize,
+    /// Lanes covered by the last `schedule` call.
+    scheduled: usize,
+}
+
+impl Avx512Batch {
+    /// Creates the engine if the running CPU supports AVX-512F.
+    ///
+    /// Returns `None` otherwise; the successful detection here is the safety
+    /// guarantee every later `unsafe` intrinsic call rests on.
+    pub fn new() -> Option<Self> {
+        if !std::arch::is_x86_feature_detected!("avx512f") {
+            return None;
+        }
+        Some(Self {
+            t: Box::new(Tables {
+                s: [0; TABLE],
+                kt: [0; TABLE],
+            }),
+            j: [0; LANES],
+            i: 0,
+            key_len: 1,
+            scheduled: 0,
+        })
+    }
+
+    /// Shared KSA entry: expand the keys into the transposed `kt` table, then
+    /// run the vector KSA.
+    fn schedule_impl(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        let n = check_schedule(keys, key_len, LANES)?;
+        // kt[r * 16 + l] = byte r of lane l's key (unused lanes repeat the
+        // last key so every lane always holds a valid scheduled state).
+        for lane in 0..LANES {
+            let key = &keys[lane.min(n - 1) * key_len..][..key_len];
+            for (r, &byte) in key.iter().enumerate() {
+                self.t.kt[r * LANES + lane] = u32::from(byte);
+            }
+        }
+        self.key_len = key_len;
+        self.scheduled = n;
+        // SAFETY: `new` verified avx512f on this CPU.
+        unsafe { self.ksa_avx512() };
+        Ok(())
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn ksa_avx512(&mut self) {
+        let s = self.t.s.as_mut_ptr();
+        let kt = self.t.kt.as_ptr();
+        let iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+        let mask = _mm512_set1_epi32(0xFF);
+        // SAFETY: (covers every intrinsic in this block) `s` and `kt` are
+        // 4096 u32, 64-byte aligned; every row index is in 0..256 (i is a
+        // loop counter, j is masked with 0xFF, key row r cycles in
+        // 0..key_len <= 256), so element indices `row * 16 + lane` are
+        // < 4096 and dword addresses < 16 KiB past the base. avx512f was
+        // verified at construction.
+        unsafe {
+            for v in 0..256 {
+                _mm512_storeu_si512(s.add(v * LANES).cast(), _mm512_set1_epi32(v as i32));
+            }
+            let mut j = _mm512_setzero_si512();
+            let mut r = 0usize;
+            for i in 0..256 {
+                let row = _mm512_loadu_si512(s.add(i * LANES).cast());
+                let key_row = _mm512_loadu_si512(kt.add(r * LANES).cast());
+                r += 1;
+                if r == self.key_len {
+                    r = 0;
+                }
+                j = _mm512_and_si512(_mm512_add_epi32(_mm512_add_epi32(j, row), key_row), mask);
+                let idx = _mm512_add_epi32(_mm512_slli_epi32(j, 4), iota);
+                // Gather before scatter: a lane with j == i must read the
+                // value it is about to overwrite (swap-in-place semantics).
+                let sj = _mm512_i32gather_epi32(idx, s.cast_const().cast(), 4);
+                _mm512_i32scatter_epi32(s.cast(), idx, row, 4);
+                _mm512_storeu_si512(s.add(i * LANES).cast(), sj);
+            }
+        }
+        self.j = [0; LANES];
+        self.i = 0;
+    }
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn fill_avx512(&mut self, out: &mut [u8], len: usize) {
+        let n = self.scheduled;
+        let s = self.t.s.as_mut_ptr();
+        let iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+        let mask = _mm512_set1_epi32(0xFF);
+        // Output staging: scattering straight into the lane-major `out`
+        // would put all 16 dword targets at stride `len` — for the common
+        // ~4 KiB streams that is one L1 set and the stores thrash. Instead
+        // each chunk scatters into this small buffer at a fixed 256-byte
+        // lane stride (16 distinct sets) and the chunk is then block-copied
+        // per lane.
+        const CHUNK: usize = 256;
+        let mut scratch = [0u8; LANES * CHUNK];
+        let lane_scratch = _mm512_mullo_epi32(iota, _mm512_set1_epi32(CHUNK as i32));
+
+        // SAFETY: (covers every intrinsic in this block) table element
+        // indices are `(v & 0xFF) * 16 + lane < 4096` as in `ksa_avx512`.
+        // Output scatters store one dword per lane at byte offset
+        // `l * CHUNK + k` with `l < 16` and `k <= CHUNK - 4`, always inside
+        // `scratch`; the tail store goes through a 16-byte stack buffer.
+        // avx512f was verified at construction.
+        unsafe {
+            let mut j = _mm512_loadu_si512(self.j.as_ptr().cast());
+            let mut i = self.i as usize;
+            let round = |i: usize, j: &mut __m512i| -> __m512i {
+                let row = _mm512_loadu_si512(s.add(i * LANES).cast_const().cast());
+                *j = _mm512_and_si512(_mm512_add_epi32(*j, row), mask);
+                let idx = _mm512_add_epi32(_mm512_slli_epi32(*j, 4), iota);
+                // Gather before scatter: swap-in-place for lanes with j == i.
+                let sj = _mm512_i32gather_epi32(idx, s.cast_const().cast(), 4);
+                _mm512_i32scatter_epi32(s.cast(), idx, row, 4);
+                _mm512_storeu_si512(s.add(i * LANES).cast(), sj);
+                // Both swap stores are committed, so the output gather needs
+                // no stale-row fix-up.
+                let t = _mm512_and_si512(_mm512_add_epi32(row, sj), mask);
+                let tidx = _mm512_add_epi32(_mm512_slli_epi32(t, 4), iota);
+                _mm512_i32gather_epi32(tidx, s.cast_const().cast(), 4)
+            };
+
+            // Four rounds per group, accumulated little-endian into one
+            // dword per lane and scattered into the staging buffer — no
+            // per-byte stores, no transpose pass.
+            let mut pos = 0usize;
+            while pos + 4 <= len {
+                let m = (len - pos) & !3;
+                let m = m.min(CHUNK);
+                let mut k = 0usize;
+                while k < m {
+                    i = (i + 1) & 0xFF;
+                    let mut acc = round(i, &mut j);
+                    i = (i + 1) & 0xFF;
+                    acc = _mm512_or_si512(acc, _mm512_slli_epi32(round(i, &mut j), 8));
+                    i = (i + 1) & 0xFF;
+                    acc = _mm512_or_si512(acc, _mm512_slli_epi32(round(i, &mut j), 16));
+                    i = (i + 1) & 0xFF;
+                    acc = _mm512_or_si512(acc, _mm512_slli_epi32(round(i, &mut j), 24));
+                    let off = _mm512_add_epi32(lane_scratch, _mm512_set1_epi32(k as i32));
+                    _mm512_i32scatter_epi32(scratch.as_mut_ptr().cast(), off, acc, 1);
+                    k += 4;
+                }
+                for lane in 0..n {
+                    out[lane * len + pos..][..m].copy_from_slice(&scratch[lane * CHUNK..][..m]);
+                }
+                pos += m;
+            }
+            // Tail positions one at a time through a packed 16-byte buffer.
+            while pos < len {
+                i = (i + 1) & 0xFF;
+                let v = round(i, &mut j);
+                let mut packed = [0u8; LANES];
+                _mm_storeu_si128(packed.as_mut_ptr().cast(), _mm512_cvtepi32_epi8(v));
+                for (lane, &byte) in packed.iter().take(n).enumerate() {
+                    out[lane * len + pos] = byte;
+                }
+                pos += 1;
+            }
+
+            _mm512_storeu_si512(self.j.as_mut_ptr().cast(), j);
+            self.i = i as u8;
+        }
+    }
+}
+
+impl KeystreamBatch for Avx512Batch {
+    fn lanes(&self) -> usize {
+        LANES
+    }
+
+    fn scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        self.schedule_impl(keys, key_len)
+    }
+
+    fn fill(&mut self, out: &mut [u8], len: usize) {
+        assert_eq!(
+            out.len(),
+            self.scheduled * len,
+            "output buffer must hold len bytes per scheduled lane"
+        );
+        if len == 0 {
+            return;
+        }
+        // SAFETY: the engine only exists if avx512f was detected, and the
+        // buffer-shape assertions above establish the bounds the scatter
+        // offsets rely on.
+        unsafe { self.fill_avx512(out, len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Option<Avx512Batch> {
+        Avx512Batch::new()
+    }
+
+    fn test_keys(n: usize, key_len: usize) -> Vec<u8> {
+        (0..n * key_len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    fn scalar_reference(keys: &[u8], key_len: usize, len: usize) -> Vec<u8> {
+        keys.chunks_exact(key_len)
+            .flat_map(|key| rc4::keystream(key, len).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_full_batch() {
+        let Some(mut engine) = engine() else { return };
+        for key_len in [3usize, 5, 16, 31, 256] {
+            let keys = test_keys(LANES, key_len);
+            engine.schedule(&keys, key_len).unwrap();
+            let mut out = vec![0u8; LANES * 300];
+            engine.fill(&mut out, 300);
+            assert_eq!(
+                out,
+                scalar_reference(&keys, key_len, 300),
+                "key_len {key_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_partial_batch_and_tails() {
+        let Some(mut engine) = engine() else { return };
+        // 5 lanes, stream length not a multiple of the 4-byte scatter group.
+        let keys = test_keys(5, 16);
+        engine.schedule(&keys, 16).unwrap();
+        assert_eq!(engine.scheduled(), 5);
+        for len in [1usize, 2, 3, 5, 67, 70] {
+            engine.schedule(&keys, 16).unwrap();
+            let mut out = vec![0u8; 5 * len];
+            engine.fill(&mut out, len);
+            assert_eq!(out, scalar_reference(&keys, 16, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_fills_continue_streams() {
+        let Some(mut engine) = engine() else { return };
+        let keys = test_keys(LANES, 16);
+        engine.schedule(&keys, 16).unwrap();
+        let mut head = vec![0u8; LANES * 13];
+        let mut tail = vec![0u8; LANES * 29];
+        engine.fill(&mut head, 13);
+        engine.fill(&mut tail, 29);
+        let whole = scalar_reference(&keys, 16, 42);
+        for lane in 0..LANES {
+            assert_eq!(&head[lane * 13..(lane + 1) * 13], &whole[lane * 42..][..13]);
+            assert_eq!(
+                &tail[lane * 29..(lane + 1) * 29],
+                &whole[lane * 42 + 13..][..29]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_len_fill_is_a_no_op() {
+        let Some(mut engine) = engine() else { return };
+        let keys = test_keys(2, 16);
+        engine.schedule(&keys, 16).unwrap();
+        let mut empty: Vec<u8> = Vec::new();
+        engine.fill(&mut empty, 0);
+        let mut out = vec![0u8; 2 * 16];
+        engine.fill(&mut out, 16);
+        assert_eq!(out, scalar_reference(&keys, 16, 16));
+    }
+
+    #[test]
+    fn rejects_invalid_key_length() {
+        let Some(mut engine) = engine() else { return };
+        assert!(engine.schedule(&[0u8; 257], 257).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Hardware-accelerated batched RC4 keystream engines.
+//!
+//! The portable engine ([`rc4::batch::InterleavedBatch`]) is bounded by
+//! scalar instruction throughput: every RC4 round costs ~13 µops per lane, so
+//! even with perfect ILP the safe code tops out around 2× the scalar PRGA.
+//! AVX-512F changes the arithmetic: with the permutations of 16 lanes
+//! interleaved as `u32` cells, one *row* of all 16 lanes is exactly one zmm
+//! register, and the data-dependent accesses become two `vpgatherdd`s and one
+//! `vpscatterdd` per round — a handful of instructions stepping 16 keystreams
+//! at once ([`Avx512Batch`]).
+//!
+//! Everything here implements the same [`KeystreamBatch`] trait as the
+//! portable module and is bit-identical to the scalar [`rc4::Prga`] per lane
+//! (property-tested against it). [`AutoBatch`] picks the fastest engine the
+//! running CPU supports, so consumers just write:
+//!
+//! ```
+//! use rc4_accel::{AutoBatch, KeystreamBatch};
+//!
+//! let mut engine = AutoBatch::new();
+//! let keys = *b"KeyKez"; // flat lane-major key buffer
+//! engine.schedule(&keys, 3).unwrap();
+//! let mut out = vec![0u8; 2 * 4];
+//! engine.fill(&mut out, 4);
+//! assert_eq!(&out[..4], &rc4::keystream(b"Key", 4).unwrap()[..]);
+//! ```
+//!
+//! # Why a separate crate
+//!
+//! The `rc4` crate is `forbid(unsafe_code)` — a guarantee worth keeping for
+//! the cipher that every statistic in the reproduction rests on. SIMD
+//! gather/scatter intrinsics are unavoidably `unsafe`, so they live here, in
+//! a small crate whose entire unsafe surface is one module with documented
+//! in-bounds invariants, instead of weakening the core crate.
+
+#![warn(missing_docs)]
+
+pub use rc4::batch::{DefaultBatch, KeystreamBatch};
+use rc4::KeyError;
+
+#[cfg(target_arch = "x86_64")]
+mod avx512;
+
+#[cfg(target_arch = "x86_64")]
+pub use avx512::Avx512Batch;
+
+/// The best batch engine the running CPU supports, behind one type.
+///
+/// On x86-64 with AVX-512F this is [`Avx512Batch`] (16 lanes); everywhere
+/// else it is the portable [`DefaultBatch`]. The variant is chosen once at
+/// construction — the hot loops contain no feature checks.
+#[derive(Debug, Clone)]
+pub enum AutoBatch {
+    /// AVX-512 gather/scatter engine (16 lanes).
+    #[cfg(target_arch = "x86_64")]
+    Avx512(Avx512Batch),
+    /// Portable lane-interleaved engine (boxed: the inline state tables
+    /// would otherwise dominate the enum's size).
+    Portable(Box<DefaultBatch>),
+}
+
+impl AutoBatch {
+    /// Picks the fastest engine available on this CPU.
+    pub fn new() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(engine) = Avx512Batch::new() {
+            return AutoBatch::Avx512(engine);
+        }
+        AutoBatch::Portable(Box::new(DefaultBatch::new()))
+    }
+
+    /// Short name of the selected engine, for logs and bench labels.
+    pub fn engine_name(&self) -> &'static str {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            AutoBatch::Avx512(_) => "avx512",
+            AutoBatch::Portable(_) => "portable",
+        }
+    }
+}
+
+impl Default for AutoBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeystreamBatch for AutoBatch {
+    fn lanes(&self) -> usize {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            AutoBatch::Avx512(e) => e.lanes(),
+            AutoBatch::Portable(e) => e.lanes(),
+        }
+    }
+
+    fn scheduled(&self) -> usize {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            AutoBatch::Avx512(e) => e.scheduled(),
+            AutoBatch::Portable(e) => e.scheduled(),
+        }
+    }
+
+    fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            AutoBatch::Avx512(e) => e.schedule(keys, key_len),
+            AutoBatch::Portable(e) => e.schedule(keys, key_len),
+        }
+    }
+
+    fn fill(&mut self, out: &mut [u8], len: usize) {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            AutoBatch::Avx512(e) => e.fill(out, len),
+            AutoBatch::Portable(e) => e.fill(out, len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_batch_matches_scalar() {
+        let mut engine = AutoBatch::new();
+        let lanes = engine.lanes();
+        let keys: Vec<u8> = (0..lanes * 16).map(|i| (i * 37 + 11) as u8).collect();
+        engine.schedule(&keys, 16).unwrap();
+        let mut out = vec![0u8; lanes * 80];
+        engine.fill(&mut out, 80);
+        for (lane, key) in keys.chunks_exact(16).enumerate() {
+            let expected = rc4::keystream(key, 80).unwrap();
+            assert_eq!(
+                &out[lane * 80..(lane + 1) * 80],
+                &expected[..],
+                "lane {lane} ({})",
+                engine.engine_name()
+            );
+        }
+    }
+
+    #[test]
+    fn auto_batch_reports_an_engine() {
+        let engine = AutoBatch::new();
+        assert!(["avx512", "portable"].contains(&engine.engine_name()));
+        assert!(engine.lanes() >= 1);
+    }
+}

@@ -19,7 +19,11 @@
 //!   plaintext likelihoods of Section 5.
 //! * [`worker`] — a crossbeam-based worker pool standing in for the paper's
 //!   distributed setup; each worker derives its RC4 keys deterministically
-//!   from a per-worker seed ([`keygen`]), so runs are reproducible.
+//!   from a per-worker seed ([`keygen`]), so runs are reproducible. Inside a
+//!   worker the RC4 hot loop runs through the batched multi-key engine
+//!   (`rc4_accel::AutoBatch`, AVX-512 gather/scatter where the CPU has it),
+//!   stepping 8–16 keystreams per loop iteration while keeping every dataset
+//!   byte-identical to the scalar path.
 //! * [`counters`] — the 16-bit batched counter layout the paper uses to reduce
 //!   cache misses, kept as a separately testable component so the
 //!   `counter_layout` bench can quantify the optimization.
@@ -44,7 +48,7 @@ pub mod worker;
 
 pub use dataset::{DatasetError, GenerationConfig, KeystreamCollector};
 pub use keygen::KeyGenerator;
-pub use storable::StorableDataset;
+pub use storable::{record_keys_batched, StorableDataset};
 
 /// Number of possible byte values; the alphabet size of every distribution here.
 pub const NUM_VALUES: usize = 256;

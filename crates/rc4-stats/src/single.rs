@@ -8,8 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     dataset::{DatasetError, KeystreamCollector},
-    keygen::KeyGenerator,
-    storable::{record_next_generic, StorableDataset},
+    storable::StorableDataset,
     NUM_VALUES,
 };
 
@@ -198,12 +197,8 @@ impl StorableDataset for SingleByteDataset {
         self.positions
     }
 
-    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
-        record_next_generic(self, gen, key, ks);
-    }
-
-    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
-        gen.fill_key(key);
+    fn record_stream(&mut self, _meta: u64, ks: &[u8]) {
+        self.record_keystream(ks);
     }
 
     fn merge_same_shape(&mut self, other: Self) -> Result<(), DatasetError> {

@@ -16,15 +16,30 @@
 //!   `[conditioning, positions]`, cells = per-class counts plus the per-class
 //!   keystream totals.
 //!
-//! The trait also owns the *key-space walk*: [`StorableDataset::record_next`]
-//! consumes exactly one key's worth of RNG state from a [`KeyGenerator`] and
-//! records the resulting keystream, and [`StorableDataset::skip_next`]
-//! consumes the same RNG state without doing the RC4 work. Per-kind skip
-//! matters because the kinds draw differently (per-TSC keys also draw two TSC
-//! bytes per key); it is what lets a resumed generation fast-forward a worker
-//! stream to the checkpointed position at a fraction of the generation cost.
+//! The trait also owns the *key-space walk*, split into two halves so drivers
+//! can batch the RC4 work between them: [`StorableDataset::prepare_next`]
+//! consumes exactly one key's worth of RNG state from a [`KeyGenerator`]
+//! (returning any per-key metadata, e.g. the drawn TSC bytes), and
+//! [`StorableDataset::record_stream`] counts the finished keystream.
+//! [`StorableDataset::skip_next`] consumes the same RNG state as
+//! `prepare_next` without doing the RC4 work. Per-kind skip matters because
+//! the kinds draw differently (per-TSC keys also draw two TSC bytes per key);
+//! it is what lets a resumed generation fast-forward a worker stream to the
+//! checkpointed position at a fraction of the generation cost.
+//!
+//! [`record_keys_batched`] is the shared hot loop: it walks a worker's key
+//! stream in engine-sized batches through [`rc4_accel::AutoBatch`], which
+//! steps 8–16 independent RC4 states per loop iteration (AVX-512
+//! gather/scatter where available). Because per-key streams are independent
+//! and all counter cells are additive, the resulting dataset is cell-for-cell
+//! identical to the scalar one-key-at-a-time walk — a property pinned by this
+//! module's tests and by `tests/proptest_datasets.rs`.
 
-use crate::{dataset::DatasetError, keygen::KeyGenerator};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use rc4_accel::{AutoBatch, KeystreamBatch};
+
+use crate::{dataset::DatasetError, keygen::KeyGenerator, worker::CANCEL_POLL_INTERVAL};
 
 /// A dataset that can be persisted by the `rc4-store` shard format and
 /// (re)generated deterministically from per-worker key streams.
@@ -34,12 +49,14 @@ use crate::{dataset::DatasetError, keygen::KeyGenerator};
 /// * `empty_with_shape(shape_params())` must reconstruct an empty dataset of
 ///   identical shape, and `cell_slices()` must return the same slice lengths
 ///   in the same order for any two datasets of equal shape.
-/// * `record_next` and `skip_next` must consume *exactly* the same amount of
-///   RNG state from the generator, so that a skip-reconstructed stream
+/// * `prepare_next` and `skip_next` must consume *exactly* the same amount
+///   of RNG state from the generator, so that a skip-reconstructed stream
 ///   position is indistinguishable from a recorded one.
+/// * `record_stream(meta, ks)` must depend only on `meta` and `ks` — never on
+///   generator state — so the RC4 work between the two halves can be batched.
 /// * All cell values must be additive: summing the cells of two datasets over
 ///   disjoint key sets must equal the cells of one dataset over the union.
-///   This is what makes shard merging exact.
+///   This is what makes shard merging exact and batch-order irrelevant.
 pub trait StorableDataset: Send + Sized {
     /// Stable kind tag written into shard headers (also the CLI name).
     fn kind() -> &'static str;
@@ -75,13 +92,40 @@ pub trait StorableDataset: Send + Sized {
     /// (`ks` in [`StorableDataset::record_next`]) to this.
     fn required_keystream_len(&self) -> usize;
 
-    /// Generates one key from `gen`, runs RC4 and records the keystream.
-    /// `key` has the configured key length, `ks` has
+    /// Draws the next key from `gen` into `key` and returns the per-key
+    /// metadata [`StorableDataset::record_stream`] needs (0 where none).
+    ///
+    /// The default draws one uniformly random key. Kinds with structured
+    /// keys (per-TSC draws TSC bytes and stamps the public TKIP prefix)
+    /// override it; overrides must keep [`StorableDataset::skip_next`]
+    /// consuming identical RNG state.
+    fn prepare_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) -> u64 {
+        gen.fill_key(key);
+        0
+    }
+
+    /// Counts one keystream generated for a key drawn by
+    /// [`StorableDataset::prepare_next`]; `meta` is that call's return value.
+    fn record_stream(&mut self, meta: u64, ks: &[u8]);
+
+    /// Generates one key from `gen`, runs scalar RC4 and records the
+    /// keystream. `key` has the configured key length, `ks` has
     /// [`StorableDataset::required_keystream_len`] bytes.
-    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]);
+    ///
+    /// This one-key-at-a-time walk is the reference path; bulk drivers use
+    /// [`record_keys_batched`] instead, which produces identical cells.
+    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+        let meta = self.prepare_next(gen, key);
+        let mut prga = rc4::Prga::new(key).expect("worker key length is valid");
+        prga.fill(ks);
+        self.record_stream(meta, ks);
+    }
 
     /// Consumes one key's worth of RNG state from `gen` without recording.
-    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]);
+    /// Must mirror [`StorableDataset::prepare_next`] draw for draw.
+    fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {
+        gen.fill_key(key);
+    }
 
     /// Merges a dataset of identical shape into `self`, summing all cells and
     /// keystream totals.
@@ -110,20 +154,105 @@ pub trait StorableDataset: Send + Sized {
     }
 }
 
-/// Shared `record_next` body for datasets fed by the generic worker pool: one
-/// uniformly random key, one keystream, one `record_keystream` call. This is
-/// bit-for-bit the inner loop of `crate::worker::run_worker`, so store-driven
-/// and in-memory generation observe identical key sequences.
-pub(crate) fn record_next_generic<C: crate::dataset::KeystreamCollector>(
-    collector: &mut C,
+/// The two hooks the shared batched key walk needs from a consumer: draw one
+/// key (+ metadata) and count one finished keystream. Implemented by thin
+/// adapters over [`StorableDataset`] (here) and
+/// [`crate::dataset::KeystreamCollector`] (the worker pool), so both paths
+/// run the SAME batch-sizing and cancellation-poll loop — the invariants the
+/// determinism guarantees rest on live in exactly one place.
+pub(crate) trait BatchSink {
+    /// Keystream bytes needed per key.
+    fn needed(&self) -> usize;
+    /// Draws the next key into `key`, returning per-key metadata.
+    fn prepare(&mut self, gen: &mut KeyGenerator, key: &mut [u8]) -> u64;
+    /// Counts one keystream generated for a prepared key.
+    fn record(&mut self, meta: u64, ks: &[u8]);
+}
+
+/// Walks `count` keys of `gen`'s stream into `sink` through the batched
+/// multi-key RC4 engine ([`AutoBatch`]), polling `cancel` every
+/// [`CANCEL_POLL_INTERVAL`] keys.
+///
+/// Keys are drawn (and counted) in exactly the order a scalar
+/// one-key-at-a-time loop draws them; the engine only batches the
+/// independent KSA/PRGA work between draw and count. Returns the number of
+/// keys recorded — equal to `count` unless the cancellation flag was
+/// observed, in which case the sink holds exactly the first `done` keys'
+/// contributions and the generator sits after the `done`-th draw.
+pub(crate) fn walk_keys_batched<S: BatchSink>(
+    sink: &mut S,
     gen: &mut KeyGenerator,
-    key: &mut [u8],
-    ks: &mut [u8],
-) {
-    gen.fill_key(key);
-    let mut prga = rc4::Prga::new(key).expect("worker key length is valid");
-    prga.fill(ks);
-    collector.record_keystream(ks);
+    key_len: usize,
+    count: u64,
+    cancel: Option<&AtomicBool>,
+) -> u64 {
+    let mut engine = AutoBatch::new();
+    let lanes = engine.lanes();
+    let needed = sink.needed();
+    let mut keys = vec![0u8; lanes * key_len];
+    let mut metas = vec![0u64; lanes];
+    let mut out = vec![0u8; lanes * needed];
+    let mut done = 0u64;
+    let mut until_poll = 0u64;
+    while done < count {
+        if until_poll == 0 {
+            if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                return done;
+            }
+            until_poll = CANCEL_POLL_INTERVAL;
+        }
+        let n = (count - done).min(until_poll).min(lanes as u64) as usize;
+        for (lane, key) in keys[..n * key_len].chunks_exact_mut(key_len).enumerate() {
+            metas[lane] = sink.prepare(gen, key);
+        }
+        engine
+            .schedule(&keys[..n * key_len], key_len)
+            .expect("config-validated key length");
+        engine.fill(&mut out[..n * needed], needed);
+        for lane in 0..n {
+            sink.record(metas[lane], &out[lane * needed..(lane + 1) * needed]);
+        }
+        done += n as u64;
+        until_poll -= n as u64;
+    }
+    count
+}
+
+/// Adapter running a [`StorableDataset`]'s key walk through
+/// [`walk_keys_batched`].
+struct DatasetSink<'a, D: StorableDataset>(&'a mut D);
+
+impl<D: StorableDataset> BatchSink for DatasetSink<'_, D> {
+    fn needed(&self) -> usize {
+        self.0.required_keystream_len()
+    }
+
+    fn prepare(&mut self, gen: &mut KeyGenerator, key: &mut [u8]) -> u64 {
+        self.0.prepare_next(gen, key)
+    }
+
+    fn record(&mut self, meta: u64, ks: &[u8]) {
+        self.0.record_stream(meta, ks);
+    }
+}
+
+/// Walks `count` keys of `gen`'s stream into `dataset` through the batched
+/// multi-key RC4 engine, polling `cancel` every [`CANCEL_POLL_INTERVAL`]
+/// keys.
+///
+/// The resulting cells are identical to the scalar
+/// [`StorableDataset::record_next`] walk over the same stream. Returns the
+/// number of keys recorded — equal to `count` unless the cancellation flag
+/// was observed, in which case the dataset holds exactly the first `done`
+/// keys' contributions and the generator sits after the `done`-th draw.
+pub fn record_keys_batched<D: StorableDataset>(
+    dataset: &mut D,
+    gen: &mut KeyGenerator,
+    key_len: usize,
+    count: u64,
+    cancel: Option<&AtomicBool>,
+) -> u64 {
+    walk_keys_batched(&mut DatasetSink(dataset), gen, key_len, count, cancel)
 }
 
 #[cfg(test)]
@@ -203,6 +332,78 @@ mod tests {
         let a: Vec<u64> = head.cell_slices().concat();
         let b: Vec<u64> = full.cell_slices().concat();
         assert_eq!(a, b);
+    }
+
+    /// The batched walk must be cell-for-cell identical to the scalar
+    /// `record_next` walk over the same generator stream — the property the
+    /// dataset byte-identity guarantee rests on.
+    fn batched_matches_scalar<D: StorableDataset>(mut batched: D, mut scalar: D, count: u64) {
+        let key_len = 16usize;
+        let mut gen_a = KeyGenerator::new(7, 3, key_len);
+        let done = record_keys_batched(&mut batched, &mut gen_a, key_len, count, None);
+        assert_eq!(done, count);
+
+        let mut gen_b = KeyGenerator::new(7, 3, key_len);
+        let mut key = vec![0u8; key_len];
+        let mut ks = vec![0u8; scalar.required_keystream_len()];
+        for _ in 0..count {
+            scalar.record_next(&mut gen_b, &mut key, &mut ks);
+        }
+
+        assert_eq!(batched.recorded_keystreams(), scalar.recorded_keystreams());
+        let a: Vec<u64> = batched.cell_slices().concat();
+        let b: Vec<u64> = scalar.cell_slices().concat();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_walk_matches_scalar_walk_for_every_kind() {
+        // 530 keys: a non-multiple of every engine lane count, crossing one
+        // cancellation-poll boundary (512).
+        batched_matches_scalar(SingleByteDataset::new(6), SingleByteDataset::new(6), 530);
+        batched_matches_scalar(
+            PairDataset::consecutive(4).unwrap(),
+            PairDataset::consecutive(4).unwrap(),
+            530,
+        );
+        batched_matches_scalar(
+            LongTermDataset::new(5, 8).unwrap(),
+            LongTermDataset::new(5, 8).unwrap(),
+            130,
+        );
+        batched_matches_scalar(
+            PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap(),
+            PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap(),
+            530,
+        );
+    }
+
+    #[test]
+    fn batched_walk_leaves_generator_at_scalar_position() {
+        // After recording k keys, the generator must sit exactly where the
+        // scalar walk leaves it, so interleaving batched rounds with skips
+        // (the store's resume path) stays deterministic.
+        let mut ds = PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap();
+        let mut gen_a = KeyGenerator::new(11, 0, 16);
+        record_keys_batched(&mut ds, &mut gen_a, 16, 37, None);
+
+        let scalar = PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap();
+        let mut gen_b = KeyGenerator::new(11, 0, 16);
+        let mut key = [0u8; 16];
+        for _ in 0..37 {
+            scalar.skip_next(&mut gen_b, &mut key);
+        }
+        assert_eq!(gen_a.next_key(), gen_b.next_key());
+    }
+
+    #[test]
+    fn batched_walk_observes_preset_cancel_flag() {
+        let cancel = AtomicBool::new(true);
+        let mut ds = SingleByteDataset::new(4);
+        let mut gen = KeyGenerator::new(1, 0, 16);
+        let done = record_keys_batched(&mut ds, &mut gen, 16, 1000, Some(&cancel));
+        assert_eq!(done, 0);
+        assert_eq!(ds.recorded_keystreams(), 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::{
     dataset::{DatasetError, GenerationConfig},
     keygen::KeyGenerator,
-    storable::StorableDataset,
+    storable::{record_keys_batched, StorableDataset},
     NUM_VALUES,
 };
 
@@ -216,18 +216,12 @@ impl PerTscDataset {
                 "generate_into needs an empty dataset".into(),
             ));
         }
-        let mut key = vec![0u8; config.key_len];
-        let mut ks = vec![0u8; self.positions];
         for w in 0..config.workers {
             let keys = config.keys_for_worker(w as u64);
             let mut gen = KeyGenerator::new(config.seed, w as u64, config.key_len);
-            for i in 0..keys {
-                if i % 512 == 0
-                    && cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-                {
-                    return Err(DatasetError::Cancelled);
-                }
-                self.record_next(&mut gen, &mut key, &mut ks);
+            let done = record_keys_batched(self, &mut gen, config.key_len, keys, cancel);
+            if done < keys {
+                return Err(DatasetError::Cancelled);
             }
         }
         Ok(())
@@ -340,17 +334,21 @@ impl StorableDataset for PerTscDataset {
     }
 
     /// One TKIP-structured key: uniform key material, a uniformly drawn TSC
-    /// pair, the public 3-byte prefix, then RC4. This is the shared inner
-    /// loop of [`PerTscDataset::generate_with_cancel`] and the store's
+    /// pair, the public 3-byte prefix. The TSC pair travels to
+    /// [`StorableDataset::record_stream`] as the metadata word
+    /// (`tsc0 | tsc1 << 8`). This is the shared key walk of
+    /// [`PerTscDataset::generate_with_cancel`] and the store's
     /// shard-generation engine, so both observe identical key sequences.
-    fn record_next(&mut self, gen: &mut KeyGenerator, key: &mut [u8], ks: &mut [u8]) {
+    fn prepare_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) -> u64 {
         gen.fill_key(key);
         let tsc0 = gen.next_below(256) as u8;
         let tsc1 = gen.next_below(256) as u8;
         key[..3].copy_from_slice(&tkip_key_prefix(tsc0, tsc1));
-        let mut prga = rc4::Prga::new(key).expect("key length validated by config");
-        prga.fill(ks);
-        self.record(tsc0, tsc1, ks);
+        u64::from(tsc0) | (u64::from(tsc1) << 8)
+    }
+
+    fn record_stream(&mut self, meta: u64, ks: &[u8]) {
+        self.record(meta as u8, (meta >> 8) as u8, ks);
     }
 
     fn skip_next(&self, gen: &mut KeyGenerator, key: &mut [u8]) {

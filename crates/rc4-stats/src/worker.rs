@@ -8,6 +8,14 @@
 //! linearly with cores and the result is identical to a single-threaded run
 //! over the union of the per-worker key sequences.
 //!
+//! Inside each worker the RC4 work runs through the batched multi-key engine
+//! ([`rc4_accel::AutoBatch`]): keys are drawn from the deterministic stream
+//! in engine-sized groups, the engine steps all of their KSA/PRGA lanes at
+//! once, and the finished keystreams are counted in draw order. Per-key
+//! streams are independent and counters additive, so the collector ends up
+//! cell-for-cell identical to the historical one-key-at-a-time loop (pinned
+//! by this module's tests).
+//!
 //! Long runs can be aborted cooperatively: [`generate_with_cancel`] takes an
 //! [`AtomicBool`] that every worker polls between key batches, so an
 //! experiment driver (e.g. `rc4-attacks`' `ExperimentContext`) can stop a
@@ -24,8 +32,9 @@ use crate::{
 
 /// How many keystreams a worker generates between cancellation-flag polls.
 /// Small enough to abort within milliseconds, large enough that the relaxed
-/// atomic load is invisible next to the RC4 work per key.
-const CANCEL_POLL_INTERVAL: u64 = 512;
+/// atomic load is invisible next to the RC4 work per key. Shared with the
+/// store-driven generation loop ([`crate::storable::record_keys_batched`]).
+pub const CANCEL_POLL_INTERVAL: u64 = 512;
 
 /// Generates `config.keys` keystreams and accumulates them into `collector`.
 ///
@@ -123,8 +132,12 @@ where
     Ok(())
 }
 
-/// Inner loop of one worker: generate `keys` keystreams of `needed` bytes,
-/// polling `cancel` between batches.
+/// Inner loop of one worker: generate `keys` keystreams of `needed` bytes
+/// through the batched engine, polling `cancel` between batches.
+///
+/// Keys are drawn in exactly the order the historical scalar loop drew them
+/// and counted in draw order, so the collector's cells are identical; only
+/// the RC4 work in between is batched.
 fn run_worker<C: KeystreamCollector>(
     collector: &mut C,
     gen: &mut KeyGenerator,
@@ -132,16 +145,32 @@ fn run_worker<C: KeystreamCollector>(
     needed: usize,
     cancel: Option<&AtomicBool>,
 ) {
-    let mut key = vec![0u8; gen.key_len()];
-    let mut ks = vec![0u8; needed];
-    for i in 0..keys {
-        if i % CANCEL_POLL_INTERVAL == 0 && cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
-            return;
-        }
-        gen.fill_key(&mut key);
-        let mut prga = rc4::Prga::new(&key).expect("worker key length is valid");
-        prga.fill(&mut ks);
-        collector.record_keystream(&ks);
+    let key_len = gen.key_len();
+    let mut sink = CollectorSink { collector, needed };
+    crate::storable::walk_keys_batched(&mut sink, gen, key_len, keys, cancel);
+}
+
+/// Adapter running a collector's uniform-key walk through the shared batched
+/// key-walk loop (`crate::storable::walk_keys_batched`), so the worker pool
+/// and the store-driven generation share ONE batch-sizing / cancellation
+/// cadence implementation.
+struct CollectorSink<'a, C: KeystreamCollector> {
+    collector: &'a mut C,
+    needed: usize,
+}
+
+impl<C: KeystreamCollector> crate::storable::BatchSink for CollectorSink<'_, C> {
+    fn needed(&self) -> usize {
+        self.needed
+    }
+
+    fn prepare(&mut self, gen: &mut KeyGenerator, key: &mut [u8]) -> u64 {
+        gen.fill_key(key);
+        0
+    }
+
+    fn record(&mut self, _meta: u64, ks: &[u8]) {
+        self.collector.record_keystream(ks);
     }
 }
 
@@ -191,6 +220,63 @@ mod tests {
             one.joint_counts(0).iter().sum::<u64>(),
             four.joint_counts(0).iter().sum::<u64>()
         );
+    }
+
+    /// Scalar reference for a worker pool run: the exact historical
+    /// one-key-at-a-time loop over the same per-worker key streams.
+    fn scalar_pool_reference(config: &GenerationConfig, positions: usize) -> SingleByteDataset {
+        let mut ds = SingleByteDataset::new(positions);
+        let mut key = vec![0u8; config.key_len];
+        let mut ks = vec![0u8; positions];
+        for w in 0..config.workers {
+            let mut gen = KeyGenerator::new(config.seed, w as u64, config.key_len);
+            for _ in 0..config.keys_for_worker(w as u64) {
+                gen.fill_key(&mut key);
+                let mut prga = rc4::Prga::new(&key).expect("valid key length");
+                prga.fill(&mut ks);
+                ds.record_keystream(&ks);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn batched_pool_is_cell_identical_to_scalar_loop() {
+        // 555 keys over 2 workers: per-worker allotments (278/277) are not
+        // multiples of any engine lane count, so both workers drain a
+        // partial tail batch.
+        let config = GenerationConfig::with_keys(555).workers(2).seed(77);
+        let mut pooled = SingleByteDataset::new(5);
+        generate(&mut pooled, &config).unwrap();
+        let reference = scalar_pool_reference(&config, 5);
+        assert_eq!(pooled.keystreams(), reference.keystreams());
+        for r in 1..=5 {
+            assert_eq!(pooled.counts_at(r), reference.counts_at(r));
+        }
+    }
+
+    #[test]
+    fn more_workers_than_keys() {
+        // 3 keys across 8 workers: workers 0..3 generate one key each, the
+        // rest none — the pool must neither hang nor over-count.
+        let config = GenerationConfig::with_keys(3).workers(8).seed(5);
+        let mut ds = SingleByteDataset::new(4);
+        generate(&mut ds, &config).unwrap();
+        assert_eq!(ds.keystreams(), 3);
+        let reference = scalar_pool_reference(&config, 4);
+        for r in 1..=4 {
+            assert_eq!(ds.counts_at(r), reference.counts_at(r));
+        }
+    }
+
+    #[test]
+    fn single_key_single_worker() {
+        let config = GenerationConfig::with_keys(1).seed(9);
+        let mut ds = SingleByteDataset::new(3);
+        generate(&mut ds, &config).unwrap();
+        assert_eq!(ds.keystreams(), 1);
+        let reference = scalar_pool_reference(&config, 3);
+        assert_eq!(ds.counts_at(1), reference.counts_at(1));
     }
 
     #[test]

@@ -21,21 +21,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam::thread;
 
-use rc4_stats::{DatasetError, GenerationConfig, KeyGenerator, StorableDataset};
+use rc4_stats::{
+    record_keys_batched, DatasetError, GenerationConfig, KeyGenerator, StorableDataset,
+};
 
 use crate::format::ShardHeader;
 use crate::shard::{read_shard, write_shard};
-
-/// How often workers poll the cancellation flag, mirroring the in-memory
-/// worker pool's interval.
-const CANCEL_POLL_INTERVAL: u64 = 512;
 
 /// Tuning knobs for [`generate_shard`] / [`resume_shard`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GenerateOptions {
     /// Target number of keys generated (across the whole shard) between
     /// on-disk checkpoints. Smaller values bound the re-work after a crash;
-    /// larger values amortize the flush cost.
+    /// larger values amortize the flush cost. Values larger than the shard's
+    /// key total are clamped to it (one checkpoint at completion); drivers
+    /// should warn the operator when that happens — see
+    /// [`GenerateOptions::effective_checkpoint_keys`].
     pub checkpoint_keys: u64,
     /// Stop — after a checkpoint — once at least this many keys of the shard
     /// have been generated. The file stays resumable; the run reports
@@ -50,6 +51,19 @@ impl Default for GenerateOptions {
             checkpoint_keys: 1 << 18,
             stop_after_keys: None,
         }
+    }
+}
+
+impl GenerateOptions {
+    /// The checkpoint interval actually used for a shard of `keys_total`
+    /// keys: `checkpoint_keys` clamped into `1..=keys_total`.
+    ///
+    /// An unclamped oversized interval would silently degenerate to zero
+    /// intermediate checkpoints — a crash then loses the whole run even
+    /// though the operator asked for checkpointing. CLI drivers compare this
+    /// against the raw value to emit the "clamped" warning.
+    pub fn effective_checkpoint_keys(&self, keys_total: u64) -> u64 {
+        self.checkpoint_keys.clamp(1, keys_total.max(1))
     }
 }
 
@@ -222,7 +236,7 @@ fn run_rounds<D: StorableDataset>(
     const PARALLEL_CLONE_MAX_CELLS: usize = 1 << 24;
     let sequential = workers == 1 || dataset.cell_count() > PARALLEL_CLONE_MAX_CELLS;
 
-    let chunk = (opts.checkpoint_keys / workers as u64).max(1);
+    let chunk = (opts.effective_checkpoint_keys(keys_total) / workers as u64).max(1);
     loop {
         if header.is_complete() {
             return Ok(GenerateStatus::Complete);
@@ -248,20 +262,12 @@ fn run_rounds<D: StorableDataset>(
             .collect();
 
         if sequential || round.len() == 1 {
-            // Record straight into the accumulator, worker by worker. A
-            // cancelled round is not flushed, so the on-disk checkpoint stays
-            // consistent with its header either way.
-            let mut key = vec![0u8; key_len];
-            let mut ks = vec![0u8; dataset.required_keystream_len()];
+            // Record straight into the accumulator, worker by worker,
+            // through the batched multi-key engine. A cancelled round is not
+            // flushed, so the on-disk checkpoint stays consistent with its
+            // header either way.
             for &(i, n) in &round {
-                let mut done = 0;
-                for k in 0..n {
-                    if k % CANCEL_POLL_INTERVAL == 0 && cancelled() {
-                        break;
-                    }
-                    dataset.record_next(&mut gens[i], &mut key, &mut ks);
-                    done += 1;
-                }
+                let done = record_keys_batched(&mut dataset, &mut gens[i], key_len, n, cancel);
                 if done < n {
                     return Err(DatasetError::Cancelled);
                 }
@@ -274,18 +280,7 @@ fn run_rounds<D: StorableDataset>(
                 for (&(i, n), gen) in round.iter().zip(disjoint_mut(&mut gens, &round)) {
                     let mut delta = D::empty_with_shape(&shape)?;
                     handles.push(scope.spawn(move |_| {
-                        let mut key = vec![0u8; key_len];
-                        let mut ks = vec![0u8; delta.required_keystream_len()];
-                        let mut done = 0;
-                        for k in 0..n {
-                            if k % CANCEL_POLL_INTERVAL == 0
-                                && cancel.is_some_and(|c| c.load(Ordering::Relaxed))
-                            {
-                                break;
-                            }
-                            delta.record_next(gen, &mut key, &mut ks);
-                            done += 1;
-                        }
+                        let done = record_keys_batched(&mut delta, gen, key_len, n, cancel);
                         (i, done, delta)
                     }));
                 }
@@ -485,6 +480,54 @@ mod tests {
         generate_with_cancel(&mut direct, &config, Some(&never)).unwrap();
         for r in 1..=4 {
             assert_eq!(full.dataset.counts_at(r), direct.counts_at(r));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_checkpoint_interval_is_clamped() {
+        let opts = GenerateOptions {
+            checkpoint_keys: u64::MAX,
+            stop_after_keys: None,
+        };
+        assert_eq!(opts.effective_checkpoint_keys(100), 100);
+        assert_eq!(opts.effective_checkpoint_keys(0), 1);
+        assert_eq!(
+            GenerateOptions::default().effective_checkpoint_keys(1 << 30),
+            1 << 18
+        );
+
+        // A run with an interval far beyond the key range still completes
+        // and produces the same cells as a tightly checkpointed run.
+        let dir = temp_dir("clamp");
+        let config = GenerationConfig::with_keys(600).workers(2).seed(13);
+        let oversized = dir.join("oversized.ds");
+        generate_shard(
+            &oversized,
+            SingleByteDataset::new(4),
+            &ShardSpec::full(config),
+            &opts,
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let tight = dir.join("tight.ds");
+        generate_shard(
+            &tight,
+            SingleByteDataset::new(4),
+            &ShardSpec::full(config),
+            &GenerateOptions {
+                checkpoint_keys: 64,
+                stop_after_keys: None,
+            },
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let a = read_shard::<SingleByteDataset>(&oversized).unwrap();
+        let b = read_shard::<SingleByteDataset>(&tight).unwrap();
+        for r in 1..=4 {
+            assert_eq!(a.dataset.counts_at(r), b.dataset.counts_at(r));
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -6,7 +6,7 @@
 //! needs counter datasets that survive the process that generated them. This
 //! crate provides it:
 //!
-//! * [`format`] — a versioned binary on-disk format: magic, format version, a
+//! * [`mod@format`] — a versioned binary on-disk format: magic, format version, a
 //!   JSON header (dataset kind, shape, [`rc4_stats::GenerationConfig`],
 //!   per-worker progress), little-endian `u64` counter cells, and a CRC-32
 //!   trailer (via `crypto-prims`) over the whole file.

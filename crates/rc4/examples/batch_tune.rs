@@ -1,0 +1,110 @@
+//! Quick timing harness for the batch engine: `cargo run --release -p rc4
+//! --example batch_tune`. Prints per-byte cost for the scalar PRGA and each
+//! lane count, for both the long-stream (PRGA-bound) and rekey-per-68-bytes
+//! (KSA-bound, per-TSC-shaped) regimes. Used to pick `DEFAULT_LANES`; the
+//! criterion numbers in BENCH_*.json come from `bench/benches/rc4_throughput`.
+
+use std::time::Instant;
+
+use rc4::batch::{InterleavedBatch, KeystreamBatch};
+use rc4::Prga;
+
+fn keys(n: usize) -> Vec<u8> {
+    (0..n * 16).map(|i| (i * 2654435761) as u8).collect()
+}
+
+fn time<F: FnMut()>(mut f: F, iters: u32) -> f64 {
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_lanes<const N: usize>(per_lane: usize, iters: u32) {
+    let keys = keys(N);
+    let mut engine = InterleavedBatch::<N>::new();
+    let mut out = vec![0u8; N * per_lane];
+    let ns = time(
+        || {
+            engine.schedule(std::hint::black_box(&keys), 16).unwrap();
+            engine.fill(std::hint::black_box(&mut out), per_lane);
+        },
+        iters,
+    );
+    let bytes = (N * per_lane) as f64;
+    println!(
+        "  lanes {N:>2}: {:7.3} ns/B  {:7.1} ns/key  {:6.3} GiB/s",
+        ns / bytes,
+        ns / N as f64,
+        bytes / ns * 1e9 / (1u64 << 30) as f64
+    );
+}
+
+fn bench_phases<const N: usize>() {
+    let keys = keys(N);
+    let mut engine = InterleavedBatch::<N>::new();
+    let ksa = time(
+        || {
+            engine.schedule(std::hint::black_box(&keys), 16).unwrap();
+        },
+        3000,
+    );
+    let mut out = vec![0u8; N * 4096];
+    engine.schedule(&keys, 16).unwrap();
+    let prga = time(|| engine.fill(std::hint::black_box(&mut out), 4096), 300);
+    println!(
+        "  lanes {N:>2}: KSA {:7.1} ns/key ({:5.2} c/lane-round)   PRGA {:6.3} ns/B ({:5.2} c/lane-round)",
+        ksa / N as f64,
+        ksa / N as f64 / 256.0 * 2.1,
+        prga / (N * 4096) as f64,
+        prga / (N * 4096) as f64 * 2.1,
+    );
+}
+
+fn main() {
+    let scalar_ksa = {
+        let key = [0xA5u8; 16];
+        let mut sink = 0u64;
+        let ns = time(
+            || {
+                let p = Prga::new(std::hint::black_box(&key)).unwrap();
+                sink = sink.wrapping_add(p.state().lookup(0) as u64);
+            },
+            20000,
+        );
+        std::hint::black_box(sink);
+        ns
+    };
+    println!(
+        "scalar KSA: {scalar_ksa:.1} ns/key ({:.2} c/round)",
+        scalar_ksa / 256.0 * 2.1
+    );
+    println!("phases:");
+    bench_phases::<4>();
+    bench_phases::<8>();
+    bench_phases::<16>();
+    bench_phases::<32>();
+
+    let mut prga = Prga::new(b"benchmark key 16").unwrap();
+    let mut buf = vec![0u8; 65536];
+    let scalar = time(|| prga.fill(std::hint::black_box(&mut buf)), 200);
+    println!(
+        "scalar fill: {:.3} ns/B ({:.3} GiB/s)",
+        scalar / 65536.0,
+        65536.0 / scalar * 1e9 / (1u64 << 30) as f64
+    );
+
+    println!("long streams (4096 B/lane, schedule amortised):");
+    bench_lanes::<4>(4096, 400);
+    bench_lanes::<8>(4096, 300);
+    bench_lanes::<16>(4096, 200);
+    bench_lanes::<32>(4096, 100);
+
+    println!("short streams (68 B/lane, KSA-bound):");
+    bench_lanes::<4>(68, 4000);
+    bench_lanes::<8>(68, 3000);
+    bench_lanes::<16>(68, 2000);
+    bench_lanes::<32>(68, 1000);
+}

@@ -21,6 +21,9 @@
 //! * [`Rc4`] — the cipher: XORs the keystream into plaintext/ciphertext buffers.
 //! * [`Rc4Drop`] — RC4-drop\[n\]: discards the first `n` keystream bytes, the
 //!   mitigation recommended by Mironov that the paper's long-term analyses assume.
+//! * [`batch`] — the batched multi-key engine: [`batch::InterleavedBatch`] steps
+//!   many independent RC4 states per loop iteration, the bulk-generation hot
+//!   path behind the statistics datasets.
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod cipher;
 mod error;
 mod ksa;

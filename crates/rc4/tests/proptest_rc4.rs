@@ -1,6 +1,7 @@
 //! Property-based tests for the RC4 core.
 
 use proptest::prelude::*;
+use rc4::batch::{DefaultBatch, KeystreamBatch, ScalarBatch};
 use rc4::{keystream, Ksa, Prga, Rc4, Rc4Drop};
 
 proptest! {
@@ -58,6 +59,67 @@ proptest! {
         let mut data = vec![0u8; len];
         dropped.apply_keystream(&mut data);
         prop_assert_eq!(&data, &full[drop_n..]);
+    }
+
+    /// The interleaved batch engine is bit-identical to N scalar `Prga`
+    /// streams for any batch size up to the lane count, any key length in
+    /// 3..=32, and any stream offset (the two chunked fills below exercise
+    /// continuation across an arbitrary split point).
+    #[test]
+    fn batch_matches_scalar_streams(n in 1usize..=16,
+                                    key_len in 3usize..=32,
+                                    split in 0usize..192,
+                                    len in 1usize..=192,
+                                    seed in any::<u64>()) {
+        let n = n.min(rc4::batch::DEFAULT_LANES);
+        // Derive n distinct keys deterministically from the seed.
+        let mut keys = vec![0u8; n * key_len];
+        let mut x = seed;
+        for byte in keys.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *byte = (x >> 33) as u8;
+        }
+
+        let mut engine = DefaultBatch::new();
+        engine.schedule(&keys, key_len).unwrap();
+        prop_assert_eq!(engine.scheduled(), n);
+        let split = split.min(len);
+        let mut head = vec![0u8; n * split];
+        let mut tail = vec![0u8; n * (len - split)];
+        engine.fill(&mut head, split);
+        engine.fill(&mut tail, len - split);
+
+        for (lane, key) in keys.chunks_exact(key_len).enumerate() {
+            let whole = keystream(key, len).unwrap();
+            prop_assert_eq!(&head[lane * split..(lane + 1) * split], &whole[..split]);
+            prop_assert_eq!(&tail[lane * (len - split)..(lane + 1) * (len - split)],
+                            &whole[split..]);
+        }
+    }
+
+    /// The scalar reference engine and the interleaved engine agree for every
+    /// lane count (including non-powers of two via partial schedules).
+    #[test]
+    fn scalar_and_interleaved_engines_agree(n in 1usize..=16,
+                                            key_len in 3usize..=32,
+                                            len in 1usize..=128,
+                                            seed in any::<u64>()) {
+        let n = n.min(rc4::batch::DEFAULT_LANES);
+        let mut keys = vec![0u8; n * key_len];
+        let mut x = seed ^ 0x9E3779B97F4A7C15;
+        for byte in keys.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *byte = (x >> 29) as u8;
+        }
+        let mut fast = DefaultBatch::new();
+        let mut reference = ScalarBatch::new(16);
+        fast.schedule(&keys, key_len).unwrap();
+        reference.schedule(&keys, key_len).unwrap();
+        let mut a = vec![0u8; n * len];
+        let mut b = vec![0u8; n * len];
+        fast.fill(&mut a, len);
+        reference.fill(&mut b, len);
+        prop_assert_eq!(a, b);
     }
 
     /// Two different keys (almost) never generate the same initial keystream;

@@ -871,6 +871,11 @@ mod dataset_cli {
 mod bench_cli {
     use std::time::Instant;
 
+    use plaintext_recovery::{
+        charset::Charset,
+        likelihood::PairLikelihoods,
+        viterbi::{list_viterbi, ViterbiConfig},
+    };
     use rc4_accel::{AutoBatch, KeystreamBatch};
     use rc4_attacks::experiments::fig8::{run as fig8_run, Fig8Config, TkipTrafficModel};
     use rc4_stats::{single::SingleByteDataset, worker, GenerationConfig};
@@ -897,16 +902,52 @@ mod bench_cli {
     }
 
     fn usage() -> String {
-        "usage: repro bench [--json] [--save-json FILE] [--compare BENCH_FILE] [--tolerance PCT]\n\
+        "usage: repro bench [--json] [--save-json FILE] [--compare BENCH_FILE|latest] [--tolerance PCT]\n\
          \n\
          Runs the quick perf smoke suite (fixed seeds) and prints one entry per\n\
          bench: ns per iteration plus throughput where meaningful. With\n\
          --compare, entries also present in BENCH_FILE are checked and the run\n\
          fails (exit 1) if any is more than PCT percent slower (default 25).\n\
+         `--compare latest` resolves the highest-numbered BENCH_pr<N>.json in\n\
+         the current directory, so CI never hardcodes a trajectory filename.\n\
          --save-json additionally writes the JSON report of the SAME\n\
          measurement pass to FILE (so a CI job gets the human summary, the\n\
          machine artifact and the gate from one run)."
             .to_string()
+    }
+
+    /// Resolves `--compare latest`: the `BENCH_pr<N>.json` with the highest
+    /// `N` in the current directory. Numeric comparison on purpose —
+    /// lexicographic order would rank `BENCH_pr9.json` above
+    /// `BENCH_pr10.json`.
+    fn resolve_latest_bench_file() -> CliResult<String> {
+        let mut best: Option<(u64, String)> = None;
+        let entries = std::fs::read_dir(".")
+            .map_err(|e| (format!("cannot scan the current directory: {e}"), 2))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(number) = name
+                .strip_prefix("BENCH_pr")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            let newer = match &best {
+                None => true,
+                Some((n, _)) => number > *n,
+            };
+            if newer {
+                best = Some((number, name.to_string()));
+            }
+        }
+        best.map(|(_, name)| name).ok_or_else(|| {
+            (
+                "--compare latest: no BENCH_pr<N>.json found in the current directory".to_string(),
+                2,
+            )
+        })
     }
 
     struct Measurement {
@@ -1033,6 +1074,60 @@ mod bench_cli {
             name: "fig8_tkip_recovery/quick_sweep",
             ns_per_iter: time_min(|| {
                 fig8_run(std::hint::black_box(&fig8_config)).expect("fig8 quick config runs");
+            }),
+            bytes_per_iter: None,
+        });
+
+        // Recovery path, likelihood side: the paper's optimized Eq.-15 pair
+        // scoring (8 FM cells against all 65536 candidate pairs) — the inner
+        // loop of every fig7/fig10/TLS-cookie analysis. Gating this keeps
+        // the analysis side as protected as the generation side.
+        let counts: Vec<u64> = (0..65536u64).map(|i| (i * 2654435761) % 977).collect();
+        let cells: Vec<(u8, u8, f64)> = rc4_biases::fm::fm_biases_at(257)
+            .into_iter()
+            .map(|b| (b.first, b.second, b.probability))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        results.push(Measurement {
+            name: "recovery_likelihood/fm_sparse_65536",
+            ns_per_iter: time_min(|| {
+                PairLikelihoods::from_counts_sparse(
+                    std::hint::black_box(&counts),
+                    &cells,
+                    1.0 / 65536.0,
+                    total,
+                )
+                .expect("well-formed inputs");
+            }),
+            bytes_per_iter: None,
+        });
+
+        // Recovery path, candidate side: a list-Viterbi decode of a 6-byte
+        // span over the base64 cookie alphabet, 256 candidates per step —
+        // the fig10 / tls-cookie beam shape at quick scale.
+        let transitions: Vec<PairLikelihoods> = (0..7u64)
+            .map(|t| {
+                let mut log = vec![0.0f64; 65536];
+                for (i, slot) in log.iter_mut().enumerate() {
+                    let mut x = (t << 32) | i as u64;
+                    x ^= x >> 33;
+                    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                    *slot = ((x >> 40) % 4096) as f64 / 512.0;
+                }
+                PairLikelihoods::from_log_values(log).expect("65536 values")
+            })
+            .collect();
+        let viterbi_config = ViterbiConfig {
+            first_known: b'=',
+            last_known: b';',
+            candidates: 256,
+            charset: Charset::base64(),
+        };
+        results.push(Measurement {
+            name: "recovery_viterbi/base64_6x256",
+            ns_per_iter: time_min(|| {
+                list_viterbi(std::hint::black_box(&transitions), &viterbi_config)
+                    .expect("well-formed decode");
             }),
             bytes_per_iter: None,
         });
@@ -1214,6 +1309,11 @@ mod bench_cli {
             }
         }
 
+        if compare_path.as_deref() == Some("latest") {
+            let resolved = resolve_latest_bench_file()?;
+            eprintln!("repro: --compare latest resolved to {resolved}");
+            compare_path = Some(resolved);
+        }
         let committed = match &compare_path {
             Some(path) => load_committed(path)?,
             None => Vec::new(),

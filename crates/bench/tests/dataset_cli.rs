@@ -42,10 +42,11 @@ fn path_str(p: &Path) -> String {
 #[test]
 fn generate_stop_resume_merge_cache_roundtrip_is_byte_identical() {
     let dir = scratch("roundtrip");
-    // fig8 with an empirical per-TSC1 model over 4096 keys, 2 logical
-    // workers. The dataset fig8 requests is then: kind per-tsc, positions
-    // payload_len + 1 + TRAILER_LEN = 68, seed 0xF168 ^ 0xE = 0xF166,
-    // workers 2 (from --workers 2).
+    // fig8 with an empirical per-TSC1 model over 4096 keys. The dataset fig8
+    // requests is then: kind per-tsc, positions payload_len + 1 + TRAILER_LEN
+    // = 68, seed 0xF168 ^ 0xE = 0xF166, and the FIXED logical stream count
+    // `rc4_attacks::experiments::DATASET_STREAMS` = 4 (the `--workers` flag
+    // only sets the thread budget and must not change the dataset identity).
     let config_path = dir.join("fig8.json");
     std::fs::write(
         &config_path,
@@ -86,15 +87,15 @@ fn generate_stop_resume_merge_cache_roundtrip_is_byte_identical() {
         "--keys",
         "4096",
         "--workers",
-        "2",
+        "4",
         "--seed",
         "0xF166",
         "--worker-range",
         "0..1",
         "--checkpoint-keys",
-        "512",
+        "256",
         "--stop-after-keys",
-        "1000",
+        "500",
     ]);
     assert!(gen0.status.success(), "gen0: {}", stderr(&gen0));
     assert!(stderr(&gen0).contains("stopped"), "gen0: {}", stderr(&gen0));
@@ -108,7 +109,7 @@ fn generate_stop_resume_merge_cache_roundtrip_is_byte_identical() {
     let info0 = repro(&["dataset", "info", &shard0]);
     assert!(stdout(&info0).contains("complete"), "{}", stdout(&info0));
 
-    // Disjoint second shard: worker 1's derived seed stream.
+    // Disjoint second shard: the remaining worker streams 1..4.
     let shard1 = path_str(&dir.join("shard1.ds"));
     let gen1 = repro(&[
         "dataset",
@@ -122,11 +123,11 @@ fn generate_stop_resume_merge_cache_roundtrip_is_byte_identical() {
         "--keys",
         "4096",
         "--workers",
-        "2",
+        "4",
         "--seed",
         "0xF166",
         "--worker-range",
-        "1..2",
+        "1..4",
     ]);
     assert!(gen1.status.success(), "gen1: {}", stderr(&gen1));
 
@@ -152,6 +153,33 @@ fn generate_stop_resume_merge_cache_roundtrip_is_byte_identical() {
         fresh_json,
         stdout(&cached),
         "cache-served run must be byte-identical to the fresh run"
+    );
+
+    // Worker-count invariance through the cache: a different thread budget
+    // must serve the SAME dataset (cache identity excludes `--workers`) and
+    // produce the same bytes.
+    let mut one_worker_args = cached_args.clone();
+    let w = one_worker_args
+        .iter()
+        .position(|a| a == "--workers")
+        .expect("run args carry --workers");
+    one_worker_args[w + 1] = "1".to_string();
+    let one_worker = repro(
+        &one_worker_args
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>(),
+    );
+    assert!(one_worker.status.success(), "{}", stderr(&one_worker));
+    assert!(
+        stderr(&one_worker).contains("dataset cache hit (per-tsc)"),
+        "--workers 1 run missed the cache: {}",
+        stderr(&one_worker)
+    );
+    assert_eq!(
+        fresh_json,
+        stdout(&one_worker),
+        "--workers must not change experiment output"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -220,6 +220,8 @@ fn bench_smoke_mode_contract() {
         "rc4_batch_rekey/256x68",
         "dataset_generate/single_32768x64",
         "fig8_tkip_recovery/quick_sweep",
+        "recovery_likelihood/fm_sparse_65536",
+        "recovery_viterbi/base64_6x256",
     ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }
@@ -270,4 +272,77 @@ fn bench_rejects_unknown_flags() {
     let output = repro(&["bench", "--frobnicate"]);
     assert_eq!(output.status.code(), Some(2));
     assert!(stderr(&output).contains("usage: repro bench"));
+}
+
+/// `repro run all --scale quick --json` is byte-identical between
+/// `--workers 1` and `--workers 4`: the worker count is a pure thread
+/// budget — logical RNG streams are pinned per trial / per dataset — so
+/// parallelism can never change a reported number. (Extends the same-seed
+/// determinism contract pinned above to worker-count invariance.)
+#[test]
+fn run_all_json_is_byte_identical_across_worker_counts() {
+    let run = |workers: &str| {
+        let output = repro(&[
+            "run",
+            "all",
+            "--scale",
+            "quick",
+            "--json",
+            "--workers",
+            workers,
+        ]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+        stdout(&output)
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(
+        one, four,
+        "--workers changed experiment output; parallelism must be result-neutral"
+    );
+}
+
+/// `repro bench --compare latest` resolves the highest-numbered
+/// `BENCH_pr<N>.json` in the current directory — numerically, so pr10
+/// outranks pr9 — and errors cleanly when none exists.
+#[test]
+fn bench_compare_latest_resolves_numerically() {
+    let dir = std::env::temp_dir().join(format!("repro-bench-latest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench_in = |cwd: &std::path::Path, args: &[&str]| {
+        Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args(args)
+            .current_dir(cwd)
+            .env("REPRO_BENCH_FAST", "1")
+            .output()
+            .expect("repro binary runs")
+    };
+
+    // No trajectory files at all: a clean exit-2 error, not a panic.
+    let none = bench_in(&dir, &["bench", "--compare", "latest"]);
+    assert_eq!(none.status.code(), Some(2), "{}", stderr(&none));
+    assert!(stderr(&none).contains("no BENCH_pr"), "{}", stderr(&none));
+
+    // pr9 would pass (huge committed numbers), pr10 must trip the gate
+    // (tiny committed number) — so an exit-1 proves pr10 was picked over
+    // pr9 despite "BENCH_pr9.json" sorting later lexicographically.
+    std::fs::write(
+        dir.join("BENCH_pr9.json"),
+        r#"{"benches": [{"bench": "rc4_keystream/65536", "ns_per_iter": 1e15}]}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("BENCH_pr10.json"),
+        r#"{"benches": [{"bench": "rc4_keystream/65536", "ns_per_iter": 1.0}]}"#,
+    )
+    .unwrap();
+    let gate = bench_in(&dir, &["bench", "--compare", "latest"]);
+    assert_eq!(gate.status.code(), Some(1), "{}", stderr(&gate));
+    assert!(
+        stderr(&gate).contains("resolved to BENCH_pr10.json"),
+        "{}",
+        stderr(&gate)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,6 +12,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use rc4_exec::Executor;
+
 use crate::{charset::Charset, likelihood::SingleLikelihoods, RecoveryError};
 
 /// A ranked plaintext candidate.
@@ -87,6 +89,28 @@ pub fn generate_candidates(
     n: usize,
     charset: &Charset,
 ) -> Result<Vec<Candidate>, RecoveryError> {
+    generate_candidates_with_exec(likelihoods, n, charset, &Executor::serial())
+}
+
+/// [`generate_candidates`] on an explicit executor.
+///
+/// The cursor-heap frontier walk is inherently sequential (each emitted
+/// candidate updates the heap the next one pops from) and stays on the
+/// calling thread; the backpointer reconstruction of the final candidate
+/// strings — `O(L · N)` work, the dominant cost at the TKIP attack's large
+/// `N` — is fanned out over rank chunks. Ranks are reconstructed
+/// independently, so the output is identical for any worker count.
+///
+/// # Errors
+///
+/// Everything [`generate_candidates`] returns, plus
+/// [`RecoveryError::Cancelled`] when the executor's flag is raised.
+pub fn generate_candidates_with_exec(
+    likelihoods: &[SingleLikelihoods],
+    n: usize,
+    charset: &Charset,
+    exec: &Executor<'_>,
+) -> Result<Vec<Candidate>, RecoveryError> {
     if likelihoods.is_empty() {
         return Err(RecoveryError::InvalidInput(
             "at least one position is required".into(),
@@ -103,6 +127,9 @@ pub fn generate_candidates(
     let mut prev_scores: Vec<f64> = vec![0.0];
 
     for lik in likelihoods {
+        if exec.is_cancelled() {
+            return Err(RecoveryError::Cancelled);
+        }
         // Per-alphabet-value cursor into the previous frontier.
         let mut cursor = vec![0usize; alphabet.len()];
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(alphabet.len());
@@ -134,22 +161,32 @@ pub fn generate_candidates(
         prev_scores = new_scores;
     }
 
-    // Reconstruct the candidate strings by walking the backpointers.
-    let mut out = Vec::with_capacity(prev_scores.len());
-    for (rank, &score) in prev_scores.iter().enumerate() {
-        let mut bytes = vec![0u8; likelihoods.len()];
-        let mut r = rank;
-        for (pos, step) in steps.iter().enumerate().rev() {
-            let (prev_rank, vi) = step[r];
-            bytes[pos] = alphabet[vi as usize];
-            r = prev_rank as usize;
-        }
-        out.push(Candidate {
-            plaintext: bytes,
-            log_likelihood: score,
-        });
-    }
-    Ok(out)
+    // Reconstruct the candidate strings by walking the backpointers. Each
+    // rank walks independently, so ranks are reconstructed in parallel
+    // chunks and concatenated in rank order.
+    let ranks = prev_scores.len();
+    let chunk = exec.chunk_len_for(ranks);
+    let rank_chunks: Vec<usize> = (0..ranks).step_by(chunk).collect();
+    let chunks: Vec<Vec<Candidate>> = exec
+        .map(rank_chunks, |_, first| {
+            let mut out = Vec::with_capacity(chunk.min(ranks - first));
+            for (rank, &score) in prev_scores.iter().enumerate().skip(first).take(chunk) {
+                let mut bytes = vec![0u8; likelihoods.len()];
+                let mut r = rank;
+                for (pos, step) in steps.iter().enumerate().rev() {
+                    let (prev_rank, vi) = step[r];
+                    bytes[pos] = alphabet[vi as usize];
+                    r = prev_rank as usize;
+                }
+                out.push(Candidate {
+                    plaintext: bytes,
+                    log_likelihood: score,
+                });
+            }
+            Ok::<_, RecoveryError>(out)
+        })
+        .map_err(RecoveryError::from)?;
+    Ok(chunks.into_iter().flatten().collect())
 }
 
 /// Convenience wrapper returning only the single most likely plaintext.
@@ -263,6 +300,43 @@ mod tests {
         assert!(generate_candidates(&[], 10, &Charset::full()).is_err());
         let liks = vec![lik_from(&[(0, 1.0)])];
         assert!(generate_candidates(&liks, 0, &Charset::full()).is_err());
+    }
+
+    #[test]
+    fn exec_generation_is_identical_for_any_worker_count() {
+        use rc4_exec::Executor;
+        let liks: Vec<SingleLikelihoods> = (0..9)
+            .map(|p| {
+                lik_from(&[
+                    ((p * 13 % 256) as u8, 2.5),
+                    ((p * 29 % 256) as u8, 2.0),
+                    ((p * 31 % 256) as u8, 1.5),
+                ])
+            })
+            .collect();
+        let reference = generate_candidates(&liks, 500, &Charset::full()).unwrap();
+        for workers in [2usize, 4] {
+            let got = generate_candidates_with_exec(
+                &liks,
+                500,
+                &Charset::full(),
+                &Executor::new(workers),
+            )
+            .unwrap();
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cancelled_executor_aborts_generation() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(true);
+        let exec = rc4_exec::Executor::new(2).with_cancel(Some(&cancel));
+        let liks = vec![lik_from(&[(0, 1.0)])];
+        assert_eq!(
+            generate_candidates_with_exec(&liks, 4, &Charset::full(), &exec).unwrap_err(),
+            crate::RecoveryError::Cancelled
+        );
     }
 
     #[test]

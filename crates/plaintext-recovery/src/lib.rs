@@ -41,6 +41,9 @@ pub enum RecoveryError {
     InvalidInput(String),
     /// The requested configuration is inconsistent (e.g. empty alphabet).
     InvalidConfig(String),
+    /// A parallel recovery call was cancelled through its executor's
+    /// cooperative cancellation flag before it completed.
+    Cancelled,
 }
 
 impl core::fmt::Display for RecoveryError {
@@ -48,11 +51,23 @@ impl core::fmt::Display for RecoveryError {
         match self {
             RecoveryError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             RecoveryError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RecoveryError::Cancelled => write!(f, "recovery cancelled"),
         }
     }
 }
 
 impl std::error::Error for RecoveryError {}
+
+/// Executor outcomes fold back into the recovery error model so the
+/// `_with_exec` function variants keep returning [`RecoveryError`].
+impl From<rc4_exec::ExecError<RecoveryError>> for RecoveryError {
+    fn from(e: rc4_exec::ExecError<RecoveryError>) -> Self {
+        match e {
+            rc4_exec::ExecError::Cancelled => RecoveryError::Cancelled,
+            rc4_exec::ExecError::Task { error, .. } => error,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

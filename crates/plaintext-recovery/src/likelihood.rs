@@ -18,6 +18,8 @@
 //! Likelihoods from different bias families are combined by adding their logs
 //! (Eq. 25).
 
+use rc4_exec::Executor;
+
 use crate::RecoveryError;
 
 /// Log-likelihoods of each of the 256 plaintext values for one byte position.
@@ -41,6 +43,23 @@ impl SingleLikelihoods {
         ciphertext_counts: &[u64],
         keystream_probs: &[f64],
     ) -> Result<Self, RecoveryError> {
+        Self::from_counts_with_exec(ciphertext_counts, keystream_probs, &Executor::serial())
+    }
+
+    /// [`SingleLikelihoods::from_counts`] on an explicit executor: candidate
+    /// values are scored in parallel chunks. Every candidate's accumulation
+    /// order is independent of the chunking, so the result is bit-identical
+    /// for any worker count (including the serial wrapper).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SingleLikelihoods::from_counts`] returns, plus
+    /// [`RecoveryError::Cancelled`] when the executor's flag is raised.
+    pub fn from_counts_with_exec(
+        ciphertext_counts: &[u64],
+        keystream_probs: &[f64],
+        exec: &Executor<'_>,
+    ) -> Result<Self, RecoveryError> {
         if ciphertext_counts.len() != 256 || keystream_probs.len() != 256 {
             return Err(RecoveryError::InvalidInput(
                 "single-byte likelihood needs 256 counts and 256 probabilities".into(),
@@ -51,15 +70,20 @@ impl SingleLikelihoods {
             .map(|&p| p.max(1e-300).ln())
             .collect();
         let mut log = vec![0.0f64; 256];
-        for (mu, slot) in log.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (c, &n) in ciphertext_counts.iter().enumerate() {
-                if n > 0 {
-                    acc += n as f64 * log_p[c ^ mu];
+        exec.chunked(&mut log, exec.chunk_len_for(256), |_, start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let mu = start + off;
+                let mut acc = 0.0;
+                for (c, &n) in ciphertext_counts.iter().enumerate() {
+                    if n > 0 {
+                        acc += n as f64 * log_p[c ^ mu];
+                    }
                 }
+                *slot = acc;
             }
-            *slot = acc;
-        }
+            Ok::<_, RecoveryError>(())
+        })
+        .map_err(RecoveryError::from)?;
         Ok(Self { log })
     }
 
@@ -145,6 +169,24 @@ impl PairLikelihoods {
         pair_counts: &[u64],
         keystream_probs: &[f64],
     ) -> Result<Self, RecoveryError> {
+        Self::from_counts_dense_with_exec(pair_counts, keystream_probs, &Executor::serial())
+    }
+
+    /// [`PairLikelihoods::from_counts_dense`] on an explicit executor: the
+    /// 65536 candidate pairs are scored in parallel chunks. Every candidate's
+    /// accumulation runs over the same non-zero-count list in the same order
+    /// whatever the chunking, so the result is bit-identical for any worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PairLikelihoods::from_counts_dense`] returns, plus
+    /// [`RecoveryError::Cancelled`] when the executor's flag is raised.
+    pub fn from_counts_dense_with_exec(
+        pair_counts: &[u64],
+        keystream_probs: &[f64],
+        exec: &Executor<'_>,
+    ) -> Result<Self, RecoveryError> {
         if pair_counts.len() != 65536 || keystream_probs.len() != 65536 {
             return Err(RecoveryError::InvalidInput(
                 "pair likelihood needs 65536 counts and probabilities".into(),
@@ -154,7 +196,6 @@ impl PairLikelihoods {
             .iter()
             .map(|&p| p.max(1e-300).ln())
             .collect();
-        let mut log = vec![0.0f64; 65536];
         // Collect the non-zero counts once; ciphertext count tables are usually sparse
         // relative to 65536 cells unless the ciphertext volume is enormous.
         let nonzero: Vec<(usize, usize, f64)> = pair_counts
@@ -163,15 +204,25 @@ impl PairLikelihoods {
             .filter(|(_, &n)| n > 0)
             .map(|(idx, &n)| (idx >> 8, idx & 0xff, n as f64))
             .collect();
-        for mu1 in 0..256usize {
-            for mu2 in 0..256usize {
-                let mut acc = 0.0;
-                for &(c1, c2, n) in &nonzero {
-                    acc += n * log_p[((c1 ^ mu1) << 8) | (c2 ^ mu2)];
+        let mut log = vec![0.0f64; 65536];
+        // Chunks are whole mu1 rows so the row's c1 XOR is hoisted per row.
+        exec.chunked(
+            &mut log,
+            exec.chunk_len_for(256) * 256,
+            |_, start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let idx = start + off;
+                    let (mu1, mu2) = (idx >> 8, idx & 0xff);
+                    let mut acc = 0.0;
+                    for &(c1, c2, n) in &nonzero {
+                        acc += n * log_p[((c1 ^ mu1) << 8) | (c2 ^ mu2)];
+                    }
+                    *slot = acc;
                 }
-                log[(mu1 << 8) | mu2] = acc;
-            }
-        }
+                Ok::<_, RecoveryError>(())
+            },
+        )
+        .map_err(RecoveryError::from)?;
         Ok(Self { log })
     }
 
@@ -194,6 +245,31 @@ impl PairLikelihoods {
         uniform: f64,
         total_ciphertexts: u64,
     ) -> Result<Self, RecoveryError> {
+        Self::from_counts_sparse_with_exec(
+            pair_counts,
+            biased_cells,
+            uniform,
+            total_ciphertexts,
+            &Executor::serial(),
+        )
+    }
+
+    /// [`PairLikelihoods::from_counts_sparse`] on an explicit executor: the
+    /// 65536 candidate pairs are scored in parallel chunks. Every candidate
+    /// accumulates its biased-cell terms in the cell-list order whatever the
+    /// chunking, so the result is bit-identical for any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PairLikelihoods::from_counts_sparse`] returns, plus
+    /// [`RecoveryError::Cancelled`] when the executor's flag is raised.
+    pub fn from_counts_sparse_with_exec(
+        pair_counts: &[u64],
+        biased_cells: &[(u8, u8, f64)],
+        uniform: f64,
+        total_ciphertexts: u64,
+        exec: &Executor<'_>,
+    ) -> Result<Self, RecoveryError> {
         if pair_counts.len() != 65536 {
             return Err(RecoveryError::InvalidInput(
                 "pair likelihood needs 65536 counts".into(),
@@ -210,26 +286,36 @@ impl PairLikelihoods {
             ));
         }
         let ln_u = uniform.ln();
+        let cells: Vec<(usize, usize, f64)> = biased_cells
+            .iter()
+            .map(|&(k1, k2, p)| (k1 as usize, k2 as usize, p.ln() - ln_u))
+            .collect();
         // Constant term |C| * ln(u) — identical for every candidate, kept so the
         // sparse and dense paths produce comparable absolute values.
         let base = total_ciphertexts as f64 * ln_u;
         let mut log = vec![base; 65536];
-        for &(k1, k2, p) in biased_cells {
-            let delta = p.ln() - ln_u;
-            let k1 = k1 as usize;
-            let k2 = k2 as usize;
-            for mu1 in 0..256usize {
-                let c1 = k1 ^ mu1;
-                let row = (c1 << 8) | k2; // reuse below with ^ mu2 on the low byte
-                for mu2 in 0..256usize {
-                    let c2 = (row & 0xff) ^ mu2;
-                    let n = pair_counts[(c1 << 8) | c2];
-                    if n > 0 {
-                        log[(mu1 << 8) | mu2] += n as f64 * delta;
+        // Chunks are whole mu1 rows so the row's c1 XOR is hoisted per row.
+        exec.chunked(
+            &mut log,
+            exec.chunk_len_for(256) * 256,
+            |_, start, chunk| {
+                for (row_off, row) in chunk.chunks_mut(256).enumerate() {
+                    let mu1 = (start >> 8) + row_off;
+                    for &(k1, k2, delta) in &cells {
+                        let c1 = k1 ^ mu1;
+                        let counts_row = &pair_counts[c1 << 8..(c1 << 8) + 256];
+                        for (mu2, slot) in row.iter_mut().enumerate() {
+                            let n = counts_row[k2 ^ mu2];
+                            if n > 0 {
+                                *slot += n as f64 * delta;
+                            }
+                        }
                     }
                 }
-            }
-        }
+                Ok::<_, RecoveryError>(())
+            },
+        )
+        .map_err(RecoveryError::from)?;
         Ok(Self { log })
     }
 
@@ -448,6 +534,56 @@ mod tests {
         let pair = PairLikelihoods::from_log_values(log).unwrap();
         let marg = pair.max_marginal_first();
         assert_eq!(marg.best(), 0x41);
+    }
+
+    #[test]
+    fn exec_variants_are_bit_identical_for_any_worker_count() {
+        use rc4_exec::Executor;
+        let (probs, cells) = biased_pair();
+        let mu = (0x5A, 0xC3);
+        let counts = simulate_pair_counts(&probs, mu, 30_000);
+        let total: u64 = counts.iter().sum();
+        let sparse_ref =
+            PairLikelihoods::from_counts_sparse(&counts, &cells, 1.0 / 65536.0, total).unwrap();
+        let dense_ref = PairLikelihoods::from_counts_dense(&counts, &probs).unwrap();
+        let single_counts: Vec<u64> = (0..256).map(|c| (c as u64 * 37) % 1000).collect();
+        let single_probs = biased_single(9, 0.7);
+        let single_ref = SingleLikelihoods::from_counts(&single_counts, &single_probs).unwrap();
+        for workers in [2usize, 4, 7] {
+            let exec = Executor::new(workers);
+            let sparse = PairLikelihoods::from_counts_sparse_with_exec(
+                &counts,
+                &cells,
+                1.0 / 65536.0,
+                total,
+                &exec,
+            )
+            .unwrap();
+            assert_eq!(sparse, sparse_ref, "sparse, workers = {workers}");
+            let dense =
+                PairLikelihoods::from_counts_dense_with_exec(&counts, &probs, &exec).unwrap();
+            assert_eq!(dense, dense_ref, "dense, workers = {workers}");
+            let single =
+                SingleLikelihoods::from_counts_with_exec(&single_counts, &single_probs, &exec)
+                    .unwrap();
+            assert_eq!(single, single_ref, "single, workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cancelled_executor_aborts_likelihood_scoring() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(true);
+        let exec = rc4_exec::Executor::new(2).with_cancel(Some(&cancel));
+        let counts = vec![1u64; 65536];
+        let r = PairLikelihoods::from_counts_sparse_with_exec(
+            &counts,
+            &[(0, 0, 2.0 / 65536.0)],
+            1.0 / 65536.0,
+            65536,
+            &exec,
+        );
+        assert_eq!(r.unwrap_err(), crate::RecoveryError::Cancelled);
     }
 
     #[test]

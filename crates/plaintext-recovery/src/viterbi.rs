@@ -15,6 +15,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use rc4_exec::Executor;
+
 use crate::{charset::Charset, likelihood::PairLikelihoods, RecoveryError};
 
 /// A ranked candidate for the unknown plaintext span.
@@ -51,6 +53,10 @@ impl Ord for MergeEntry {
             .then_with(|| self.source_idx.cmp(&other.source_idx))
     }
 }
+
+/// One ending value's merged column: its top-`n` scores (descending) and
+/// their `(previous value index, previous rank)` backpointers.
+type MergedColumn = (Vec<f64>, Vec<(u16, u32)>);
 
 /// Configuration for the list-Viterbi decode.
 #[derive(Debug, Clone)]
@@ -106,6 +112,25 @@ pub fn list_viterbi(
     likelihoods: &[PairLikelihoods],
     config: &ViterbiConfig,
 ) -> Result<Vec<PairCandidate>, RecoveryError> {
+    list_viterbi_with_exec(likelihoods, config, &Executor::serial())
+}
+
+/// [`list_viterbi`] on an explicit executor: the beam expansion of each
+/// decode step — one cursor-heap merge per possible ending value, each
+/// reading only the previous step's frontier — is fanned out across the
+/// executor's workers. Ending values are independent and results are
+/// collected in alphabet order, so the candidate list is identical for any
+/// worker count.
+///
+/// # Errors
+///
+/// Everything [`list_viterbi`] returns, plus [`RecoveryError::Cancelled`]
+/// when the executor's flag is raised.
+pub fn list_viterbi_with_exec(
+    likelihoods: &[PairLikelihoods],
+    config: &ViterbiConfig,
+    exec: &Executor<'_>,
+) -> Result<Vec<PairCandidate>, RecoveryError> {
     if likelihoods.len() < 2 {
         return Err(RecoveryError::InvalidInput(
             "need at least two transitions (one unknown byte)".into(),
@@ -133,13 +158,23 @@ pub fn list_viterbi(
     }
     backs.push(first_back);
 
-    // Remaining unknown bytes.
+    // Remaining unknown bytes: the per-ending-value merges of one step only
+    // read the previous frontier, so each step's beam expansion fans out
+    // across the executor (collected back in alphabet order).
     for lik in &likelihoods[1..unknown_len] {
+        let merged: Vec<MergedColumn> = exec
+            .map(alphabet.to_vec(), |_, v2| {
+                Ok::<_, RecoveryError>(merge_best(
+                    &frontier,
+                    alphabet,
+                    |v1| lik.log_likelihood(v1, v2),
+                    n,
+                ))
+            })
+            .map_err(RecoveryError::from)?;
         let mut new_frontier: Vec<Vec<f64>> = Vec::with_capacity(a);
         let mut new_back: Vec<Vec<(u16, u32)>> = Vec::with_capacity(a);
-        for &v2 in alphabet {
-            let (scores, back) =
-                merge_best(&frontier, alphabet, |v1| lik.log_likelihood(v1, v2), n);
+        for (scores, back) in merged {
             new_frontier.push(scores);
             new_back.push(back);
         }
@@ -367,6 +402,54 @@ mod tests {
             ..config
         };
         assert!(list_viterbi(&two, &bad).is_err());
+    }
+
+    #[test]
+    fn exec_decode_is_identical_for_any_worker_count() {
+        use rc4_exec::Executor;
+        // A 4-unknown-byte decode over a 16-letter alphabet with mixed
+        // weights; the parallel beam expansion must reproduce the serial
+        // candidate list exactly, scores and all.
+        let alphabet = Charset::hex_lower();
+        let mut liks = Vec::new();
+        for r in 0..5u64 {
+            let mut log = vec![0.0f64; 65536];
+            for (i, slot) in log.iter_mut().enumerate() {
+                let mut x = (r << 32) | i as u64;
+                x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                *slot = ((x >> 40) % 1000) as f64 / 250.0;
+            }
+            liks.push(PairLikelihoods::from_log_values(log).unwrap());
+        }
+        let config = ViterbiConfig {
+            first_known: b'=',
+            last_known: b';',
+            candidates: 64,
+            charset: alphabet,
+        };
+        let reference = list_viterbi(&liks, &config).unwrap();
+        for workers in [2usize, 4] {
+            let got = list_viterbi_with_exec(&liks, &config, &Executor::new(workers)).unwrap();
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn cancelled_executor_aborts_decode() {
+        use std::sync::atomic::AtomicBool;
+        let cancel = AtomicBool::new(true);
+        let exec = Executor::new(2).with_cancel(Some(&cancel));
+        let liks = vec![pair_lik(&[], 0.0), pair_lik(&[], 0.0), pair_lik(&[], 0.0)];
+        let config = ViterbiConfig {
+            first_known: 0,
+            last_known: 0,
+            candidates: 4,
+            charset: Charset::full(),
+        };
+        assert_eq!(
+            list_viterbi_with_exec(&liks, &config, &exec).unwrap_err(),
+            RecoveryError::Cancelled
+        );
     }
 
     #[test]

@@ -168,6 +168,38 @@ impl CancelHandle {
     }
 }
 
+/// Upper bound on [`ProgressEvent::Progress`] emissions per second per
+/// reporter. Events are advisory, so dropping intermediate ones loses
+/// nothing; without the cap, parallel trial loops at high `--workers` emit
+/// one event per trial and drown stderr (and any recording sink).
+pub const PROGRESS_EVENTS_PER_SEC: u32 = 10;
+
+/// Aggregated, rate-limited progress reporting for one experiment hot loop;
+/// created by [`ExperimentContext::progress`] and safe to tick from parallel
+/// workers.
+#[derive(Debug)]
+pub struct ProgressReporter<'c> {
+    ctx: &'c ExperimentContext,
+    experiment: &'static str,
+    unit: &'static str,
+    throttle: rc4_exec::ProgressThrottle,
+}
+
+impl ProgressReporter<'_> {
+    /// Records `n` finished units, emitting a throttled
+    /// [`ProgressEvent::Progress`] when due.
+    pub fn tick(&self, n: u64) {
+        self.throttle.tick(n, |completed, total| {
+            self.ctx.emit(ProgressEvent::Progress {
+                experiment: self.experiment,
+                completed,
+                total,
+                unit: self.unit,
+            });
+        });
+    }
+}
+
 /// Everything an [`crate::Experiment`] needs from its environment.
 #[derive(Clone)]
 pub struct ExperimentContext {
@@ -317,6 +349,32 @@ impl ExperimentContext {
         self.sink.on_event(&event);
     }
 
+    /// An executor carrying the context's worker budget and cancellation
+    /// flag — the one way experiments are expected to go parallel, so every
+    /// parallel stage honours `--workers` and aborts on the shared token.
+    pub fn executor(&self) -> rc4_exec::Executor<'_> {
+        rc4_exec::Executor::new(self.workers).with_cancel(Some(self.cancel_flag()))
+    }
+
+    /// A throttled progress reporter for a hot loop of `total` units: ticks
+    /// from any thread are aggregated and forwarded to the sink as
+    /// [`ProgressEvent::Progress`] events, rate-limited to
+    /// [`PROGRESS_EVENTS_PER_SEC`] so parallel workers cannot flood the sink
+    /// (the first and the completing tick always get through).
+    pub fn progress(
+        &self,
+        experiment: &'static str,
+        total: u64,
+        unit: &'static str,
+    ) -> ProgressReporter<'_> {
+        ProgressReporter {
+            ctx: self,
+            experiment,
+            unit,
+            throttle: rc4_exec::ProgressThrottle::new(total, PROGRESS_EVENTS_PER_SEC),
+        }
+    }
+
     /// Load-or-generate for keystream datasets: the shared cache protocol of
     /// every dataset-backed experiment.
     ///
@@ -457,6 +515,42 @@ mod tests {
             ]
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn executor_carries_workers_and_cancellation() {
+        let handle = CancelHandle::new();
+        let ctx = ExperimentContext::new()
+            .with_workers(3)
+            .with_cancel(handle.clone());
+        let exec = ctx.executor();
+        assert_eq!(exec.workers(), 3);
+        assert!(!exec.is_cancelled());
+        handle.cancel();
+        assert!(exec.is_cancelled());
+        assert_eq!(
+            exec.map(vec![1, 2, 3], |_, x| Ok::<_, ()>(x)),
+            Err(rc4_exec::ExecError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn progress_reporter_throttles_and_reports_completion() {
+        let sink = Arc::new(MemorySink::new());
+        let ctx = ExperimentContext::new().with_sink(sink.clone());
+        let reporter = ctx.progress("x", 5_000, "trial");
+        for _ in 0..5_000 {
+            reporter.tick(1);
+        }
+        let events = sink.events();
+        assert_eq!(events.first().map(String::as_str), Some("x: 1/5000 trials"));
+        assert_eq!(
+            events.last().map(String::as_str),
+            Some("x: 5000/5000 trials")
+        );
+        // 5000 ticks in well under a second: the rate limit must have
+        // swallowed almost everything in between.
+        assert!(events.len() < 100, "{} events got through", events.len());
     }
 
     #[test]

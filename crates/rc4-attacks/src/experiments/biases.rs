@@ -17,7 +17,7 @@ use rc4_biases::{
 };
 use rc4_stats::{
     longterm::LongTermDataset, pairs::PairDataset, single::SingleByteDataset,
-    worker::generate_with_cancel, GenerationConfig, KeystreamCollector,
+    worker::generate_with_exec, GenerationConfig, KeystreamCollector,
 };
 use serde::{Deserialize, Serialize};
 use stat_tests::{
@@ -124,12 +124,18 @@ impl BiasConfig {
     }
 
     /// The effective [`BiasScale`] under `ctx`.
+    ///
+    /// `workers` stays at the single-stream default: the stream count
+    /// partitions the deterministic key space and is therefore part of the
+    /// measured dataset's identity. Threads come from the context's executor
+    /// instead, so `--workers` changes wall-clock time but never a measured
+    /// probability (worker-count invariance).
     fn scale(&self, ctx: &ExperimentContext) -> BiasScale {
         BiasScale {
             keys: self.keys,
             longterm_keys: self.longterm_keys,
             longterm_block: self.longterm_block,
-            workers: ctx.workers(),
+            workers: 1,
             seed: ctx.mix_seed(self.seed),
         }
     }
@@ -320,7 +326,7 @@ fn table1_fm_longterm_ctx(
         LongTermDataset::paper_shape(scale.longterm_block)?,
         &config,
         |ds| {
-            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            generate_with_exec(ds, &config, &ctx.executor())?;
             Ok(())
         },
     )?;
@@ -405,7 +411,7 @@ fn fig4_fm_shortterm_ctx(
         key_len: 16,
     };
     let ds = ctx.load_or_generate(PairDataset::consecutive(max_pos)?, &config, |ds| {
-        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        generate_with_exec(ds, &config, &ctx.executor())?;
         Ok(())
     })?;
 
@@ -466,7 +472,7 @@ fn table2_new_biases_ctx(
         key_len: 16,
     };
     let ds = ctx.load_or_generate(PairDataset::consecutive(112)?, &config, |ds| {
-        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        generate_with_exec(ds, &config, &ctx.executor())?;
         Ok(())
     })?;
 
@@ -541,7 +547,7 @@ fn eq345_equalities_ctx(
         ])?,
         &config,
         |ds| {
-            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            generate_with_exec(ds, &config, &ctx.executor())?;
             Ok(())
         },
     )?;
@@ -616,7 +622,7 @@ fn fig5_z1z2_ctx(
         key_len: 16,
     };
     let ds = ctx.load_or_generate(PairDataset::new(pairs)?, &config, |ds| {
-        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        generate_with_exec(ds, &config, &ctx.executor())?;
         Ok(())
     })?;
 
@@ -677,7 +683,7 @@ fn fig6_single_byte_ctx(
         key_len: 16,
     };
     let ds = ctx.load_or_generate(SingleByteDataset::new(384), &config, |ds| {
-        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        generate_with_exec(ds, &config, &ctx.executor())?;
         Ok(())
     })?;
 
@@ -751,7 +757,7 @@ fn longterm_aligned_ctx(
         LongTermDataset::new(255, scale.longterm_block)?,
         &config,
         |ds| {
-            generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+            generate_with_exec(ds, &config, &ctx.executor())?;
             Ok(())
         },
     )?;
@@ -798,7 +804,7 @@ fn headline_detection_ctx(
         key_len: 16,
     };
     let ds = ctx.load_or_generate(SingleByteDataset::new(16), &config, |ds| {
-        generate_with_cancel(ds, &config, Some(ctx.cancel_flag()))?;
+        generate_with_exec(ds, &config, &ctx.executor())?;
         Ok(())
     })?;
     let mut report = ExperimentReport::new(

@@ -18,16 +18,16 @@ use plaintext_recovery::{absab::combine_pair_likelihoods, likelihood::PairLikeli
 use rc4_biases::{absab::alpha, distributions::PairDistribution, UNIFORM_PAIR};
 use rc4_stats::{
     pairs::{PairDataset, PositionPair},
-    worker::generate_with_cancel,
+    worker::generate_with_exec,
     GenerationConfig,
 };
 
 use crate::{
     context::{ExperimentContext, ProgressEvent},
     experiment::{config_from_value, config_to_value, Experiment},
-    experiments::{CountSource, Scale},
+    experiments::{CountSource, Scale, DATASET_STREAMS},
     report::{format_percent, ExperimentReport},
-    sampling::sample_counts_normal,
+    sampling::{sample_counts_normal, stream_seed},
     ExperimentError,
 };
 
@@ -261,9 +261,11 @@ pub fn run_with_context(
         }
         CountSource::Empirical { keys } => {
             let position = config.position as usize;
+            // Fixed stream count (dataset identity), threads from the
+            // context executor — see `experiments::DATASET_STREAMS`.
             let gen_config = GenerationConfig {
                 keys,
-                workers: ctx.workers(),
+                workers: DATASET_STREAMS,
                 seed: ctx.mix_seed(config.seed) ^ 0x7E1,
                 key_len: 16,
             };
@@ -274,7 +276,7 @@ pub fn run_with_context(
                 }])?,
                 &gen_config,
                 |ds| {
-                    generate_with_cancel(ds, &gen_config, Some(ctx.cancel_flag()))?;
+                    generate_with_exec(ds, &gen_config, &ctx.executor())?;
                     Ok(())
                 },
             )?;
@@ -306,36 +308,61 @@ pub fn run_with_context(
         ));
     }
 
-    let mut rng = StdRng::seed_from_u64(ctx.mix_seed(config.seed));
-    let total = config.ciphertext_counts.len() as u64;
-    for (point, &n) in config.ciphertext_counts.iter().enumerate() {
-        let mut rates = Vec::new();
-        for strategy in [
-            RecoveryStrategy::AbsabOnly,
-            RecoveryStrategy::FmOnly,
-            RecoveryStrategy::Combined,
-        ] {
-            let mut successes = 0usize;
-            for _ in 0..config.trials {
-                ctx.checkpoint()?;
-                if simulate_trial(strategy, n, config, &key_pair_probs, &fm_cells, &mut rng)? {
-                    successes += 1;
-                }
+    // Monte-Carlo grid: every (point, strategy, trial) cell is an
+    // independent simulation seeded from its own RNG stream, so the whole
+    // grid fans out across the executor and the aggregate rates are
+    // byte-identical for any worker count.
+    const STRATEGIES: [RecoveryStrategy; 3] = [
+        RecoveryStrategy::AbsabOnly,
+        RecoveryStrategy::FmOnly,
+        RecoveryStrategy::Combined,
+    ];
+    let base_seed = ctx.mix_seed(config.seed);
+    let trials = config.trials;
+    let mut grid = Vec::with_capacity(config.ciphertext_counts.len() * STRATEGIES.len() * trials);
+    for point in 0..config.ciphertext_counts.len() {
+        for strategy in 0..STRATEGIES.len() {
+            for trial in 0..trials {
+                grid.push((point, strategy, trial));
             }
-            rates.push(successes as f64 / config.trials as f64);
         }
+    }
+    let reporter = ctx.progress("fig7", grid.len() as u64, "trial");
+    let outcomes: Vec<bool> = ctx
+        .executor()
+        .map(grid, |_, (point, strategy, trial)| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(
+                base_seed,
+                &[point as u64, strategy as u64, trial as u64],
+            ));
+            let success = simulate_trial(
+                STRATEGIES[strategy],
+                config.ciphertext_counts[point],
+                config,
+                &key_pair_probs,
+                &fm_cells,
+                &mut rng,
+            )?;
+            reporter.tick(1);
+            Ok::<_, ExperimentError>(success)
+        })
+        .map_err(ExperimentError::from)?;
+
+    for (point, &n) in config.ciphertext_counts.iter().enumerate() {
+        let rate = |strategy: usize| {
+            let first = (point * STRATEGIES.len() + strategy) * trials;
+            let successes = outcomes[first..first + trials]
+                .iter()
+                .filter(|&&s| s)
+                .count();
+            format_percent(successes as f64 / trials as f64)
+        };
         report.push_row(&[
             format!("2^{:.1}", (n as f64).log2()),
-            format_percent(rates[0]),
-            format_percent(rates[1]),
-            format_percent(rates[2]),
+            rate(0),
+            rate(1),
+            rate(2),
         ]);
-        ctx.emit(ProgressEvent::Progress {
-            experiment: "fig7",
-            completed: point as u64 + 1,
-            total,
-            unit: "point",
-        });
     }
     Ok(report)
 }

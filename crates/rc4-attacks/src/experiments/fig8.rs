@@ -36,9 +36,9 @@ use wpa_tkip::{
 use crate::{
     context::{ExperimentContext, ProgressEvent},
     experiment::{config_from_value, config_to_value, Experiment},
-    experiments::Scale,
+    experiments::{Scale, DATASET_STREAMS},
     report::{format_percent, ExperimentReport},
-    sampling::sample_index,
+    sampling::{sample_index, stream_seed},
     ExperimentError,
 };
 
@@ -203,9 +203,11 @@ pub fn run_with_context(
         ),
         TkipTrafficModel::Empirical { keys } => {
             let positions = first_position + wpa_tkip::mpdu::TRAILER_LEN;
+            // Fixed stream count (dataset identity), threads from the
+            // context executor — see `experiments::DATASET_STREAMS`.
             let gen_config = rc4_stats::GenerationConfig::with_keys(keys)
                 .seed(seed ^ 0xE)
-                .workers(ctx.workers());
+                .workers(DATASET_STREAMS);
             let ds = ctx.load_or_generate(
                 rc4_stats::tsc::PerTscDataset::new(
                     rc4_stats::tsc::TscConditioning::Tsc1,
@@ -213,7 +215,7 @@ pub fn run_with_context(
                 )?,
                 &gen_config,
                 |ds| {
-                    ds.generate_into(&gen_config, Some(ctx.cancel_flag()))?;
+                    ds.generate_into_with_exec(&gen_config, &ctx.executor())?;
                     Ok(())
                 },
             )?;
@@ -239,15 +241,23 @@ pub fn run_with_context(
         priority: 0,
     };
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut points = Vec::with_capacity(config.capture_counts.len());
-    let total_points = config.capture_counts.len() as u64;
-    for (point, &captures) in config.capture_counts.iter().enumerate() {
-        let mut success_full = 0usize;
-        let mut success_top2 = 0usize;
-        let mut positions: Vec<usize> = Vec::new();
-        for _ in 0..config.trials {
-            ctx.checkpoint()?;
+    // Monte-Carlo grid: one independent simulation per (point, trial), each
+    // seeded from its own RNG stream, fanned out across the executor. The
+    // per-trial outcome is (candidate index if an ICV-consistent candidate
+    // was found, whether it was the true trailer).
+    let trials = config.trials;
+    let mut grid = Vec::with_capacity(config.capture_counts.len() * trials);
+    for point in 0..config.capture_counts.len() {
+        for trial in 0..trials {
+            grid.push((point, trial));
+        }
+    }
+    let reporter = ctx.progress("fig8", grid.len() as u64, "trial");
+    let outcomes: Vec<Option<(usize, bool)>> = ctx
+        .executor()
+        .map(grid, |_, (point, trial)| {
+            let captures = config.capture_counts[point];
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, &[point as u64, trial as u64]));
             // A fresh injected packet per trial: random payload, random MIC key.
             let payload: Vec<u8> = (0..config.payload_len).map(|_| rng.gen()).collect();
             let mic_key = MichaelKey {
@@ -291,13 +301,27 @@ pub fn run_with_context(
             let likelihoods = stats.likelihoods(&model)?;
             let candidates =
                 generate_candidates(&likelihoods, config.max_candidates, &Charset::full())?;
-            if let Some((index, trailer)) = find_consistent_candidate(&candidates, &payload) {
-                positions.push(index);
-                if trailer[..] == trailer_plain[..] {
-                    success_full += 1;
-                    if index < 2 {
-                        success_top2 += 1;
-                    }
+            let outcome = find_consistent_candidate(&candidates, &payload)
+                .map(|(index, trailer)| (index, trailer[..] == trailer_plain[..]));
+            reporter.tick(1);
+            Ok::<_, ExperimentError>(outcome)
+        })
+        .map_err(ExperimentError::from)?;
+
+    let mut points = Vec::with_capacity(config.capture_counts.len());
+    for (point, &captures) in config.capture_counts.iter().enumerate() {
+        let mut success_full = 0usize;
+        let mut success_top2 = 0usize;
+        let mut positions: Vec<usize> = Vec::new();
+        for (index, is_true_trailer) in outcomes[point * trials..(point + 1) * trials]
+            .iter()
+            .flatten()
+        {
+            positions.push(*index);
+            if *is_true_trailer {
+                success_full += 1;
+                if *index < 2 {
+                    success_top2 += 1;
                 }
             }
         }
@@ -309,15 +333,9 @@ pub fn run_with_context(
         };
         points.push(Fig8Point {
             captures,
-            success_full_list: success_full as f64 / config.trials as f64,
-            success_top2: success_top2 as f64 / config.trials as f64,
+            success_full_list: success_full as f64 / trials as f64,
+            success_top2: success_top2 as f64 / trials as f64,
             median_position: median,
-        });
-        ctx.emit(ProgressEvent::Progress {
-            experiment: "fig8",
-            completed: point as u64 + 1,
-            total: total_points,
-            unit: "point",
         });
     }
 

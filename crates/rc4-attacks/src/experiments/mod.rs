@@ -27,6 +27,20 @@ use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::{experiment::Experiment, registry::ExperimentFactory};
 
+/// Fixed logical stream count for the empirical keystream datasets the
+/// attack-model experiments generate ([`CountSource::Empirical`], fig8's
+/// empirical traffic model).
+///
+/// The stream count partitions the deterministic key space and is therefore
+/// part of a dataset's identity (it selects WHICH keys are generated and is
+/// baked into the dataset-cache lookup). Deriving it from the context's
+/// worker budget — as the pre-`rc4-exec` code did — made `--workers` change
+/// experiment *results*; pinning it decouples the two: `--workers` now only
+/// sets the thread budget of the executor, and outputs are byte-identical
+/// for any worker count. Four streams also keep these datasets shardable
+/// via `repro dataset generate --worker-range` on up to four machines.
+pub const DATASET_STREAMS: usize = 4;
+
 /// Scale presets shared by the drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

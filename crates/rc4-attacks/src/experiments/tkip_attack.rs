@@ -36,7 +36,7 @@ use crate::{
     experiment::{config_from_value, config_to_value, Experiment},
     experiments::Scale,
     report::{format_percent, ExperimentReport},
-    sampling::sample_index,
+    sampling::{sample_index, stream_seed},
     ExperimentError,
 };
 
@@ -216,77 +216,81 @@ pub fn run_with_context(
         TRAILER_LEN,
         config.relative_bias,
     );
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xA77A);
-    let mut recovered = 0usize;
-    let mut forged_accepted = 0usize;
-    let mut candidate_indices: Vec<usize> = Vec::new();
-    for trial in 0..config.trials {
-        ctx.checkpoint()?;
-        let mic_key = MichaelKey {
-            l: rng.gen(),
-            r: rng.gen(),
-        };
-        // True trailer for the injected packet under this trial's MIC key.
-        let mut mic_input = Vec::with_capacity(16 + msdu.len());
-        mic_input.extend_from_slice(&addressing.michael_header());
-        mic_input.extend_from_slice(&msdu);
-        let mic = crypto_prims::michael::michael(mic_key, &mic_input);
-        let mut body = msdu.clone();
-        body.extend_from_slice(&mic);
-        let icv = crc32::icv(&body);
-        let mut trailer_plain = mic.to_vec();
-        trailer_plain.extend_from_slice(&icv);
+    // Monte-Carlo recovery trials: each trial is an independent simulation
+    // (fresh MIC key, fresh captures) seeded from its own RNG stream, fanned
+    // out across the executor. The per-trial outcome is the candidate index
+    // when the key was recovered, plus whether the forged packet was
+    // accepted.
+    let reporter = ctx.progress("tkip-attack", config.trials as u64, "trial");
+    let outcomes: Vec<Option<(usize, bool)>> = ctx
+        .executor()
+        .map((0..config.trials).collect(), |_, trial| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed ^ 0xA77A, &[trial as u64]));
+            let mic_key = MichaelKey {
+                l: rng.gen(),
+                r: rng.gen(),
+            };
+            // True trailer for the injected packet under this trial's MIC key.
+            let mut mic_input = Vec::with_capacity(16 + msdu.len());
+            mic_input.extend_from_slice(&addressing.michael_header());
+            mic_input.extend_from_slice(&msdu);
+            let mic = crypto_prims::michael::michael(mic_key, &mic_input);
+            let mut body = msdu.clone();
+            body.extend_from_slice(&mic);
+            let icv = crc32::icv(&body);
+            let mut trailer_plain = mic.to_vec();
+            trailer_plain.extend_from_slice(&icv);
 
-        // Sample captures from the model's per-class distributions.
-        let mut stats = TrailerStatistics::new(256, msdu.len()).map_err(ExperimentError::from)?;
-        for i in 0..config.captures {
-            if i % 4096 == 0 {
-                ctx.checkpoint()?;
+            // Sample captures from the model's per-class distributions.
+            let mut stats =
+                TrailerStatistics::new(256, msdu.len()).map_err(ExperimentError::from)?;
+            for i in 0..config.captures {
+                if i % 4096 == 0 {
+                    ctx.checkpoint()?;
+                }
+                let tsc = Tsc(i + 1);
+                let class = model.class_of(tsc);
+                let mut ct = vec![0u8; msdu.len() + TRAILER_LEN];
+                for (idx, slot) in ct.iter_mut().enumerate().skip(msdu.len()).take(TRAILER_LEN) {
+                    let dist = model.distribution(class, idx + 1);
+                    let z = sample_index(dist, &mut rng) as u8;
+                    *slot = trailer_plain[idx - msdu.len()] ^ z;
+                }
+                stats.add(class, &ct).map_err(ExperimentError::from)?;
             }
-            let tsc = Tsc(i + 1);
-            let class = model.class_of(tsc);
-            let mut ct = vec![0u8; msdu.len() + TRAILER_LEN];
-            for (idx, slot) in ct.iter_mut().enumerate().skip(msdu.len()).take(TRAILER_LEN) {
-                let dist = model.distribution(class, idx + 1);
-                let z = sample_index(dist, &mut rng) as u8;
-                *slot = trailer_plain[idx - msdu.len()] ^ z;
-            }
-            stats.add(class, &ct).map_err(ExperimentError::from)?;
-        }
 
-        let attack_config = AttackConfig {
-            max_candidates: config.max_candidates,
-        };
-        if let Ok(outcome) = recover_mic_key(&stats, &model, &msdu, &addressing, &attack_config) {
-            if outcome.mic_key == mic_key {
-                recovered += 1;
-                candidate_indices.push(outcome.candidate_index);
-                // With the recovered key the attacker forges a new packet the
-                // receiver accepts (the Sect.-5 end state).
-                let forged_msdu = b"FORGED-BY-MIC-KEY".to_vec();
-                let forged = encapsulate(
-                    &tk,
-                    outcome.mic_key,
-                    &addressing,
-                    Tsc(0xFFFF + trial as u64),
-                    &forged_msdu,
-                );
-                if decapsulate(&tk, mic_key, &addressing, &forged)
-                    .map(|plain| plain == forged_msdu)
-                    .unwrap_or(false)
-                {
-                    forged_accepted += 1;
+            let attack_config = AttackConfig {
+                max_candidates: config.max_candidates,
+            };
+            let mut outcome_cell = None;
+            if let Ok(outcome) = recover_mic_key(&stats, &model, &msdu, &addressing, &attack_config)
+            {
+                if outcome.mic_key == mic_key {
+                    // With the recovered key the attacker forges a new packet
+                    // the receiver accepts (the Sect.-5 end state).
+                    let forged_msdu = b"FORGED-BY-MIC-KEY".to_vec();
+                    let forged = encapsulate(
+                        &tk,
+                        outcome.mic_key,
+                        &addressing,
+                        Tsc(0xFFFF + trial as u64),
+                        &forged_msdu,
+                    );
+                    let accepted = decapsulate(&tk, mic_key, &addressing, &forged)
+                        .map(|plain| plain == forged_msdu)
+                        .unwrap_or(false);
+                    outcome_cell = Some((outcome.candidate_index, accepted));
                 }
             }
-        }
-        ctx.emit(ProgressEvent::Progress {
-            experiment: "tkip-attack",
-            completed: trial as u64 + 1,
-            total: config.trials as u64,
-            unit: "trial",
-        });
-    }
+            reporter.tick(1);
+            Ok::<_, ExperimentError>(outcome_cell)
+        })
+        .map_err(ExperimentError::from)?;
 
+    let recovered = outcomes.iter().flatten().count();
+    let forged_accepted = outcomes.iter().flatten().filter(|&&(_, f)| f).count();
+    let mut candidate_indices: Vec<usize> =
+        outcomes.iter().flatten().map(|&(index, _)| index).collect();
     candidate_indices.sort_unstable();
     report.push_row(&[
         "mic-key recovery".to_string(),

@@ -25,8 +25,8 @@ use serde::{Deserialize, Serialize};
 use plaintext_recovery::charset::Charset;
 use tls_rc4::{
     attack::{
-        brute_force_cookie, brute_force_rate_seconds, cookie_candidates, CookieAttackConfig,
-        CookieStatistics,
+        brute_force_cookie, brute_force_rate_seconds, cookie_candidates_with_exec,
+        CookieAttackConfig, CookieStatistics,
     },
     http::RequestTemplate,
     record::MAC_LEN,
@@ -161,6 +161,10 @@ pub fn run_with_context(
     .map_err(ExperimentError::from)?;
     let mut stats =
         CookieStatistics::new(&template, config.max_gap).map_err(ExperimentError::from)?;
+    // The traffic generator is stateful (persistent connections), so capture
+    // stays sequential; per-batch progress goes through the throttled
+    // reporter so a multi-million-capture run cannot flood the sink.
+    let reporter = ctx.progress("tls-cookie", config.captures, "capture");
     let mut captured = 0u64;
     while captured < config.captures {
         ctx.checkpoint()?;
@@ -169,12 +173,7 @@ pub fn run_with_context(
             stats.add(&capture).map_err(ExperimentError::from)?;
         }
         captured += batch as u64;
-        ctx.emit(ProgressEvent::Progress {
-            experiment: "tls-cookie",
-            completed: captured,
-            total: config.captures,
-            unit: "capture",
-        });
+        reporter.tick(batch as u64);
     }
     report.push_row(&[
         "traffic".to_string(),
@@ -197,7 +196,11 @@ pub fn run_with_context(
         use_fm: true,
         use_absab: true,
     };
-    let candidates = cookie_candidates(&stats, &attack_config).map_err(ExperimentError::from)?;
+    // Analysis side — likelihood tables and the list-Viterbi decode — fans
+    // out across the context's executor (identical output for any worker
+    // count).
+    let candidates = cookie_candidates_with_exec(&stats, &attack_config, &ctx.executor())
+        .map_err(ExperimentError::from)?;
     report.push_row(&[
         "candidates".to_string(),
         "ranked cookie candidates generated".to_string(),

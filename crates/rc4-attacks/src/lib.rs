@@ -102,7 +102,22 @@ impl From<stat_tests::StatError> for ExperimentError {
 
 impl From<plaintext_recovery::RecoveryError> for ExperimentError {
     fn from(e: plaintext_recovery::RecoveryError) -> Self {
-        ExperimentError::Component(e.to_string())
+        match e {
+            plaintext_recovery::RecoveryError::Cancelled => ExperimentError::Cancelled,
+            other => ExperimentError::Component(other.to_string()),
+        }
+    }
+}
+
+/// Executor outcomes fold back into the experiment error model: a cancelled
+/// parallel stage IS a cancelled experiment, and a task failure surfaces as
+/// the task's own error.
+impl From<rc4_exec::ExecError<ExperimentError>> for ExperimentError {
+    fn from(e: rc4_exec::ExecError<ExperimentError>) -> Self {
+        match e {
+            rc4_exec::ExecError::Cancelled => ExperimentError::Cancelled,
+            rc4_exec::ExecError::Task { error, .. } => error,
+        }
     }
 }
 
@@ -114,7 +129,10 @@ impl From<wpa_tkip::TkipError> for ExperimentError {
 
 impl From<tls_rc4::TlsError> for ExperimentError {
     fn from(e: tls_rc4::TlsError) -> Self {
-        ExperimentError::Component(e.to_string())
+        match e {
+            tls_rc4::TlsError::Cancelled => ExperimentError::Cancelled,
+            other => ExperimentError::Component(other.to_string()),
+        }
     }
 }
 

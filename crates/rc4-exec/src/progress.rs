@@ -1,0 +1,166 @@
+//! Aggregated, rate-limited progress reporting.
+//!
+//! Parallel workers used to push one event per finished chunk straight into
+//! the sink; at high worker counts that floods stderr (and any recording
+//! sink) with thousands of near-identical lines. [`ProgressThrottle`]
+//! aggregates ticks from any number of threads into one monotonic counter and
+//! forwards at most ~`max_events_per_sec` renderings of it, while always
+//! letting the first and the final tick through so short runs still report
+//! and completion is never silent.
+//!
+//! Throttling is wall-clock based and therefore non-deterministic — which is
+//! fine *only* because progress events are advisory by contract
+//! (`rc4-attacks`' `ProgressEvent` docs: sinks must not influence results).
+//! Nothing that feeds an experiment report may pass through this type.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A thread-safe progress counter that rate-limits how often it reports.
+///
+/// # Examples
+///
+/// ```
+/// use rc4_exec::ProgressThrottle;
+///
+/// let progress = ProgressThrottle::new(100, 10);
+/// let mut seen = Vec::new();
+/// for _ in 0..100 {
+///     progress.tick(1, |done, total| seen.push((done, total)));
+/// }
+/// // The first and the final tick always report; the middle is rate-limited.
+/// assert_eq!(seen.first(), Some(&(1, 100)));
+/// assert_eq!(seen.last(), Some(&(100, 100)));
+/// ```
+#[derive(Debug)]
+pub struct ProgressThrottle {
+    total: u64,
+    min_interval: Duration,
+    done: AtomicU64,
+    /// `None` until the first emission; guards the emission timestamp. Taken
+    /// with `try_lock` so a contended tick skips its emission instead of
+    /// blocking a worker (some other thread is emitting right now anyway).
+    last_emit: Mutex<Option<Instant>>,
+}
+
+impl ProgressThrottle {
+    /// Creates a counter for `total` units reporting at most
+    /// ~`max_events_per_sec` times per second (clamped to ≥ 1).
+    pub fn new(total: u64, max_events_per_sec: u32) -> Self {
+        Self {
+            total,
+            min_interval: Duration::from_secs(1) / max_events_per_sec.max(1),
+            done: AtomicU64::new(0),
+            last_emit: Mutex::new(None),
+        }
+    }
+
+    /// The configured unit total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` completed units and calls `emit(done, total)` if this tick
+    /// is due: the counter just started, just completed, or the rate limit
+    /// has lapsed. `emit` runs on the ticking thread.
+    pub fn tick<F: FnOnce(u64, u64)>(&self, n: u64, emit: F) {
+        let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
+        let finished = done >= self.total;
+        let Ok(mut last) = self.last_emit.try_lock() else {
+            // Another thread holds the emission slot; its event covers us
+            // unless we are the finishing tick, which must not be dropped —
+            // retry with a blocking lock only then.
+            if finished {
+                let mut last = self.last_emit.lock().expect("progress mutex poisoned");
+                *last = Some(Instant::now());
+                emit(done, self.total);
+            }
+            return;
+        };
+        let due = finished
+            || match *last {
+                None => true,
+                Some(at) => at.elapsed() >= self.min_interval,
+            };
+        if due {
+            *last = Some(Instant::now());
+            emit(done, self.total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_and_final_ticks_always_emit() {
+        let p = ProgressThrottle::new(1000, 10);
+        let mut events = Vec::new();
+        for _ in 0..1000 {
+            p.tick(1, |d, t| events.push((d, t)));
+        }
+        assert_eq!(events.first(), Some(&(1, 1000)));
+        assert_eq!(events.last(), Some(&(1000, 1000)));
+        // A tight loop over 1000 ticks takes far less than a second, so the
+        // rate limiter must have swallowed almost everything in between.
+        assert!(
+            events.len() < 100,
+            "rate limit ineffective: {} events",
+            events.len()
+        );
+        assert_eq!(p.done(), 1000);
+        assert_eq!(p.total(), 1000);
+    }
+
+    #[test]
+    fn multi_unit_ticks_accumulate() {
+        let p = ProgressThrottle::new(100, 1000);
+        let mut last_done = 0;
+        for _ in 0..4 {
+            p.tick(25, |d, _| last_done = d);
+        }
+        assert_eq!(p.done(), 100);
+        assert_eq!(last_done, 100);
+    }
+
+    #[test]
+    fn concurrent_ticks_report_completion_exactly() {
+        use std::sync::atomic::AtomicU64;
+        let p = ProgressThrottle::new(4000, 10);
+        let finals = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..1000 {
+                        p.tick(1, |d, t| {
+                            if d >= t {
+                                finals.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(p.done(), 4000);
+        // The tick that crosses the total must have reported.
+        assert!(finals.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn zero_rate_is_clamped() {
+        let p = ProgressThrottle::new(2, 0);
+        let mut events = 0;
+        p.tick(1, |_, _| events += 1);
+        p.tick(1, |_, _| events += 1);
+        // First and final still get through.
+        assert_eq!(events, 2);
+    }
+}

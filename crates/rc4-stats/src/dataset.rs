@@ -50,6 +50,18 @@ impl core::fmt::Display for DatasetError {
 
 impl std::error::Error for DatasetError {}
 
+/// Executor outcomes fold back into the dataset error model: a cancelled
+/// parallel call IS a cancelled generation, and a task failure surfaces as
+/// the task's own `DatasetError`.
+impl From<rc4_exec::ExecError<DatasetError>> for DatasetError {
+    fn from(e: rc4_exec::ExecError<DatasetError>) -> Self {
+        match e {
+            rc4_exec::ExecError::Cancelled => DatasetError::Cancelled,
+            rc4_exec::ExecError::Task { error, .. } => error,
+        }
+    }
+}
+
 /// Configuration for a keystream generation run.
 ///
 /// The defaults are laptop-scale (a few seconds); the paper-scale values are

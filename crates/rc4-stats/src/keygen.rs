@@ -73,7 +73,11 @@ impl KeyGenerator {
 }
 
 /// The splitmix64 mixing function (public-domain constant set).
-fn splitmix64(mut x: u64) -> u64 {
+///
+/// Exported because it is the workspace's one seed-derivation primitive:
+/// besides the per-worker key streams here, `rc4-attacks` derives its
+/// per-trial Monte-Carlo RNG streams from it (`sampling::stream_seed`).
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

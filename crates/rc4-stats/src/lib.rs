@@ -17,9 +17,11 @@
 //! * [`tsc::PerTscDataset`] — keystream statistics conditioned on the public
 //!   TKIP sequence-counter bytes, the input to the Paterson-style per-TSC
 //!   plaintext likelihoods of Section 5.
-//! * [`worker`] — a crossbeam-based worker pool standing in for the paper's
-//!   distributed setup; each worker derives its RC4 keys deterministically
-//!   from a per-worker seed ([`keygen`]), so runs are reproducible. Inside a
+//! * [`worker`] — the generation pool standing in for the paper's
+//!   distributed setup, running on the shared execution layer (`rc4-exec`);
+//!   each logical stream derives its RC4 keys deterministically from a
+//!   per-stream seed ([`keygen`]), so runs are reproducible and cell-identical
+//!   for ANY thread budget. Inside a
 //!   worker the RC4 hot loop runs through the batched multi-key engine
 //!   (`rc4_accel::AutoBatch`, AVX-512 gather/scatter where the CPU has it),
 //!   stepping 8–16 keystreams per loop iteration while keeping every dataset
@@ -47,8 +49,10 @@ pub mod tsc;
 pub mod worker;
 
 pub use dataset::{DatasetError, GenerationConfig, KeystreamCollector};
-pub use keygen::KeyGenerator;
-pub use storable::{record_keys_batched, StorableDataset};
+pub use keygen::{splitmix64, KeyGenerator};
+pub use storable::{
+    generate_storable_with_exec, record_keys_batched, StorableDataset, PARALLEL_CLONE_MAX_CELLS,
+};
 
 /// Number of possible byte values; the alphabet size of every distribution here.
 pub const NUM_VALUES: usize = 256;

@@ -255,6 +255,82 @@ pub fn record_keys_batched<D: StorableDataset>(
     walk_keys_batched(&mut DatasetSink(dataset), gen, key_len, count, cancel)
 }
 
+/// Per-thread dataset clones above this cell count are considered ruinous
+/// (a per-TSC `Tsc0Tsc1` table is gigabytes); such datasets are generated
+/// sequentially even when the executor has threads to spare. Exported so
+/// `rc4-store`'s round loop applies the SAME guard to the same kinds.
+pub const PARALLEL_CLONE_MAX_CELLS: usize = 1 << 24;
+
+/// Generates `config`'s full key space into `dataset` on an explicit
+/// [`rc4_exec::Executor`], decoupling the thread budget from the logical
+/// stream count — the [`StorableDataset`] twin of
+/// [`crate::worker::generate_with_exec`], needed because storable kinds may
+/// draw structured keys ([`StorableDataset::prepare_next`]) and therefore
+/// skip with [`StorableDataset::skip_next`].
+///
+/// The resulting cells depend only on `config` (never on the thread budget):
+/// a one-thread executor records every stream in order straight into
+/// `dataset`; a larger budget splits streams into contiguous segments, each
+/// fast-forwarded via `skip_next` and recorded into a private same-shape
+/// clone, merged in deterministic segment order. Datasets whose tables are
+/// too large to clone per thread fall back to the sequential path.
+///
+/// # Errors
+///
+/// * [`DatasetError::InvalidConfig`] — invalid configuration for this kind.
+/// * [`DatasetError::Cancelled`] — the executor's flag was observed set; the
+///   dataset must be discarded (the one-thread path leaves it partially
+///   filled, the parallel path leaves it untouched).
+pub fn generate_storable_with_exec<D: StorableDataset>(
+    dataset: &mut D,
+    config: &crate::dataset::GenerationConfig,
+    exec: &rc4_exec::Executor<'_>,
+) -> Result<(), DatasetError> {
+    dataset.validate_config(config)?;
+    let cancel = exec.cancel_flag();
+    if exec.is_cancelled() {
+        return Err(DatasetError::Cancelled);
+    }
+
+    if exec.workers() == 1 || dataset.cell_count() > PARALLEL_CLONE_MAX_CELLS {
+        for w in 0..config.workers as u64 {
+            let keys = config.keys_for_worker(w);
+            let mut gen = KeyGenerator::new(config.seed, w, config.key_len);
+            let done = record_keys_batched(dataset, &mut gen, config.key_len, keys, cancel);
+            if done < keys || exec.is_cancelled() {
+                return Err(DatasetError::Cancelled);
+            }
+        }
+        return Ok(());
+    }
+
+    let shape = dataset.shape_params();
+    let plan = crate::worker::segment_plan(config, exec.workers());
+    let partials: Vec<D> = exec
+        .map(plan, |_, segment| {
+            let mut partial = D::empty_with_shape(&shape)?;
+            let mut gen = KeyGenerator::new(config.seed, segment.worker, config.key_len);
+            let mut scratch = vec![0u8; config.key_len];
+            for _ in 0..segment.skip {
+                partial.skip_next(&mut gen, &mut scratch);
+            }
+            let done =
+                record_keys_batched(&mut partial, &mut gen, config.key_len, segment.keys, cancel);
+            if done < segment.keys {
+                return Err(DatasetError::Cancelled);
+            }
+            Ok(partial)
+        })
+        .map_err(DatasetError::from)?;
+    if exec.is_cancelled() {
+        return Err(DatasetError::Cancelled);
+    }
+    for partial in partials {
+        dataset.merge_same_shape(partial)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -404,6 +480,29 @@ mod tests {
         let done = record_keys_batched(&mut ds, &mut gen, 16, 1000, Some(&cancel));
         assert_eq!(done, 0);
         assert_eq!(ds.recorded_keystreams(), 0);
+    }
+
+    #[test]
+    fn storable_exec_generation_is_thread_invariant() {
+        // Structured-key kind (per-TSC draws TSC bytes per key): the thread
+        // budget must not change a single cell, only who computes it.
+        let config = crate::dataset::GenerationConfig::with_keys(700)
+            .workers(2)
+            .seed(31);
+        let mut reference = PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap();
+        generate_storable_with_exec(&mut reference, &config, &rc4_exec::Executor::serial())
+            .unwrap();
+        for threads in [2usize, 4, 5] {
+            let mut ds = PerTscDataset::new(TscConditioning::Tsc1, 4).unwrap();
+            generate_storable_with_exec(&mut ds, &config, &rc4_exec::Executor::new(threads))
+                .unwrap();
+            assert_eq!(ds.recorded_keystreams(), reference.recorded_keystreams());
+            assert_eq!(
+                ds.cell_slices().concat(),
+                reference.cell_slices().concat(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

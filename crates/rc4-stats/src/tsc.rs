@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::{
     dataset::{DatasetError, GenerationConfig},
     keygen::KeyGenerator,
-    storable::{record_keys_batched, StorableDataset},
+    storable::StorableDataset,
     NUM_VALUES,
 };
 
@@ -172,10 +172,11 @@ impl PerTscDataset {
     /// [`PerTscDataset::generate`] with a cooperative cancellation flag,
     /// polled every few hundred keys.
     ///
-    /// Execution is single-threaded (the per-class counter tables are too
-    /// large to clone per thread), but the *key space* is still partitioned
-    /// across `config.workers` deterministic streams exactly like the generic
-    /// worker pool: logical worker `w` draws its keys (and TSC bytes) from
+    /// Execution is single-threaded (use
+    /// [`PerTscDataset::generate_into_with_exec`] for a thread budget), but
+    /// the *key space* is still partitioned across `config.workers`
+    /// deterministic streams exactly like the generic worker pool: logical
+    /// worker `w` draws its keys (and TSC bytes) from
     /// `KeyGenerator::new(config.seed, w, ..)`. A one-worker configuration —
     /// the default everywhere — reproduces the historical single-stream
     /// behaviour bit for bit, while multi-worker configurations define the
@@ -210,21 +211,31 @@ impl PerTscDataset {
         config: &GenerationConfig,
         cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Result<(), DatasetError> {
-        self.validate_config(config)?;
+        self.generate_into_with_exec(config, &rc4_exec::Executor::serial().with_cancel(cancel))
+    }
+
+    /// [`PerTscDataset::generate_into`] on an explicit [`rc4_exec::Executor`]:
+    /// the thread budget comes from the executor while the key space stays
+    /// partitioned across `config.workers` logical streams, so the resulting
+    /// cells are identical for every thread budget (see
+    /// [`crate::storable::generate_storable_with_exec`], which this wraps —
+    /// including its fallback to sequential recording when the per-class
+    /// tables are too large to clone per thread).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PerTscDataset::generate_into`] returns.
+    pub fn generate_into_with_exec(
+        &mut self,
+        config: &GenerationConfig,
+        exec: &rc4_exec::Executor<'_>,
+    ) -> Result<(), DatasetError> {
         if self.keystreams != 0 {
             return Err(DatasetError::InvalidConfig(
                 "generate_into needs an empty dataset".into(),
             ));
         }
-        for w in 0..config.workers {
-            let keys = config.keys_for_worker(w as u64);
-            let mut gen = KeyGenerator::new(config.seed, w as u64, config.key_len);
-            let done = record_keys_batched(self, &mut gen, config.key_len, keys, cancel);
-            if done < keys {
-                return Err(DatasetError::Cancelled);
-            }
-        }
-        Ok(())
+        crate::storable::generate_storable_with_exec(self, config, exec)
     }
 
     /// Merges another per-TSC dataset of identical shape.

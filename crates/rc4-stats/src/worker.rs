@@ -1,29 +1,37 @@
 //! The keystream-generation worker pool.
 //!
 //! Stands in for the paper's distributed setup (roughly 80 desktop machines
-//! plus three servers driven by Python): each worker thread owns a private
-//! collector and a deterministic key generator, generates its share of
-//! keystreams, and the per-worker collectors are merged at the end. Because
-//! workers never share mutable state during generation, the pool scales
-//! linearly with cores and the result is identical to a single-threaded run
-//! over the union of the per-worker key sequences.
+//! plus three servers driven by Python): the configured key space is split
+//! into `config.workers` deterministic *logical streams*, each stream's
+//! contribution is generated into a private collector, and the partials are
+//! merged in stream order. Because streams never share mutable state during
+//! generation and all counter cells are additive, the result depends only on
+//! the configuration — never on scheduling or on how many OS threads did the
+//! work.
+//!
+//! Threading is delegated to the shared execution layer ([`rc4_exec`]):
+//! [`generate_with_exec`] takes an [`Executor`] whose worker budget is
+//! independent of the logical stream count. When threads outnumber streams,
+//! each stream is further split into contiguous *segments* — a segment worker
+//! fast-forwards the stream's RNG to its offset (replaying only the key
+//! draws, a small fraction of the RC4 cost) and records its share into a
+//! private collector. Segment boundaries are a scheduling detail: cells are
+//! additive, so any segmentation produces cell-for-cell identical results
+//! (pinned by this module's tests).
 //!
 //! Inside each worker the RC4 work runs through the batched multi-key engine
 //! ([`rc4_accel::AutoBatch`]): keys are drawn from the deterministic stream
 //! in engine-sized groups, the engine steps all of their KSA/PRGA lanes at
-//! once, and the finished keystreams are counted in draw order. Per-key
-//! streams are independent and counters additive, so the collector ends up
-//! cell-for-cell identical to the historical one-key-at-a-time loop (pinned
-//! by this module's tests).
+//! once, and the finished keystreams are counted in draw order.
 //!
 //! Long runs can be aborted cooperatively: [`generate_with_cancel`] takes an
 //! [`AtomicBool`] that every worker polls between key batches, so an
 //! experiment driver (e.g. `rc4-attacks`' `ExperimentContext`) can stop a
 //! multi-minute generation within milliseconds of the flag being raised.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
-use crossbeam::thread;
+use rc4_exec::Executor;
 
 use crate::{
     dataset::{DatasetError, GenerationConfig, KeystreamCollector},
@@ -36,12 +44,58 @@ use crate::{
 /// store-driven generation loop ([`crate::storable::record_keys_batched`]).
 pub const CANCEL_POLL_INTERVAL: u64 = 512;
 
+/// One contiguous slice of a logical stream's key range, assigned to one
+/// execution task: skip the first `skip` keys of stream `worker`, then record
+/// the next `keys`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Segment {
+    pub(crate) worker: u64,
+    pub(crate) skip: u64,
+    pub(crate) keys: u64,
+}
+
+/// Splits the configured key space into execution segments for `threads`
+/// workers: one segment per stream when streams saturate the thread budget,
+/// otherwise each stream is cut into up to `threads` contiguous segments so
+/// even a single-stream configuration keeps every thread busy.
+///
+/// The plan only affects scheduling — any plan covering the same
+/// (stream, range) set produces identical cells.
+pub(crate) fn segment_plan(config: &GenerationConfig, threads: usize) -> Vec<Segment> {
+    let streams = config.workers as u64;
+    let per_stream = if (threads as u64) <= streams {
+        1
+    } else {
+        threads as u64
+    };
+    let mut plan = Vec::new();
+    for w in 0..streams {
+        let keys = config.keys_for_worker(w);
+        let segments = per_stream.min(keys.max(1));
+        let base = keys / segments;
+        let extra = keys % segments;
+        let mut skip = 0u64;
+        for s in 0..segments {
+            let len = base + u64::from(s < extra);
+            if len > 0 {
+                plan.push(Segment {
+                    worker: w,
+                    skip,
+                    keys: len,
+                });
+            }
+            skip += len;
+        }
+    }
+    plan
+}
+
 /// Generates `config.keys` keystreams and accumulates them into `collector`.
 ///
-/// The keys are split evenly across `config.workers` threads; worker `w`
-/// derives its keys from `(config.seed, w)`, so the generated set of keys —
-/// and therefore the resulting statistics — depend only on the configuration,
-/// not on scheduling.
+/// The keys are split evenly across `config.workers` logical streams; stream
+/// `w` derives its keys from `(config.seed, w)`, so the generated set of keys
+/// — and therefore the resulting statistics — depend only on the
+/// configuration, not on scheduling.
 ///
 /// # Errors
 ///
@@ -67,12 +121,13 @@ where
 
 /// [`generate`] with a cooperative cancellation flag.
 ///
-/// Workers poll `cancel` every [`CANCEL_POLL_INTERVAL`] keys. When the flag is
-/// raised mid-run the pool stops promptly and returns
-/// [`DatasetError::Cancelled`] **without** merging the partial per-worker
-/// counts, leaving `collector` exactly as it was handed in (single-worker runs
-/// accumulate in place and are instead left partially filled — on `Cancelled`,
-/// discard the collector either way).
+/// Runs one thread per logical stream (`config.workers`), reproducing the
+/// historical pool bit for bit. Workers poll `cancel` every
+/// [`CANCEL_POLL_INTERVAL`] keys. When the flag is raised mid-run the pool
+/// stops promptly and returns [`DatasetError::Cancelled`] **without** merging
+/// the partial per-worker counts, leaving `collector` exactly as it was
+/// handed in (single-worker runs accumulate in place and are instead left
+/// partially filled — on `Cancelled`, discard the collector either way).
 ///
 /// # Errors
 ///
@@ -86,44 +141,78 @@ pub fn generate_with_cancel<C>(
 where
     C: KeystreamCollector,
 {
+    generate_with_exec(
+        collector,
+        config,
+        &Executor::new(config.workers).with_cancel(cancel),
+    )
+}
+
+/// [`generate`] on an explicit [`Executor`], decoupling the *thread budget*
+/// (`exec.workers()`) from the *logical stream count* (`config.workers`).
+///
+/// The generated key set — and therefore every counter cell — depends only on
+/// `config`; the executor decides how many OS threads share the work. A
+/// one-thread executor records every stream in place in stream order (no
+/// clones), a larger budget splits the streams into segments recorded into
+/// private collectors and merged in deterministic order. Both paths are
+/// cell-for-cell identical.
+///
+/// # Errors
+///
+/// Everything [`generate`] returns, plus [`DatasetError::Cancelled`] when the
+/// executor's cancellation flag was observed set before the run completed.
+pub fn generate_with_exec<C>(
+    collector: &mut C,
+    config: &GenerationConfig,
+    exec: &Executor<'_>,
+) -> Result<(), DatasetError>
+where
+    C: KeystreamCollector,
+{
     config.validate()?;
     let needed = collector.required_len();
-    let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Relaxed));
-
-    if cancelled() {
+    let cancel = exec.cancel_flag();
+    if exec.is_cancelled() {
         return Err(DatasetError::Cancelled);
     }
 
-    if config.workers == 1 {
-        let mut gen = KeyGenerator::new(config.seed, 0, config.key_len);
-        run_worker(collector, &mut gen, config.keys, needed, cancel);
-        if cancelled() {
-            return Err(DatasetError::Cancelled);
+    if exec.workers() == 1 {
+        for w in 0..config.workers as u64 {
+            let mut gen = KeyGenerator::new(config.seed, w, config.key_len);
+            run_worker(
+                collector,
+                &mut gen,
+                config.keys_for_worker(w),
+                needed,
+                cancel,
+            );
+            if exec.is_cancelled() {
+                return Err(DatasetError::Cancelled);
+            }
         }
         return Ok(());
     }
 
-    let partials: Vec<C> = thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.workers);
-        for w in 0..config.workers {
-            let mut local = collector.clone_empty();
-            let keys = config.keys_for_worker(w as u64);
-            let seed = config.seed;
-            let key_len = config.key_len;
-            handles.push(scope.spawn(move |_| {
-                let mut gen = KeyGenerator::new(seed, w as u64, key_len);
-                run_worker(&mut local, &mut gen, keys, needed, cancel);
-                local
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("statistics worker panicked"))
-            .collect()
-    })
-    .expect("worker scope panicked");
-
-    if cancelled() {
+    // Empty per-segment collectors are cloned up front on this thread: the
+    // collector type is only `Send`, so tasks receive their private clone as
+    // part of the work item instead of cloning through a shared reference.
+    let tasks: Vec<(Segment, C)> = segment_plan(config, exec.workers())
+        .into_iter()
+        .map(|segment| (segment, collector.clone_empty()))
+        .collect();
+    let partials: Vec<C> = exec
+        .map(tasks, |_, (segment, mut local)| {
+            let mut gen = KeyGenerator::new(config.seed, segment.worker, config.key_len);
+            let mut scratch = vec![0u8; config.key_len];
+            for _ in 0..segment.skip {
+                gen.fill_key(&mut scratch);
+            }
+            run_worker(&mut local, &mut gen, segment.keys, needed, cancel);
+            Ok::<_, DatasetError>(local)
+        })
+        .map_err(DatasetError::from)?;
+    if exec.is_cancelled() {
         return Err(DatasetError::Cancelled);
     }
     for partial in partials {
@@ -178,6 +267,7 @@ impl<C: KeystreamCollector> crate::storable::BatchSink for CollectorSink<'_, C> 
 mod tests {
     use super::*;
     use crate::{pairs::PairDataset, single::SingleByteDataset};
+    use std::sync::atomic::Ordering;
 
     #[test]
     fn single_worker_generates_requested_keys() {
@@ -209,8 +299,8 @@ mod tests {
 
     #[test]
     fn worker_count_does_not_change_totals() {
-        // Different worker counts generate different key sets, but the number of
-        // samples and overall normalization must match.
+        // Different logical stream counts generate different key sets, but the
+        // number of samples and overall normalization must match.
         let mut one = PairDataset::consecutive(3).unwrap();
         let mut four = one.clone_empty();
         generate(&mut one, &GenerationConfig::with_keys(600).workers(1)).unwrap();
@@ -256,6 +346,55 @@ mod tests {
     }
 
     #[test]
+    fn thread_budget_does_not_change_cells() {
+        // The new invariance guarantee: for a FIXED logical stream count, any
+        // executor thread budget produces cell-identical datasets — including
+        // budgets above and below the stream count (which trigger in-stream
+        // segmentation and stream batching respectively).
+        for streams in [1usize, 3] {
+            let config = GenerationConfig::with_keys(1_201).workers(streams).seed(9);
+            let reference = scalar_pool_reference(&config, 6);
+            for threads in [1usize, 2, 4, 7] {
+                let mut ds = SingleByteDataset::new(6);
+                generate_with_exec(&mut ds, &config, &Executor::new(threads)).unwrap();
+                assert_eq!(
+                    ds.keystreams(),
+                    reference.keystreams(),
+                    "streams {streams}, threads {threads}"
+                );
+                for r in 1..=6 {
+                    assert_eq!(
+                        ds.counts_at(r),
+                        reference.counts_at(r),
+                        "streams {streams}, threads {threads}, position {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_plan_covers_every_stream_exactly() {
+        for (keys, streams, threads) in
+            [(1_000u64, 1usize, 4usize), (17, 3, 8), (5, 8, 2), (1, 1, 4)]
+        {
+            let config = GenerationConfig::with_keys(keys).workers(streams);
+            let plan = segment_plan(&config, threads);
+            for w in 0..streams as u64 {
+                let mut expect_skip = 0u64;
+                let mut total = 0u64;
+                for seg in plan.iter().filter(|s| s.worker == w) {
+                    assert_eq!(seg.skip, expect_skip, "segments must be contiguous");
+                    expect_skip += seg.keys;
+                    total += seg.keys;
+                    assert!(seg.keys > 0, "empty segments must be dropped");
+                }
+                assert_eq!(total, config.keys_for_worker(w), "stream {w} coverage");
+            }
+        }
+    }
+
+    #[test]
     fn more_workers_than_keys() {
         // 3 keys across 8 workers: workers 0..3 generate one key each, the
         // rest none — the pool must neither hang nor over-count.
@@ -297,6 +436,25 @@ mod tests {
                 "{workers}-worker run ignored the cancellation flag"
             );
         }
+    }
+
+    #[test]
+    fn mid_run_cancellation_leaves_multi_thread_collector_untouched() {
+        let cancel = AtomicBool::new(false);
+        let mut ds = SingleByteDataset::new(4);
+        let config = GenerationConfig::with_keys(2_000_000).workers(2);
+        // Raise the flag from a progress-free side channel: a short timer
+        // thread. The pool must notice it between batches and bail without
+        // merging partials.
+        let result = std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                cancel.store(true, Ordering::Relaxed);
+            });
+            generate_with_cancel(&mut ds, &config, Some(&cancel))
+        });
+        assert_eq!(result, Err(DatasetError::Cancelled));
+        assert_eq!(ds.keystreams(), 0, "partials must not be merged");
     }
 
     #[test]

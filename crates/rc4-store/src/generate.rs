@@ -19,7 +19,7 @@
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crossbeam::thread;
+use rc4_exec::Executor;
 
 use rc4_stats::{
     record_keys_batched, DatasetError, GenerationConfig, KeyGenerator, StorableDataset,
@@ -232,9 +232,9 @@ fn run_rounds<D: StorableDataset>(
     // That is fine for the usual shapes (a consec-16 pair dataset is ~8 MiB)
     // but ruinous for e.g. per-TSC Tsc0Tsc1 (gigabytes per clone), so large
     // datasets fall back to recording the round's workers sequentially into
-    // the accumulator — same cells, same checkpoints, no clones.
-    const PARALLEL_CLONE_MAX_CELLS: usize = 1 << 24;
-    let sequential = workers == 1 || dataset.cell_count() > PARALLEL_CLONE_MAX_CELLS;
+    // the accumulator — same cells, same checkpoints, no clones. The
+    // threshold is shared with `rc4-stats`' in-memory exec generation.
+    let sequential = workers == 1 || dataset.cell_count() > rc4_stats::PARALLEL_CLONE_MAX_CELLS;
 
     let chunk = (opts.effective_checkpoint_keys(keys_total) / workers as u64).max(1);
     loop {
@@ -274,31 +274,27 @@ fn run_rounds<D: StorableDataset>(
                 header.progress[i] += n;
             }
         } else {
+            // One execution task per covered worker, run on the shared pool
+            // (`rc4-exec`); a task that observes the cancellation flag
+            // mid-round reports `Cancelled`, the round's partial deltas are
+            // discarded, and the last on-disk checkpoint stays untouched.
             let shape = dataset.shape_params();
-            let deltas: Vec<(usize, u64, D)> = thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(round.len());
-                for (&(i, n), gen) in round.iter().zip(disjoint_mut(&mut gens, &round)) {
+            let exec = Executor::new(round.len()).with_cancel(cancel);
+            let tasks: Vec<(usize, u64, &mut KeyGenerator)> = round
+                .iter()
+                .zip(disjoint_mut(&mut gens, &round))
+                .map(|(&(i, n), gen)| (i, n, gen))
+                .collect();
+            let deltas: Vec<(usize, u64, D)> = exec
+                .map(tasks, |_, (i, n, gen)| {
                     let mut delta = D::empty_with_shape(&shape)?;
-                    handles.push(scope.spawn(move |_| {
-                        let done = record_keys_batched(&mut delta, gen, key_len, n, cancel);
-                        (i, done, delta)
-                    }));
-                }
-                Ok::<_, DatasetError>(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("store generation worker panicked"))
-                        .collect(),
-                )
-            })
-            .expect("store generation scope panicked")?;
-            if deltas.iter().any(|&(i, done, _)| {
-                done < round.iter().find(|&&(j, _)| j == i).expect("same round").1
-            }) {
-                // At least one worker saw the flag mid-round; discard the
-                // partial deltas and leave the last checkpoint untouched.
-                return Err(DatasetError::Cancelled);
-            }
+                    let done = record_keys_batched(&mut delta, gen, key_len, n, cancel);
+                    if done < n {
+                        return Err(DatasetError::Cancelled);
+                    }
+                    Ok((i, done, delta))
+                })
+                .map_err(DatasetError::from)?;
             for (i, done, delta) in deltas {
                 dataset.merge_same_shape(delta)?;
                 header.progress[i] += done;

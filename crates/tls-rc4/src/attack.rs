@@ -23,11 +23,22 @@
 use plaintext_recovery::{
     charset::Charset,
     likelihood::PairLikelihoods,
-    viterbi::{list_viterbi, PairCandidate, ViterbiConfig},
+    viterbi::{list_viterbi_with_exec, PairCandidate, ViterbiConfig},
+    RecoveryError,
 };
 use rc4_biases::{absab, fm};
+use rc4_exec::Executor;
 
 use crate::{http::RequestTemplate, traffic::CapturedRequest, TlsError};
+
+/// Recovery-layer errors fold into the TLS error model, preserving
+/// cancellation so callers can tell an aborted attack from a broken one.
+fn recovery_error(e: RecoveryError) -> TlsError {
+    match e {
+        RecoveryError::Cancelled => TlsError::Cancelled,
+        other => TlsError::InvalidConfig(other.to_string()),
+    }
+}
 
 /// Configuration of the cookie-recovery attack.
 #[derive(Debug, Clone)]
@@ -227,6 +238,23 @@ impl CookieStatistics {
         &self,
         config: &CookieAttackConfig,
     ) -> Result<Vec<PairLikelihoods>, TlsError> {
+        self.likelihoods_with_exec(config, &Executor::serial())
+    }
+
+    /// [`CookieStatistics::likelihoods`] on an explicit executor: the per
+    /// transition FM scoring and ABSAB combination — independent 65536-entry
+    /// table computations — run in parallel, collected back in transition
+    /// order (identical output for any worker count).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`CookieStatistics::likelihoods`] returns, plus
+    /// [`TlsError::Cancelled`] when the executor's flag is raised.
+    pub fn likelihoods_with_exec(
+        &self,
+        config: &CookieAttackConfig,
+        exec: &Executor<'_>,
+    ) -> Result<Vec<PairLikelihoods>, TlsError> {
         if self.requests == 0 {
             return Err(TlsError::InvalidConfig("no captured requests".into()));
         }
@@ -236,8 +264,7 @@ impl CookieStatistics {
             ));
         }
         let residue = self.cookie_residue.unwrap_or(0);
-        let mut out = Vec::with_capacity(self.cookie_len + 1);
-        for t in 0..=self.cookie_len {
+        exec.map((0..=self.cookie_len).collect(), |_, t| {
             let mut combined: Option<PairLikelihoods> = None;
             if config.use_fm {
                 // 1-based keystream position of the first byte of this transition.
@@ -253,12 +280,12 @@ impl CookieStatistics {
                     1.0 / 65536.0,
                     self.requests,
                 )
-                .map_err(|e| TlsError::InvalidConfig(e.to_string()))?;
+                .map_err(recovery_error)?;
                 combined = Some(fm_lik);
             }
             if config.use_absab {
                 let absab_lik = PairLikelihoods::from_log_values(self.absab_votes[t].clone())
-                    .map_err(|e| TlsError::InvalidConfig(e.to_string()))?;
+                    .map_err(recovery_error)?;
                 combined = Some(match combined {
                     Some(mut c) => {
                         c.combine(&absab_lik);
@@ -267,9 +294,9 @@ impl CookieStatistics {
                     None => absab_lik,
                 });
             }
-            out.push(combined.expect("at least one family enabled"));
-        }
-        Ok(out)
+            Ok(combined.expect("at least one family enabled"))
+        })
+        .map_err(TlsError::from)
     }
 
     /// The known plaintext byte immediately before the cookie.
@@ -306,14 +333,31 @@ pub fn cookie_candidates(
     stats: &CookieStatistics,
     config: &CookieAttackConfig,
 ) -> Result<Vec<PairCandidate>, TlsError> {
-    let likelihoods = stats.likelihoods(config)?;
+    cookie_candidates_with_exec(stats, config, &Executor::serial())
+}
+
+/// [`cookie_candidates`] on an explicit executor: both analysis stages — the
+/// per-transition likelihood tables and the list-Viterbi beam expansion —
+/// fan out across the executor's workers. The candidate list is identical
+/// for any worker count.
+///
+/// # Errors
+///
+/// Everything [`cookie_candidates`] returns, plus [`TlsError::Cancelled`]
+/// when the executor's flag is raised.
+pub fn cookie_candidates_with_exec(
+    stats: &CookieStatistics,
+    config: &CookieAttackConfig,
+    exec: &Executor<'_>,
+) -> Result<Vec<PairCandidate>, TlsError> {
+    let likelihoods = stats.likelihoods_with_exec(config, exec)?;
     let viterbi = ViterbiConfig {
         first_known: stats.boundary_before(),
         last_known: stats.boundary_after(),
         candidates: config.candidates,
         charset: config.charset.clone(),
     };
-    list_viterbi(&likelihoods, &viterbi).map_err(|e| TlsError::InvalidConfig(e.to_string()))
+    list_viterbi_with_exec(&likelihoods, &viterbi, exec).map_err(recovery_error)
 }
 
 /// Walks the candidate list and tests each candidate against `oracle`

@@ -40,6 +40,9 @@ pub enum TlsError {
     InvalidConfig(String),
     /// The attack exhausted its candidate budget without finding the cookie.
     AttackFailed(String),
+    /// A parallel attack stage was cancelled through its executor's
+    /// cooperative cancellation flag before it completed.
+    Cancelled,
 }
 
 impl core::fmt::Display for TlsError {
@@ -49,11 +52,23 @@ impl core::fmt::Display for TlsError {
             TlsError::Malformed(msg) => write!(f, "malformed input: {msg}"),
             TlsError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             TlsError::AttackFailed(msg) => write!(f, "attack failed: {msg}"),
+            TlsError::Cancelled => write!(f, "attack cancelled"),
         }
     }
 }
 
 impl std::error::Error for TlsError {}
+
+/// Executor outcomes fold back into the TLS error model so the `_with_exec`
+/// attack variants keep returning [`TlsError`].
+impl From<rc4_exec::ExecError<TlsError>> for TlsError {
+    fn from(e: rc4_exec::ExecError<TlsError>) -> Self {
+        match e {
+            rc4_exec::ExecError::Cancelled => TlsError::Cancelled,
+            rc4_exec::ExecError::Task { error, .. } => error,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

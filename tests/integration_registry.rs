@@ -131,6 +131,83 @@ fn every_experiment_runs_at_quick_scale() {
     }
 }
 
+/// Cancelling MID-RUN during a parallel empirical fig7 recovery at
+/// `--workers 4` aborts promptly with `ExperimentError::Cancelled` and
+/// leaves no partial shard in the dataset cache: the cache only ever stores
+/// completed datasets via atomic tmp+rename, so a cancelled generation must
+/// leave the cache directory empty (no `.ds` files, no temp droppings).
+#[test]
+fn mid_run_cancellation_of_parallel_recovery_leaves_no_partial_shards() {
+    use rc4_attacks::experiments::fig7::{run_with_context, Fig7Config};
+    use rc4_attacks::experiments::CountSource;
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!(
+        "repro-cancel-parallel-recovery-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Enough keys that the 25 ms timer below always lands inside the
+    // parallel dataset generation (2^21 keys of 259-byte keystreams is
+    // hundreds of milliseconds on any hardware); even in the unlikely case
+    // generation finishes first, the trial grid's executor still observes
+    // the flag and the run must report Cancelled either way.
+    let config = Fig7Config {
+        ciphertext_counts: vec![1 << 30],
+        trials: 4,
+        absab_relations: 8,
+        source: CountSource::Empirical { keys: 1 << 21 },
+        ..Fig7Config::quick()
+    };
+    let handle = CancelHandle::new();
+    let ctx = ExperimentContext::new()
+        .with_workers(4)
+        .with_cancel(handle.clone())
+        .with_cache_dir(&dir)
+        .unwrap();
+
+    let started = Instant::now();
+    let result = std::thread::scope(|scope| {
+        let canceller = handle.clone();
+        scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            canceller.cancel();
+        });
+        run_with_context(&config, &ctx)
+    });
+    let elapsed = started.elapsed();
+    assert_eq!(result, Err(ExperimentError::Cancelled));
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "cancellation was not prompt: took {elapsed:?}"
+    );
+
+    // No partial shard corruption: the cancelled generation must not have
+    // persisted anything at all.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "cancelled run left files in the cache: {leftovers:?}"
+    );
+
+    // A rerun without cancellation must succeed from the same (empty) cache
+    // directory and store exactly one complete, loadable dataset.
+    let ctx = ExperimentContext::new()
+        .with_workers(4)
+        .with_cache_dir(&dir)
+        .unwrap();
+    run_with_context(&config, &ctx).expect("uncancelled rerun succeeds");
+    let stored: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(stored.len(), 1, "expected one cached dataset: {stored:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A pre-raised cancellation flag aborts every experiment with
 /// `ExperimentError::Cancelled` before any heavy work happens.
 #[test]

@@ -52,6 +52,7 @@ struct Args {
     seed: u64,
     workers: usize,
     json: bool,
+    until_confident: bool,
     config_path: Option<String>,
     cache_dir: Option<String>,
 }
@@ -63,7 +64,7 @@ enum Command {
 
 fn usage() -> String {
     "usage: repro list\n       \
-     repro run <NAME...|all> [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
+     repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
      repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
      repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]"
         .to_string()
@@ -77,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
     let mut seed = 0u64;
     let mut workers = 1usize;
     let mut json = false;
+    let mut until_confident = false;
     let mut config_path = None;
     let mut cache_dir = None;
 
@@ -85,6 +87,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--until-confident" => until_confident = true,
             "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" => {
                 let value = it
                     .next()
@@ -175,9 +178,57 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         seed,
         workers,
         json,
+        until_confident,
         config_path,
         cache_dir,
     })
+}
+
+/// Maps experiment names to their streaming `--until-confident` variants.
+///
+/// Canonical names and aliases resolve through the registry first, so
+/// `fig9`-style aliases and already-streaming names (`fig7-stream`) work;
+/// `all` maps to every experiment that has a streaming variant.
+fn until_confident_names(registry: &Registry, names: &[String]) -> Result<Vec<String>, String> {
+    let mut streaming: Vec<String> = Vec::new();
+    for name in names {
+        if name == "all" {
+            streaming.extend(
+                registry
+                    .names()
+                    .iter()
+                    .filter(|n| n.ends_with("-stream"))
+                    .map(|n| n.to_string()),
+            );
+            continue;
+        }
+        let Some(entry) = registry.find(name) else {
+            return Err(format!(
+                "unknown experiment '{name}'; registered experiments: {}",
+                registry.names().join(", ")
+            ));
+        };
+        let canonical = entry.name();
+        if canonical.ends_with("-stream") {
+            streaming.push(canonical.to_string());
+            continue;
+        }
+        let variant = format!("{canonical}-stream");
+        if registry.find(&variant).is_none() {
+            let available: Vec<String> = registry
+                .names()
+                .iter()
+                .filter_map(|n| n.strip_suffix("-stream"))
+                .map(|n| n.to_string())
+                .collect();
+            return Err(format!(
+                "'{canonical}' has no --until-confident variant; experiments with one: {}",
+                available.join(", ")
+            ));
+        }
+        streaming.push(variant);
+    }
+    Ok(streaming)
 }
 
 fn parse_scale(name: &str) -> Result<Scale, String> {
@@ -292,6 +343,13 @@ fn run() -> Result<(), (String, u8)> {
     let args = parse_args(&raw)?;
     let registry = Registry::with_defaults();
 
+    if args.until_confident && matches!(args.command, Command::List) {
+        return Err((
+            format!("--until-confident only applies to 'repro run'\n{}", usage()),
+            2,
+        ));
+    }
+
     match args.command {
         Command::List => {
             if args.json {
@@ -318,6 +376,11 @@ fn run() -> Result<(), (String, u8)> {
             Ok(())
         }
         Command::Run(names) => {
+            let names = if args.until_confident {
+                until_confident_names(&registry, &names).map_err(|msg| (msg, 2))?
+            } else {
+                names
+            };
             let overrides = match &args.config_path {
                 Some(path) => load_config_overrides(&registry, path).map_err(|msg| (msg, 2))?,
                 None => Vec::new(),
@@ -878,7 +941,9 @@ mod bench_cli {
     };
     use rc4_accel::{AutoBatch, KeystreamBatch};
     use rc4_attacks::experiments::fig8::{run as fig8_run, Fig8Config, TkipTrafficModel};
-    use rc4_stats::{single::SingleByteDataset, worker, GenerationConfig};
+    use rc4_stats::{
+        single::SingleByteDataset, streaming::StreamingCounts, worker, GenerationConfig,
+    };
 
     type CliResult<T> = Result<T, (String, u8)>;
 
@@ -909,7 +974,8 @@ mod bench_cli {
          --compare, entries also present in BENCH_FILE are checked and the run\n\
          fails (exit 1) if any is more than PCT percent slower (default 25).\n\
          `--compare latest` resolves the highest-numbered BENCH_pr<N>.json in\n\
-         the current directory, so CI never hardcodes a trajectory filename.\n\
+         the current directory (falling back to BENCH_baseline.json in a fresh\n\
+         checkout), so CI never hardcodes a trajectory filename.\n\
          --save-json additionally writes the JSON report of the SAME\n\
          measurement pass to FILE (so a CI job gets the human summary, the\n\
          machine artifact and the gate from one run)."
@@ -917,8 +983,9 @@ mod bench_cli {
     }
 
     /// Resolves `--compare latest`: the `BENCH_pr<N>.json` with the highest
-    /// `N` in the current directory. Numeric comparison on purpose —
-    /// lexicographic order would rank `BENCH_pr9.json` above
+    /// `N` in the current directory, falling back to `BENCH_baseline.json`
+    /// (with a note) when no PR file exists yet. Numeric comparison on
+    /// purpose — lexicographic order would rank `BENCH_pr9.json` above
     /// `BENCH_pr10.json`.
     fn resolve_latest_bench_file() -> CliResult<String> {
         let mut best: Option<(u64, String)> = None;
@@ -942,12 +1009,22 @@ mod bench_cli {
                 best = Some((number, name.to_string()));
             }
         }
-        best.map(|(_, name)| name).ok_or_else(|| {
-            (
-                "--compare latest: no BENCH_pr<N>.json found in the current directory".to_string(),
-                2,
-            )
-        })
+        if let Some((_, name)) = best {
+            return Ok(name);
+        }
+        // A fresh checkout carries only the baseline — gate against it rather
+        // than erroring out before the first BENCH_pr<N>.json ever lands.
+        if std::path::Path::new("BENCH_baseline.json").is_file() {
+            eprintln!(
+                "repro: --compare latest: no BENCH_pr<N>.json found, falling back to BENCH_baseline.json"
+            );
+            return Ok("BENCH_baseline.json".to_string());
+        }
+        Err((
+            "--compare latest: no BENCH_pr<N>.json or BENCH_baseline.json found in the current directory"
+                .to_string(),
+            2,
+        ))
     }
 
     struct Measurement {
@@ -1130,6 +1207,29 @@ mod bench_cli {
                     .expect("well-formed decode");
             }),
             bytes_per_iter: None,
+        });
+
+        // Streaming path: one ingest-and-re-score step of the
+        // `--until-confident` loop — absorb a 65536-cell count batch into the
+        // running table, re-score it through the sparse FM likelihood and
+        // extract the stopping margin. This is the per-batch overhead the
+        // streaming experiments add over the fixed-grid drivers.
+        let batch: Vec<u64> = (0..65536u64).map(|i| (i * 2246822519) % 613).collect();
+        let mut acc = StreamingCounts::new(65536).expect("non-zero cells");
+        results.push(Measurement {
+            name: "streaming_ingest/absorb_rescore_65536",
+            ns_per_iter: time_min(|| {
+                acc.absorb(std::hint::black_box(&batch)).expect("shape ok");
+                let scored = PairLikelihoods::from_counts_sparse(
+                    acc.counts(),
+                    &cells,
+                    1.0 / 65536.0,
+                    acc.total(),
+                )
+                .expect("well-formed inputs");
+                std::hint::black_box(scored.margin());
+            }),
+            bytes_per_iter: Some(65536 * 8),
         });
 
         results

@@ -222,6 +222,7 @@ fn bench_smoke_mode_contract() {
         "fig8_tkip_recovery/quick_sweep",
         "recovery_likelihood/fm_sparse_65536",
         "recovery_viterbi/base64_6x256",
+        "streaming_ingest/absorb_rescore_65536",
     ] {
         assert!(names.iter().any(|n| n == expected), "missing {expected}");
     }
@@ -345,4 +346,110 @@ fn bench_compare_latest_resolves_numerically() {
         stderr(&gate)
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `repro bench --compare latest` in a directory holding only
+/// `BENCH_baseline.json` falls back to the baseline with a note instead of
+/// erroring — the state of a freshly seeded repo before its first PR lands
+/// a numbered trajectory file.
+#[test]
+fn bench_compare_latest_falls_back_to_baseline() {
+    let dir = std::env::temp_dir().join(format!("repro-bench-baseline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // A baseline the gate must trip on proves the fallback file was used.
+    std::fs::write(
+        dir.join("BENCH_baseline.json"),
+        r#"{"benches": [{"bench": "rc4_keystream/65536", "ns_per_iter": 1.0}]}"#,
+    )
+    .unwrap();
+    let gate = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["bench", "--compare", "latest"])
+        .current_dir(&dir)
+        .env("REPRO_BENCH_FAST", "1")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(gate.status.code(), Some(1), "{}", stderr(&gate));
+    let err = stderr(&gate);
+    assert!(err.contains("falling back to BENCH_baseline.json"), "{err}");
+    assert!(err.contains("resolved to BENCH_baseline.json"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--until-confident` maps experiment names to their streaming variants:
+/// `fig7` runs `fig7-stream`, experiments without a variant are rejected
+/// with exit 2 naming the ones that have one, and the resulting report
+/// carries the ciphertexts-consumed-at-stop headline.
+#[test]
+fn until_confident_maps_to_streaming_variants() {
+    let output = repro(&[
+        "run",
+        "fig7",
+        "--until-confident",
+        "--scale",
+        "quick",
+        "--json",
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let reports: Vec<ExperimentReport> = serde_json::from_str(&stdout(&output)).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].id, "fig7-stream");
+    assert!(
+        reports[0]
+            .notes
+            .iter()
+            .any(|n| n.contains("consumed at stop")),
+        "missing the ciphertexts-consumed-at-stop headline: {:?}",
+        reports[0].notes
+    );
+    // The acceptance bar for streaming mode: at quick scale, at least one
+    // seeded trial stops before the fixed-grid ciphertext budget (the cap).
+    assert!(
+        reports[0]
+            .rows
+            .iter()
+            .any(|r| r.cells[2] == "early (confident)"),
+        "no quick-scale trial stopped early: {:?}",
+        reports[0].rows
+    );
+
+    let no_variant = repro(&["run", "fig8", "--until-confident"]);
+    assert_eq!(no_variant.status.code(), Some(2));
+    let err = stderr(&no_variant);
+    assert!(err.contains("no --until-confident variant"), "{err}");
+    assert!(
+        err.contains("fig7") && err.contains("fig10") && err.contains("tls-cookie"),
+        "{err}"
+    );
+
+    let listed = repro(&["list", "--until-confident"]);
+    assert_eq!(listed.status.code(), Some(2));
+}
+
+/// Streaming mode honours the worker-invariance contract: the
+/// `--until-confident` JSON output is byte-identical between `--workers 1`
+/// and `--workers 4`.
+#[test]
+fn until_confident_is_byte_identical_across_worker_counts() {
+    let run = |workers: &str| {
+        let output = repro(&[
+            "run",
+            "fig7",
+            "fig10",
+            "--until-confident",
+            "--scale",
+            "quick",
+            "--json",
+            "--workers",
+            workers,
+        ]);
+        assert!(output.status.success(), "stderr: {}", stderr(&output));
+        stdout(&output)
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(
+        one, four,
+        "--workers changed streaming output; parallelism must be result-neutral"
+    );
 }

@@ -361,6 +361,23 @@ impl PairLikelihoods {
         ((best >> 8) as u8, (best & 0xff) as u8)
     }
 
+    /// The gap between the best candidate's log-likelihood and the
+    /// runner-up's — the sequential statistic streaming mode tests against
+    /// its confidence threshold. Always ≥ 0; 0 when the top is tied.
+    pub fn margin(&self) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &v in &self.log {
+            if v > best {
+                second = best;
+                best = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        best - second
+    }
+
     /// Combines with another independent estimate for the same pair (Eq. 25).
     pub fn combine(&mut self, other: &Self) {
         for (a, b) in self.log.iter_mut().zip(&other.log) {
@@ -434,6 +451,18 @@ mod tests {
         for mu in 0..=255u8 {
             assert!((combined.log_likelihood(mu) - 2.0 * a.log_likelihood(mu)).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn pair_margin_is_best_minus_runner_up() {
+        let mut log = vec![0.0; 65536];
+        log[(0x12usize) << 8 | 0x34] = 9.0;
+        log[(0xABusize) << 8 | 0xCD] = 2.5;
+        let lik = PairLikelihoods::from_log_values(log).unwrap();
+        assert_eq!(lik.best(), (0x12, 0x34));
+        assert!((lik.margin() - 6.5).abs() < 1e-12);
+        // A flat table is fully tied: zero margin.
+        assert_eq!(PairLikelihoods::flat().margin(), 0.0);
     }
 
     /// Keystream pair distribution with a few (artificially strong) biased cells,

@@ -1,0 +1,237 @@
+//! Sequential early stopping for streaming recovery.
+//!
+//! The fixed-grid experiments ask "does the attack succeed at `n`
+//! ciphertexts" for a sweep of `n`; streaming mode asks the converse — "how
+//! many ciphertexts did *this* session need". [`SequentialTest`] is the
+//! decision rule: after every ingested batch the attack re-scores its
+//! candidate ranking and feeds the *margin* (top candidate's log-likelihood
+//! minus the runner-up's, e.g. [`crate::likelihood::PairLikelihoods::margin`])
+//! together with the units consumed so far. The first observation whose
+//! margin clears the configured threshold *latches* a decision at that unit
+//! count; once decided, later observations cannot un-decide it. A stream
+//! that never clears the threshold simply runs to its cap and reports "no
+//! decision".
+//!
+//! Latching is what makes the stop decision monotone in the ciphertext
+//! count for a fixed stream: if the test is decided after `n` units it is
+//! decided after every `m ≥ n` — the property the streaming experiments'
+//! worker-invariance contract builds on, and the one the property tests
+//! below pin down.
+
+use crate::RecoveryError;
+
+/// Outcome of feeding one observation to a [`SequentialTest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopStatus {
+    /// The margin has cleared the threshold (now or at an earlier
+    /// observation); the attack may stop. Carries the units consumed and the
+    /// margin *at the deciding observation*.
+    Decided {
+        /// Units (ciphertexts, requests, ...) consumed when the test decided.
+        units: u64,
+        /// The margin observed at the deciding observation.
+        margin: f64,
+    },
+    /// No observation has cleared the threshold yet; keep ingesting. Carries
+    /// the latest observation for reporting.
+    Undecided {
+        /// Units consumed at the latest observation.
+        units: u64,
+        /// The margin at the latest observation.
+        margin: f64,
+    },
+}
+
+impl StopStatus {
+    /// Whether this status allows the attack to stop.
+    pub fn is_decided(&self) -> bool {
+        matches!(self, StopStatus::Decided { .. })
+    }
+}
+
+/// A latching sequential test on the top-candidate likelihood margin.
+///
+/// # Examples
+///
+/// ```
+/// use plaintext_recovery::streaming::SequentialTest;
+///
+/// let mut test = SequentialTest::new(10.0).unwrap();
+/// assert!(!test.observe(100, 4.0).is_decided());
+/// assert!(test.observe(200, 12.5).is_decided());
+/// // Latched: a later, weaker margin cannot revoke the decision.
+/// assert!(test.observe(300, 1.0).is_decided());
+/// assert_eq!(test.decision(), Some((200, 12.5)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequentialTest {
+    threshold: f64,
+    decided: Option<(u64, f64)>,
+}
+
+impl SequentialTest {
+    /// Creates a test that decides once the margin reaches `threshold`
+    /// (in nats, i.e. natural-log likelihood units).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::InvalidConfig`] unless the threshold is
+    /// finite and positive — a non-positive threshold would decide on the
+    /// flat (all-tied) ranking before any evidence arrived.
+    pub fn new(threshold: f64) -> Result<Self, RecoveryError> {
+        if !threshold.is_finite() || threshold <= 0.0 {
+            return Err(RecoveryError::InvalidConfig(format!(
+                "confidence threshold must be finite and > 0, got {threshold}"
+            )));
+        }
+        Ok(Self {
+            threshold,
+            decided: None,
+        })
+    }
+
+    /// The configured confidence threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Feeds the margin observed after consuming `units` total units.
+    ///
+    /// NaN margins are treated as "no evidence" and never decide.
+    pub fn observe(&mut self, units: u64, margin: f64) -> StopStatus {
+        if let Some((at, m)) = self.decided {
+            return StopStatus::Decided {
+                units: at,
+                margin: m,
+            };
+        }
+        if margin >= self.threshold {
+            self.decided = Some((units, margin));
+            return StopStatus::Decided { units, margin };
+        }
+        StopStatus::Undecided { units, margin }
+    }
+
+    /// The latched `(units, margin)` decision, if any.
+    pub fn decision(&self) -> Option<(u64, f64)> {
+        self.decided
+    }
+
+    /// Whether a decision has latched.
+    pub fn is_decided(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_validation() {
+        assert!(SequentialTest::new(0.0).is_err());
+        assert!(SequentialTest::new(-3.0).is_err());
+        assert!(SequentialTest::new(f64::NAN).is_err());
+        assert!(SequentialTest::new(f64::INFINITY).is_err());
+        assert!(SequentialTest::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn decides_at_first_crossing_and_latches() {
+        let mut test = SequentialTest::new(5.0).unwrap();
+        assert_eq!(
+            test.observe(10, 1.0),
+            StopStatus::Undecided {
+                units: 10,
+                margin: 1.0
+            }
+        );
+        assert_eq!(
+            test.observe(20, 5.0),
+            StopStatus::Decided {
+                units: 20,
+                margin: 5.0
+            }
+        );
+        // Later observations report the ORIGINAL decision point.
+        assert_eq!(
+            test.observe(30, 0.0),
+            StopStatus::Decided {
+                units: 20,
+                margin: 5.0
+            }
+        );
+        assert_eq!(test.decision(), Some((20, 5.0)));
+    }
+
+    #[test]
+    fn never_clearing_stream_never_decides() {
+        let mut test = SequentialTest::new(100.0).unwrap();
+        for step in 1..=50u64 {
+            let status = test.observe(step * 1000, 99.0);
+            assert!(!status.is_decided());
+        }
+        assert_eq!(test.decision(), None);
+        assert!(!test.is_decided());
+    }
+
+    #[test]
+    fn nan_margins_never_decide() {
+        let mut test = SequentialTest::new(1.0).unwrap();
+        assert!(!test.observe(10, f64::NAN).is_decided());
+        assert!(test.observe(20, 2.0).is_decided());
+    }
+
+    proptest! {
+        /// The stop decision is monotone in the ciphertext count for a fixed
+        /// stream: replaying any prefix of the observations, the set of
+        /// prefix lengths at which the test reports "decided" is upward
+        /// closed, and the decision point is exactly the first observation
+        /// whose margin clears the threshold.
+        #[test]
+        fn stop_decision_is_monotone_in_ciphertext_count(
+            margins in proptest::collection::vec(-50.0f64..50.0, 1..64),
+            threshold in 0.5f64..40.0,
+        ) {
+            let first_crossing = margins.iter().position(|&m| m >= threshold);
+            let mut test = SequentialTest::new(threshold).unwrap();
+            let mut decided_at: Option<usize> = None;
+            for (i, &m) in margins.iter().enumerate() {
+                let units = (i as u64 + 1) * 100;
+                let status = test.observe(units, m);
+                if status.is_decided() && decided_at.is_none() {
+                    decided_at = Some(i);
+                }
+                // Monotone: once decided, every later prefix stays decided.
+                prop_assert_eq!(status.is_decided(), decided_at.is_some());
+            }
+            // The decision point is the first threshold crossing, or absent.
+            prop_assert_eq!(decided_at, first_crossing);
+            if let Some(i) = first_crossing {
+                let (units, margin) = test.decision().unwrap();
+                prop_assert_eq!(units, (i as u64 + 1) * 100);
+                prop_assert_eq!(margin, margins[i]);
+            } else {
+                prop_assert_eq!(test.decision(), None);
+            }
+        }
+
+        /// Replaying the same stream into a fresh test gives the identical
+        /// decision — the statistic is a pure function of the stream.
+        #[test]
+        fn replay_gives_identical_decision(
+            margins in proptest::collection::vec(-10.0f64..30.0, 1..32),
+            threshold in 1.0f64..20.0,
+        ) {
+            let run = |ms: &[f64]| {
+                let mut t = SequentialTest::new(threshold).unwrap();
+                for (i, &m) in ms.iter().enumerate() {
+                    t.observe(i as u64 + 1, m);
+                }
+                t.decision()
+            };
+            prop_assert_eq!(run(&margins), run(&margins));
+        }
+    }
+}

@@ -41,7 +41,8 @@ pub enum ProgressEvent<'a> {
         experiment: &'a str,
         /// Units finished so far.
         completed: u64,
-        /// Total units, when known in advance.
+        /// Total units when known in advance; 0 means the total is unknown
+        /// (e.g. a streaming loop whose whole point is to stop early).
         total: u64,
         /// What one unit is ("point", "trial", "dataset", ...).
         unit: &'a str,
@@ -72,7 +73,16 @@ impl ProgressEvent<'_> {
                 completed,
                 total,
                 unit,
-            } => format!("{experiment}: {completed}/{total} {unit}s"),
+            } => {
+                if *total == 0 {
+                    // Total 0 means "unknown in advance" (e.g. a streaming
+                    // capture loop that stops early); render without the
+                    // meaningless "/0" denominator.
+                    format!("{experiment}: {completed} {unit}s")
+                } else {
+                    format!("{experiment}: {completed}/{total} {unit}s")
+                }
+            }
             ProgressEvent::Finished { experiment } => format!("{experiment}: finished"),
             ProgressEvent::DatasetCache { kind, outcome } => {
                 format!("dataset cache {outcome} ({kind})")
@@ -569,5 +579,18 @@ mod tests {
             sink.events(),
             vec!["x: started", "x: 1/4 points", "x: finished"]
         );
+    }
+
+    #[test]
+    fn unknown_total_renders_without_denominator() {
+        // Total 0 means "unknown in advance" — "512/0 captures" would be
+        // nonsense, so the rendering drops the denominator entirely.
+        let event = ProgressEvent::Progress {
+            experiment: "tls-cookie-stream",
+            completed: 512,
+            total: 0,
+            unit: "capture",
+        };
+        assert_eq!(event.render(), "tls-cookie-stream: 512 captures");
     }
 }

@@ -9,6 +9,11 @@
 //! * [`fig10`] — the HTTPS cookie brute-force success curve of Section 6.
 //! * [`tkip_attack`] — the end-to-end WPA-TKIP attack of Section 5.
 //! * [`tls_cookie`] — the end-to-end HTTPS cookie attack of Section 6.
+//! * [`streaming`] — streaming-ingestion variants of `fig7`, `fig10` and
+//!   `tls-cookie` with sequential early stopping (`--until-confident`):
+//!   ciphertexts stream in batch by batch, count tables update in place and
+//!   the attack stops once the top candidate's likelihood margin clears a
+//!   confidence threshold.
 //!
 //! All drivers are deterministic for a fixed configuration (seeds included in
 //! the configs) and return [`crate::report::ExperimentReport`]s. Every driver
@@ -20,6 +25,7 @@ pub mod biases;
 pub mod fig10;
 pub mod fig7;
 pub mod fig8;
+pub mod streaming;
 pub mod tkip_attack;
 pub mod tls_cookie;
 
@@ -154,6 +160,18 @@ pub fn default_experiments() -> Vec<(ExperimentFactory, &'static [&'static str])
         (boxed::<fig10::Fig10Experiment>, &[]),
         (boxed::<tkip_attack::TkipAttackExperiment>, &[]),
         (boxed::<tls_cookie::TlsCookieExperiment>, &[]),
+        (
+            boxed::<streaming::Fig7StreamExperiment>,
+            &["fig7-until-confident"] as &[&str],
+        ),
+        (
+            boxed::<streaming::Fig10StreamExperiment>,
+            &["fig10-until-confident"] as &[&str],
+        ),
+        (
+            boxed::<streaming::TlsCookieStreamExperiment>,
+            &["tls-cookie-until-confident"] as &[&str],
+        ),
     ]
 }
 

@@ -17,6 +17,7 @@
 //! | Fig. 10 — HTTPS cookie brute force | [`experiments::fig10`] |
 //! | Sect. 5 — end-to-end WPA-TKIP attack | [`experiments::tkip_attack`] |
 //! | Sect. 6 — end-to-end HTTPS cookie attack | [`experiments::tls_cookie`] |
+//! | Streaming `--until-confident` variants with early stopping | [`experiments::streaming`] |
 //!
 //! Every experiment implements the [`Experiment`] trait — a
 //! serde-roundtrippable config with per-scale defaults plus a deterministic

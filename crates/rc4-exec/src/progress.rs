@@ -13,11 +13,17 @@
 //! (`rc4-attacks`' `ProgressEvent` docs: sinks must not influence results).
 //! Nothing that feeds an experiment report may pass through this type.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A thread-safe progress counter that rate-limits how often it reports.
+///
+/// A `total` of `0` means the total is *unknown* (streaming ingestion, open
+/// -ended capture loops): every tick is purely rate-limited and no tick is
+/// ever treated as "finishing". With a non-zero total, the tick that reaches
+/// it emits a terminal `(done, total)` event exactly once — concurrent
+/// over-shooting ticks do not produce duplicate completion records.
 ///
 /// # Examples
 ///
@@ -38,6 +44,10 @@ pub struct ProgressThrottle {
     total: u64,
     min_interval: Duration,
     done: AtomicU64,
+    /// Set by the single tick that claims the terminal emission (only
+    /// meaningful when `total > 0`). Ticks arriving after the claim are
+    /// post-completion noise and are swallowed entirely.
+    final_claimed: AtomicBool,
     /// `None` until the first emission; guards the emission timestamp. Taken
     /// with `try_lock` so a contended tick skips its emission instead of
     /// blocking a worker (some other thread is emitting right now anyway).
@@ -47,16 +57,20 @@ pub struct ProgressThrottle {
 impl ProgressThrottle {
     /// Creates a counter for `total` units reporting at most
     /// ~`max_events_per_sec` times per second (clamped to ≥ 1).
+    ///
+    /// Pass `total = 0` for an unknown total: all ticks are rate-limited and
+    /// none is promoted to a terminal event.
     pub fn new(total: u64, max_events_per_sec: u32) -> Self {
         Self {
             total,
             min_interval: Duration::from_secs(1) / max_events_per_sec.max(1),
             done: AtomicU64::new(0),
+            final_claimed: AtomicBool::new(false),
             last_emit: Mutex::new(None),
         }
     }
 
-    /// The configured unit total.
+    /// The configured unit total (`0` = unknown).
     pub fn total(&self) -> u64 {
         self.total
     }
@@ -67,27 +81,35 @@ impl ProgressThrottle {
     }
 
     /// Records `n` completed units and calls `emit(done, total)` if this tick
-    /// is due: the counter just started, just completed, or the rate limit
-    /// has lapsed. `emit` runs on the ticking thread.
+    /// is due: the counter just started, just completed (known totals only),
+    /// or the rate limit has lapsed. `emit` runs on the ticking thread.
+    ///
+    /// With a non-zero total, exactly one tick — the first to observe
+    /// `done >= total` — emits the terminal event; later ticks are dropped.
+    /// With `total == 0` (unknown), ticks are never forced through and never
+    /// dropped: the plain rate limit decides.
     pub fn tick<F: FnOnce(u64, u64)>(&self, n: u64, emit: F) {
         let done = self.done.fetch_add(n, Ordering::Relaxed) + n;
-        let finished = done >= self.total;
-        let Ok(mut last) = self.last_emit.try_lock() else {
-            // Another thread holds the emission slot; its event covers us
-            // unless we are the finishing tick, which must not be dropped —
-            // retry with a blocking lock only then.
-            if finished {
+        if self.total > 0 && done >= self.total {
+            // Terminal region. The first tick here claims the one completion
+            // event (blocking for the lock is fine: it happens once); every
+            // later tick is post-completion noise and is swallowed so JSON
+            // consumers see a single completion record.
+            if !self.final_claimed.swap(true, Ordering::Relaxed) {
                 let mut last = self.last_emit.lock().expect("progress mutex poisoned");
                 *last = Some(Instant::now());
                 emit(done, self.total);
             }
             return;
+        }
+        let Ok(mut last) = self.last_emit.try_lock() else {
+            // Another thread holds the emission slot; its event covers us.
+            return;
         };
-        let due = finished
-            || match *last {
-                None => true,
-                Some(at) => at.elapsed() >= self.min_interval,
-            };
+        let due = match *last {
+            None => true,
+            Some(at) => at.elapsed() >= self.min_interval,
+        };
         if due {
             *last = Some(Instant::now());
             emit(done, self.total);
@@ -150,8 +172,55 @@ mod tests {
         })
         .unwrap();
         assert_eq!(p.done(), 4000);
-        // The tick that crosses the total must have reported.
-        assert!(finals.load(Ordering::Relaxed) >= 1);
+        // Exactly one tick reports completion — no duplicate terminal events.
+        assert_eq!(finals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn overshooting_ticks_emit_one_terminal_event() {
+        use std::sync::atomic::AtomicU64;
+        // 5000 ticks against a total of 4000: 1001 ticks land at or past the
+        // total from 4 threads, yet only the first may report.
+        let p = ProgressThrottle::new(4000, 1_000_000);
+        let finals = AtomicU64::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..1250 {
+                        p.tick(1, |d, t| {
+                            if d >= t {
+                                finals.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(p.done(), 5000);
+        assert_eq!(finals.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_total_is_rate_limited_not_forced() {
+        // Regression: total == 0 used to make every tick "finished", so every
+        // tick took the blocking-lock path and emitted — defeating both the
+        // rate limit and the try-lock contention escape.
+        let p = ProgressThrottle::new(0, 10);
+        let mut events = Vec::new();
+        for _ in 0..10_000 {
+            p.tick(1, |d, t| events.push((d, t)));
+        }
+        // The first tick reports (counter just started) ...
+        assert_eq!(events.first(), Some(&(1, 0)));
+        // ... and the rest are rate-limited like any mid-run tick.
+        assert!(
+            events.len() < 100,
+            "unknown-total ticks must be rate-limited: {} events",
+            events.len()
+        );
+        assert_eq!(p.done(), 10_000);
+        assert_eq!(p.total(), 0);
     }
 
     #[test]

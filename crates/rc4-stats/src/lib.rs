@@ -29,6 +29,9 @@
 //! * [`counters`] — the 16-bit batched counter layout the paper uses to reduce
 //!   cache misses, kept as a separately testable component so the
 //!   `counter_layout` bench can quantify the optimization.
+//! * [`streaming`] — in-place accumulating count and vote tables for the
+//!   streaming ingestion mode, where ciphertext batches arrive continuously
+//!   and the attacks re-score the accumulated table online.
 //!
 //! Datasets expose their raw counts (for the hypothesis tests in
 //! `stat-tests`), empirical probability estimates (for the likelihood engines
@@ -45,6 +48,7 @@ pub mod longterm;
 pub mod pairs;
 pub mod single;
 pub mod storable;
+pub mod streaming;
 pub mod tsc;
 pub mod worker;
 

@@ -1,0 +1,237 @@
+//! In-place accumulating count tables for streaming ingestion.
+//!
+//! The fixed-grid experiments materialize one count table per ciphertext
+//! budget and score it once. Streaming mode (ROADMAP item 4) instead ingests
+//! ciphertext copies batch by batch and re-scores the *accumulated* table
+//! after every batch. These accumulators are the ingestion side of that
+//! loop: absorb a batch's cell counts (or, for ABSAB differentials, a
+//! batch's real-valued vote weights) into a running table without
+//! reallocating, and keep the running totals the likelihood engines need.
+//!
+//! Log-likelihoods are linear in counts, so scoring the accumulated table is
+//! statistically identical to scoring one table drawn at the accumulated
+//! size — which is what makes per-batch re-scoring both cheap and faithful.
+
+use crate::dataset::DatasetError;
+
+/// A count table that accumulates integer batch counts in place.
+///
+/// # Examples
+///
+/// ```
+/// use rc4_stats::streaming::StreamingCounts;
+///
+/// let mut acc = StreamingCounts::new(4).unwrap();
+/// acc.absorb(&[1, 0, 2, 0]).unwrap();
+/// acc.absorb(&[0, 3, 1, 0]).unwrap();
+/// assert_eq!(acc.counts(), &[1, 3, 3, 0]);
+/// assert_eq!(acc.total(), 7);
+/// assert_eq!(acc.batches(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingCounts {
+    cells: Vec<u64>,
+    total: u64,
+    batches: u64,
+}
+
+impl StreamingCounts {
+    /// Creates a zeroed accumulator with `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when `cells` is zero.
+    pub fn new(cells: usize) -> Result<Self, DatasetError> {
+        if cells == 0 {
+            return Err(DatasetError::InvalidConfig(
+                "a streaming count table needs at least one cell".into(),
+            ));
+        }
+        Ok(Self {
+            cells: vec![0; cells],
+            total: 0,
+            batches: 0,
+        })
+    }
+
+    /// Adds one batch of per-cell counts to the table in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when the batch length does not
+    /// match the table; the table is left untouched in that case.
+    pub fn absorb(&mut self, batch: &[u64]) -> Result<(), DatasetError> {
+        if batch.len() != self.cells.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "batch has {} cells, the table has {}",
+                batch.len(),
+                self.cells.len()
+            )));
+        }
+        for (cell, &add) in self.cells.iter_mut().zip(batch) {
+            *cell += add;
+            self.total += add;
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// The accumulated per-cell counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.cells
+    }
+
+    /// Sum of every absorbed count (the `|C|` constant of the likelihoods).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of batches absorbed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Number of cells in the table.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table has zero cells (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// A real-valued vote table that accumulates batch weights in place —
+/// the ABSAB differential statistics accumulate `weight · count` votes per
+/// candidate rather than raw counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingVotes {
+    cells: Vec<f64>,
+    batches: u64,
+}
+
+impl StreamingVotes {
+    /// Creates a zeroed vote accumulator with `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when `cells` is zero.
+    pub fn new(cells: usize) -> Result<Self, DatasetError> {
+        if cells == 0 {
+            return Err(DatasetError::InvalidConfig(
+                "a streaming vote table needs at least one cell".into(),
+            ));
+        }
+        Ok(Self {
+            cells: vec![0.0; cells],
+            batches: 0,
+        })
+    }
+
+    /// Adds one batch of per-cell vote weights to the table in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when the batch length does not
+    /// match the table; the table is left untouched in that case.
+    pub fn absorb(&mut self, batch: &[f64]) -> Result<(), DatasetError> {
+        if batch.len() != self.cells.len() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "batch has {} cells, the table has {}",
+                batch.len(),
+                self.cells.len()
+            )));
+        }
+        for (cell, &add) in self.cells.iter_mut().zip(batch) {
+            *cell += add;
+        }
+        self.batches += 1;
+        Ok(())
+    }
+
+    /// The accumulated per-cell votes.
+    pub fn votes(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Number of batches absorbed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Number of cells in the table.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the table has zero cells (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_in_place_and_track_totals() {
+        let mut acc = StreamingCounts::new(3).unwrap();
+        assert_eq!(acc.counts(), &[0, 0, 0]);
+        assert_eq!(acc.total(), 0);
+        acc.absorb(&[5, 0, 1]).unwrap();
+        acc.absorb(&[2, 2, 2]).unwrap();
+        acc.absorb(&[0, 0, 0]).unwrap();
+        assert_eq!(acc.counts(), &[7, 2, 3]);
+        assert_eq!(acc.total(), 12);
+        assert_eq!(acc.batches(), 3);
+        assert_eq!(acc.len(), 3);
+        assert!(!acc.is_empty());
+    }
+
+    #[test]
+    fn accumulated_counts_equal_elementwise_batch_sum() {
+        let batches: Vec<Vec<u64>> = (0..10u64)
+            .map(|b| (0..16u64).map(|c| (b * 17 + c * 3) % 7).collect())
+            .collect();
+        let mut acc = StreamingCounts::new(16).unwrap();
+        for batch in &batches {
+            acc.absorb(batch).unwrap();
+        }
+        for cell in 0..16 {
+            let expect: u64 = batches.iter().map(|b| b[cell]).sum();
+            assert_eq!(acc.counts()[cell], expect);
+        }
+        let grand: u64 = batches.iter().flatten().sum();
+        assert_eq!(acc.total(), grand);
+    }
+
+    #[test]
+    fn mismatched_batch_is_rejected_and_leaves_table_untouched() {
+        let mut acc = StreamingCounts::new(4).unwrap();
+        acc.absorb(&[1, 1, 1, 1]).unwrap();
+        assert!(acc.absorb(&[1, 2]).is_err());
+        assert_eq!(acc.counts(), &[1, 1, 1, 1]);
+        assert_eq!(acc.total(), 4);
+        assert_eq!(acc.batches(), 1);
+    }
+
+    #[test]
+    fn zero_cell_tables_are_rejected() {
+        assert!(StreamingCounts::new(0).is_err());
+        assert!(StreamingVotes::new(0).is_err());
+    }
+
+    #[test]
+    fn votes_accumulate_in_place() {
+        let mut acc = StreamingVotes::new(2).unwrap();
+        acc.absorb(&[0.5, -1.0]).unwrap();
+        acc.absorb(&[0.25, 2.0]).unwrap();
+        assert!((acc.votes()[0] - 0.75).abs() < 1e-12);
+        assert!((acc.votes()[1] - 1.0).abs() < 1e-12);
+        assert_eq!(acc.batches(), 2);
+        assert!(acc.absorb(&[1.0]).is_err());
+        assert_eq!(acc.batches(), 2);
+    }
+}

@@ -360,6 +360,21 @@ pub fn cookie_candidates_with_exec(
     list_viterbi_with_exec(&likelihoods, &viterbi, exec).map_err(recovery_error)
 }
 
+/// The sequential statistic of streaming mode: the top-ranked candidate's
+/// log-likelihood margin over the runner-up. `None` until the list has at
+/// least two candidates (with fewer there is no runner-up to beat, so there
+/// is no evidence of separation either).
+///
+/// The list produced by [`cookie_candidates_with_exec`] is sorted by
+/// descending log-likelihood, so the margin is simply the gap between the
+/// first two entries.
+pub fn candidate_margin(candidates: &[PairCandidate]) -> Option<f64> {
+    match candidates {
+        [first, second, ..] => Some(first.log_likelihood - second.log_likelihood),
+        _ => None,
+    }
+}
+
 /// Walks the candidate list and tests each candidate against `oracle`
 /// (in practice: an HTTPS request with the guessed cookie; here: a closure).
 ///
@@ -547,5 +562,21 @@ mod tests {
         // 2^23 attempts at 20000/s is under 7 minutes, as the paper notes.
         let secs = brute_force_rate_seconds(1 << 23, 20_000);
         assert!(secs < 7.0 * 60.0);
+    }
+
+    #[test]
+    fn candidate_margin_is_top_two_gap() {
+        let make = |lls: &[f64]| -> Vec<PairCandidate> {
+            lls.iter()
+                .map(|&ll| PairCandidate {
+                    plaintext: b"x".to_vec(),
+                    log_likelihood: ll,
+                })
+                .collect()
+        };
+        assert_eq!(candidate_margin(&make(&[])), None);
+        assert_eq!(candidate_margin(&make(&[5.0])), None);
+        let m = candidate_margin(&make(&[5.0, 1.5, 0.0])).unwrap();
+        assert!((m - 3.5).abs() < 1e-12);
     }
 }

@@ -29,6 +29,18 @@
 //! # the perf smoke mode and CI regression gate (see README "Performance"):
 //! repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]
 //!
+//! # the resident job server and its clients (see README "Serving mode"):
+//! repro serve [--addr HOST:PORT] [--state-dir DIR] [--budget N]
+//!             [--default-workers W] [--cache-dir DIR] [--no-cache]
+//! repro submit NAME [--scale S] [--seed N] [--priority P] [--workers W]
+//! repro jobs [--json]
+//! repro watch ID [--from N]
+//! repro result ID
+//! repro cancel ID
+//! repro status
+//! repro shutdown [--deadline-ms N]
+//! # clients find the server through --addr or the `addr` file in --state-dir
+//!
 //! # legacy form, kept for muscle memory and old scripts:
 //! repro [EXPERIMENT] [SCALE] [--json]
 //! ```
@@ -66,7 +78,8 @@ fn usage() -> String {
     "usage: repro list\n       \
      repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
      repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
-     repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]"
+     repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]\n       \
+     repro serve|submit|jobs|watch|result|cancel|status|shutdown ... (see `repro serve --help`)"
         .to_string()
 }
 
@@ -340,6 +353,14 @@ fn run() -> Result<(), (String, u8)> {
     if raw.first().map(String::as_str) == Some("bench") {
         return bench_cli::run(&raw[1..]);
     }
+    if let Some(first) = raw.first().map(String::as_str) {
+        if matches!(
+            first,
+            "serve" | "submit" | "jobs" | "watch" | "result" | "cancel" | "status" | "shutdown"
+        ) {
+            return serve_cli::run(first, &raw[1..]);
+        }
+    }
     let args = parse_args(&raw)?;
     let registry = Registry::with_defaults();
 
@@ -353,6 +374,10 @@ fn run() -> Result<(), (String, u8)> {
     match args.command {
         Command::List => {
             if args.json {
+                let scales: Vec<serde::Value> = Scale::ALL
+                    .iter()
+                    .map(|s| serde::Value::Str(s.name().into()))
+                    .collect();
                 let entries: Vec<serde::Value> = registry
                     .entries()
                     .iter()
@@ -360,6 +385,16 @@ fn run() -> Result<(), (String, u8)> {
                         serde::Value::Object(vec![
                             ("name".into(), serde::Value::Str(e.name().into())),
                             ("summary".into(), serde::Value::Str(e.summary().into())),
+                            (
+                                "aliases".into(),
+                                serde::Value::Array(
+                                    e.aliases()
+                                        .iter()
+                                        .map(|a| serde::Value::Str((*a).into()))
+                                        .collect(),
+                                ),
+                            ),
+                            ("scales".into(), serde::Value::Array(scales.clone())),
                         ])
                     })
                     .collect();
@@ -1463,6 +1498,338 @@ mod bench_cli {
                 rows.len()
             );
         }
+        Ok(())
+    }
+}
+
+/// The serving-mode subcommand family: run the resident `reprod` job server
+/// (`repro serve`) and talk to it (`submit`, `jobs`, `watch`, `result`,
+/// `cancel`, `status`, `shutdown`). All client commands find the server
+/// through `--addr`, falling back to the `addr` file the server writes into
+/// its state directory.
+mod serve_cli {
+    use std::path::PathBuf;
+
+    use rc4_attacks::experiments::Scale;
+    use rc4_serve::{Client, JobSpec, JobStatus, Server, ServerConfig};
+
+    use super::{parse_scale, parse_u64};
+
+    type CliResult<T> = Result<T, (String, u8)>;
+
+    fn fail<T>(msg: impl Into<String>) -> CliResult<T> {
+        Err((msg.into(), 2))
+    }
+
+    fn usage() -> String {
+        "usage: repro serve [--addr HOST:PORT] [--state-dir DIR] [--budget N] \
+         [--default-workers W] [--cache-dir DIR] [--no-cache]\n       \
+         repro submit NAME [--scale S] [--seed N] [--priority P] [--workers W] [CONN]\n       \
+         repro jobs [--json] [CONN]\n       \
+         repro watch ID [--from N] [CONN]\n       \
+         repro result ID [CONN]\n       \
+         repro cancel ID [CONN]\n       \
+         repro status [CONN]\n       \
+         repro shutdown [--deadline-ms N] [CONN]\n\
+         \n\
+         CONN: --addr HOST:PORT | --state-dir DIR (reads DIR/addr; default .reprod)"
+            .to_string()
+    }
+
+    /// Flags shared by every client command: how to reach the server.
+    struct Conn {
+        addr: Option<String>,
+        state_dir: PathBuf,
+    }
+
+    impl Conn {
+        fn resolve(&self) -> CliResult<String> {
+            if let Some(addr) = &self.addr {
+                return Ok(addr.clone());
+            }
+            let path = self.state_dir.join("addr");
+            match std::fs::read_to_string(&path) {
+                Ok(text) => Ok(text.trim().to_string()),
+                Err(e) => fail(format!(
+                    "cannot read server address from {} ({e}); is a server running? \
+                     start one with `repro serve` or point at it with --addr",
+                    path.display()
+                )),
+            }
+        }
+
+        fn connect(&self) -> CliResult<Client> {
+            let addr = self.resolve()?;
+            Client::connect(&addr).map_err(|e| (e.to_string(), 1))
+        }
+    }
+
+    /// Parses the flags of one serve-family command. `positional` collects
+    /// non-flag arguments (experiment name, job ID); unknown flags error.
+    struct Parsed {
+        conn: Conn,
+        positional: Vec<String>,
+        scale: Scale,
+        seed: u64,
+        priority: i64,
+        workers: u64,
+        from: u64,
+        deadline_ms: u64,
+        budget: usize,
+        default_workers: usize,
+        cache_dir: Option<String>,
+        no_cache: bool,
+        json: bool,
+    }
+
+    fn parse(args: &[String]) -> CliResult<Parsed> {
+        let mut parsed = Parsed {
+            conn: Conn {
+                addr: None,
+                state_dir: PathBuf::from(".reprod"),
+            },
+            positional: Vec::new(),
+            scale: Scale::Quick,
+            seed: 0,
+            priority: 0,
+            workers: 0,
+            from: 0,
+            deadline_ms: 10_000,
+            budget: std::thread::available_parallelism().map_or(4, usize::from),
+            default_workers: 1,
+            cache_dir: None,
+            no_cache: false,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => parsed.json = true,
+                "--no-cache" => parsed.no_cache = true,
+                "--help" | "-h" => return Err((usage(), 0)),
+                "--addr" | "--state-dir" | "--scale" | "--seed" | "--priority" | "--workers"
+                | "--from" | "--deadline-ms" | "--budget" | "--default-workers" | "--cache-dir" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2u8))?;
+                    match arg.as_str() {
+                        "--addr" => parsed.conn.addr = Some(value.clone()),
+                        "--state-dir" => parsed.conn.state_dir = PathBuf::from(value),
+                        "--scale" => {
+                            parsed.scale = parse_scale(value).map_err(|msg| (msg, 2))?;
+                        }
+                        "--seed" => {
+                            parsed.seed = parse_u64(value).map_err(|msg| (msg, 2))?;
+                        }
+                        "--priority" => {
+                            parsed.priority = value.parse().map_err(|_| {
+                                (format!("--priority expects an integer, got '{value}'"), 2u8)
+                            })?;
+                        }
+                        "--workers" | "--from" | "--deadline-ms" => {
+                            let n = parse_u64(value).map_err(|msg| (msg, 2))?;
+                            match arg.as_str() {
+                                "--workers" => parsed.workers = n,
+                                "--from" => parsed.from = n,
+                                _ => parsed.deadline_ms = n,
+                            }
+                        }
+                        "--budget" | "--default-workers" => {
+                            let n: usize = value.parse().map_err(|_| {
+                                (format!("{arg} expects an integer, got '{value}'"), 2u8)
+                            })?;
+                            if n == 0 {
+                                return fail(format!("{arg} must be at least 1"));
+                            }
+                            match arg.as_str() {
+                                "--budget" => parsed.budget = n,
+                                _ => parsed.default_workers = n,
+                            }
+                        }
+                        _ => parsed.cache_dir = Some(value.clone()),
+                    }
+                }
+                other if other.starts_with("--") => {
+                    return fail(format!("unknown flag '{other}'\n{}", usage()))
+                }
+                other => parsed.positional.push(other.to_string()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    fn job_id(parsed: &Parsed, cmd: &str) -> CliResult<u64> {
+        match parsed.positional.as_slice() {
+            [one] => parse_u64(one).map_err(|msg| (format!("job ID: {msg}"), 2)),
+            _ => fail(format!(
+                "'repro {cmd}' needs exactly one job ID\n{}",
+                usage()
+            )),
+        }
+    }
+
+    pub fn run(cmd: &str, args: &[String]) -> CliResult<()> {
+        let parsed = parse(args)?;
+        match cmd {
+            "serve" => serve(&parsed),
+            "submit" => submit(&parsed),
+            "jobs" => jobs(&parsed),
+            "watch" => watch(&parsed),
+            "result" => result(&parsed),
+            "cancel" => cancel(&parsed),
+            "status" => status(&parsed),
+            "shutdown" => shutdown(&parsed),
+            _ => unreachable!("dispatch guards the command list"),
+        }
+    }
+
+    fn serve(parsed: &Parsed) -> CliResult<()> {
+        if !parsed.positional.is_empty() {
+            return fail(format!("'repro serve' takes no positionals\n{}", usage()));
+        }
+        let state_dir = parsed.conn.state_dir.clone();
+        let cache_dir = if parsed.no_cache {
+            None
+        } else {
+            Some(
+                parsed
+                    .cache_dir
+                    .as_ref()
+                    .map_or_else(|| state_dir.join("cache"), PathBuf::from),
+            )
+        };
+        let config = ServerConfig {
+            addr: parsed
+                .conn
+                .addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:0".to_string()),
+            state_dir,
+            budget: parsed.budget,
+            default_workers: parsed.default_workers,
+            cache_dir,
+        };
+        let server = Server::bind(config).map_err(|e| (e.to_string(), 1))?;
+        eprintln!(
+            "reprod: listening on {} (state {}, budget {})",
+            server.local_addr(),
+            parsed.conn.state_dir.display(),
+            parsed.budget
+        );
+        server.run().map_err(|e| (e.to_string(), 1))
+    }
+
+    fn submit(parsed: &Parsed) -> CliResult<()> {
+        let [name] = parsed.positional.as_slice() else {
+            return fail(format!(
+                "'repro submit' needs exactly one experiment name\n{}",
+                usage()
+            ));
+        };
+        let mut client = parsed.conn.connect()?;
+        let id = client
+            .submit(JobSpec {
+                name: name.clone(),
+                scale: parsed.scale.name().to_string(),
+                seed: parsed.seed,
+                priority: parsed.priority,
+                workers: parsed.workers,
+            })
+            .map_err(|e| (e.to_string(), 1))?;
+        eprintln!(
+            "repro: submitted job {id} ({name}, scale {}, seed {})",
+            parsed.scale.name(),
+            parsed.seed
+        );
+        // Bare ID on stdout so scripts can `id=$(repro submit ...)`.
+        println!("{id}");
+        Ok(())
+    }
+
+    fn jobs(parsed: &Parsed) -> CliResult<()> {
+        let mut client = parsed.conn.connect()?;
+        let records = client.jobs().map_err(|e| (e.to_string(), 1))?;
+        if parsed.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&serde::Value::Array(records))
+                    .expect("jobs serialize")
+            );
+            return Ok(());
+        }
+        for record in &records {
+            let field = |name: &str| match record.field(name) {
+                Ok(serde::Value::Str(s)) => s.clone(),
+                Ok(serde::Value::UInt(n)) => n.to_string(),
+                Ok(serde::Value::Int(n)) => n.to_string(),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:>4}  {:10}  {:18}  scale {:8}  seed {:6}  workers {}",
+                field("id"),
+                field("status"),
+                field("name"),
+                field("scale"),
+                field("seed"),
+                field("workers"),
+            );
+        }
+        Ok(())
+    }
+
+    fn watch(parsed: &Parsed) -> CliResult<()> {
+        let id = job_id(parsed, "watch")?;
+        let mut client = parsed.conn.connect()?;
+        let (status, dropped) = client
+            .watch(id, parsed.from, |seq, line| println!("[{seq}] {line}"))
+            .map_err(|e| (e.to_string(), 1))?;
+        if dropped > 0 {
+            eprintln!("repro: server dropped {dropped} event(s) beyond its buffer");
+        }
+        println!("job {id} {}", status.name());
+        match status {
+            JobStatus::Done => Ok(()),
+            other => Err((format!("job {id} ended {}", other.name()), 1)),
+        }
+    }
+
+    fn result(parsed: &Parsed) -> CliResult<()> {
+        let id = job_id(parsed, "result")?;
+        let mut client = parsed.conn.connect()?;
+        let document = client.result(id).map_err(|e| (e.to_string(), 1))?;
+        // The document already carries the one-shot run's trailing newline;
+        // print it verbatim to preserve byte identity.
+        print!("{document}");
+        Ok(())
+    }
+
+    fn cancel(parsed: &Parsed) -> CliResult<()> {
+        let id = job_id(parsed, "cancel")?;
+        let mut client = parsed.conn.connect()?;
+        let status = client.cancel(id).map_err(|e| (e.to_string(), 1))?;
+        println!("job {id} {}", status.name());
+        Ok(())
+    }
+
+    fn status(parsed: &Parsed) -> CliResult<()> {
+        let mut client = parsed.conn.connect()?;
+        let status = client.status().map_err(|e| (e.to_string(), 1))?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&status).expect("status serializes")
+        );
+        Ok(())
+    }
+
+    fn shutdown(parsed: &Parsed) -> CliResult<()> {
+        let mut client = parsed.conn.connect()?;
+        let summary = client
+            .shutdown(parsed.deadline_ms)
+            .map_err(|e| (e.to_string(), 1))?;
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).expect("summary serializes")
+        );
         Ok(())
     }
 }

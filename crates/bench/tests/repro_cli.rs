@@ -37,6 +37,84 @@ fn list_prints_the_registry() {
     }
 }
 
+/// `repro list --json` describes every experiment completely: name, summary,
+/// aliases, and the scales it accepts — the machine-readable registry
+/// contract serving clients rely on to validate submissions.
+#[test]
+fn list_json_carries_name_summary_aliases_and_scales() {
+    let output = repro(&["list", "--json"]);
+    assert!(output.status.success());
+    let value: serde::Value = serde_json::from_str(&stdout(&output)).expect("list JSON parses");
+    let serde::Value::Array(entries) = &value else {
+        panic!("list --json must be a JSON array");
+    };
+    let registry = Registry::with_defaults();
+    assert_eq!(entries.len(), registry.len(), "one entry per experiment");
+    for (entry, registered) in entries.iter().zip(registry.entries()) {
+        let field = |name: &str| match entry.field(name) {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            other => panic!("entry field `{name}` should be a string, got {other:?}"),
+        };
+        assert_eq!(field("name"), registered.name());
+        assert_eq!(field("summary"), registered.summary());
+        let Ok(serde::Value::Array(aliases)) = entry.field("aliases") else {
+            panic!("entry lacks an `aliases` array");
+        };
+        let alias_names: Vec<String> = aliases
+            .iter()
+            .map(|a| match a {
+                serde::Value::Str(s) => s.clone(),
+                other => panic!("alias should be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(alias_names, registered.aliases().to_vec());
+        let Ok(serde::Value::Array(scales)) = entry.field("scales") else {
+            panic!("entry lacks a `scales` array");
+        };
+        let scale_names: Vec<String> = scales
+            .iter()
+            .map(|s| match s {
+                serde::Value::Str(s) => s.clone(),
+                other => panic!("scale should be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(scale_names, vec!["quick", "laptop", "extended"]);
+    }
+    // At least one experiment actually advertises an alias, so the field is
+    // exercised rather than vacuously empty everywhere.
+    assert!(
+        entries.iter().any(|e| matches!(
+            e.field("aliases"),
+            Ok(serde::Value::Array(a)) if !a.is_empty()
+        )),
+        "expected at least one aliased experiment"
+    );
+}
+
+/// The serve-family subcommands are wired into the dispatcher: a client
+/// command with no reachable server fails cleanly (exit 2, pointing at
+/// `repro serve`), and `repro serve --help` documents the whole family.
+#[test]
+fn serve_family_dispatches_and_fails_cleanly_without_a_server() {
+    let help = repro(&["serve", "--help"]);
+    assert!(help.status.success());
+    let text = stdout(&help);
+    for cmd in [
+        "serve", "submit", "jobs", "watch", "result", "cancel", "status", "shutdown",
+    ] {
+        assert!(text.contains(cmd), "serve help is missing '{cmd}'");
+    }
+
+    let output = repro(&["jobs", "--state-dir", "/nonexistent/reprod-state"]);
+    assert!(!output.status.success());
+    assert_eq!(output.status.code(), Some(2));
+    assert!(
+        stderr(&output).contains("repro serve"),
+        "the error should point at starting a server, got: {}",
+        stderr(&output)
+    );
+}
+
 /// `repro run all --scale quick --json` emits a single parseable JSON array
 /// with exactly one report per registered experiment, and two runs with the
 /// same (default) seed are byte-identical.

@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rc4_stats::{GenerationConfig, StorableDataset};
-use rc4_store::DatasetCache;
+use rc4_store::{DatasetCache, SingleFlight};
 
 use crate::ExperimentError;
 
@@ -218,6 +218,7 @@ pub struct ExperimentContext {
     sink: Arc<dyn EventSink>,
     cancel: CancelHandle,
     cache: Option<Arc<DatasetCache>>,
+    flights: Option<Arc<SingleFlight>>,
 }
 
 impl Default for ExperimentContext {
@@ -228,6 +229,7 @@ impl Default for ExperimentContext {
             sink: Arc::new(NullSink),
             cancel: CancelHandle::new(),
             cache: None,
+            flights: None,
         }
     }
 }
@@ -300,6 +302,18 @@ impl ExperimentContext {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<DatasetCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a shared single-flight table coordinating concurrent
+    /// [`ExperimentContext::load_or_generate`] calls *across contexts* that
+    /// share the same dataset cache. With one attached, concurrent callers
+    /// missing on the same cache key serialize: the first generates and
+    /// stores, the rest wait and then load the stored entry — exactly one
+    /// generation per key however many clients ask for it.
+    #[must_use]
+    pub fn with_flights(mut self, flights: Arc<SingleFlight>) -> Self {
+        self.flights = Some(flights);
         self
     }
 
@@ -397,6 +411,13 @@ impl ExperimentContext {
     /// the store reproduces generation exactly (see `rc4-store`), cached and
     /// fresh runs produce identical experiment output.
     ///
+    /// When a [`SingleFlight`] table is attached (via
+    /// [`ExperimentContext::with_flights`]) alongside the cache, the whole
+    /// check-generate-store sequence runs inside a per-key critical section:
+    /// concurrent callers on the same `(kind, shape, config)` wait for the
+    /// first one to store, then load the cached entry — exactly one
+    /// generation per key across every context sharing the table.
+    ///
     /// # Errors
     ///
     /// Propagates `fill`'s error, and cache I/O / corruption errors as
@@ -417,6 +438,13 @@ impl ExperimentContext {
             return Ok(empty);
         };
         let shape = empty.shape_params();
+        // Hold the key's flight for the whole check-generate-store sequence
+        // so concurrent misses on the same key collapse into one generation.
+        // The guard's Drop releases the key even if generation fails.
+        let _flight = self
+            .flights
+            .as_deref()
+            .map(|flights| flights.begin(&DatasetCache::cache_key(D::kind(), &shape, config)));
         if let Some(hit) = cache.load::<D>(&shape, config)? {
             self.emit(ProgressEvent::DatasetCache {
                 kind: D::kind(),
@@ -524,6 +552,67 @@ mod tests {
                 "dataset cache hit (single)"
             ]
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_load_or_generate_same_key_generates_exactly_once() {
+        use rc4_stats::{single::SingleByteDataset, worker::generate, GenerationConfig};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let dir = std::env::temp_dir().join(format!(
+            "rc4-attacks-singleflight-cache-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Arc::new(DatasetCache::open(&dir).unwrap());
+        let flights = Arc::new(SingleFlight::new());
+        let generations = Arc::new(AtomicUsize::new(0));
+        let config = GenerationConfig::with_keys(400).seed(11);
+
+        // All threads race load_or_generate on the SAME (kind, shape, config)
+        // key through one shared cache + flight table, each from its own
+        // context (the server shape: one context per job).
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let flights = Arc::clone(&flights);
+                let generations = Arc::clone(&generations);
+                std::thread::spawn(move || {
+                    let ctx = ExperimentContext::new()
+                        .with_cache(cache)
+                        .with_flights(flights);
+                    ctx.load_or_generate(SingleByteDataset::new(4), &config, |ds| {
+                        generations.fetch_add(1, Ordering::SeqCst);
+                        generate(ds, &config)?;
+                        Ok(())
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        let datasets: Vec<SingleByteDataset> = handles
+            .into_iter()
+            .map(|h| h.join().expect("racing thread panicked"))
+            .collect();
+
+        assert_eq!(
+            generations.load(Ordering::SeqCst),
+            1,
+            "single-flight must collapse concurrent misses into one generation"
+        );
+        // Every caller sees byte-identical counts.
+        let reference = &datasets[0];
+        for ds in &datasets[1..] {
+            for r in 1..=4 {
+                assert_eq!(ds.counts_at(r), reference.counts_at(r));
+            }
+        }
+        // Exactly one flight led; the rest waited (or arrived after the
+        // store, which also counts as a begun flight that then hit).
+        let stats = flights.stats();
+        assert_eq!(stats.begun, 6);
+        assert_eq!(stats.in_flight, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -245,6 +245,7 @@ fn fig7_stream_trial(
     key_pair_probs: &[f64],
     fm_cells: &[(u8, u8, f64)],
     rng: &mut StdRng,
+    ctx: &ExperimentContext,
 ) -> Result<StreamOutcome, ExperimentError> {
     let truth: (u8, u8) = (rng.gen(), rng.gen());
 
@@ -284,6 +285,9 @@ fn fig7_stream_trial(
     let mut margin = 0.0f64;
     let mut correct = false;
     while consumed < config.stop.cap {
+        // A trial spans many ingest batches; poll cancellation per batch so a
+        // raised flag interrupts the stream promptly, not at the next trial.
+        ctx.checkpoint()?;
         // Ingest one batch of simulated ciphertext copies into the
         // accumulated count tables (in place — nothing is re-materialized).
         let batch = (config.stop.cap - consumed).min(config.stop.batch);
@@ -375,7 +379,7 @@ pub fn run_fig7_stream(
         .map((0..config.trials).collect(), |_, trial| {
             ctx.checkpoint()?;
             let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, &[trial as u64]));
-            let outcome = fig7_stream_trial(config, &key_pair_probs, &fm_cells, &mut rng)?;
+            let outcome = fig7_stream_trial(config, &key_pair_probs, &fm_cells, &mut rng, ctx)?;
             reporter.tick(1);
             Ok::<_, ExperimentError>(outcome)
         })
@@ -562,6 +566,7 @@ fn fig10_stream_trial(
     config: &Fig10StreamConfig,
     transition_probs: &[Vec<f64>],
     rng: &mut StdRng,
+    ctx: &ExperimentContext,
 ) -> Result<StreamOutcome, ExperimentError> {
     let alphabet = config.charset.values().to_vec();
     let cookie: Vec<u8> = (0..config.cookie_len)
@@ -622,6 +627,8 @@ fn fig10_stream_trial(
     let mut correct = false;
     let mut batch_votes = vec![0.0f64; 65536];
     while consumed < config.stop.cap {
+        // Per-batch cancellation poll, as in fig7_stream_trial.
+        ctx.checkpoint()?;
         let batch = (config.stop.cap - consumed).min(config.stop.batch);
         let n_f = batch as f64;
         for tr in &mut transitions {
@@ -729,7 +736,7 @@ pub fn run_fig10_stream(
         .map((0..config.trials).collect(), |_, trial| {
             ctx.checkpoint()?;
             let mut rng = StdRng::seed_from_u64(stream_seed(base_seed, &[trial as u64]));
-            let outcome = fig10_stream_trial(config, &transition_probs, &mut rng)?;
+            let outcome = fig10_stream_trial(config, &transition_probs, &mut rng, ctx)?;
             reporter.tick(1);
             Ok::<_, ExperimentError>(outcome)
         })
@@ -1179,6 +1186,66 @@ mod tests {
         let mut exp = Fig7StreamExperiment::new();
         exp.apply_scale(Scale::Quick);
         assert_eq!(exp.run(&ctx), Err(ExperimentError::Cancelled));
+    }
+
+    #[test]
+    fn streaming_trials_poll_cancellation_per_ingest_batch() {
+        // The trial functions themselves must observe the flag between ingest
+        // batches: with a raised flag a direct trial call may not run to the
+        // cap (before the fix it had no cancellation path at all and would).
+        let handle = crate::context::CancelHandle::new();
+        handle.cancel();
+        let ctx = ExperimentContext::default().with_cancel(handle);
+
+        let fig7 = small_fig7();
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = vec![1.0 / 65536.0; 65536];
+        let cells = vec![(0u8, 0u8, UNIFORM_PAIR * 1.5)];
+        assert_eq!(
+            fig7_stream_trial(&fig7, &probs, &cells, &mut rng, &ctx),
+            Err(ExperimentError::Cancelled)
+        );
+
+        let fig10 = Fig10StreamConfig {
+            trials: 1,
+            cookie_len: 2,
+            candidates: 16,
+            absab_relations: 2,
+            charset: Charset::hex_lower(),
+            ..Fig10StreamConfig::for_scale(Scale::Quick)
+        };
+        let transition_probs = vec![vec![1.0 / 65536.0; 65536]; fig10.cookie_len + 1];
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            fig10_stream_trial(&fig10, &transition_probs, &mut rng, &ctx),
+            Err(ExperimentError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn fig7_stream_cancel_mid_trial_interrupts_between_batches() {
+        // One trial, many batches: a cancel raised while the trial is in its
+        // ingest loop must abort that trial at the next batch boundary
+        // instead of letting it stream to the cap.
+        let config = Fig7StreamConfig {
+            trials: 1,
+            absab_relations: 8,
+            stop: StopRule {
+                threshold: 1e15, // undecidable: only cancellation can stop early
+                batch: 1 << 27,
+                cap: 1 << 40, // ~8000 batches; a full run would take hours
+            },
+            ..Fig7StreamConfig::for_scale(Scale::Quick)
+        };
+        let handle = crate::context::CancelHandle::new();
+        let ctx = ExperimentContext::default().with_cancel(handle.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            handle.cancel();
+        });
+        let result = run_fig7_stream(&config, &ctx);
+        canceller.join().unwrap();
+        assert_eq!(result, Err(ExperimentError::Cancelled));
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   error type so every crate keeps its own error enum.
 //! * [`ProgressThrottle`] — an aggregated, rate-limited progress counter so a
 //!   hundred workers ticking per chunk collapse into a few events per second.
+//! * [`Budget`] — shared worker-slot accounting for multi-job schedulers: a
+//!   server reserves a per-job thread budget before running a job's executor
+//!   and releases it after, with [`BudgetStats`] for status endpoints.
 //!
 //! # Determinism contract
 //!
@@ -37,8 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod pool;
 mod progress;
 
+pub use budget::{Budget, BudgetLease, BudgetStats, OwnedBudgetLease};
 pub use pool::{ExecError, Executor};
 pub use progress::ProgressThrottle;

@@ -1,0 +1,330 @@
+//! The persistent run ledger: every job the server ever admitted.
+//!
+//! One JSON document (`ledger.json` in the server's state directory) holding
+//! a record per job — ID, spec, status, result path, error. The server
+//! rewrites it atomically (write-to-temp + rename, the same discipline as
+//! `rc4-store` shards) on every job transition, so however the process ends
+//! the ledger on disk is a complete, parseable account. A restarted server
+//! loads it, continues job numbering past the highest recorded ID, and can
+//! report completed-job results from a previous incarnation.
+
+use std::path::{Path, PathBuf};
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use crate::ServeError;
+
+/// Lifecycle of a job, as recorded in the ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for the scheduler.
+    Queued,
+    /// Executing on the pool.
+    Running,
+    /// Finished successfully; `result_path` holds the report document.
+    Done,
+    /// Finished with an error; `error` holds the message.
+    Failed,
+    /// Cancelled before or during execution (including by a drain).
+    Cancelled,
+}
+
+impl JobStatus {
+    /// The wire/ledger name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a wire/ledger name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "queued" => Some(JobStatus::Queued),
+            "running" => Some(JobStatus::Running),
+            "done" => Some(JobStatus::Done),
+            "failed" => Some(JobStatus::Failed),
+            "cancelled" => Some(JobStatus::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether the status is final (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+impl Serialize for JobStatus {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for JobStatus {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                JobStatus::parse(s).ok_or_else(|| DeError(format!("unknown job status `{s}`")))
+            }
+            other => Err(DeError(format!(
+                "job status must be a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One job's full ledger record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Server-assigned monotonic job ID.
+    pub id: u64,
+    /// Canonical experiment name.
+    pub name: String,
+    /// Scale preset name.
+    pub scale: String,
+    /// Global seed mix.
+    pub seed: u64,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Worker budget the job runs under.
+    pub workers: u64,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Path of the result document once `status == done`.
+    pub result_path: Option<String>,
+    /// Failure message once `status == failed`.
+    pub error: Option<String>,
+}
+
+impl JobRecord {
+    /// The record's wire form for `jobs` responses.
+    pub fn to_wire(&self) -> Value {
+        self.to_value()
+    }
+}
+
+/// The on-disk ledger: every record, plus the path it persists to.
+#[derive(Debug)]
+pub struct RunLedger {
+    path: PathBuf,
+    jobs: Vec<JobRecord>,
+}
+
+/// Ledger format version, bumped on breaking layout changes.
+pub const LEDGER_VERSION: u64 = 1;
+
+impl RunLedger {
+    /// Opens the ledger at `path`, loading existing records if the file
+    /// exists (a missing file is an empty ledger, not an error).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on unreadable files, [`ServeError::Protocol`] on
+    /// unparseable or wrong-version content — a corrupt ledger is reported,
+    /// never silently discarded.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, ServeError> {
+        let path = path.into();
+        if !path.exists() {
+            return Ok(RunLedger {
+                path,
+                jobs: Vec::new(),
+            });
+        }
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| ServeError::Io(format!("cannot read ledger {}: {e}", path.display())))?;
+        let value: Value = serde_json::from_str(&text).map_err(|e| {
+            ServeError::Protocol(format!("ledger {} is not valid JSON: {e}", path.display()))
+        })?;
+        let version = match value.field("version") {
+            Ok(Value::UInt(n)) => *n,
+            _ => 0,
+        };
+        if version != LEDGER_VERSION {
+            return Err(ServeError::Protocol(format!(
+                "ledger {} has version {version}, expected {LEDGER_VERSION}",
+                path.display()
+            )));
+        }
+        let jobs = match value.field("jobs") {
+            Ok(Value::Array(items)) => items
+                .iter()
+                .map(JobRecord::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| ServeError::Protocol(format!("ledger {}: {}", path.display(), e.0)))?,
+            _ => {
+                return Err(ServeError::Protocol(format!(
+                    "ledger {} lacks a `jobs` array",
+                    path.display()
+                )))
+            }
+        };
+        Ok(RunLedger { path, jobs })
+    }
+
+    /// The path the ledger persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// All records, oldest first.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// The record with `id`, if any.
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// The next unused job ID (continues past previous incarnations).
+    pub fn next_id(&self) -> u64 {
+        self.jobs.iter().map(|j| j.id).max().map_or(1, |m| m + 1)
+    }
+
+    /// Appends a fresh record and persists.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the write fails.
+    pub fn append(&mut self, record: JobRecord) -> Result<(), ServeError> {
+        self.jobs.push(record);
+        self.save()
+    }
+
+    /// Updates the record with `record.id` in place and persists.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] for an unknown ID, [`ServeError::Io`] when
+    /// the write fails.
+    pub fn update(&mut self, record: JobRecord) -> Result<(), ServeError> {
+        let slot = self
+            .jobs
+            .iter_mut()
+            .find(|j| j.id == record.id)
+            .ok_or_else(|| ServeError::Protocol(format!("ledger has no job {}", record.id)))?;
+        *slot = record;
+        self.save()
+    }
+
+    /// Atomically rewrites the ledger file (temp + rename).
+    fn save(&self) -> Result<(), ServeError> {
+        let value = Value::Object(vec![
+            ("version".to_string(), Value::UInt(LEDGER_VERSION)),
+            (
+                "jobs".to_string(),
+                Value::Array(self.jobs.iter().map(JobRecord::to_value).collect()),
+            ),
+        ]);
+        let text = serde_json::to_string_pretty(&value).expect("ledger serializes");
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, format!("{text}\n"))
+            .map_err(|e| ServeError::Io(format!("cannot write {}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| ServeError::Io(format!("cannot rename {}: {e}", tmp.display())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, status: JobStatus) -> JobRecord {
+        JobRecord {
+            id,
+            name: "fig8".into(),
+            scale: "quick".into(),
+            seed: 7,
+            priority: 1,
+            workers: 2,
+            status,
+            result_path: None,
+            error: None,
+        }
+    }
+
+    fn temp_ledger(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "rc4-serve-ledger-{tag}-{}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_ledger() {
+        let path = temp_ledger("missing");
+        let _ = std::fs::remove_file(&path);
+        let ledger = RunLedger::open(&path).unwrap();
+        assert!(ledger.jobs().is_empty());
+        assert_eq!(ledger.next_id(), 1);
+    }
+
+    #[test]
+    fn append_update_and_reload_round_trip() {
+        let path = temp_ledger("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut ledger = RunLedger::open(&path).unwrap();
+        ledger.append(record(1, JobStatus::Queued)).unwrap();
+        ledger.append(record(2, JobStatus::Queued)).unwrap();
+        let mut done = record(1, JobStatus::Done);
+        done.result_path = Some("results/job-1.json".into());
+        ledger.update(done.clone()).unwrap();
+
+        let reloaded = RunLedger::open(&path).unwrap();
+        assert_eq!(reloaded.jobs().len(), 2);
+        assert_eq!(reloaded.get(1), Some(&done));
+        assert_eq!(reloaded.get(2).unwrap().status, JobStatus::Queued);
+        assert_eq!(reloaded.next_id(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_ledger_is_a_typed_error() {
+        let path = temp_ledger("corrupt");
+        std::fs::write(&path, "{ nope").unwrap();
+        assert!(matches!(
+            RunLedger::open(&path),
+            Err(ServeError::Protocol(_))
+        ));
+        std::fs::write(&path, r#"{"version": 99, "jobs": []}"#).unwrap();
+        assert!(matches!(
+            RunLedger::open(&path),
+            Err(ServeError::Protocol(_))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn update_of_unknown_id_errors() {
+        let path = temp_ledger("unknown");
+        let _ = std::fs::remove_file(&path);
+        let mut ledger = RunLedger::open(&path).unwrap();
+        assert!(ledger.update(record(9, JobStatus::Done)).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn status_names_round_trip() {
+        for status in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ] {
+            assert_eq!(JobStatus::parse(status.name()), Some(status));
+        }
+        assert_eq!(JobStatus::parse("paused"), None);
+        assert!(JobStatus::Done.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+    }
+}

@@ -1,0 +1,329 @@
+//! The `reprod` wire protocol: newline-delimited JSON frames over TCP.
+//!
+//! Every request is one line holding a JSON object with a `"cmd"` string
+//! field; every response is one line holding a JSON object with an `"ok"`
+//! boolean. A `watch` request is the one streaming exception: the server
+//! answers with any number of `{"event": "progress", ...}` lines followed by
+//! exactly one `{"event": "end", ...}` line.
+//!
+//! The vendored serde subset drives the framing: requests and responses are
+//! built and picked apart as [`serde::Value`] trees, so optional fields can
+//! be omitted by clients (a missing field falls back to its documented
+//! default instead of erroring).
+
+use serde::Value;
+
+use crate::ServeError;
+
+/// A client request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// List the registered experiments.
+    List,
+    /// Submit a job; responds with its assigned ID.
+    Submit(JobSpec),
+    /// Summarize every job the server knows about (including ledger entries
+    /// reloaded from a previous incarnation).
+    Jobs,
+    /// Stream progress events of a job from sequence number `from` until it
+    /// reaches a terminal state.
+    Watch {
+        /// Job ID.
+        id: u64,
+        /// First event sequence number to deliver (0 replays from the start).
+        from: u64,
+    },
+    /// Fetch the final result document of a completed job.
+    Result {
+        /// Job ID.
+        id: u64,
+    },
+    /// Server introspection: queue, budget and single-flight statistics.
+    Status,
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job ID.
+        id: u64,
+    },
+    /// Graceful drain: stop admitting, finish or cancel running jobs within
+    /// the deadline, persist the ledger, exit.
+    Shutdown {
+        /// Grace period in milliseconds before running jobs are cancelled.
+        deadline_ms: u64,
+    },
+}
+
+/// What to run and how, as carried by a `submit` frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Registry name (or alias) of the experiment.
+    pub name: String,
+    /// Scale preset name (`quick` | `laptop` | `extended`).
+    pub scale: String,
+    /// Global seed mix (the `--seed` of a one-shot run).
+    pub seed: u64,
+    /// Scheduling priority; higher runs first, ties submit-order.
+    pub priority: i64,
+    /// Worker budget requested for this job (0 = the server default).
+    pub workers: u64,
+}
+
+/// Reads an optional `u64` field with a default.
+fn opt_u64(v: &Value, name: &str, default: u64) -> Result<u64, ServeError> {
+    match v.field(name) {
+        Ok(Value::UInt(n)) => Ok(*n),
+        Ok(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+        Ok(Value::Null) | Err(_) => Ok(default),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be a non-negative integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads an optional `i64` field with a default.
+fn opt_i64(v: &Value, name: &str, default: i64) -> Result<i64, ServeError> {
+    match v.field(name) {
+        Ok(Value::Int(n)) => Ok(*n),
+        Ok(Value::UInt(n)) => i64::try_from(*n)
+            .map_err(|_| ServeError::Protocol(format!("field `{name}` out of range"))),
+        Ok(Value::Null) | Err(_) => Ok(default),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be an integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads an optional string field with a default.
+fn opt_str(v: &Value, name: &str, default: &str) -> Result<String, ServeError> {
+    match v.field(name) {
+        Ok(Value::Str(s)) => Ok(s.clone()),
+        Ok(Value::Null) | Err(_) => Ok(default.to_string()),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be a string, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads a required string field.
+fn req_str(v: &Value, name: &str) -> Result<String, ServeError> {
+    match v.field(name) {
+        Ok(Value::Str(s)) => Ok(s.clone()),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be a string, found {}",
+            other.kind()
+        ))),
+        Err(e) => Err(ServeError::Protocol(e.0)),
+    }
+}
+
+/// Reads a required `u64` field.
+fn req_u64(v: &Value, name: &str) -> Result<u64, ServeError> {
+    match v.field(name) {
+        Ok(Value::UInt(n)) => Ok(*n),
+        Ok(Value::Int(n)) if *n >= 0 => Ok(*n as u64),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be a non-negative integer, found {}",
+            other.kind()
+        ))),
+        Err(e) => Err(ServeError::Protocol(e.0)),
+    }
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Protocol`] for malformed JSON, a missing/unknown
+    /// `cmd`, or ill-typed fields.
+    pub fn parse(line: &str) -> Result<Self, ServeError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| ServeError::Protocol(format!("malformed request JSON: {e}")))?;
+        let cmd = req_str(&value, "cmd")?;
+        match cmd.as_str() {
+            "list" => Ok(Request::List),
+            "submit" => Ok(Request::Submit(JobSpec {
+                name: req_str(&value, "name")?,
+                scale: opt_str(&value, "scale", "laptop")?,
+                seed: opt_u64(&value, "seed", 0)?,
+                priority: opt_i64(&value, "priority", 0)?,
+                workers: opt_u64(&value, "workers", 0)?,
+            })),
+            "jobs" => Ok(Request::Jobs),
+            "watch" => Ok(Request::Watch {
+                id: req_u64(&value, "id")?,
+                from: opt_u64(&value, "from", 0)?,
+            }),
+            "result" => Ok(Request::Result {
+                id: req_u64(&value, "id")?,
+            }),
+            "status" => Ok(Request::Status),
+            "cancel" => Ok(Request::Cancel {
+                id: req_u64(&value, "id")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown {
+                deadline_ms: opt_u64(&value, "deadline_ms", 10_000)?,
+            }),
+            other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
+        }
+    }
+
+    /// Serializes the request to its one-line wire form.
+    pub fn to_line(&self) -> String {
+        let fields = match self {
+            Request::List => vec![cmd("list")],
+            Request::Submit(spec) => vec![
+                cmd("submit"),
+                ("name".into(), Value::Str(spec.name.clone())),
+                ("scale".into(), Value::Str(spec.scale.clone())),
+                ("seed".into(), Value::UInt(spec.seed)),
+                ("priority".into(), Value::Int(spec.priority)),
+                ("workers".into(), Value::UInt(spec.workers)),
+            ],
+            Request::Jobs => vec![cmd("jobs")],
+            Request::Watch { id, from } => vec![
+                cmd("watch"),
+                ("id".into(), Value::UInt(*id)),
+                ("from".into(), Value::UInt(*from)),
+            ],
+            Request::Result { id } => vec![cmd("result"), ("id".into(), Value::UInt(*id))],
+            Request::Status => vec![cmd("status")],
+            Request::Cancel { id } => vec![cmd("cancel"), ("id".into(), Value::UInt(*id))],
+            Request::Shutdown { deadline_ms } => vec![
+                cmd("shutdown"),
+                ("deadline_ms".into(), Value::UInt(*deadline_ms)),
+            ],
+        };
+        serde_json::to_string(&Value::Object(fields)).expect("request serializes")
+    }
+}
+
+fn cmd(name: &str) -> (String, Value) {
+    ("cmd".into(), Value::Str(name.into()))
+}
+
+/// Builds a success response from extra fields.
+pub fn ok_response(mut fields: Vec<(String, Value)>) -> String {
+    let mut all = vec![("ok".to_string(), Value::Bool(true))];
+    all.append(&mut fields);
+    serde_json::to_string(&Value::Object(all)).expect("response serializes")
+}
+
+/// Builds an error response.
+pub fn error_response(message: &str) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(message.to_string())),
+    ]))
+    .expect("response serializes")
+}
+
+/// Parses a response line into its `Value` tree, folding `ok: false` frames
+/// into [`ServeError::Server`].
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for malformed frames, [`ServeError::Server`] when
+/// the server reported a failure.
+pub fn parse_response(line: &str) -> Result<Value, ServeError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| ServeError::Protocol(format!("malformed response JSON: {e}")))?;
+    match value.field("ok") {
+        Ok(Value::Bool(true)) => Ok(value),
+        Ok(Value::Bool(false)) => {
+            let message = match value.field("error") {
+                Ok(Value::Str(s)) => s.clone(),
+                _ => "unspecified server error".to_string(),
+            };
+            Err(ServeError::Server(message))
+        }
+        _ => Err(ServeError::Protocol(
+            "response lacks a boolean `ok` field".to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_wire_form() {
+        let requests = vec![
+            Request::List,
+            Request::Submit(JobSpec {
+                name: "fig8".into(),
+                scale: "quick".into(),
+                seed: 42,
+                priority: -3,
+                workers: 2,
+            }),
+            Request::Jobs,
+            Request::Watch { id: 7, from: 12 },
+            Request::Result { id: 7 },
+            Request::Status,
+            Request::Cancel { id: 3 },
+            Request::Shutdown { deadline_ms: 500 },
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "frames must be single lines");
+            assert_eq!(Request::parse(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn submit_defaults_optional_fields() {
+        let parsed = Request::parse(r#"{"cmd":"submit","name":"fig8"}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Submit(JobSpec {
+                name: "fig8".into(),
+                scale: "laptop".into(),
+                seed: 0,
+                priority: 0,
+                workers: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        assert!(matches!(
+            Request::parse("not json"),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"fly"}"#),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"submit"}"#),
+            Err(ServeError::Protocol(_)),
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"submit","name":"fig8","seed":"high"}"#),
+            Err(ServeError::Protocol(_)),
+        ));
+    }
+
+    #[test]
+    fn response_helpers_round_trip() {
+        let ok = ok_response(vec![("id".into(), Value::UInt(9))]);
+        let value = parse_response(&ok).unwrap();
+        assert_eq!(value.field("id").unwrap(), &Value::UInt(9));
+
+        let err = error_response("queue is draining");
+        assert_eq!(
+            parse_response(&err),
+            Err(ServeError::Server("queue is draining".into()))
+        );
+        assert!(matches!(
+            parse_response(r#"{"id": 9}"#),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

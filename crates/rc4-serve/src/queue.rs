@@ -1,0 +1,168 @@
+//! The server's admission queue: priority-ordered, drain-aware, blocking.
+//!
+//! Scheduling policy: the runnable job with the highest `priority` goes
+//! first; within one priority, submission order (FIFO). The scheduler thread
+//! blocks on [`JobQueue::pop_next`] until a job is available or the queue is
+//! drained. Capacity is *not* this queue's concern — the scheduler acquires
+//! the popped job's worker budget from [`rc4_exec::Budget`] afterwards, so
+//! admission order is strict even when a large job has to wait for slots.
+
+use std::sync::{Condvar, Mutex};
+
+/// One queued entry: the job ID plus its scheduling key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Pending {
+    id: u64,
+    priority: i64,
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    pending: Vec<Pending>,
+    next_seq: u64,
+    draining: bool,
+}
+
+/// A blocking, drain-aware priority queue of job IDs.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    changed: Condvar,
+}
+
+impl JobQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Enqueues a job. Returns `false` (and drops the entry) once the queue
+    /// is draining — the caller must refuse the submission.
+    pub fn push(&self, id: u64, priority: i64) -> bool {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.draining {
+            return false;
+        }
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.pending.push(Pending { id, priority, seq });
+        drop(state);
+        self.changed.notify_all();
+        true
+    }
+
+    /// Blocks until a job is available (returning the highest-priority,
+    /// earliest-submitted one) or the queue is draining (returning `None`).
+    /// Draining takes precedence: once raised, leftover entries are never
+    /// popped — the server cancels them instead.
+    pub fn pop_next(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if state.draining {
+                return None;
+            }
+            if let Some(best) = state
+                .pending
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| (p.priority, std::cmp::Reverse(p.seq)))
+                .map(|(i, _)| i)
+            {
+                return Some(state.pending.remove(best).id);
+            }
+            state = self.changed.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Removes a not-yet-popped job; `true` if it was still queued.
+    pub fn remove(&self, id: u64) -> bool {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        let before = state.pending.len();
+        state.pending.retain(|p| p.id != id);
+        state.pending.len() != before
+    }
+
+    /// Switches to draining: wakes the scheduler, refuses new pushes, and
+    /// returns the job IDs still queued (in scheduling order) so the caller
+    /// can mark them cancelled.
+    pub fn drain(&self) -> Vec<u64> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.draining = true;
+        let mut leftover = std::mem::take(&mut state.pending);
+        leftover.sort_by_key(|p| (std::cmp::Reverse(p.priority), p.seq));
+        drop(state);
+        self.changed.notify_all();
+        leftover.into_iter().map(|p| p.id).collect()
+    }
+
+    /// Whether [`JobQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("queue lock poisoned").draining
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("queue lock poisoned")
+            .pending
+            .len()
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pops_by_priority_then_submission_order() {
+        let queue = JobQueue::new();
+        assert!(queue.push(1, 0));
+        assert!(queue.push(2, 5));
+        assert!(queue.push(3, 5));
+        assert!(queue.push(4, -1));
+        assert_eq!(queue.pop_next(), Some(2));
+        assert_eq!(queue.pop_next(), Some(3));
+        assert_eq!(queue.pop_next(), Some(1));
+        assert_eq!(queue.pop_next(), Some(4));
+    }
+
+    #[test]
+    fn remove_unqueues_pending_jobs_only() {
+        let queue = JobQueue::new();
+        queue.push(1, 0);
+        queue.push(2, 0);
+        assert!(queue.remove(1));
+        assert!(!queue.remove(1));
+        assert_eq!(queue.pop_next(), Some(2));
+    }
+
+    #[test]
+    fn drain_wakes_blocked_pop_and_returns_leftovers() {
+        let queue = Arc::new(JobQueue::new());
+        let popper = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop_next())
+        };
+        // Let the popper park, then drain with entries still queued.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.push(7, 1);
+        let first = popper.join().expect("popper panicked");
+        assert_eq!(first, Some(7));
+
+        queue.push(8, 0);
+        queue.push(9, 3);
+        let leftover = queue.drain();
+        assert_eq!(leftover, vec![9, 8]);
+        assert!(queue.is_draining());
+        assert!(!queue.push(10, 0), "draining queue must refuse pushes");
+        assert_eq!(queue.pop_next(), None);
+    }
+}

@@ -31,6 +31,9 @@
 //!   `(kind, shape, config)`. Experiment drivers consult it before
 //!   generating; a hit skips generation entirely and is guaranteed to be the
 //!   dataset the generation would have produced.
+//! * [`singleflight`] — keyed mutual exclusion around the cache's
+//!   check-generate-store sequence, so N concurrent clients missing on the
+//!   same key trigger exactly one generation and the rest wait then hit.
 //!
 //! All errors surface as typed [`rc4_stats::DatasetError`] variants —
 //! [`rc4_stats::DatasetError::Io`] for file-system failures and
@@ -45,9 +48,11 @@ pub mod format;
 pub mod generate;
 pub mod merge;
 pub mod shard;
+pub mod singleflight;
 
 pub use cache::DatasetCache;
 pub use format::{ShardHeader, FORMAT_VERSION, MAGIC};
 pub use generate::{generate_shard, resume_shard, GenerateOptions, GenerateStatus, ShardSpec};
 pub use merge::merge_shards;
 pub use shard::{peek_header, read_shard, write_shard};
+pub use singleflight::{FlightGuard, FlightStats, SingleFlight};

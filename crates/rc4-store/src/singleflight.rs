@@ -1,0 +1,213 @@
+//! Single-flight deduplication for concurrent dataset generation.
+//!
+//! When N clients of a shared [`crate::DatasetCache`] miss on the same cache
+//! key at the same time, each would generate the identical dataset — hours of
+//! duplicated work for the empirical configurations. [`SingleFlight`] closes
+//! that window: callers enter a keyed critical section around the whole
+//! *check-cache → generate → store* sequence, so the first caller in does the
+//! generation and every concurrent caller blocks until the key is released,
+//! re-checks the cache, and hits.
+//!
+//! This is a coordination layer, not a cache: it holds no data, only the set
+//! of keys currently "in flight" plus counters ([`FlightStats`]) that let
+//! tests and status endpoints observe how much duplicate work was avoided.
+//! Keys are opaque strings; cache users pass [`crate::DatasetCache::cache_key`]
+//! output.
+
+use std::collections::HashSet;
+use std::sync::{Condvar, Mutex};
+
+/// Point-in-time counters of a [`SingleFlight`]'s activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightStats {
+    /// Keys currently held in flight.
+    pub in_flight: usize,
+    /// Total flights begun (leaders that entered a key's critical section).
+    pub begun: usize,
+    /// Times a caller found its key already in flight and had to wait.
+    pub waited: usize,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    in_flight: HashSet<String>,
+    begun: usize,
+    waited: usize,
+}
+
+/// A keyed mutual-exclusion set: at most one holder per key, waiters block.
+///
+/// ```
+/// use rc4_store::SingleFlight;
+///
+/// let flights = SingleFlight::new();
+/// let guard = flights.begin("per-tsc-abc123");
+/// // ... expensive generation for that key ...
+/// drop(guard); // waiters on the same key wake up here
+/// assert_eq!(flights.stats().begun, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    state: Mutex<FlightState>,
+    released: Condvar,
+}
+
+impl SingleFlight {
+    /// Creates an empty single-flight table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Enters the critical section for `key`, blocking while another holder
+    /// has it. The returned guard releases the key on drop (including on
+    /// panic/unwind, so a failed generation never wedges its waiters).
+    pub fn begin(&self, key: &str) -> FlightGuard<'_> {
+        let mut state = self.state.lock().expect("single-flight lock poisoned");
+        if state.in_flight.contains(key) {
+            state.waited += 1;
+            while state.in_flight.contains(key) {
+                state = self
+                    .released
+                    .wait(state)
+                    .expect("single-flight lock poisoned");
+            }
+        }
+        state.in_flight.insert(key.to_string());
+        state.begun += 1;
+        FlightGuard {
+            flights: self,
+            key: key.to_string(),
+        }
+    }
+
+    /// Snapshots the activity counters.
+    pub fn stats(&self) -> FlightStats {
+        let state = self.state.lock().expect("single-flight lock poisoned");
+        FlightStats {
+            in_flight: state.in_flight.len(),
+            begun: state.begun,
+            waited: state.waited,
+        }
+    }
+
+    fn release(&self, key: &str) {
+        let mut state = self.state.lock().expect("single-flight lock poisoned");
+        state.in_flight.remove(key);
+        drop(state);
+        self.released.notify_all();
+    }
+}
+
+/// Holds a key in flight; releases it (waking waiters) on drop.
+#[derive(Debug)]
+pub struct FlightGuard<'a> {
+    flights: &'a SingleFlight,
+    key: String,
+}
+
+impl FlightGuard<'_> {
+    /// The key this guard holds.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.flights.release(&self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let flights = SingleFlight::new();
+        let a = flights.begin("a");
+        let b = flights.begin("b");
+        assert_eq!(flights.stats().in_flight, 2);
+        assert_eq!(flights.stats().waited, 0);
+        drop(a);
+        drop(b);
+        assert_eq!(flights.stats().in_flight, 0);
+    }
+
+    #[test]
+    fn same_key_blocks_until_released() {
+        let flights = Arc::new(SingleFlight::new());
+        let guard = flights.begin("k");
+        let entered = Arc::new(AtomicUsize::new(0));
+
+        let waiter = {
+            let flights = Arc::clone(&flights);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let _guard = flights.begin("k");
+                entered.store(1, Ordering::SeqCst);
+            })
+        };
+
+        for _ in 0..200 {
+            if flights.stats().waited == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(flights.stats().waited, 1);
+        assert_eq!(entered.load(Ordering::SeqCst), 0);
+
+        drop(guard);
+        waiter.join().expect("waiter thread panicked");
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+        assert_eq!(flights.stats().in_flight, 0);
+        assert_eq!(flights.stats().begun, 2);
+    }
+
+    #[test]
+    fn only_one_holder_runs_at_a_time() {
+        let flights = Arc::new(SingleFlight::new());
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let flights = Arc::clone(&flights);
+                let concurrent = Arc::clone(&concurrent);
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    let _guard = flights.begin("shared");
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("holder thread panicked");
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1);
+        assert_eq!(flights.stats().begun, 8);
+    }
+
+    #[test]
+    fn panicking_holder_releases_the_key() {
+        let flights = Arc::new(SingleFlight::new());
+        let crasher = {
+            let flights = Arc::clone(&flights);
+            std::thread::spawn(move || {
+                let _guard = flights.begin("k");
+                panic!("generation failed");
+            })
+        };
+        assert!(crasher.join().is_err());
+        // The key must be free again: begin() returns without blocking.
+        let _guard = flights.begin("k");
+        assert_eq!(flights.stats().in_flight, 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! repro list
 //! repro run <NAME...|all> [--scale quick|laptop|extended] [--seed N]
 //!           [--workers W] [--json] [--config FILE] [--cache-dir DIR]
+//!           [--trace FILE]
 //!
 //! --scale      per-experiment preset to start from        (default: quick)
 //! --seed       global seed mixed into every experiment    (default: 0)
@@ -17,6 +18,11 @@
 //!              experiment (print a template with `Experiment::config_json`)
 //! --cache-dir  dataset cache directory: matching complete datasets are
 //!              loaded instead of regenerated, fresh ones are persisted
+//! --trace      write a span trace of the run as JSONL (also: REPRO_TRACE=FILE);
+//!              results are byte-identical with or without it
+//!
+//! # offline trace aggregation (see README "Observability"):
+//! repro trace summarize FILE [--json]
 //!
 //! # the persistent dataset store (see README "On-disk dataset store"):
 //! repro dataset generate --out FILE --kind KIND [shape flags] [config flags]
@@ -35,9 +41,9 @@
 //! repro submit NAME [--scale S] [--seed N] [--priority P] [--workers W]
 //! repro jobs [--json]
 //! repro watch ID [--from N]
-//! repro result ID
+//! repro result ID [--telemetry]
 //! repro cancel ID
-//! repro status
+//! repro status [--json|--metrics]
 //! repro shutdown [--deadline-ms N]
 //! # clients find the server through --addr or the `addr` file in --state-dir
 //!
@@ -67,6 +73,7 @@ struct Args {
     until_confident: bool,
     config_path: Option<String>,
     cache_dir: Option<String>,
+    trace_path: Option<String>,
 }
 
 enum Command {
@@ -76,9 +83,10 @@ enum Command {
 
 fn usage() -> String {
     "usage: repro list\n       \
-     repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR]\n       \
+     repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR] [--trace FILE]\n       \
      repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
      repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]\n       \
+     repro trace summarize FILE [--json]\n       \
      repro serve|submit|jobs|watch|result|cancel|status|shutdown ... (see `repro serve --help`)"
         .to_string()
 }
@@ -94,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
     let mut until_confident = false;
     let mut config_path = None;
     let mut cache_dir = None;
+    let mut trace_path = None;
 
     let fail = |msg: String| (msg, 2u8);
     let mut it = args.iter();
@@ -101,7 +110,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         match arg.as_str() {
             "--json" => json = true,
             "--until-confident" => until_confident = true,
-            "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" => {
+            "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" | "--trace" => {
                 let value = it
                     .next()
                     .ok_or_else(|| fail(format!("{arg} requires a value\n{}", usage())))?;
@@ -125,6 +134,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
                         }
                     }
                     "--cache-dir" => cache_dir = Some(value.clone()),
+                    "--trace" => trace_path = Some(value.clone()),
                     _ => config_path = Some(value.clone()),
                 }
             }
@@ -194,6 +204,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         until_confident,
         config_path,
         cache_dir,
+        trace_path,
     })
 }
 
@@ -353,6 +364,9 @@ fn run() -> Result<(), (String, u8)> {
     if raw.first().map(String::as_str) == Some("bench") {
         return bench_cli::run(&raw[1..]);
     }
+    if raw.first().map(String::as_str) == Some("trace") {
+        return trace_cli::run(&raw[1..]);
+    }
     if let Some(first) = raw.first().map(String::as_str) {
         if matches!(
             first,
@@ -444,15 +458,27 @@ fn run() -> Result<(), (String, u8)> {
                     .unwrap_or_default()
             );
 
+            let trace_path = args
+                .trace_path
+                .clone()
+                .or_else(|| std::env::var("REPRO_TRACE").ok().filter(|p| !p.is_empty()));
+            if let Some(path) = &trace_path {
+                rc4_obs::trace::init_file(std::path::Path::new(path))
+                    .map_err(|e| (format!("--trace {path}: {e}"), 2))?;
+            }
+
             let mut reports: Vec<ExperimentReport> = Vec::with_capacity(experiments.len());
             for experiment in &experiments {
                 let report = experiment
-                    .run(&ctx)
+                    .run_observed(&ctx)
                     .map_err(|e| (format!("experiment '{}' failed: {e}", experiment.name()), 1))?;
                 if !args.json {
                     println!("{}", report.render());
                 }
                 reports.push(report);
+            }
+            if trace_path.is_some() {
+                rc4_obs::trace::flush();
             }
             if args.json {
                 println!(
@@ -1502,6 +1528,51 @@ mod bench_cli {
     }
 }
 
+/// The `repro trace` subcommand family: offline aggregation of span traces
+/// written by `repro run --trace FILE` (or `REPRO_TRACE=FILE`).
+mod trace_cli {
+    fn usage() -> String {
+        "usage: repro trace summarize FILE [--json]\n\
+         \n\
+         aggregates a span-trace JSONL file (written by `repro run --trace FILE`)\n\
+         into per-span-name count / total / mean / p95 durations"
+            .to_string()
+    }
+
+    pub fn run(args: &[String]) -> Result<(), (String, u8)> {
+        let mut json = false;
+        let mut positional: Vec<&String> = Vec::new();
+        for arg in args {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--help" | "-h" => return Err((usage(), 0)),
+                other if other.starts_with("--") => {
+                    return Err((format!("unknown flag '{other}'\n{}", usage()), 2))
+                }
+                _ => positional.push(arg),
+            }
+        }
+        let [cmd, file] = positional.as_slice() else {
+            return Err((format!("'repro trace' needs a subcommand\n{}", usage()), 2));
+        };
+        if cmd.as_str() != "summarize" {
+            return Err((format!("unknown trace subcommand '{cmd}'\n{}", usage()), 2));
+        }
+        let text = std::fs::read_to_string(file.as_str())
+            .map_err(|e| (format!("cannot read {file}: {e}"), 1))?;
+        let summary = rc4_obs::summary::summarize_jsonl(&text).map_err(|e| (e, 1))?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&summary.to_value()).expect("summary serializes")
+            );
+        } else {
+            println!("{}", summary.render_table());
+        }
+        Ok(())
+    }
+}
+
 /// The serving-mode subcommand family: run the resident `reprod` job server
 /// (`repro serve`) and talk to it (`submit`, `jobs`, `watch`, `result`,
 /// `cancel`, `status`, `shutdown`). All client commands find the server
@@ -1527,12 +1598,16 @@ mod serve_cli {
          repro submit NAME [--scale S] [--seed N] [--priority P] [--workers W] [CONN]\n       \
          repro jobs [--json] [CONN]\n       \
          repro watch ID [--from N] [CONN]\n       \
-         repro result ID [CONN]\n       \
+         repro result ID [--telemetry] [CONN]\n       \
          repro cancel ID [CONN]\n       \
-         repro status [CONN]\n       \
+         repro status [--json|--metrics] [CONN]\n       \
          repro shutdown [--deadline-ms N] [CONN]\n\
          \n\
-         CONN: --addr HOST:PORT | --state-dir DIR (reads DIR/addr; default .reprod)"
+         CONN: --addr HOST:PORT | --state-dir DIR (reads DIR/addr; default .reprod)\n\
+         status is human-readable by default; --json prints the raw status frame,\n\
+         --metrics prints the server's metrics registry snapshot instead.\n\
+         result --telemetry adds the job's scheduling timings on stderr; the\n\
+         stdout result document stays byte-identical either way."
             .to_string()
     }
 
@@ -1580,6 +1655,8 @@ mod serve_cli {
         cache_dir: Option<String>,
         no_cache: bool,
         json: bool,
+        metrics: bool,
+        telemetry: bool,
     }
 
     fn parse(args: &[String]) -> CliResult<Parsed> {
@@ -1600,12 +1677,16 @@ mod serve_cli {
             cache_dir: None,
             no_cache: false,
             json: false,
+            metrics: false,
+            telemetry: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--json" => parsed.json = true,
                 "--no-cache" => parsed.no_cache = true,
+                "--metrics" => parsed.metrics = true,
+                "--telemetry" => parsed.telemetry = true,
                 "--help" | "-h" => return Err((usage(), 0)),
                 "--addr" | "--state-dir" | "--scale" | "--seed" | "--priority" | "--workers"
                 | "--from" | "--deadline-ms" | "--budget" | "--default-workers" | "--cache-dir" => {
@@ -1784,7 +1865,7 @@ mod serve_cli {
             .watch(id, parsed.from, |seq, line| println!("[{seq}] {line}"))
             .map_err(|e| (e.to_string(), 1))?;
         if dropped > 0 {
-            eprintln!("repro: server dropped {dropped} event(s) beyond its buffer");
+            eprintln!("repro: server failed to persist {dropped} event(s) to its on-disk log");
         }
         println!("job {id} {}", status.name());
         match status {
@@ -1796,6 +1877,24 @@ mod serve_cli {
     fn result(parsed: &Parsed) -> CliResult<()> {
         let id = job_id(parsed, "result")?;
         let mut client = parsed.conn.connect()?;
+        if parsed.telemetry {
+            let (document, telemetry) = client
+                .result_with_telemetry(id)
+                .map_err(|e| (e.to_string(), 1))?;
+            print!("{document}");
+            // Telemetry goes to stderr so `repro result ID --telemetry > out`
+            // still captures exactly the byte-identical result document.
+            match telemetry {
+                Some(t) => eprintln!(
+                    "repro: job {id} telemetry: {}",
+                    serde_json::to_string(&t).expect("telemetry serializes")
+                ),
+                None => eprintln!(
+                    "repro: job {id} has no recorded telemetry (finished by a previous server run)"
+                ),
+            }
+            return Ok(());
+        }
         let document = client.result(id).map_err(|e| (e.to_string(), 1))?;
         // The document already carries the one-shot run's trailing newline;
         // print it verbatim to preserve byte identity.
@@ -1813,12 +1912,74 @@ mod serve_cli {
 
     fn status(parsed: &Parsed) -> CliResult<()> {
         let mut client = parsed.conn.connect()?;
+        if parsed.metrics {
+            let metrics = client.metrics().map_err(|e| (e.to_string(), 1))?;
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&metrics).expect("metrics serialize")
+            );
+            return Ok(());
+        }
         let status = client.status().map_err(|e| (e.to_string(), 1))?;
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&status).expect("status serializes")
-        );
+        if parsed.json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&status).expect("status serializes")
+            );
+            return Ok(());
+        }
+        println!("{}", render_status(&status));
         Ok(())
+    }
+
+    /// Human rendering of the raw status frame (`--json` prints it verbatim).
+    fn render_status(status: &serde::Value) -> String {
+        let flag =
+            |v: &serde::Value, name: &str| matches!(v.field(name), Ok(serde::Value::Bool(true)));
+        let uint = |v: &serde::Value, name: &str| match v.field(name) {
+            Ok(serde::Value::UInt(n)) => *n,
+            _ => 0,
+        };
+        let mut out = format!(
+            "state    {}\nqueued   {}",
+            if flag(status, "draining") {
+                "draining"
+            } else {
+                "accepting"
+            },
+            uint(status, "queued"),
+        );
+        if let Ok(serde::Value::Object(counts)) = status.field("jobs") {
+            let rendered: Vec<String> = counts
+                .iter()
+                .map(|(name, v)| {
+                    let n = match v {
+                        serde::Value::UInt(n) => *n,
+                        _ => 0,
+                    };
+                    format!("{n} {name}")
+                })
+                .collect();
+            out.push_str(&format!("\njobs     {}", rendered.join(", ")));
+        }
+        if let Ok(budget) = status.field("budget") {
+            out.push_str(&format!(
+                "\nbudget   {}/{} workers in use, {} job(s) waiting, {} lease(s) granted",
+                uint(budget, "in_use"),
+                uint(budget, "total"),
+                uint(budget, "waiting"),
+                uint(budget, "granted"),
+            ));
+        }
+        if let Ok(flights) = status.field("flights") {
+            out.push_str(&format!(
+                "\nflights  {} in flight, {} begun, {} coalesced wait(s)",
+                uint(flights, "in_flight"),
+                uint(flights, "begun"),
+                uint(flights, "waited"),
+            ));
+        }
+        out
     }
 
     fn shutdown(parsed: &Parsed) -> CliResult<()> {

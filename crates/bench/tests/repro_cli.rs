@@ -504,6 +504,77 @@ fn until_confident_maps_to_streaming_variants() {
     assert_eq!(listed.status.code(), Some(2));
 }
 
+/// `--trace` is observation, not perturbation: `repro run all --scale quick
+/// --json` is byte-identical with and without it, the trace file is
+/// schema-versioned JSONL with nested spans, and `repro trace summarize`
+/// aggregates it in both human and `--json` form.
+#[test]
+fn trace_flag_is_result_neutral_and_summarizable() {
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("repro-cli-trace-{}.jsonl", std::process::id()));
+    let plain = repro(&["run", "all", "--scale", "quick", "--json"]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+    let traced = repro(&[
+        "run",
+        "all",
+        "--scale",
+        "quick",
+        "--json",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(traced.status.success(), "stderr: {}", stderr(&traced));
+    assert_eq!(
+        stdout(&plain),
+        stdout(&traced),
+        "--trace changed the result document; tracing must be observation-only"
+    );
+
+    let text = std::fs::read_to_string(&trace_path).expect("trace file was written");
+    let first = text.lines().next().expect("trace file is non-empty");
+    let meta: serde::Value = serde_json::from_str(first).expect("meta line parses");
+    assert!(
+        matches!(meta.field("schema"), Ok(serde::Value::Str(s)) if s == "rc4-obs-trace"),
+        "first line must be the schema meta header, got: {first}"
+    );
+    // Spans from all three instrumented layers, with real nesting.
+    assert!(text.contains("\"name\":\"exec.map\""), "no executor spans");
+    assert!(
+        text.contains("\"name\":\"store.load_or_generate\""),
+        "no store spans"
+    );
+    assert!(
+        text.contains("\"name\":\"experiment.run\""),
+        "no experiment spans"
+    );
+    let has_nested = text.lines().skip(1).any(|line| {
+        serde_json::from_str::<serde::Value>(line)
+            .ok()
+            .is_some_and(|v| matches!(v.field("depth"), Ok(serde::Value::UInt(d)) if *d > 0))
+    });
+    assert!(has_nested, "no nested (depth > 0) spans in the trace");
+
+    let table = repro(&["trace", "summarize", trace_path.to_str().unwrap()]);
+    assert!(table.status.success(), "stderr: {}", stderr(&table));
+    assert!(stdout(&table).contains("exec.map"), "{}", stdout(&table));
+    let json = repro(&["trace", "summarize", trace_path.to_str().unwrap(), "--json"]);
+    assert!(json.status.success(), "stderr: {}", stderr(&json));
+    let summary: serde::Value =
+        serde_json::from_str(&stdout(&json)).expect("summarize --json parses");
+    assert!(
+        matches!(summary.field("spans"), Ok(serde::Value::Array(s)) if !s.is_empty()),
+        "summary lacks a non-empty `spans` array"
+    );
+    let _ = std::fs::remove_file(&trace_path);
+
+    // Unreadable file: clean exit 1; unknown subcommand: usage with exit 2.
+    let missing = repro(&["trace", "summarize", "/nonexistent/trace.jsonl"]);
+    assert_eq!(missing.status.code(), Some(1));
+    let unknown = repro(&["trace", "frobnicate", "x"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    assert!(stderr(&unknown).contains("usage: repro trace"));
+}
+
 /// Streaming mode honours the worker-invariance contract: the
 /// `--until-confident` JSON output is byte-identical between `--workers 1`
 /// and `--workers 4`.

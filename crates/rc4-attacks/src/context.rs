@@ -433,6 +433,13 @@ impl ExperimentContext {
         D: StorableDataset,
         F: FnOnce(&mut D) -> Result<(), ExperimentError>,
     {
+        let _span = rc4_obs::Span::enter_with(
+            "store.load_or_generate",
+            rc4_obs::kv! {
+                "kind" => D::kind(),
+                "keys" => config.keys,
+            },
+        );
         let Some(cache) = self.cache.as_deref() else {
             fill(&mut empty)?;
             return Ok(empty);

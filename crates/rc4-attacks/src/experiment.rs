@@ -63,6 +63,21 @@ pub trait Experiment: Send {
     /// raised mid-run, and experiment-specific errors otherwise.
     fn run(&self, ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError>;
 
+    /// [`Experiment::run`] wrapped in an `experiment.run` trace span and the
+    /// `experiment.runs` counter (provided). Drivers call this so every
+    /// execution shows up in traces and metrics; both are no-ops unless
+    /// observability is enabled, so results are unchanged either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Experiment::run`]'s errors.
+    fn run_observed(&self, ctx: &ExperimentContext) -> Result<ExperimentReport, ExperimentError> {
+        let _span =
+            rc4_obs::Span::enter_with("experiment.run", rc4_obs::kv! { "name" => self.name() });
+        rc4_obs::metrics::counter_add("experiment.runs", 1);
+        self.run(ctx)
+    }
+
     /// The current configuration as pretty JSON (provided).
     fn config_json(&self) -> String {
         serde_json::to_string_pretty(&self.config_value())

@@ -194,6 +194,7 @@ pub fn run_with_context(
     let seed = ctx.mix_seed(config.seed);
     let first_position = config.payload_len + 1;
     ctx.checkpoint()?;
+    let model_span = rc4_obs::Span::enter("fig8.build_model");
     let model = match config.model {
         TkipTrafficModel::Synthetic { relative_bias } => TkipKeystreamModel::synthetic(
             TscClassing::Tsc1,
@@ -233,6 +234,7 @@ pub fn run_with_context(
             )?
         }
     };
+    drop(model_span);
 
     let addressing = FrameAddressing {
         dst: [0x00, 0x1f, 0x33, 0x44, 0x55, 0x66],
@@ -253,6 +255,13 @@ pub fn run_with_context(
         }
     }
     let reporter = ctx.progress("fig8", grid.len() as u64, "trial");
+    let trials_span = rc4_obs::Span::enter_with(
+        "fig8.trials",
+        rc4_obs::kv! {
+            "points" => config.capture_counts.len(),
+            "trials" => trials,
+        },
+    );
     let outcomes: Vec<Option<(usize, bool)>> = ctx
         .executor()
         .map(grid, |_, (point, trial)| {
@@ -307,6 +316,7 @@ pub fn run_with_context(
             Ok::<_, ExperimentError>(outcome)
         })
         .map_err(ExperimentError::from)?;
+    drop(trials_span);
 
     let mut points = Vec::with_capacity(config.capture_counts.len());
     for (point, &captures) in config.capture_counts.iter().enumerate() {

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use crossbeam::thread;
 
@@ -128,6 +129,19 @@ impl<'e> Executor<'e> {
             return Err(ExecError::Cancelled);
         }
         let threads = self.workers.min(n);
+        // Observability is strictly additive: with metrics/tracing disabled
+        // (the default) these guards cost one relaxed atomic load each and
+        // no clock reads, so results and BENCH numbers are untouched.
+        let _span = rc4_obs::Span::enter_with(
+            "exec.map",
+            rc4_obs::kv! {
+                "items" => n,
+                "threads" => threads.max(1),
+            },
+        );
+        let obs = rc4_obs::metrics::is_enabled();
+        let map_start = obs.then(Instant::now);
+        rc4_obs::metrics::counter_add("exec.map.calls", 1);
         if threads <= 1 {
             let mut out = Vec::with_capacity(n);
             for (index, item) in items.into_iter().enumerate() {
@@ -135,6 +149,10 @@ impl<'e> Executor<'e> {
                     return Err(ExecError::Cancelled);
                 }
                 out.push(f(index, item).map_err(|error| ExecError::Task { index, error })?);
+            }
+            if let Some(start) = map_start {
+                rc4_obs::metrics::counter_add("exec.tasks", out.len() as u64);
+                rc4_obs::metrics::observe_us("exec.map_us", start.elapsed().as_micros() as u64);
             }
             return Ok(out);
         }
@@ -158,14 +176,29 @@ impl<'e> Executor<'e> {
                     scope.spawn(move |_| {
                         let mut done: Vec<(usize, R)> = Vec::new();
                         let mut failure: Option<(usize, E)> = None;
+                        // Per-worker tallies land in the registry as one add
+                        // per name at worker exit, never per item.
+                        let worker_start = obs.then(Instant::now);
+                        let mut tasks = 0u64;
+                        let mut steals = 0u64;
+                        let mut busy_us = 0u64;
                         while !abort.load(Ordering::Relaxed) && !self.is_cancelled() {
-                            let Some(index) = claim(w, queues) else { break };
+                            let Some((index, stolen)) = claim(w, queues) else {
+                                break;
+                            };
+                            tasks += 1;
+                            steals += u64::from(stolen);
                             let item = slots[index]
                                 .lock()
                                 .expect("item slot poisoned")
                                 .take()
                                 .expect("item claimed twice");
-                            match f(index, item) {
+                            let task_start = obs.then(Instant::now);
+                            let outcome = f(index, item);
+                            if let Some(start) = task_start {
+                                busy_us += start.elapsed().as_micros() as u64;
+                            }
+                            match outcome {
                                 Ok(r) => done.push((index, r)),
                                 Err(e) => {
                                     failure = Some((index, e));
@@ -173,6 +206,16 @@ impl<'e> Executor<'e> {
                                     break;
                                 }
                             }
+                        }
+                        if let Some(start) = worker_start {
+                            let wall_us = start.elapsed().as_micros() as u64;
+                            rc4_obs::metrics::counter_add("exec.tasks", tasks);
+                            rc4_obs::metrics::counter_add("exec.steals", steals);
+                            rc4_obs::metrics::counter_add("exec.worker_busy_us", busy_us);
+                            rc4_obs::metrics::counter_add(
+                                "exec.worker_idle_us",
+                                wall_us.saturating_sub(busy_us),
+                            );
                         }
                         (done, failure)
                     })
@@ -203,6 +246,9 @@ impl<'e> Executor<'e> {
         }
         if let Some((index, error)) = first_failure {
             return Err(ExecError::Task { index, error });
+        }
+        if let Some(start) = map_start {
+            rc4_obs::metrics::observe_us("exec.map_us", start.elapsed().as_micros() as u64);
         }
         Ok(out
             .into_iter()
@@ -296,10 +342,11 @@ fn split_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
 
 /// Claims the next item index for worker `w`: own queue front first, then
 /// steal from the back of the other queues (scanning from `w + 1` so load
-/// spreads instead of every idle worker mobbing queue 0).
-fn claim(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+/// spreads instead of every idle worker mobbing queue 0). The flag reports
+/// whether the index was stolen from a sibling (feeds `exec.steals`).
+fn claim(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<(usize, bool)> {
     if let Some(idx) = queues[w].lock().expect("work queue poisoned").pop_front() {
-        return Some(idx);
+        return Some((idx, false));
     }
     let n = queues.len();
     for offset in 1..n {
@@ -309,7 +356,7 @@ fn claim(w: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
             .expect("work queue poisoned")
             .pop_back()
         {
-            return Some(idx);
+            return Some((idx, true));
         }
     }
     None

@@ -1,0 +1,249 @@
+//! Offline aggregation of a trace JSONL file (`repro trace summarize`).
+//!
+//! Groups span lines by name and reports count / total / mean / p95 / max
+//! durations, so a trace is readable without external tooling. Unknown
+//! `type` values and unknown fields are skipped per the version-1 schema
+//! policy; malformed lines and schema mismatches are hard errors.
+
+use std::collections::BTreeMap;
+
+use serde::Value;
+
+use crate::trace::{TRACE_SCHEMA, TRACE_VERSION};
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of `dur_us` over all spans.
+    pub total_us: u64,
+    /// `total_us / count`, rounded down.
+    pub mean_us: u64,
+    /// Exact nearest-rank 95th percentile of `dur_us`.
+    pub p95_us: u64,
+    /// Largest `dur_us`.
+    pub max_us: u64,
+}
+
+/// A whole trace file, aggregated. Spans are sorted by total time,
+/// largest first (ties by name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Per-name statistics.
+    pub spans: Vec<SpanStats>,
+    /// Total span lines aggregated.
+    pub span_lines: u64,
+    /// Schema version from the meta header (`None` when the header is
+    /// missing — tolerated for truncated traces).
+    pub version: Option<u64>,
+}
+
+fn u64_field(value: &Value, name: &str, line_no: usize) -> Result<u64, String> {
+    match value.field(name) {
+        Ok(Value::UInt(n)) => Ok(*n),
+        _ => Err(format!("line {line_no}: span lacks integer `{name}`")),
+    }
+}
+
+/// Aggregates the JSONL text of a trace file.
+///
+/// # Errors
+///
+/// A message naming the first offending line: malformed JSON, a span line
+/// without `name`/`dur_us`, a meta header for a different schema, or a
+/// version newer than this build understands.
+pub fn summarize_jsonl(text: &str) -> Result<TraceSummary, String> {
+    let mut durations: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut version = None;
+    let mut span_lines = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {line_no}: malformed JSON: {e}"))?;
+        let kind = match value.field("type") {
+            Ok(Value::Str(s)) => s.clone(),
+            _ => return Err(format!("line {line_no}: missing `type` field")),
+        };
+        match kind.as_str() {
+            "meta" => {
+                match value.field("schema") {
+                    Ok(Value::Str(s)) if s == TRACE_SCHEMA => {}
+                    Ok(Value::Str(s)) => {
+                        return Err(format!(
+                            "line {line_no}: schema `{s}` is not `{TRACE_SCHEMA}`"
+                        ))
+                    }
+                    _ => return Err(format!("line {line_no}: meta lacks `schema`")),
+                }
+                let v = u64_field(&value, "version", line_no)?;
+                if v > TRACE_VERSION {
+                    return Err(format!(
+                        "line {line_no}: trace version {v} is newer than supported {TRACE_VERSION}"
+                    ));
+                }
+                version = Some(v);
+            }
+            "span" => {
+                let name = match value.field("name") {
+                    Ok(Value::Str(s)) => s.clone(),
+                    _ => return Err(format!("line {line_no}: span lacks `name`")),
+                };
+                let dur = u64_field(&value, "dur_us", line_no)?;
+                durations.entry(name).or_default().push(dur);
+                span_lines += 1;
+            }
+            // Forward compatibility: later minor revisions may add line
+            // kinds; they aggregate as nothing rather than failing.
+            _ => {}
+        }
+    }
+    let mut spans: Vec<SpanStats> = durations
+        .into_iter()
+        .map(|(name, mut durs)| {
+            durs.sort_unstable();
+            let count = durs.len() as u64;
+            let total_us: u64 = durs.iter().sum();
+            // Nearest-rank percentile: the smallest value with at least 95%
+            // of observations at or below it.
+            let p95_idx = ((count * 95).div_ceil(100)).max(1) - 1;
+            SpanStats {
+                count,
+                total_us,
+                mean_us: total_us / count,
+                p95_us: durs[p95_idx as usize],
+                max_us: *durs.last().expect("non-empty duration list"),
+                name,
+            }
+        })
+        .collect();
+    spans.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    Ok(TraceSummary {
+        spans,
+        span_lines,
+        version,
+    })
+}
+
+impl TraceSummary {
+    /// Renders the per-span-name table as aligned text.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<36} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+            "span", "count", "total_us", "mean_us", "p95_us", "max_us"
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:<36} {:>8} {:>12} {:>10} {:>10} {:>10}\n",
+                s.name, s.count, s.total_us, s.mean_us, s.p95_us, s.max_us
+            ));
+        }
+        out.push_str(&format!(
+            "{} span(s) across {} name(s)\n",
+            self.span_lines,
+            self.spans.len()
+        ));
+        out
+    }
+
+    /// The JSON form (`repro trace summarize --json`).
+    pub fn to_value(&self) -> Value {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("name".into(), Value::Str(s.name.clone())),
+                    ("count".into(), Value::UInt(s.count)),
+                    ("total_us".into(), Value::UInt(s.total_us)),
+                    ("mean_us".into(), Value::UInt(s.mean_us)),
+                    ("p95_us".into(), Value::UInt(s.p95_us)),
+                    ("max_us".into(), Value::UInt(s.max_us)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::Str(TRACE_SCHEMA.into())),
+            (
+                "version".into(),
+                self.version.map_or(Value::Null, Value::UInt),
+            ),
+            ("span_lines".into(), Value::UInt(self.span_lines)),
+            ("spans".into(), Value::Array(spans)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, dur_us: u64) -> String {
+        format!(
+            "{{\"type\":\"span\",\"name\":\"{name}\",\"id\":1,\"parent\":0,\
+             \"thread\":1,\"depth\":0,\"start_us\":0,\"dur_us\":{dur_us}}}"
+        )
+    }
+
+    #[test]
+    fn aggregates_count_total_mean_p95_max() {
+        let mut text =
+            format!("{{\"type\":\"meta\",\"schema\":\"{TRACE_SCHEMA}\",\"version\":1}}\n");
+        for dur in 1..=100u64 {
+            text.push_str(&span_line("exec.map", dur));
+            text.push('\n');
+        }
+        text.push_str(&span_line("store.load", 7));
+        text.push('\n');
+        let summary = summarize_jsonl(&text).expect("valid trace");
+        assert_eq!(summary.version, Some(1));
+        assert_eq!(summary.span_lines, 101);
+        assert_eq!(summary.spans.len(), 2);
+        // exec.map has the larger total, so it sorts first.
+        let map = &summary.spans[0];
+        assert_eq!(map.name, "exec.map");
+        assert_eq!(map.count, 100);
+        assert_eq!(map.total_us, 5050);
+        assert_eq!(map.mean_us, 50);
+        assert_eq!(map.p95_us, 95);
+        assert_eq!(map.max_us, 100);
+        let load = &summary.spans[1];
+        assert_eq!((load.count, load.p95_us, load.max_us), (1, 7, 7));
+        let table = summary.render_table();
+        assert!(table.contains("exec.map"), "{table}");
+        assert!(table.contains("101 span(s)"), "{table}");
+        let json = serde_json::to_string(&summary.to_value()).unwrap();
+        assert!(json.contains("\"p95_us\":95"), "{json}");
+    }
+
+    #[test]
+    fn unknown_line_kinds_are_skipped() {
+        let text = format!(
+            "{}\n{{\"type\":\"annotation\",\"note\":\"hi\"}}\n",
+            span_line("x", 3)
+        );
+        let summary = summarize_jsonl(&text).expect("unknown kinds tolerated");
+        assert_eq!(summary.span_lines, 1);
+        assert_eq!(summary.version, None);
+    }
+
+    #[test]
+    fn malformed_and_mismatched_inputs_error() {
+        assert!(summarize_jsonl("not json\n").is_err());
+        assert!(
+            summarize_jsonl("{\"type\":\"meta\",\"schema\":\"other\",\"version\":1}\n").is_err()
+        );
+        assert!(summarize_jsonl(&format!(
+            "{{\"type\":\"meta\",\"schema\":\"{TRACE_SCHEMA}\",\"version\":{}}}\n",
+            TRACE_VERSION + 1
+        ))
+        .is_err());
+        assert!(summarize_jsonl("{\"type\":\"span\",\"name\":\"x\"}\n").is_err());
+    }
+}

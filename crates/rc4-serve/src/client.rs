@@ -193,8 +193,53 @@ impl Client {
     /// [`ServeError::Server`] when the job is not done (still queued or
     /// running, failed, cancelled, unknown).
     pub fn result(&mut self, id: u64) -> Result<String, ServeError> {
-        let response = self.round_trip(&Request::Result { id })?;
+        let response = self.round_trip(&Request::Result {
+            id,
+            telemetry: false,
+        })?;
         str_field(&response, "result")
+    }
+
+    /// [`Client::result`] plus the job's scheduling/runtime telemetry
+    /// (queue/budget wait, run time, workers). The telemetry is `None` for
+    /// jobs finished by a previous server incarnation; the result document
+    /// itself is byte-identical to [`Client::result`]'s either way.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Client::result`]'s errors.
+    pub fn result_with_telemetry(
+        &mut self,
+        id: u64,
+    ) -> Result<(String, Option<Value>), ServeError> {
+        let response = self.round_trip(&Request::Result {
+            id,
+            telemetry: true,
+        })?;
+        let document = str_field(&response, "result")?;
+        let telemetry = match response.field("telemetry") {
+            Ok(Value::Null) | Err(_) => None,
+            Ok(v) => Some(v.clone()),
+        };
+        Ok((document, telemetry))
+    }
+
+    /// Fetches a snapshot of the server's metrics registry (the `metrics`
+    /// frame): counters, gauges and histograms across the executor, store,
+    /// and serving layers.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] / [`ServeError::Protocol`] on transport or frame
+    /// problems.
+    pub fn metrics(&mut self) -> Result<Value, ServeError> {
+        let response = self.round_trip(&Request::Metrics)?;
+        match response.field("metrics") {
+            Ok(v) => Ok(v.clone()),
+            Err(_) => Err(ServeError::Protocol(
+                "metrics response lacks `metrics`".to_string(),
+            )),
+        }
     }
 
     /// Fetches the server's status document (draining flag, job counts,

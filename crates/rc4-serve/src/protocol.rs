@@ -37,9 +37,15 @@ pub enum Request {
     Result {
         /// Job ID.
         id: u64,
+        /// Attach the job's scheduling/runtime telemetry as a separate
+        /// `telemetry` field (the `result` document itself is unaffected).
+        telemetry: bool,
     },
     /// Server introspection: queue, budget and single-flight statistics.
     Status,
+    /// A snapshot of the server's metrics registry (counters, gauges,
+    /// histograms across the executor, store, and serving layers).
+    Metrics,
     /// Cancel a queued or running job.
     Cancel {
         /// Job ID.
@@ -90,6 +96,18 @@ fn opt_i64(v: &Value, name: &str, default: i64) -> Result<i64, ServeError> {
         Ok(Value::Null) | Err(_) => Ok(default),
         Ok(other) => Err(ServeError::Protocol(format!(
             "field `{name}` must be an integer, found {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Reads an optional boolean field with a default.
+fn opt_bool(v: &Value, name: &str, default: bool) -> Result<bool, ServeError> {
+    match v.field(name) {
+        Ok(Value::Bool(b)) => Ok(*b),
+        Ok(Value::Null) | Err(_) => Ok(default),
+        Ok(other) => Err(ServeError::Protocol(format!(
+            "field `{name}` must be a boolean, found {}",
             other.kind()
         ))),
     }
@@ -159,8 +177,10 @@ impl Request {
             }),
             "result" => Ok(Request::Result {
                 id: req_u64(&value, "id")?,
+                telemetry: opt_bool(&value, "telemetry", false)?,
             }),
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "cancel" => Ok(Request::Cancel {
                 id: req_u64(&value, "id")?,
             }),
@@ -189,8 +209,13 @@ impl Request {
                 ("id".into(), Value::UInt(*id)),
                 ("from".into(), Value::UInt(*from)),
             ],
-            Request::Result { id } => vec![cmd("result"), ("id".into(), Value::UInt(*id))],
+            Request::Result { id, telemetry } => vec![
+                cmd("result"),
+                ("id".into(), Value::UInt(*id)),
+                ("telemetry".into(), Value::Bool(*telemetry)),
+            ],
             Request::Status => vec![cmd("status")],
+            Request::Metrics => vec![cmd("metrics")],
             Request::Cancel { id } => vec![cmd("cancel"), ("id".into(), Value::UInt(*id))],
             Request::Shutdown { deadline_ms } => vec![
                 cmd("shutdown"),
@@ -263,8 +288,16 @@ mod tests {
             }),
             Request::Jobs,
             Request::Watch { id: 7, from: 12 },
-            Request::Result { id: 7 },
+            Request::Result {
+                id: 7,
+                telemetry: false,
+            },
+            Request::Result {
+                id: 8,
+                telemetry: true,
+            },
             Request::Status,
+            Request::Metrics,
             Request::Cancel { id: 3 },
             Request::Shutdown { deadline_ms: 500 },
         ];
@@ -288,6 +321,20 @@ mod tests {
                 workers: 0,
             })
         );
+    }
+
+    #[test]
+    fn result_defaults_telemetry_off() {
+        // Pre-telemetry clients omit the field; they must keep working.
+        let parsed = Request::parse(r#"{"cmd":"result","id":7}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Result {
+                id: 7,
+                telemetry: false,
+            }
+        );
+        assert!(Request::parse(r#"{"cmd":"result","id":7,"telemetry":3}"#).is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -41,11 +41,34 @@ use crate::protocol::{error_response, ok_response, JobSpec, Request};
 use crate::queue::JobQueue;
 use crate::ServeError;
 
-/// Upper bound on stored progress events per job. Events are throttled at
-/// the source (~10/s), so this covers hours of progress; beyond it new
-/// events are counted as dropped rather than stored, keeping memory bounded
-/// however long a job runs.
-pub const MAX_JOB_EVENTS: usize = 4096;
+/// The event file of job `id` under `state_dir`: one `{"seq": n, "line": s}`
+/// JSON object per line, appended as the job emits progress. Spilling to disk
+/// keeps memory flat however long a job runs and lets `watch` replay a
+/// finished job's events even after a server restart.
+pub fn events_path(state_dir: &Path, id: u64) -> PathBuf {
+    state_dir.join("events").join(format!("job-{id}.jsonl"))
+}
+
+/// Reads the persisted events with sequence number `>= from` of one event
+/// file. A missing file reads as empty (a job that never emitted anything);
+/// malformed lines (torn final write after a crash) are skipped.
+pub fn read_events_from(path: &Path, from: u64) -> Vec<(u64, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|l| {
+            let v: Value = serde_json::from_str(l).ok()?;
+            let Ok(Value::UInt(seq)) = v.field("seq") else {
+                return None;
+            };
+            let Ok(Value::Str(line)) = v.field("line") else {
+                return None;
+            };
+            (*seq >= from).then(|| (*seq, line.clone()))
+        })
+        .collect()
+}
 
 /// Static configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -80,17 +103,22 @@ impl ServerConfig {
     }
 }
 
-/// The append-only event log of one job plus its terminal latch; `watch`
-/// handlers block on it.
-#[derive(Debug, Default)]
+/// The append-only, disk-backed event log of one job plus its terminal
+/// latch; `watch` handlers block on it. Events are persisted to the job's
+/// [`events_path`] file as they arrive (memory use stays flat for any run
+/// length) and survive a server restart for post-hoc `watch` replay.
+#[derive(Debug)]
 pub struct JobEvents {
     state: Mutex<EventLog>,
     changed: Condvar,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct EventLog {
-    lines: Vec<String>,
+    path: PathBuf,
+    /// Events successfully persisted (the next sequence number).
+    count: u64,
+    /// Events lost to write failures (full disk, revoked permissions).
     dropped: u64,
     terminal: Option<JobStatus>,
 }
@@ -100,15 +128,40 @@ struct EventLog {
 type EventBatch = (Vec<(u64, String)>, Option<(JobStatus, u64)>);
 
 impl JobEvents {
+    /// Creates the log, truncating any stale file under the same path.
+    fn create(path: PathBuf) -> Self {
+        // An empty file up front means "no events yet" and "no events ever"
+        // read identically after a restart.
+        let _ = std::fs::write(&path, "");
+        JobEvents {
+            state: Mutex::new(EventLog {
+                path,
+                count: 0,
+                dropped: 0,
+                terminal: None,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
     fn push(&self, line: String) {
         let mut state = self.state.lock().expect("events lock poisoned");
         if state.terminal.is_some() {
             return;
         }
-        if state.lines.len() >= MAX_JOB_EVENTS {
-            state.dropped += 1;
-        } else {
-            state.lines.push(line);
+        let frame = serde_json::to_string(&Value::Object(vec![
+            ("seq".into(), Value::UInt(state.count)),
+            ("line".into(), Value::Str(line)),
+        ]))
+        .expect("event record serializes");
+        let appended = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&state.path)
+            .and_then(|mut f| writeln!(f, "{frame}"));
+        match appended {
+            Ok(()) => state.count += 1,
+            Err(_) => state.dropped += 1,
         }
         drop(state);
         self.changed.notify_all();
@@ -124,21 +177,19 @@ impl JobEvents {
     }
 
     /// Blocks until events past `from` exist or the job is terminal; returns
-    /// the new events (with their sequence numbers) and, once everything
-    /// stored has been delivered, the terminal status + dropped count.
+    /// the new events (with their sequence numbers, re-read from the event
+    /// file) and, once everything stored has been delivered, the terminal
+    /// status + dropped count.
     fn wait_from(&self, from: u64) -> EventBatch {
         let mut state = self.state.lock().expect("events lock poisoned");
         loop {
-            let from_idx = usize::try_from(from).unwrap_or(usize::MAX);
-            if state.lines.len() > from_idx {
-                let fresh = state
-                    .lines
-                    .iter()
-                    .enumerate()
-                    .skip(from_idx)
-                    .map(|(i, l)| (i as u64, l.clone()))
-                    .collect();
-                return (fresh, None);
+            if state.count > from {
+                // Writers serialize on the same lock, so the file holds
+                // exactly `count` complete records here.
+                let fresh = read_events_from(&state.path, from);
+                if !fresh.is_empty() {
+                    return (fresh, None);
+                }
             }
             if let Some(status) = state.terminal {
                 return (Vec::new(), Some((status, state.dropped)));
@@ -159,10 +210,17 @@ impl EventSink for JobSink {
     }
 }
 
-/// A live (this-incarnation) job: its cancellation handle and event log.
+/// A live (this-incarnation) job: its cancellation handle, event log, and
+/// per-job telemetry.
 struct JobHandle {
     cancel: CancelHandle,
     events: Arc<JobEvents>,
+    /// When the job was admitted; queue wait is measured against this.
+    submitted_at: Instant,
+    /// Scheduling/runtime telemetry recorded when the job finishes; exposed
+    /// through `result` with `telemetry: true`. Never part of the result
+    /// document itself (which stays byte-identical to the one-shot CLI).
+    telemetry: Mutex<Option<Value>>,
 }
 
 struct Shared {
@@ -272,6 +330,13 @@ impl Server {
         })?;
         std::fs::create_dir_all(config.state_dir.join("results"))
             .map_err(|e| ServeError::Io(format!("cannot create results dir: {e}")))?;
+        std::fs::create_dir_all(config.state_dir.join("events"))
+            .map_err(|e| ServeError::Io(format!("cannot create events dir: {e}")))?;
+        // The server is a resident process whose whole point is shared
+        // observation; metrics are on for its lifetime (tracing stays
+        // opt-in via `--trace`). Registry updates are atomic counter writes,
+        // so experiment results are unaffected.
+        rc4_obs::metrics::enable();
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::Io(format!("cannot bind {}: {e}", config.addr)))?;
         let addr = listener
@@ -380,7 +445,10 @@ fn scheduler_loop(shared: &Arc<Shared>) {
             // Cancelled while queued (the cancel handler already recorded it).
             continue;
         }
+        let budget_wait = Instant::now();
         let lease = shared.budget.acquire_owned(record.workers as usize);
+        let budget_wait_us = budget_wait.elapsed().as_micros() as u64;
+        rc4_obs::metrics::observe_us("serve.budget_wait_us", budget_wait_us);
         if shared.queue.is_draining() {
             // Drain started while this job waited for capacity: never start
             // new work past the drain point.
@@ -392,14 +460,14 @@ fn scheduler_loop(shared: &Arc<Shared>) {
         }
         let shared = Arc::clone(shared);
         std::thread::spawn(move || {
-            run_job(&shared, id, lease.workers());
+            run_job(&shared, id, lease.workers(), budget_wait_us);
             drop(lease);
         });
     }
 }
 
 /// Executes one job under its leased worker budget and records the outcome.
-fn run_job(shared: &Arc<Shared>, id: u64, workers: usize) {
+fn run_job(shared: &Arc<Shared>, id: u64, workers: usize, budget_wait_us: u64) {
     let Some(record) = shared.record(id) else {
         return;
     };
@@ -416,9 +484,33 @@ fn run_job(shared: &Arc<Shared>, id: u64, workers: usize) {
         let _ = shared.transition(id, |r| r.status = JobStatus::Cancelled);
         return;
     }
+    let queue_wait_us = handle.submitted_at.elapsed().as_micros() as u64;
+    rc4_obs::metrics::observe_us("serve.queue_wait_us", queue_wait_us);
     let _ = shared.transition(id, |r| r.status = JobStatus::Running);
 
+    let _span = rc4_obs::Span::enter_with(
+        "serve.job",
+        rc4_obs::kv! {
+            "id" => id,
+            "name" => &record.name,
+        },
+    );
+    let run_start = Instant::now();
     let outcome = execute_experiment(shared, &record, workers, &handle);
+    let run_us = run_start.elapsed().as_micros() as u64;
+    rc4_obs::metrics::observe_us("serve.run_us", run_us);
+    let status_counter = match &outcome {
+        Ok(_) => "serve.jobs.done",
+        Err(ServeError::Server(msg)) if msg == "cancelled" => "serve.jobs.cancelled",
+        Err(_) => "serve.jobs.failed",
+    };
+    rc4_obs::metrics::counter_add(status_counter, 1);
+    *handle.telemetry.lock().expect("telemetry lock poisoned") = Some(Value::Object(vec![
+        ("queue_wait_us".into(), Value::UInt(queue_wait_us)),
+        ("budget_wait_us".into(), Value::UInt(budget_wait_us)),
+        ("run_us".into(), Value::UInt(run_us)),
+        ("workers".into(), Value::UInt(workers as u64)),
+    ]));
     let _ = match outcome {
         Ok(result_path) => shared.transition(id, |r| {
             r.status = JobStatus::Done;
@@ -462,7 +554,7 @@ fn execute_experiment(
         ctx = ctx.with_cache(Arc::clone(cache));
     }
 
-    let report = experiment.run(&ctx).map_err(|e| {
+    let report = experiment.run_observed(&ctx).map_err(|e| {
         if e == rc4_attacks::ExperimentError::Cancelled {
             ServeError::Server("cancelled".to_string())
         } else {
@@ -578,17 +670,38 @@ fn dispatch(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> bool {
             )
         }
         Request::Watch { id, from } => watch(shared, id, from, writer),
-        Request::Result { id } => match job_result(shared, id) {
-            Ok((record, document)) => send(
-                writer,
-                &ok_response(vec![
+        Request::Result { id, telemetry } => match job_result(shared, id) {
+            Ok((record, document)) => {
+                let mut fields = vec![
                     ("id".into(), Value::UInt(id)),
                     ("status".into(), Value::Str(record.status.name().into())),
                     ("result".into(), Value::Str(document)),
-                ]),
-            ),
+                ];
+                if telemetry {
+                    // Advisory scheduling/runtime numbers, deliberately a
+                    // separate field: the `result` document above stays
+                    // byte-identical to the one-shot CLI with or without it.
+                    // Jobs from a previous incarnation have no live handle,
+                    // so their telemetry reads as null.
+                    let recorded = shared
+                        .jobs
+                        .lock()
+                        .expect("jobs lock poisoned")
+                        .get(&id)
+                        .and_then(|h| h.telemetry.lock().expect("telemetry lock poisoned").clone());
+                    fields.push(("telemetry".into(), recorded.unwrap_or(Value::Null)));
+                }
+                send(writer, &ok_response(fields))
+            }
             Err(e) => send(writer, &error_response(&e.to_string())),
         },
+        Request::Metrics => {
+            let snapshot = rc4_obs::metrics::snapshot();
+            send(
+                writer,
+                &ok_response(vec![("metrics".into(), snapshot.to_value())]),
+            )
+        }
         Request::Status => {
             let budget = shared.budget.stats();
             let flights = shared.flights.stats();
@@ -705,11 +818,17 @@ fn submit(shared: &Arc<Shared>, spec: &JobSpec) -> Result<JobRecord, ServeError>
         ledger.append(record.clone())?;
         record
     };
+    rc4_obs::metrics::counter_add("serve.jobs.submitted", 1);
     shared.jobs.lock().expect("jobs lock poisoned").insert(
         record.id,
         Arc::new(JobHandle {
             cancel: CancelHandle::new(),
-            events: Arc::new(JobEvents::default()),
+            events: Arc::new(JobEvents::create(events_path(
+                &shared.config.state_dir,
+                record.id,
+            ))),
+            submitted_at: Instant::now(),
+            telemetry: Mutex::new(None),
         }),
     );
     if !shared.queue.push(record.id, record.priority) {
@@ -727,6 +846,7 @@ fn submit(shared: &Arc<Shared>, spec: &JobSpec) -> Result<JobRecord, ServeError>
 
 /// Cancels a queued or running job; terminal jobs are left as they are.
 fn cancel(shared: &Arc<Shared>, id: u64) -> Result<JobStatus, ServeError> {
+    rc4_obs::metrics::counter_add("serve.cancel.requests", 1);
     let record = shared
         .record(id)
         .ok_or_else(|| ServeError::Server(format!("no job {id}")))?;
@@ -770,21 +890,20 @@ fn watch(shared: &Arc<Shared>, id: u64, from: u64, writer: &mut TcpStream) -> bo
         return false;
     }
     let Some(handle) = handle else {
-        // Ledger-only job from a previous incarnation: no event log, but the
-        // terminal state is known.
+        // Ledger-only job from a previous incarnation: replay its persisted
+        // event file (if any survives), then report the known terminal state.
+        for (seq, line) in read_events_from(&events_path(&shared.config.state_dir, id), from) {
+            if !send(writer, &progress_frame(seq, line)) {
+                return false;
+            }
+        }
         return send_end(writer, record.status, 0);
     };
     let mut next = from;
     loop {
         let (fresh, terminal) = handle.events.wait_from(next);
         for (seq, line) in fresh {
-            let frame = serde_json::to_string(&Value::Object(vec![
-                ("event".into(), Value::Str("progress".into())),
-                ("seq".into(), Value::UInt(seq)),
-                ("line".into(), Value::Str(line)),
-            ]))
-            .expect("event frame serializes");
-            if !send(writer, &frame) {
+            if !send(writer, &progress_frame(seq, line)) {
                 return false;
             }
             next = seq + 1;
@@ -793,6 +912,15 @@ fn watch(shared: &Arc<Shared>, id: u64, from: u64, writer: &mut TcpStream) -> bo
             return send_end(writer, status, dropped);
         }
     }
+}
+
+fn progress_frame(seq: u64, line: String) -> String {
+    serde_json::to_string(&Value::Object(vec![
+        ("event".into(), Value::Str("progress".into())),
+        ("seq".into(), Value::UInt(seq)),
+        ("line".into(), Value::Str(line)),
+    ]))
+    .expect("event frame serializes")
 }
 
 fn send_end(writer: &mut TcpStream, status: JobStatus, dropped: u64) -> bool {
@@ -835,6 +963,7 @@ fn job_result(shared: &Arc<Shared>, id: u64) -> Result<(JobRecord, String), Serv
 /// `deadline` to finish, cancel stragglers, wait for every record to reach a
 /// terminal state. Returns how many running jobs had to be cancelled.
 fn drain(shared: &Arc<Shared>, deadline: Duration) -> u64 {
+    rc4_obs::metrics::counter_add("serve.drains", 1);
     for id in shared.queue.drain() {
         let _ = shared.transition(id, |r| {
             r.status = JobStatus::Cancelled;

@@ -15,6 +15,7 @@
 //! corruption is noticed rather than papered over.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crypto_prims::{sha256::Sha256, to_hex, Digest};
 use rc4_stats::{DatasetError, GenerationConfig, StorableDataset};
@@ -102,6 +103,25 @@ impl DatasetCache {
         shape: &[u64],
         config: &GenerationConfig,
     ) -> Result<Option<D>, DatasetError> {
+        let _span = rc4_obs::Span::enter_with(
+            "store.load",
+            rc4_obs::kv! {
+                "kind" => D::kind(),
+                "keys" => config.keys,
+            },
+        );
+        let read_start = rc4_obs::metrics::is_enabled().then(Instant::now);
+        let hit = |path: &Path, dataset: D| {
+            if let Some(start) = read_start {
+                rc4_obs::metrics::counter_add("store.cache.hit", 1);
+                rc4_obs::metrics::counter_add(
+                    "store.read_bytes",
+                    std::fs::metadata(path).map_or(0, |m| m.len()),
+                );
+                rc4_obs::metrics::observe_us("store.read_us", start.elapsed().as_micros() as u64);
+            }
+            Ok(Some(dataset))
+        };
         let canonical = self.canonical_path(D::kind(), shape, config);
         if canonical.exists() {
             let shard = read_shard::<D>(&canonical)?;
@@ -112,7 +132,7 @@ impl DatasetCache {
                      (foreign file under a canonical cache name?)",
                 ));
             }
-            return Ok(Some(shard.dataset));
+            return hit(&canonical, shard.dataset);
         }
         let entries = std::fs::read_dir(&self.dir).map_err(|e| DatasetError::io(&self.dir, e))?;
         for entry in entries {
@@ -127,9 +147,10 @@ impl DatasetCache {
             };
             if Self::matches::<D>(&header, shape, config) {
                 let shard = read_shard::<D>(&path)?;
-                return Ok(Some(shard.dataset));
+                return hit(&path, shard.dataset);
             }
         }
+        rc4_obs::metrics::counter_add("store.cache.miss", 1);
         Ok(None)
     }
 
@@ -166,10 +187,26 @@ impl DatasetCache {
             .map(|w| crate::format::keys_for_worker(config, w))
             .collect();
         let path = self.canonical_path(D::kind(), &shape, config);
+        let _span = rc4_obs::Span::enter_with(
+            "store.store",
+            rc4_obs::kv! {
+                "kind" => D::kind(),
+                "keys" => config.keys,
+            },
+        );
+        let write_start = rc4_obs::metrics::is_enabled().then(Instant::now);
         // Write through a unique temp name and rename (write_shard already
         // does); overwriting an existing entry with identical contents is
         // harmless.
         write_shard(&path, &header, dataset)?;
+        if let Some(start) = write_start {
+            rc4_obs::metrics::counter_add("store.cache.stored", 1);
+            rc4_obs::metrics::counter_add(
+                "store.write_bytes",
+                std::fs::metadata(&path).map_or(0, |m| m.len()),
+            );
+            rc4_obs::metrics::observe_us("store.write_us", start.elapsed().as_micros() as u64);
+        }
         Ok(path)
     }
 }

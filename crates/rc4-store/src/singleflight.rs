@@ -62,14 +62,25 @@ impl SingleFlight {
     /// has it. The returned guard releases the key on drop (including on
     /// panic/unwind, so a failed generation never wedges its waiters).
     pub fn begin(&self, key: &str) -> FlightGuard<'_> {
+        rc4_obs::metrics::counter_add("store.singleflight.begun", 1);
         let mut state = self.state.lock().expect("single-flight lock poisoned");
         if state.in_flight.contains(key) {
             state.waited += 1;
+            // A coalesced caller: the key is already in flight, so this
+            // caller is about to block instead of duplicating the work.
+            rc4_obs::metrics::counter_add("store.singleflight.coalesced", 1);
+            let wait_start = rc4_obs::metrics::is_enabled().then(std::time::Instant::now);
             while state.in_flight.contains(key) {
                 state = self
                     .released
                     .wait(state)
                     .expect("single-flight lock poisoned");
+            }
+            if let Some(start) = wait_start {
+                rc4_obs::metrics::observe_us(
+                    "store.singleflight.wait_us",
+                    start.elapsed().as_micros() as u64,
+                );
             }
         }
         state.in_flight.insert(key.to_string());

@@ -127,6 +127,70 @@ fn serve_end_to_end_single_flight_byte_identity_and_drain() {
         "job B must either generate once or hit the shared entry, got {all_lines:?}"
     );
 
+    // --- One executor-driven job (fig8 quick maps its trials through
+    // rc4-exec) so the metrics snapshot below spans all three instrumented
+    // layers, then the `metrics` frame itself.
+    let (fig8_doc, _) = run_job_to_done(
+        &addr,
+        JobSpec {
+            name: "fig8".to_string(),
+            scale: "quick".to_string(),
+            seed: 5,
+            priority: 0,
+            workers: 1,
+        },
+    );
+    assert!(!fig8_doc.is_empty(), "fig8 job produced no result");
+
+    let metrics = client.metrics().expect("metrics frame responds");
+    let counter = |name: &str| -> u64 {
+        match metrics
+            .field("counters")
+            .ok()
+            .and_then(|c| c.field(name).ok())
+        {
+            Some(serde::Value::UInt(n)) => *n,
+            other => panic!("counter `{name}` missing or non-integer: {other:?}"),
+        }
+    };
+    // Serving layer: all three jobs so far were admitted and finished.
+    assert!(counter("serve.jobs.submitted") >= 3);
+    assert!(counter("serve.jobs.done") >= 3);
+    // Store layer: both table2 jobs entered the flight table, so exactly
+    // one led and the other coalesced onto it.
+    assert!(counter("store.singleflight.begun") >= 2);
+    assert!(
+        counter("store.singleflight.coalesced") >= 1,
+        "concurrent same-key jobs must coalesce onto one generation"
+    );
+    assert!(counter("store.cache.stored") >= 1);
+    // Executor layer, populated by the fig8 job.
+    assert!(counter("exec.map.calls") >= 1);
+    let histograms = metrics.field("histograms").expect("metrics histograms");
+    for name in ["serve.queue_wait_us", "serve.run_us", "exec.map_us"] {
+        assert!(
+            histograms.field(name).is_ok(),
+            "histogram `{name}` missing from the metrics frame"
+        );
+    }
+
+    // --- Result-with-telemetry: same document bytes, plus the scheduling
+    // timings recorded for a job this incarnation ran.
+    let (doc_tel, telemetry) = client
+        .result_with_telemetry(1)
+        .expect("telemetry-augmented result responds");
+    assert_eq!(
+        doc_tel, expected,
+        "--telemetry must not change result bytes"
+    );
+    let telemetry = telemetry.expect("live-incarnation jobs carry telemetry");
+    for field in ["queue_wait_us", "budget_wait_us", "run_us", "workers"] {
+        assert!(
+            matches!(telemetry.field(field), Ok(serde::Value::UInt(_))),
+            "telemetry lacks `{field}`: {telemetry:?}"
+        );
+    }
+
     // --- Drain during a third running job. fig7-stream runs for tens of
     // seconds at quick scale and polls cancellation per ingest batch, so the
     // short drain deadline forces the cancelled path.
@@ -178,7 +242,7 @@ fn serve_end_to_end_single_flight_byte_identity_and_drain() {
     let serde::Value::Array(jobs) = ledger.field("jobs").expect("ledger has jobs").clone() else {
         panic!("ledger jobs should be an array");
     };
-    assert_eq!(jobs.len(), 3, "three jobs were admitted");
+    assert_eq!(jobs.len(), 4, "four jobs were admitted");
     for job in &jobs {
         let Ok(serde::Value::Str(status)) = job.field("status") else {
             panic!("every record carries a status");
@@ -215,7 +279,7 @@ fn serve_end_to_end_single_flight_byte_identity_and_drain() {
 
     let mut client2 = Client::connect(&addr2).expect("client connects to restarted server");
     let records = client2.jobs().expect("restarted server lists jobs");
-    assert_eq!(records.len(), 3, "the ledger history survives restarts");
+    assert_eq!(records.len(), 4, "the ledger history survives restarts");
     let doc_after_restart = client2
         .result(1)
         .expect("completed result served across incarnations");
@@ -223,10 +287,27 @@ fn serve_end_to_end_single_flight_byte_identity_and_drain() {
         doc_after_restart, expected,
         "restart must not change stored result bytes"
     );
-    // Watching a previous-incarnation job reports its terminal state
-    // immediately instead of hanging.
-    let (status, _) = client2.watch(1, 0, |_, _| {}).expect("watch terminates");
+    // Telemetry is in-memory per incarnation: the restarted server serves
+    // the bytes but reports no timings for jobs it never ran.
+    let (doc_tel2, telemetry2) = client2
+        .result_with_telemetry(1)
+        .expect("telemetry-augmented result responds across incarnations");
+    assert_eq!(doc_tel2, expected);
+    assert!(
+        telemetry2.is_none(),
+        "prior-incarnation jobs must report no telemetry, got {telemetry2:?}"
+    );
+    // Watching a previous-incarnation job replays its persisted event log
+    // from disk and then reports the terminal state instead of hanging.
+    let mut replayed = Vec::new();
+    let (status, _) = client2
+        .watch(1, 0, |_seq, line| replayed.push(line.to_string()))
+        .expect("watch terminates");
     assert_eq!(status, JobStatus::Done);
+    assert!(
+        replayed.iter().any(|l| l.contains("dataset cache")),
+        "restart watch must replay the on-disk event log, got {replayed:?}"
+    );
 
     client2.shutdown(1_000).expect("restarted server drains");
     restarted_thread

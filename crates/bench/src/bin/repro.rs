@@ -32,6 +32,12 @@
 //! repro dataset merge --out FILE SHARD...
 //! repro dataset info FILE [--json]
 //!
+//! # fleet-scale dataset campaigns (see README "Fleet campaigns"):
+//! repro campaign plan --dir DIR --kind KIND --shape A[,B,...] --leases N [config flags]
+//! repro campaign run --dir DIR --out FILE [--procs P] [--heartbeat-timeout-ms N] ...
+//! repro campaign resume ... | repro campaign status --dir DIR [--json]
+//! repro campaign worker --dir DIR   # spawned by `run`; speaks the JSON-line protocol
+//!
 //! # the perf smoke mode and CI regression gate (see README "Performance"):
 //! repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]
 //!
@@ -85,6 +91,7 @@ fn usage() -> String {
     "usage: repro list\n       \
      repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR] [--trace FILE]\n       \
      repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
+     repro campaign <plan|run|resume|worker|status> ... (see `repro campaign --help`)\n       \
      repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]\n       \
      repro trace summarize FILE [--json]\n       \
      repro serve|submit|jobs|watch|result|cancel|status|shutdown ... (see `repro serve --help`)"
@@ -361,6 +368,9 @@ fn run() -> Result<(), (String, u8)> {
     if raw.first().map(String::as_str) == Some("dataset") {
         return dataset_cli::run(&raw[1..]);
     }
+    if raw.first().map(String::as_str) == Some("campaign") {
+        return campaign_cli::run(&raw[1..]);
+    }
     if raw.first().map(String::as_str) == Some("bench") {
         return bench_cli::run(&raw[1..]);
     }
@@ -504,8 +514,9 @@ mod dataset_cli {
         DatasetError, GenerationConfig,
     };
     use rc4_store::{
-        generate_shard, merge_shards, peek_header, read_shard, resume_shard, GenerateOptions,
-        GenerateStatus, ShardHeader, ShardSpec,
+        generate_shard, merge_shards, merge_shards_streaming, merge_shards_tiered, peek_header,
+        peek_shard, read_shard, resume_shard, CellEncoding, GenerateOptions, GenerateStatus,
+        MergeOptions, ShardHeader, ShardSpec,
     };
 
     use super::parse_u64;
@@ -515,10 +526,16 @@ mod dataset_cli {
     fn usage() -> String {
         "usage: repro dataset generate --out FILE --kind KIND [shape flags] \
          [--keys N] [--workers W] [--seed N] [--key-len L] [--worker-range LO..HI] \
-         [--checkpoint-keys N] [--stop-after-keys N]\n       \
+         [--checkpoint-keys N] [--stop-after-keys N] [--compress]\n       \
          repro dataset resume FILE [--checkpoint-keys N] [--stop-after-keys N]\n       \
-         repro dataset merge --out FILE SHARD SHARD...\n       \
+         repro dataset merge --out FILE [--streaming] [--fan-in N] [--window-cells N] \
+         [--compress] SHARD SHARD...\n       \
          repro dataset info FILE [--json]\n\
+         \n\
+         --compress writes v2 delta+varint cells (smaller; v1 raw cells stay the\n\
+         byte-identity default); resume always keeps the file's own encoding.\n\
+         merge --streaming sums shards through fixed windows instead of loading\n\
+         them whole; --fan-in caps simultaneously open inputs (tiered merge).\n\
          \n\
          kinds and their shape flags:\n  \
          single    --positions P                 per-position byte counts (Fig. 6 style)\n  \
@@ -643,6 +660,7 @@ mod dataset_cli {
                 "--worker-range" => worker_range = Some(parse_range(value()?)?),
                 "--checkpoint-keys" => opts.checkpoint_keys = parse_int(value()?)?,
                 "--stop-after-keys" => opts.stop_after_keys = Some(parse_int(value()?)?),
+                "--compress" => opts.encoding = CellEncoding::DeltaVarint,
                 other => return fail(format!("unknown flag '{other}'\n{}", usage())),
             }
         }
@@ -804,14 +822,38 @@ mod dataset_cli {
     fn merge(args: &[String]) -> CliResult<()> {
         let mut out: Option<PathBuf> = None;
         let mut inputs: Vec<PathBuf> = Vec::new();
+        let mut streaming = false;
+        let mut options = MergeOptions::default();
+        let mut fan_in: Option<usize> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--out" => {
+                "--out" | "--fan-in" | "--window-cells" => {
                     let value = it
                         .next()
-                        .ok_or_else(|| ("--out requires a value".to_string(), 2))?;
-                    out = Some(PathBuf::from(value));
+                        .ok_or_else(|| (format!("{arg} requires a value"), 2))?;
+                    match arg.as_str() {
+                        "--out" => out = Some(PathBuf::from(value)),
+                        "--fan-in" => {
+                            let n = parse_usize(value)?;
+                            if n < 2 {
+                                return fail("--fan-in must be at least 2");
+                            }
+                            fan_in = Some(n);
+                        }
+                        _ => {
+                            options.window_cells = parse_usize(value)?;
+                            if options.window_cells == 0 {
+                                return fail("--window-cells must be at least 1");
+                            }
+                            streaming = true;
+                        }
+                    }
+                }
+                "--streaming" => streaming = true,
+                "--compress" => {
+                    options.encoding = CellEncoding::DeltaVarint;
+                    streaming = true;
                 }
                 other if other.starts_with("--") => {
                     return fail(format!("unknown flag '{other}'\n{}", usage()))
@@ -828,12 +870,43 @@ mod dataset_cli {
                 usage()
             ));
         }
+        if let Some(n) = fan_in {
+            options.fan_in = n;
+        }
         let header = match peek_header(&inputs[0]) {
             Ok(h) => h,
             Err(e) => return runtime(e),
         };
         let refs: Vec<&Path> = inputs.iter().map(PathBuf::as_path).collect();
+        // --fan-in selects the tiered out-of-core merge, --streaming (or any
+        // flag implying it) the windowed single-pass one; the default stays
+        // the in-memory merge, whose output all three match byte for byte
+        // (for the default raw encoding).
         let merged = dispatch_kind(&header.kind, |d| match d {
+            Dispatch::Single if fan_in.is_some() => {
+                merge_shards_tiered::<SingleByteDataset>(&refs, &out, &options)
+            }
+            Dispatch::Pairs if fan_in.is_some() => {
+                merge_shards_tiered::<PairDataset>(&refs, &out, &options)
+            }
+            Dispatch::LongTerm if fan_in.is_some() => {
+                merge_shards_tiered::<LongTermDataset>(&refs, &out, &options)
+            }
+            Dispatch::PerTsc if fan_in.is_some() => {
+                merge_shards_tiered::<PerTscDataset>(&refs, &out, &options)
+            }
+            Dispatch::Single if streaming => {
+                merge_shards_streaming::<SingleByteDataset>(&refs, &out, &options)
+            }
+            Dispatch::Pairs if streaming => {
+                merge_shards_streaming::<PairDataset>(&refs, &out, &options)
+            }
+            Dispatch::LongTerm if streaming => {
+                merge_shards_streaming::<LongTermDataset>(&refs, &out, &options)
+            }
+            Dispatch::PerTsc if streaming => {
+                merge_shards_streaming::<PerTscDataset>(&refs, &out, &options)
+            }
             Dispatch::Single => merge_shards::<SingleByteDataset>(&refs, &out),
             Dispatch::Pairs => merge_shards::<PairDataset>(&refs, &out),
             Dispatch::LongTerm => merge_shards::<LongTermDataset>(&refs, &out),
@@ -866,8 +939,8 @@ mod dataset_cli {
         let Some(file) = file else {
             return fail(format!("'dataset info' needs a shard file\n{}", usage()));
         };
-        let header = match peek_header(&file) {
-            Ok(h) => h,
+        let (header, encoding) = match peek_shard(&file) {
+            Ok(pair) => pair,
             Err(e) => return runtime(e),
         };
         // A full typed read doubles as an integrity check (CRC, cell count).
@@ -877,15 +950,24 @@ mod dataset_cli {
             Dispatch::LongTerm => read_shard::<LongTermDataset>(&file).map(|s| s.header),
             Dispatch::PerTsc => read_shard::<PerTscDataset>(&file).map(|s| s.header),
         })?;
-        print_info(&file, &verified, json);
+        print_info(&file, &verified, encoding, json);
         Ok(())
     }
 
-    fn print_info(file: &Path, header: &ShardHeader, json: bool) {
+    fn print_info(file: &Path, header: &ShardHeader, encoding: CellEncoding, json: bool) {
         if json {
+            // The header's own fields stay at the top level (scripts key off
+            // `kind` etc.); the preamble-derived encoding rides along.
+            let mut value = serde::Serialize::to_value(header);
+            if let serde::Value::Object(fields) = &mut value {
+                fields.push((
+                    "encoding".to_string(),
+                    serde::Value::Str(encoding.name().to_string()),
+                ));
+            }
             println!(
                 "{}",
-                serde_json::to_string_pretty(header).expect("header serializes")
+                serde_json::to_string_pretty(&value).expect("header serializes")
             );
             return;
         }
@@ -911,18 +993,25 @@ mod dataset_cli {
             }
         );
         println!("cells:       {}", header.cells);
+        println!(
+            "encoding:    {} (format v{})",
+            encoding.name(),
+            encoding.format_version()
+        );
         println!("integrity:   CRC-32 verified");
     }
 
-    /// The four storable kinds, for typed dispatch off a header's kind tag.
-    enum Dispatch {
+    /// The four storable kinds, for typed dispatch off a header's kind tag
+    /// (shared with the campaign subcommands, which dispatch off the
+    /// manifest's kind the same way).
+    pub(super) enum Dispatch {
         Single,
         Pairs,
         LongTerm,
         PerTsc,
     }
 
-    fn dispatch_kind<T>(
+    pub(super) fn dispatch_kind<T>(
         kind: &str,
         f: impl FnOnce(Dispatch) -> Result<T, DatasetError>,
     ) -> CliResult<T> {
@@ -983,6 +1072,823 @@ mod dataset_cli {
     }
 }
 
+/// The `repro campaign` subcommand family: fleet-scale dataset generation.
+///
+/// A *campaign* splits one generation configuration's worker range into
+/// seed-disjoint leases (`plan`), drives a pool of worker processes through
+/// them (`run` / `resume`), and merges the finished lease shards into a
+/// table byte-identical to what a single uninterrupted
+/// `repro dataset generate` would have produced. Lease state lives in the
+/// campaign directory's `campaign.json` manifest
+/// (`rc4_store::campaign::CampaignManifest`), atomically rewritten on every
+/// transition, so a killed coordinator resumes with `repro campaign run`
+/// and loses at most the work since each worker's last checkpoint.
+///
+/// The coordinator talks to workers over the newline-delimited JSON
+/// protocol of `rc4_store::campaign::{WorkerCommand, WorkerEvent}`
+/// (stdin/stdout), spawning `repro campaign worker` children from the
+/// current executable. A worker that crashes or goes silent past
+/// `--heartbeat-timeout-ms` has its lease expired and re-granted; because
+/// lease content is deterministic (worker `w` always derives its stream
+/// from `(seed, w)`), the replacement resumes the crashed worker's shard
+/// from its last checkpoint and the final merge is unaffected.
+mod campaign_cli {
+    use std::io::{BufRead, Write};
+    use std::path::{Path, PathBuf};
+    use std::process::Stdio;
+    use std::sync::mpsc;
+    use std::time::{Duration, Instant};
+
+    use rc4_stats::{
+        longterm::LongTermDataset, pairs::PairDataset, single::SingleByteDataset,
+        tsc::PerTscDataset, DatasetError, GenerationConfig, StorableDataset,
+    };
+    use rc4_store::{
+        campaign::{CampaignManifest, CampaignSpec, Lease, WorkerCommand, WorkerEvent},
+        generate_shard, merge_shards_tiered, resume_shard, CellEncoding, GenerateOptions,
+        GenerateStatus, MergeOptions, ShardSpec,
+    };
+
+    use super::dataset_cli::{dispatch_kind, Dispatch};
+    use super::parse_u64;
+
+    type CliResult<T> = Result<T, (String, u8)>;
+
+    fn fail<T>(msg: impl Into<String>) -> CliResult<T> {
+        Err((msg.into(), 2))
+    }
+
+    fn runtime<T>(e: DatasetError) -> CliResult<T> {
+        Err((e.to_string(), 1))
+    }
+
+    /// The manifest's fixed file name inside a campaign directory.
+    const MANIFEST_NAME: &str = "campaign.json";
+
+    fn usage() -> String {
+        "usage: repro campaign plan --dir DIR --kind KIND --shape A[,B,...] --leases N \
+         [--keys N] [--workers W] [--seed N] [--key-len L]\n       \
+         repro campaign run --dir DIR --out FILE [--procs P] [--checkpoint-keys N] \
+         [--heartbeat-timeout-ms N] [--max-respawns N] [--max-attempts N] \
+         [--fan-in N] [--compress] [--fail-first-after-keys N]\n       \
+         repro campaign resume ... (alias of run: completed leases are skipped)\n       \
+         repro campaign worker --dir DIR [--checkpoint-keys N] [--fail-after-keys N]\n       \
+         repro campaign status --dir DIR [--json]\n\
+         \n\
+         plan splits the config's worker range into N contiguous seed-disjoint\n\
+         leases and writes DIR/campaign.json; --shape is the dataset's raw shape\n\
+         parameters (single: positions | pairs: a,b,... flattened pairs |\n\
+         longterm: drop,block | per-tsc: cond,positions — see `repro dataset`).\n\
+         run spawns P local `campaign worker` processes (default 2), re-leases\n\
+         work from crashed or silent workers, and on completion merges every\n\
+         lease shard into FILE — byte-identical to a single-process generate\n\
+         (raw encoding; --compress writes a v2 delta+varint merged table).\n\
+         worker is the child end of the coordinator's stdin/stdout JSON-line\n\
+         protocol; --fail-after-keys makes it exit abnormally mid-lease after\n\
+         checkpointing N keys (deterministic crash injection for tests, applied\n\
+         by run's --fail-first-after-keys to the first worker only)."
+            .to_string()
+    }
+
+    pub fn run(args: &[String]) -> CliResult<()> {
+        match args.first().map(String::as_str) {
+            Some("--help") | Some("-h") => Err((usage(), 0)),
+            None => Err((
+                format!("'repro campaign' needs a subcommand\n{}", usage()),
+                2,
+            )),
+            Some("plan") => plan(&args[1..]),
+            Some("run") | Some("resume") => coordinate(&args[1..]),
+            Some("worker") => worker(&args[1..]),
+            Some("status") => status(&args[1..]),
+            Some(other) => fail(format!(
+                "unknown campaign subcommand '{other}'\n{}",
+                usage()
+            )),
+        }
+    }
+
+    fn parse_usize(s: &str) -> CliResult<usize> {
+        parse_u64(s).map(|v| v as usize).map_err(|msg| (msg, 2))
+    }
+
+    // ---------------------------------------------------------------- plan
+
+    fn plan(args: &[String]) -> CliResult<()> {
+        let mut dir: Option<PathBuf> = None;
+        let mut kind: Option<String> = None;
+        let mut shape: Option<Vec<u64>> = None;
+        let mut leases: Option<u64> = None;
+        let mut config = GenerationConfig::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let value = match arg.as_str() {
+                "--help" | "-h" => return Err((usage(), 0)),
+                _ => it
+                    .next()
+                    .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2))?,
+            };
+            match arg.as_str() {
+                "--dir" => dir = Some(PathBuf::from(value)),
+                "--kind" => kind = Some(value.clone()),
+                "--shape" => {
+                    let parsed: Result<Vec<u64>, _> =
+                        value.split(',').map(|p| parse_u64(p.trim())).collect();
+                    shape = Some(parsed.map_err(|msg| (format!("--shape: {msg}"), 2))?);
+                }
+                "--leases" => leases = Some(parse_u64(value).map_err(|msg| (msg, 2))?),
+                "--keys" => config.keys = parse_u64(value).map_err(|msg| (msg, 2))?,
+                "--workers" => {
+                    config.workers = parse_usize(value)?;
+                    if config.workers == 0 {
+                        return fail("--workers must be at least 1");
+                    }
+                }
+                "--seed" => config.seed = parse_u64(value).map_err(|msg| (msg, 2))?,
+                "--key-len" => config.key_len = parse_usize(value)?,
+                other => return fail(format!("unknown flag '{other}'\n{}", usage())),
+            }
+        }
+        let (Some(dir), Some(kind), Some(shape), Some(leases)) = (dir, kind, shape, leases) else {
+            return fail(format!(
+                "'campaign plan' needs --dir, --kind, --shape and --leases\n{}",
+                usage()
+            ));
+        };
+        // Instantiating the empty dataset front-loads shape validation, so a
+        // bad plan fails here rather than in the first worker.
+        dispatch_kind(&kind, |d| match d {
+            Dispatch::Single => SingleByteDataset::empty_with_shape(&shape).map(|_| ()),
+            Dispatch::Pairs => PairDataset::empty_with_shape(&shape).map(|_| ()),
+            Dispatch::LongTerm => LongTermDataset::empty_with_shape(&shape).map(|_| ()),
+            Dispatch::PerTsc => PerTscDataset::empty_with_shape(&shape).map(|_| ()),
+        })
+        .map_err(|(msg, _)| (msg, 2))?;
+        std::fs::create_dir_all(&dir).map_err(|e| (format!("{}: {e}", dir.display()), 1))?;
+        let spec = CampaignSpec {
+            kind,
+            shape,
+            config,
+        };
+        let manifest = match CampaignManifest::plan(dir.join(MANIFEST_NAME), spec, leases) {
+            Ok(m) => m,
+            Err(DatasetError::InvalidConfig(msg)) => return fail(msg),
+            Err(e) => return runtime(e),
+        };
+        eprintln!(
+            "repro: campaign {}: planned {} lease(s) over {} worker(s), {} keys total",
+            manifest.path().display(),
+            manifest.leases.len(),
+            manifest.spec.config.workers,
+            manifest.spec.config.keys
+        );
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- worker
+
+    /// Writes one protocol event as a flushed stdout line (the coordinator
+    /// reads line-by-line, so partial lines must never be visible).
+    fn emit(event: &WorkerEvent) {
+        let mut out = std::io::stdout().lock();
+        let _ = out.write_all(event.to_line().as_bytes());
+        let _ = out.flush();
+    }
+
+    /// Generates (or resumes) one lease's shard, emitting a heartbeat per
+    /// checkpoint. The shard file existing means a previous holder of this
+    /// lease checkpointed some work; resuming it is always correct because
+    /// lease content is deterministic in `(seed, worker index)`.
+    fn run_lease<D: StorableDataset>(
+        dir: &Path,
+        spec: &CampaignSpec,
+        id: u64,
+        worker_lo: u64,
+        worker_hi: u64,
+        shard: &str,
+        opts: &GenerateOptions,
+    ) -> Result<GenerateStatus, DatasetError> {
+        let path = dir.join(shard);
+        let keys_total: u64 = (worker_lo..worker_hi)
+            .map(|w| spec.config.keys_for_worker(w))
+            .sum();
+        let mut progress = |done: u64, _total: u64| {
+            emit(&WorkerEvent::Heartbeat {
+                id,
+                keys_done: done,
+                keys_total,
+            });
+        };
+        if path.exists() {
+            resume_shard::<D>(&path, opts, None, &mut progress)
+        } else {
+            let empty = D::empty_with_shape(&spec.shape)?;
+            let shard_spec = ShardSpec::workers(spec.config, worker_lo, worker_hi);
+            generate_shard(&path, empty, &shard_spec, opts, None, &mut progress)
+        }
+    }
+
+    fn worker(args: &[String]) -> CliResult<()> {
+        let mut dir: Option<PathBuf> = None;
+        let mut checkpoint_keys: Option<u64> = None;
+        let mut fail_after_keys: Option<u64> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let value = it
+                .next()
+                .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2))?;
+            match arg.as_str() {
+                "--dir" => dir = Some(PathBuf::from(value)),
+                "--checkpoint-keys" => {
+                    checkpoint_keys = Some(parse_u64(value).map_err(|msg| (msg, 2))?)
+                }
+                "--fail-after-keys" => {
+                    fail_after_keys = Some(parse_u64(value).map_err(|msg| (msg, 2))?)
+                }
+                other => return fail(format!("unknown flag '{other}'\n{}", usage())),
+            }
+        }
+        let Some(dir) = dir else {
+            return fail(format!("'campaign worker' needs --dir\n{}", usage()));
+        };
+        // The manifest is read once, for the spec; lease state is owned by
+        // the coordinator (which rewrites the file) and arrives over stdin.
+        let manifest = match CampaignManifest::load(dir.join(MANIFEST_NAME)) {
+            Ok(m) => m,
+            Err(e) => return runtime(e),
+        };
+        let spec = manifest.spec.clone();
+        drop(manifest);
+        emit(&WorkerEvent::Ready {
+            worker: format!("pid-{}", std::process::id()),
+        });
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| (format!("campaign worker stdin: {e}"), 1))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let cmd = WorkerCommand::parse(&line).map_err(|e| (e.to_string(), 1))?;
+            let (id, worker_lo, worker_hi, shard) = match cmd {
+                WorkerCommand::Shutdown => return Ok(()),
+                WorkerCommand::Lease {
+                    id,
+                    worker_lo,
+                    worker_hi,
+                    shard,
+                } => (id, worker_lo, worker_hi, shard),
+            };
+            emit(&WorkerEvent::Started { id });
+            let mut opts = GenerateOptions::default();
+            if let Some(n) = checkpoint_keys {
+                opts.checkpoint_keys = n;
+            }
+            // Crash injection: checkpoint N keys, then die like a killed
+            // process — abnormal exit, no Complete/Failed event. Applied to
+            // at most one lease so the respawned replacement finishes it.
+            opts.stop_after_keys = fail_after_keys.take();
+            let injected_stop = opts.stop_after_keys.is_some();
+            let status = dispatch_kind(&spec.kind, |d| match d {
+                Dispatch::Single => run_lease::<SingleByteDataset>(
+                    &dir, &spec, id, worker_lo, worker_hi, &shard, &opts,
+                ),
+                Dispatch::Pairs => {
+                    run_lease::<PairDataset>(&dir, &spec, id, worker_lo, worker_hi, &shard, &opts)
+                }
+                Dispatch::LongTerm => run_lease::<LongTermDataset>(
+                    &dir, &spec, id, worker_lo, worker_hi, &shard, &opts,
+                ),
+                Dispatch::PerTsc => {
+                    run_lease::<PerTscDataset>(&dir, &spec, id, worker_lo, worker_hi, &shard, &opts)
+                }
+            });
+            match status {
+                Ok(GenerateStatus::Complete) => emit(&WorkerEvent::Complete { id }),
+                Ok(GenerateStatus::Stopped) => {
+                    debug_assert!(injected_stop, "stop_after_keys is only set by injection");
+                    eprintln!(
+                        "repro: campaign worker pid-{}: injected failure on lease {id}",
+                        std::process::id()
+                    );
+                    std::process::exit(3);
+                }
+                Err((error, _)) => emit(&WorkerEvent::Failed { id, error }),
+            }
+        }
+        // Stdin EOF without a shutdown command: the coordinator is gone.
+        Ok(())
+    }
+
+    // --------------------------------------------------------- coordinator
+
+    /// Everything `campaign run` needs to know about one spawned worker.
+    struct WorkerProc {
+        child: std::process::Child,
+        stdin: Option<std::process::ChildStdin>,
+        /// Manifest owner string, learned from the worker's Ready event.
+        owner: Option<String>,
+        /// Ready (or finished a lease) with nothing grantable at the time.
+        idle: bool,
+        alive: bool,
+    }
+
+    struct RunArgs {
+        dir: PathBuf,
+        out: PathBuf,
+        procs: usize,
+        checkpoint_keys: Option<u64>,
+        heartbeat_timeout_ms: u64,
+        max_respawns: u64,
+        max_attempts: u64,
+        fan_in: Option<usize>,
+        compress: bool,
+        fail_first_after_keys: Option<u64>,
+    }
+
+    fn parse_run(args: &[String]) -> CliResult<RunArgs> {
+        let mut parsed = RunArgs {
+            dir: PathBuf::new(),
+            out: PathBuf::new(),
+            procs: 2,
+            checkpoint_keys: None,
+            heartbeat_timeout_ms: 60_000,
+            max_respawns: 4,
+            max_attempts: 5,
+            fan_in: None,
+            compress: false,
+            fail_first_after_keys: None,
+        };
+        let mut dir = None;
+        let mut out = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let value = match arg.as_str() {
+                "--help" | "-h" => return Err((usage(), 0)),
+                "--compress" => {
+                    parsed.compress = true;
+                    continue;
+                }
+                _ => it
+                    .next()
+                    .ok_or_else(|| (format!("{arg} requires a value\n{}", usage()), 2))?,
+            };
+            let int = || parse_u64(value).map_err(|msg| (msg, 2u8));
+            match arg.as_str() {
+                "--dir" => dir = Some(PathBuf::from(value)),
+                "--out" => out = Some(PathBuf::from(value)),
+                "--procs" => {
+                    parsed.procs = parse_usize(value)?;
+                    if parsed.procs == 0 {
+                        return fail("--procs must be at least 1");
+                    }
+                }
+                "--checkpoint-keys" => parsed.checkpoint_keys = Some(int()?),
+                "--heartbeat-timeout-ms" => parsed.heartbeat_timeout_ms = int()?,
+                "--max-respawns" => parsed.max_respawns = int()?,
+                "--max-attempts" => {
+                    parsed.max_attempts = int()?;
+                    if parsed.max_attempts == 0 {
+                        return fail("--max-attempts must be at least 1");
+                    }
+                }
+                "--fan-in" => {
+                    let n = parse_usize(value)?;
+                    if n < 2 {
+                        return fail("--fan-in must be at least 2");
+                    }
+                    parsed.fan_in = Some(n);
+                }
+                "--fail-first-after-keys" => parsed.fail_first_after_keys = Some(int()?),
+                other => return fail(format!("unknown flag '{other}'\n{}", usage())),
+            }
+        }
+        let (Some(dir), Some(out)) = (dir, out) else {
+            return fail(format!("'campaign run' needs --dir and --out\n{}", usage()));
+        };
+        parsed.dir = dir;
+        parsed.out = out;
+        Ok(parsed)
+    }
+
+    fn spawn_worker(
+        args: &RunArgs,
+        fail_after_keys: Option<u64>,
+        idx: usize,
+        tx: &mpsc::Sender<(usize, Option<String>)>,
+    ) -> CliResult<WorkerProc> {
+        let exe = std::env::current_exe()
+            .map_err(|e| (format!("cannot locate the repro binary: {e}"), 1))?;
+        let mut cmd = std::process::Command::new(exe);
+        cmd.arg("campaign")
+            .arg("worker")
+            .arg("--dir")
+            .arg(&args.dir);
+        if let Some(n) = args.checkpoint_keys {
+            cmd.arg("--checkpoint-keys").arg(n.to_string());
+        }
+        if let Some(n) = fail_after_keys {
+            cmd.arg("--fail-after-keys").arg(n.to_string());
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| (format!("cannot spawn campaign worker: {e}"), 1))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        // One reader thread per worker: lines fan into the coordinator's
+        // single channel, and the trailing None is the EOF (= death) signal.
+        std::thread::spawn(move || {
+            for line in std::io::BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send((idx, Some(line))).is_err() {
+                    return;
+                }
+            }
+            let _ = tx.send((idx, None));
+        });
+        Ok(WorkerProc {
+            child,
+            stdin: Some(stdin),
+            owner: None,
+            idle: false,
+            alive: true,
+        })
+    }
+
+    /// Aborts the campaign once any incomplete lease has burned through its
+    /// grant budget — without this a deterministic failure (bad disk, bad
+    /// shape) would re-lease forever.
+    fn check_attempts(manifest: &CampaignManifest, max_attempts: u64) -> CliResult<()> {
+        for lease in &manifest.leases {
+            if lease.state.is_grantable() && lease.attempts >= max_attempts {
+                return Err((
+                    format!(
+                        "campaign aborted: lease {} (workers {}..{}) failed {} time(s)",
+                        lease.id, lease.worker_lo, lease.worker_hi, lease.attempts
+                    ),
+                    1,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Grants the next lease to worker `widx` or, when nothing is grantable,
+    /// parks it idle (it will be fed when a lease expires) or shuts it down
+    /// (when the campaign is complete).
+    fn grant_or_park(
+        manifest: &mut CampaignManifest,
+        worker: &mut WorkerProc,
+        now_ms: u64,
+    ) -> CliResult<()> {
+        let Some(owner) = worker.owner.clone() else {
+            return Ok(());
+        };
+        if let Some(lease) = manifest.grant_next(&owner, now_ms).or_else(runtime)? {
+            eprintln!(
+                "repro: campaign: lease {} (workers {}..{}) -> {} (attempt {})",
+                lease.id, lease.worker_lo, lease.worker_hi, owner, lease.attempts
+            );
+            let cmd = WorkerCommand::Lease {
+                id: lease.id,
+                worker_lo: lease.worker_lo,
+                worker_hi: lease.worker_hi,
+                shard: lease.shard.clone(),
+            };
+            worker.idle = false;
+            if let Some(stdin) = &mut worker.stdin {
+                if stdin.write_all(cmd.to_line().as_bytes()).is_err() {
+                    // The worker died between Ready and now; its reader
+                    // thread's EOF signal will expire the lease we just
+                    // granted, so nothing to unwind here.
+                    worker.alive = false;
+                }
+            }
+        } else if manifest.all_complete() {
+            shut_down(worker);
+        } else {
+            worker.idle = true;
+        }
+        Ok(())
+    }
+
+    fn shut_down(worker: &mut WorkerProc) {
+        if let Some(mut stdin) = worker.stdin.take() {
+            let _ = stdin.write_all(WorkerCommand::Shutdown.to_line().as_bytes());
+            // Dropping stdin closes the pipe, so even a worker that missed
+            // the command exits on EOF.
+        }
+        worker.idle = false;
+    }
+
+    fn coordinate(args: &[String]) -> CliResult<()> {
+        let args = parse_run(args)?;
+        let mut manifest = match CampaignManifest::load(args.dir.join(MANIFEST_NAME)) {
+            Ok(m) => m,
+            Err(e) => return runtime(e),
+        };
+        if !manifest.all_complete() {
+            drive_workers(&args, &mut manifest)?;
+        }
+        merge_campaign(&args, &manifest)
+    }
+
+    fn drive_workers(args: &RunArgs, manifest: &mut CampaignManifest) -> CliResult<()> {
+        let start = Instant::now();
+        let now_ms = move || start.elapsed().as_millis() as u64;
+        let (tx, rx) = mpsc::channel::<(usize, Option<String>)>();
+        let mut workers: Vec<WorkerProc> = Vec::new();
+        for i in 0..args.procs {
+            let inject = if i == 0 {
+                args.fail_first_after_keys
+            } else {
+                None
+            };
+            workers.push(spawn_worker(args, inject, i, &tx)?);
+        }
+        let mut respawns_left = args.max_respawns;
+
+        let counts = manifest.state_counts();
+        eprintln!(
+            "repro: campaign {}: {} lease(s) ({} complete), {} worker process(es)",
+            args.dir.display(),
+            manifest.leases.len(),
+            counts[3],
+            args.procs
+        );
+
+        while !manifest.all_complete() {
+            let message = match rx.recv_timeout(Duration::from_millis(200)) {
+                Ok(message) => Some(message),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(("campaign: every worker channel closed".to_string(), 1));
+                }
+            };
+            match message {
+                None => {
+                    // No traffic: check for hung workers that stopped
+                    // heartbeating without dying.
+                    let expired = manifest
+                        .expire_stale(args.heartbeat_timeout_ms, now_ms())
+                        .or_else(runtime)?;
+                    if !expired.is_empty() {
+                        eprintln!(
+                            "repro: campaign: lease(s) {expired:?} expired (heartbeat timeout)"
+                        );
+                        check_attempts(manifest, args.max_attempts)?;
+                    }
+                }
+                Some((widx, None)) => {
+                    // EOF: the worker exited. Expected after a shutdown;
+                    // otherwise it crashed and its lease goes back in the
+                    // pool.
+                    workers[widx].alive = false;
+                    workers[widx].stdin = None;
+                    workers[widx].idle = false;
+                    let _ = workers[widx].child.wait();
+                    if let Some(owner) = workers[widx].owner.take() {
+                        let expired = manifest.expire_owner(&owner).or_else(runtime)?;
+                        if !expired.is_empty() {
+                            eprintln!(
+                                "repro: campaign: worker {owner} died; re-leasing {expired:?}"
+                            );
+                            check_attempts(manifest, args.max_attempts)?;
+                            if !manifest.all_complete() && respawns_left > 0 {
+                                respawns_left -= 1;
+                                let idx = workers.len();
+                                workers.push(spawn_worker(args, None, idx, &tx)?);
+                            }
+                        }
+                    }
+                    if !manifest.all_complete() && workers.iter().all(|w| !w.alive) {
+                        if respawns_left == 0 {
+                            return Err((
+                                "campaign stalled: every worker died and the respawn budget \
+                                 is spent; re-run `repro campaign run` to continue from the \
+                                 manifest"
+                                    .to_string(),
+                                1,
+                            ));
+                        }
+                        respawns_left -= 1;
+                        let idx = workers.len();
+                        workers.push(spawn_worker(args, None, idx, &tx)?);
+                    }
+                }
+                Some((widx, Some(line))) => {
+                    let event = match WorkerEvent::parse(&line) {
+                        Ok(event) => event,
+                        Err(e) => {
+                            eprintln!("repro: campaign: ignoring malformed worker line: {e}");
+                            continue;
+                        }
+                    };
+                    let owner = workers[widx].owner.clone();
+                    match event {
+                        WorkerEvent::Ready { worker } => {
+                            workers[widx].owner = Some(worker);
+                            grant_or_park(manifest, &mut workers[widx], now_ms())?;
+                        }
+                        WorkerEvent::Started { id } => {
+                            if let Some(owner) = &owner {
+                                let keys_done = manifest
+                                    .leases
+                                    .iter()
+                                    .find(|l| l.id == id)
+                                    .map_or(0, |l| l.keys_done);
+                                manifest
+                                    .heartbeat(id, owner, keys_done, now_ms())
+                                    .or_else(runtime)?;
+                            }
+                        }
+                        WorkerEvent::Heartbeat { id, keys_done, .. } => {
+                            if let Some(owner) = &owner {
+                                manifest
+                                    .heartbeat(id, owner, keys_done, now_ms())
+                                    .or_else(runtime)?;
+                            }
+                        }
+                        WorkerEvent::Complete { id } => {
+                            let accepted = match &owner {
+                                Some(owner) => manifest.complete(id, owner).or_else(runtime)?,
+                                None => false,
+                            };
+                            if accepted {
+                                let counts = manifest.state_counts();
+                                eprintln!(
+                                    "repro: campaign: lease {id} complete \
+                                     ({}/{} lease(s) done)",
+                                    counts[3],
+                                    manifest.leases.len()
+                                );
+                                grant_or_park(manifest, &mut workers[widx], now_ms())?;
+                            }
+                        }
+                        WorkerEvent::Failed { id, error } => {
+                            eprintln!("repro: campaign: lease {id} failed: {error}");
+                            if let Some(owner) = &owner {
+                                manifest.expire_owner(owner).or_else(runtime)?;
+                            }
+                            check_attempts(manifest, args.max_attempts)?;
+                            grant_or_park(manifest, &mut workers[widx], now_ms())?;
+                        }
+                    }
+                    // Expired leases (timeout, crash, failure) are handed to
+                    // whichever workers are parked idle.
+                    if manifest.leases.iter().any(|l| l.state.is_grantable()) {
+                        for worker in workers.iter_mut().filter(|w| w.alive && w.idle) {
+                            grant_or_park(manifest, worker, now_ms())?;
+                        }
+                    }
+                }
+            }
+        }
+
+        for worker in workers.iter_mut().filter(|w| w.alive) {
+            shut_down(worker);
+        }
+        for worker in &mut workers {
+            let _ = worker.child.wait();
+        }
+        Ok(())
+    }
+
+    fn merge_campaign(args: &RunArgs, manifest: &CampaignManifest) -> CliResult<()> {
+        let shards: Vec<PathBuf> = manifest
+            .leases
+            .iter()
+            .map(|l| manifest.shard_path(l))
+            .collect();
+        let encoding = if args.compress {
+            CellEncoding::DeltaVarint
+        } else {
+            CellEncoding::Raw
+        };
+        if let [only] = shards.as_slice() {
+            // A one-lease campaign's shard IS the full table already.
+            std::fs::copy(only, &args.out)
+                .map_err(|e| (format!("{}: {e}", args.out.display()), 1))?;
+        } else {
+            let mut options = MergeOptions {
+                encoding,
+                ..MergeOptions::default()
+            };
+            if let Some(n) = args.fan_in {
+                options.fan_in = n;
+            }
+            let refs: Vec<&Path> = shards.iter().map(PathBuf::as_path).collect();
+            dispatch_kind(&manifest.spec.kind, |d| match d {
+                Dispatch::Single => {
+                    merge_shards_tiered::<SingleByteDataset>(&refs, &args.out, &options)
+                }
+                Dispatch::Pairs => merge_shards_tiered::<PairDataset>(&refs, &args.out, &options),
+                Dispatch::LongTerm => {
+                    merge_shards_tiered::<LongTermDataset>(&refs, &args.out, &options)
+                }
+                Dispatch::PerTsc => {
+                    merge_shards_tiered::<PerTscDataset>(&refs, &args.out, &options)
+                }
+            })?;
+        }
+        eprintln!(
+            "repro: campaign {}: merged {} lease shard(s) into {} ({} encoding)",
+            args.dir.display(),
+            shards.len(),
+            args.out.display(),
+            encoding.name()
+        );
+        Ok(())
+    }
+
+    // -------------------------------------------------------------- status
+
+    fn status(args: &[String]) -> CliResult<()> {
+        let mut dir: Option<PathBuf> = None;
+        let mut json = false;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => json = true,
+                "--help" | "-h" => return Err((usage(), 0)),
+                "--dir" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--dir requires a value".to_string(), 2))?;
+                    dir = Some(PathBuf::from(value));
+                }
+                other => return fail(format!("unknown flag '{other}'\n{}", usage())),
+            }
+        }
+        let Some(dir) = dir else {
+            return fail(format!("'campaign status' needs --dir\n{}", usage()));
+        };
+        let path = dir.join(MANIFEST_NAME);
+        let manifest = match CampaignManifest::load(&path) {
+            Ok(m) => m,
+            Err(e) => return runtime(e),
+        };
+        if json {
+            // The manifest file is already the canonical JSON document;
+            // loading it above validated it.
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| (format!("{}: {e}", path.display()), 1))?;
+            print!("{text}");
+            return Ok(());
+        }
+        let spec = &manifest.spec;
+        println!("campaign:  {}", path.display());
+        println!("kind:      {}  shape {:?}", spec.kind, spec.shape);
+        println!(
+            "config:    keys={} workers={} seed={:#x} key_len={}",
+            spec.config.keys, spec.config.workers, spec.config.seed, spec.config.key_len
+        );
+        let counts = manifest.state_counts();
+        println!(
+            "leases:    {} (pending {}, granted {}, running {}, complete {}, expired {})",
+            manifest.leases.len(),
+            counts[0],
+            counts[1],
+            counts[2],
+            counts[3],
+            counts[4]
+        );
+        println!(
+            "progress:  {}/{} keys{}",
+            manifest.keys_done(),
+            spec.config.keys,
+            if manifest.all_complete() {
+                " (ready to merge)"
+            } else {
+                ""
+            }
+        );
+        for lease in &manifest.leases {
+            println!("  {}", render_lease(&manifest, lease));
+        }
+        Ok(())
+    }
+
+    fn render_lease(manifest: &CampaignManifest, lease: &Lease) -> String {
+        format!(
+            "lease {:>3}  workers {:>4}..{:<4}  {:8}  attempts {}  {}/{} keys  {}",
+            lease.id,
+            lease.worker_lo,
+            lease.worker_hi,
+            lease.state.name(),
+            lease.attempts,
+            if lease.state.name() == "complete" {
+                manifest.lease_keys_total(lease)
+            } else {
+                lease.keys_done
+            },
+            manifest.lease_keys_total(lease),
+            lease.shard
+        )
+    }
+}
+
 /// The `repro bench` subcommand: a fixed-seed, quick-scale performance smoke
 /// run plus the CI regression gate.
 ///
@@ -1005,6 +1911,7 @@ mod bench_cli {
     use rc4_stats::{
         single::SingleByteDataset, streaming::StreamingCounts, worker, GenerationConfig,
     };
+    use rc4_store::codec::{DeltaVarintDecoder, DeltaVarintEncoder};
 
     type CliResult<T> = Result<T, (String, u8)>;
 
@@ -1289,6 +2196,48 @@ mod bench_cli {
                 )
                 .expect("well-formed inputs");
                 std::hint::black_box(scored.margin());
+            }),
+            bytes_per_iter: Some(65536 * 8),
+        });
+
+        // Shard codec: delta+varint (v2) encode/decode of a 65536-cell count
+        // window — the compressed shard format's hot loops. bytes_per_iter
+        // is the *decoded* cell volume, so the throughput column is directly
+        // comparable with the raw-cell I/O the codec replaces.
+        let cells: Vec<u64> = (0..65536u64)
+            .map(|i| 500 + (i.wrapping_mul(2654435761) % 997))
+            .collect();
+        let mut encoded: Vec<u8> = Vec::with_capacity(cells.len() * 2);
+        results.push(Measurement {
+            name: "store_codec/delta_varint_encode_65536",
+            ns_per_iter: time_min(|| {
+                encoded.clear();
+                let mut encoder = DeltaVarintEncoder::new();
+                for &cell in std::hint::black_box(&cells) {
+                    encoder.push(cell, &mut encoded);
+                }
+            }),
+            bytes_per_iter: Some(65536 * 8),
+        });
+        eprintln!(
+            "repro: bench: delta+varint packs 65536 cells into {} bytes \
+             ({:.2}x smaller than raw)",
+            encoded.len(),
+            (65536.0 * 8.0) / encoded.len().max(1) as f64
+        );
+        results.push(Measurement {
+            name: "store_codec/delta_varint_decode_65536",
+            ns_per_iter: time_min(|| {
+                let mut decoder = DeltaVarintDecoder::new();
+                let mut offset = 0usize;
+                let mut sum = 0u64;
+                let encoded = std::hint::black_box(&encoded);
+                while offset < encoded.len() {
+                    let (cell, used) = decoder.next(&encoded[offset..]).expect("valid stream");
+                    sum = sum.wrapping_add(cell);
+                    offset += used;
+                }
+                std::hint::black_box(sum);
             }),
             bytes_per_iter: Some(65536 * 8),
         });

@@ -349,3 +349,102 @@ fn dataset_info_json_is_parseable() {
     assert_eq!(*kind, serde::Value::Str("pairs".into()));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// `--compress` writes a v2 delta+varint shard that is smaller on disk yet
+/// holds the identical dataset, and the streaming/tiered merge flags produce
+/// output byte-identical to the default in-memory merge.
+#[test]
+fn compressed_shards_and_streaming_merge_match_raw() {
+    let dir = scratch("compress");
+    let common = |out: &str, range: &str, extra: &[&str]| {
+        let mut args = vec![
+            "dataset",
+            "generate",
+            "--out",
+            out,
+            "--kind",
+            "single",
+            "--positions",
+            "8",
+            "--keys",
+            "600",
+            "--workers",
+            "2",
+            "--seed",
+            "9",
+            "--worker-range",
+            range,
+        ];
+        args.extend_from_slice(extra);
+        repro(&args)
+    };
+    let shard0 = path_str(&dir.join("shard0.ds"));
+    let shard1 = path_str(&dir.join("shard1.ds"));
+    let shard0_v2 = path_str(&dir.join("shard0-v2.ds"));
+    assert!(common(&shard0, "0..1", &[]).status.success());
+    assert!(common(&shard1, "1..2", &[]).status.success());
+    assert!(common(&shard0_v2, "0..1", &["--compress"]).status.success());
+
+    // The compressed twin is smaller and info reports both as the same
+    // complete dataset (the full read verifies CRC and cell count).
+    let raw_len = std::fs::metadata(&shard0).unwrap().len();
+    let v2_len = std::fs::metadata(&shard0_v2).unwrap().len();
+    assert!(
+        v2_len < raw_len,
+        "compressed shard ({v2_len} B) should be smaller than raw ({raw_len} B)"
+    );
+    let info = repro(&["dataset", "info", &shard0_v2]);
+    assert!(info.status.success(), "{}", stderr(&info));
+    assert!(stdout(&info).contains("delta-varint"), "{}", stdout(&info));
+    let info = repro(&["dataset", "info", &shard0]);
+    assert!(stdout(&info).contains("raw"), "{}", stdout(&info));
+
+    // In-memory, streaming and tiered merges agree byte for byte.
+    let merged = path_str(&dir.join("merged.ds"));
+    let merged_streaming = path_str(&dir.join("merged-streaming.ds"));
+    let merged_tiered = path_str(&dir.join("merged-tiered.ds"));
+    let m = repro(&["dataset", "merge", "--out", &merged, &shard0, &shard1]);
+    assert!(m.status.success(), "{}", stderr(&m));
+    let m = repro(&[
+        "dataset",
+        "merge",
+        "--out",
+        &merged_streaming,
+        "--streaming",
+        "--window-cells",
+        "100",
+        &shard0,
+        &shard1,
+    ]);
+    assert!(m.status.success(), "{}", stderr(&m));
+    let m = repro(&[
+        "dataset",
+        "merge",
+        "--out",
+        &merged_tiered,
+        "--fan-in",
+        "2",
+        &shard0,
+        &shard1,
+    ]);
+    assert!(m.status.success(), "{}", stderr(&m));
+    let reference = std::fs::read(&merged).unwrap();
+    assert_eq!(reference, std::fs::read(&merged_streaming).unwrap());
+    assert_eq!(reference, std::fs::read(&merged_tiered).unwrap());
+
+    // A compressed input merges like a raw one: same cells, same output.
+    let merged_mixed = path_str(&dir.join("merged-mixed.ds"));
+    let m = repro(&[
+        "dataset",
+        "merge",
+        "--out",
+        &merged_mixed,
+        "--streaming",
+        &shard0_v2,
+        &shard1,
+    ]);
+    assert!(m.status.success(), "{}", stderr(&m));
+    assert_eq!(reference, std::fs::read(&merged_mixed).unwrap());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

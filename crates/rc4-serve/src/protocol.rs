@@ -10,6 +10,167 @@
 //! built and picked apart as [`serde::Value`] trees, so optional fields can
 //! be omitted by clients (a missing field falls back to its documented
 //! default instead of erroring).
+//!
+//! # Frame reference
+//!
+//! One section per frame type. Every JSON example below is produced **by
+//! the serde types in this module inside a doc-test** — the assertions run
+//! under `cargo test`, so the documented bytes cannot drift from what
+//! [`Request::to_line`] actually puts on the wire.
+//!
+//! ## `list`
+//!
+//! Lists the registered experiments. No arguments.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! let frame = Request::List;
+//! assert_eq!(frame.to_line(), r#"{"cmd":"list"}"#);
+//! assert_eq!(Request::parse(&frame.to_line()).unwrap(), frame);
+//! ```
+//!
+//! The response's `experiments` field is an array of `{name, summary}`
+//! objects.
+//!
+//! ## `submit`
+//!
+//! Admits a job; the response carries its assigned `id`. Only `name` is
+//! required — `scale` defaults to `"laptop"`, `seed` to 0, `priority` to 0
+//! (higher runs first, ties in submission order) and `workers` to 0 (the
+//! server's default budget).
+//!
+//! ```
+//! use rc4_serve::protocol::{JobSpec, Request};
+//! let frame = Request::Submit(JobSpec {
+//!     name: "fig8".into(),
+//!     scale: "quick".into(),
+//!     seed: 5,
+//!     priority: 1,
+//!     workers: 2,
+//! });
+//! assert_eq!(
+//!     frame.to_line(),
+//!     r#"{"cmd":"submit","name":"fig8","scale":"quick","seed":5,"priority":1,"workers":2}"#
+//! );
+//! // Minimal client frame: omitted fields take their documented defaults.
+//! let minimal = Request::parse(r#"{"cmd":"submit","name":"fig8"}"#).unwrap();
+//! assert_eq!(
+//!     minimal,
+//!     Request::Submit(JobSpec {
+//!         name: "fig8".into(),
+//!         scale: "laptop".into(),
+//!         seed: 0,
+//!         priority: 0,
+//!         workers: 0,
+//!     })
+//! );
+//! ```
+//!
+//! ## `jobs`
+//!
+//! Summarizes every job the server knows about, including ledger entries
+//! reloaded from a previous incarnation.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! assert_eq!(Request::Jobs.to_line(), r#"{"cmd":"jobs"}"#);
+//! ```
+//!
+//! ## `watch`
+//!
+//! Streams a job's progress events from sequence number `from` (default 0,
+//! i.e. replay from the start) until the job reaches a terminal state. The
+//! response is the streaming exception described above: `progress` event
+//! lines, then exactly one `end` line.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! let frame = Request::Watch { id: 7, from: 12 };
+//! assert_eq!(frame.to_line(), r#"{"cmd":"watch","id":7,"from":12}"#);
+//! assert_eq!(Request::parse(r#"{"cmd":"watch","id":7}"#).unwrap(),
+//!            Request::Watch { id: 7, from: 0 });
+//! ```
+//!
+//! ## `result`
+//!
+//! Fetches the final result document of a completed job — the stored bytes,
+//! verbatim, which is what makes served results byte-identical to one-shot
+//! runs. With `telemetry: true` the response additionally carries the job's
+//! scheduling/runtime telemetry as a *separate* field; the result document
+//! itself is unaffected. Pre-telemetry clients omit the field.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! let frame = Request::Result { id: 7, telemetry: true };
+//! assert_eq!(frame.to_line(), r#"{"cmd":"result","id":7,"telemetry":true}"#);
+//! assert_eq!(Request::parse(r#"{"cmd":"result","id":7}"#).unwrap(),
+//!            Request::Result { id: 7, telemetry: false });
+//! ```
+//!
+//! ## `status`
+//!
+//! Server introspection: accepting/draining state, queue depth, budget and
+//! single-flight statistics.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! assert_eq!(Request::Status.to_line(), r#"{"cmd":"status"}"#);
+//! ```
+//!
+//! ## `metrics`
+//!
+//! A snapshot of the server's live metrics registry — counters, gauges and
+//! histograms across the executor, store and serving layers (the
+//! `{"counters": ..., "gauges": ..., "histograms": ...}` document shown by
+//! `repro status --metrics`).
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! assert_eq!(Request::Metrics.to_line(), r#"{"cmd":"metrics"}"#);
+//! ```
+//!
+//! ## `cancel`
+//!
+//! Cooperatively cancels a queued or running job.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! assert_eq!(Request::Cancel { id: 3 }.to_line(), r#"{"cmd":"cancel","id":3}"#);
+//! ```
+//!
+//! ## `shutdown`
+//!
+//! Graceful drain: admission stops, queued jobs are cancelled, running jobs
+//! get `deadline_ms` (default 10000) to finish before being cooperatively
+//! cancelled; the ledger is persisted and the process exits.
+//!
+//! ```
+//! use rc4_serve::protocol::Request;
+//! let frame = Request::Shutdown { deadline_ms: 500 };
+//! assert_eq!(frame.to_line(), r#"{"cmd":"shutdown","deadline_ms":500}"#);
+//! assert_eq!(Request::parse(r#"{"cmd":"shutdown"}"#).unwrap(),
+//!            Request::Shutdown { deadline_ms: 10_000 });
+//! ```
+//!
+//! ## Responses
+//!
+//! Every non-streaming response is one line with a boolean `ok`; failures
+//! carry an `error` string. [`parse_response`] folds `ok: false` frames
+//! into [`ServeError::Server`]:
+//!
+//! ```
+//! use rc4_serve::protocol::{error_response, ok_response, parse_response};
+//! use rc4_serve::ServeError;
+//! use serde::Value;
+//!
+//! let ok = ok_response(vec![("id".into(), Value::UInt(9))]);
+//! assert_eq!(ok, r#"{"ok":true,"id":9}"#);
+//! assert_eq!(parse_response(&ok).unwrap().field("id").unwrap(), &Value::UInt(9));
+//!
+//! let err = error_response("queue is draining");
+//! assert_eq!(err, r#"{"ok":false,"error":"queue is draining"}"#);
+//! assert_eq!(parse_response(&err), Err(ServeError::Server("queue is draining".into())));
+//! ```
 
 use serde::Value;
 

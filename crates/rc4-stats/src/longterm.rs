@@ -227,6 +227,22 @@ impl StorableDataset for LongTermDataset {
         Self::new(*drop as usize, *block_len as usize)
     }
 
+    fn cell_count_for_shape(params: &[u64]) -> Result<u64, DatasetError> {
+        let [_drop, block_len] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "long-term shape needs 2 parameters, got {}",
+                params.len()
+            )));
+        };
+        if *block_len < 2 {
+            return Err(DatasetError::InvalidConfig(
+                "block_len must be at least 2 to form a digraph".into(),
+            ));
+        }
+        // Digraph table + aligned table + the two derived totals.
+        Ok((NUM_VALUES * NUM_PAIRS + NUM_PAIRS + 2) as u64)
+    }
+
     /// Cells are the digraph table, the aligned table, and the two derived
     /// totals (digraph and aligned sample counts) as single-cell slices, so
     /// the whole state survives a store round-trip.

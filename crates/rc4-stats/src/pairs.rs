@@ -295,6 +295,24 @@ impl StorableDataset for PairDataset {
         Self::new(pairs)
     }
 
+    fn cell_count_for_shape(params: &[u64]) -> Result<u64, DatasetError> {
+        if params.is_empty() || params.len() % 2 != 0 {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "pair shape needs an even, non-zero parameter count, got {}",
+                params.len()
+            )));
+        }
+        for c in params.chunks_exact(2) {
+            if c[0] == 0 || c[1] == 0 || c[0] == c[1] {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "invalid position pair ({}, {})",
+                    c[0], c[1]
+                )));
+            }
+        }
+        Ok((params.len() as u64 / 2) * NUM_PAIRS as u64)
+    }
+
     fn cell_slices(&self) -> Vec<&[u64]> {
         vec![&self.counts]
     }

@@ -177,6 +177,23 @@ impl StorableDataset for SingleByteDataset {
         Ok(Self::new(*positions as usize))
     }
 
+    fn cell_count_for_shape(params: &[u64]) -> Result<u64, DatasetError> {
+        let [positions] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "single-byte shape needs 1 parameter, got {}",
+                params.len()
+            )));
+        };
+        if *positions == 0 {
+            return Err(DatasetError::InvalidConfig(
+                "single-byte dataset needs at least one position".into(),
+            ));
+        }
+        positions.checked_mul(NUM_VALUES as u64).ok_or_else(|| {
+            DatasetError::InvalidConfig(format!("{positions} positions overflow the cell count"))
+        })
+    }
+
     fn cell_slices(&self) -> Vec<&[u64]> {
         vec![&self.counts]
     }

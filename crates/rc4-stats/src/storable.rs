@@ -140,6 +140,25 @@ pub trait StorableDataset: Send + Sized {
         self.cell_slices().iter().map(|s| s.len()).sum()
     }
 
+    /// Number of cells a dataset of shape `params` holds, *without*
+    /// materialising one.
+    ///
+    /// The out-of-core shard merge validates inputs and sizes its streaming
+    /// windows against this before allocating anything; the default
+    /// constructs an empty dataset and counts its cells, which is correct
+    /// but allocates the full table — every kind in this crate overrides it
+    /// with the closed-form count so multi-GiB shapes (e.g. TSC-conditioned
+    /// tables) stay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same validation errors as
+    /// [`StorableDataset::empty_with_shape`] for descriptors that do not
+    /// describe a valid shape.
+    fn cell_count_for_shape(params: &[u64]) -> Result<u64, DatasetError> {
+        Ok(Self::empty_with_shape(params)?.cell_count() as u64)
+    }
+
     /// Kind-specific generation-config validation, called by drivers before
     /// any key is generated. The default accepts everything
     /// [`crate::dataset::GenerationConfig::validate`] accepts; kinds with

@@ -317,6 +317,38 @@ impl StorableDataset for PerTscDataset {
         Self::new(conditioning, *positions as usize)
     }
 
+    fn cell_count_for_shape(params: &[u64]) -> Result<u64, DatasetError> {
+        let [cond, positions] = params else {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "per-TSC shape needs 2 parameters, got {}",
+                params.len()
+            )));
+        };
+        let conditioning = match cond {
+            0 => TscConditioning::Tsc1,
+            1 => TscConditioning::Tsc0Tsc1,
+            other => {
+                return Err(DatasetError::ShapeMismatch(format!(
+                    "unknown TSC conditioning code {other} (expected 0 or 1)"
+                )))
+            }
+        };
+        if *positions == 0 {
+            return Err(DatasetError::InvalidConfig("positions must be > 0".into()));
+        }
+        let classes = conditioning.classes() as u64;
+        let cells = positions
+            .checked_mul(classes * NUM_VALUES as u64)
+            .unwrap_or(u64::MAX);
+        if cells > (1u64 << 31) {
+            return Err(DatasetError::InvalidConfig(format!(
+                "per-TSC dataset with {cells} cells is too large; reduce positions or conditioning"
+            )));
+        }
+        // Per-class count tables + per-class keystream totals.
+        Ok(cells + classes)
+    }
+
     /// Cells are the per-class count tables followed by the per-class
     /// keystream totals.
     fn cell_slices(&self) -> Vec<&[u64]> {

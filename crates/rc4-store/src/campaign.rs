@@ -1,0 +1,857 @@
+//! Lease-based fleet campaigns: coordinating many worker processes over one
+//! seed-disjoint key space.
+//!
+//! The paper's headline counts were collected on ~80 machines and merged
+//! afterwards. This module provides the bookkeeping half of that workflow:
+//! a campaign splits the logical worker range of one
+//! [`GenerationConfig`] into contiguous, seed-disjoint *leases*, each backed
+//! by its own shard file. A coordinator grants leases to worker processes,
+//! tracks their progress in a versioned, atomically-rewritten JSON
+//! *manifest*, re-issues leases whose workers crashed or went silent, and —
+//! once every lease is complete — merges the lease shards with the ordinary
+//! seed-disjoint merge, producing a table byte-identical to a single-process
+//! run.
+//!
+//! # Lease lifecycle
+//!
+//! ```text
+//! pending ──grant──▶ granted ──first heartbeat──▶ running ──▶ complete
+//!    ▲                  │                            │
+//!    └──────(regrant)── expired ◀──crash/timeout─────┘
+//! ```
+//!
+//! Expiry is safe — not merely tolerated — because leases are deterministic:
+//! worker `w` of `config` always derives its key stream from
+//! `(config.seed, w)`, so a re-granted lease regenerates exactly the cells
+//! the lost worker would have produced, and the replacement worker resumes
+//! from the crashed worker's last on-disk checkpoint. Even the pathological
+//! race (a hung worker revives after its lease was re-granted) is benign:
+//! both processes write identical cells, shard writes are atomic
+//! (PID-salted temp + rename), so the last rename wins with a complete,
+//! correct file either way.
+//!
+//! The coordinator/worker wire protocol ([`WorkerCommand`] /
+//! [`WorkerEvent`]) is newline-delimited JSON over the worker's
+//! stdin/stdout, so "fleet" can mean local child processes today and
+//! ssh-driven remote ones without touching this module.
+
+use std::path::{Path, PathBuf};
+
+use serde::{DeError, Deserialize, Serialize, Value};
+
+use rc4_stats::{DatasetError, GenerationConfig};
+
+/// Manifest format version, bumped on breaking layout changes.
+pub const MANIFEST_VERSION: u64 = 1;
+
+/// Lifecycle state of one lease, as recorded in the manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Never granted; waiting for a worker.
+    Pending,
+    /// Handed to a worker that has not yet reported progress.
+    Granted,
+    /// The owning worker has heartbeated progress.
+    Running,
+    /// All of the lease's keys are generated; its shard is mergeable.
+    Complete,
+    /// The owning worker crashed or went silent; awaiting re-grant.
+    Expired,
+}
+
+impl LeaseState {
+    /// The manifest/wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaseState::Pending => "pending",
+            LeaseState::Granted => "granted",
+            LeaseState::Running => "running",
+            LeaseState::Complete => "complete",
+            LeaseState::Expired => "expired",
+        }
+    }
+
+    /// Parses a manifest/wire name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "pending" => Some(LeaseState::Pending),
+            "granted" => Some(LeaseState::Granted),
+            "running" => Some(LeaseState::Running),
+            "complete" => Some(LeaseState::Complete),
+            "expired" => Some(LeaseState::Expired),
+            _ => None,
+        }
+    }
+
+    /// Whether a coordinator may grant this lease to a worker right now.
+    pub fn is_grantable(self) -> bool {
+        matches!(self, LeaseState::Pending | LeaseState::Expired)
+    }
+
+    /// Whether the lease is currently owned by a live worker.
+    pub fn is_owned(self) -> bool {
+        matches!(self, LeaseState::Granted | LeaseState::Running)
+    }
+}
+
+impl Serialize for LeaseState {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for LeaseState {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                LeaseState::parse(s).ok_or_else(|| DeError(format!("unknown lease state `{s}`")))
+            }
+            other => Err(DeError(format!(
+                "lease state must be a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// One contiguous, seed-disjoint slice of the campaign's worker range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Stable lease ID (its index in the manifest).
+    pub id: u64,
+    /// First logical worker index covered.
+    pub worker_lo: u64,
+    /// One past the last logical worker index covered.
+    pub worker_hi: u64,
+    /// Current lifecycle state.
+    pub state: LeaseState,
+    /// Identity of the worker process currently holding the lease.
+    pub owner: Option<String>,
+    /// Times the lease has been granted (1 on first grant; >1 means it was
+    /// re-issued after an expiry).
+    pub attempts: u64,
+    /// Keys the owning worker last reported as generated.
+    pub keys_done: u64,
+    /// Coordinator-clock milliseconds of the last grant/heartbeat, for
+    /// heartbeat-timeout expiry. Relative to campaign start, never wall time.
+    pub heartbeat_ms: u64,
+    /// Shard file name, relative to the manifest's directory.
+    pub shard: String,
+}
+
+/// What the campaign generates: the dataset identity every lease shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Dataset kind tag ([`rc4_stats::StorableDataset::kind`]).
+    pub kind: String,
+    /// Dataset shape descriptor.
+    pub shape: Vec<u64>,
+    /// The master generation configuration (the *single-process* config; its
+    /// worker count is what leases partition).
+    pub config: GenerationConfig,
+}
+
+/// The campaign manifest: spec + leases, persisted as one JSON document that
+/// is atomically rewritten (temp + rename) on every state transition, so
+/// however the coordinator dies the manifest on disk is a complete,
+/// parseable account and `campaign resume` can pick up where it left off.
+#[derive(Debug)]
+pub struct CampaignManifest {
+    path: PathBuf,
+    /// The dataset identity every lease contributes to.
+    pub spec: CampaignSpec,
+    /// All leases, in worker order.
+    pub leases: Vec<Lease>,
+}
+
+impl CampaignManifest {
+    /// Plans a fresh campaign: validates the spec, splits the configuration's
+    /// worker range into `num_leases` contiguous leases (sized within one
+    /// worker of each other), and persists the manifest to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidConfig`] on an invalid configuration or an
+    /// unsatisfiable lease count, [`DatasetError::Io`] when `path` already
+    /// exists (resume instead) or the write fails.
+    pub fn plan(
+        path: impl Into<PathBuf>,
+        spec: CampaignSpec,
+        num_leases: u64,
+    ) -> Result<Self, DatasetError> {
+        let path = path.into();
+        spec.config.validate()?;
+        let workers = spec.config.workers as u64;
+        if num_leases == 0 || num_leases > workers {
+            return Err(DatasetError::InvalidConfig(format!(
+                "cannot split {workers} workers into {num_leases} leases \
+                 (need 1..={workers})"
+            )));
+        }
+        if path.exists() {
+            return Err(DatasetError::io(
+                &path,
+                "campaign manifest already exists; use resume to continue it",
+            ));
+        }
+        let leases = (0..num_leases)
+            .map(|i| Lease {
+                id: i,
+                worker_lo: i * workers / num_leases,
+                worker_hi: (i + 1) * workers / num_leases,
+                state: LeaseState::Pending,
+                owner: None,
+                attempts: 0,
+                keys_done: 0,
+                heartbeat_ms: 0,
+                shard: format!("lease-{i:04}.ds"),
+            })
+            .collect();
+        let manifest = CampaignManifest { path, spec, leases };
+        manifest.save()?;
+        Ok(manifest)
+    }
+
+    /// Loads an existing manifest, verifying version and internal
+    /// consistency (contiguous lease coverage of the full worker range).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Io`] on unreadable files, [`DatasetError::Corrupt`]
+    /// on unparseable, wrong-version, or self-contradictory content.
+    pub fn load(path: impl Into<PathBuf>) -> Result<Self, DatasetError> {
+        let path = path.into();
+        let text = std::fs::read_to_string(&path).map_err(|e| DatasetError::io(&path, e))?;
+        let value: Value = serde_json::from_str(&text)
+            .map_err(|e| DatasetError::corrupt(&path, format!("not valid JSON: {e}")))?;
+        let version = match value.field("version") {
+            Ok(Value::UInt(n)) => *n,
+            _ => 0,
+        };
+        if version != MANIFEST_VERSION {
+            return Err(DatasetError::corrupt(
+                &path,
+                format!("manifest version {version}, this build reads {MANIFEST_VERSION}"),
+            ));
+        }
+        let spec = value
+            .field("spec")
+            .ok()
+            .map(CampaignSpec::from_value)
+            .transpose()
+            .map_err(|e| DatasetError::corrupt(&path, e.0))?
+            .ok_or_else(|| DatasetError::corrupt(&path, "manifest lacks a `spec` object"))?;
+        let leases = match value.field("leases") {
+            Ok(Value::Array(items)) => items
+                .iter()
+                .map(Lease::from_value)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| DatasetError::corrupt(&path, e.0))?,
+            _ => {
+                return Err(DatasetError::corrupt(
+                    &path,
+                    "manifest lacks a `leases` array",
+                ))
+            }
+        };
+        let manifest = CampaignManifest { path, spec, leases };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Internal-consistency check: leases must tile `0..config.workers`
+    /// contiguously in ID order.
+    fn validate(&self) -> Result<(), DatasetError> {
+        self.spec.config.validate().map_err(|e| {
+            DatasetError::corrupt(&self.path, format!("invalid stored config: {e}"))
+        })?;
+        let mut expect_lo = 0u64;
+        for (i, lease) in self.leases.iter().enumerate() {
+            if lease.id != i as u64
+                || lease.worker_lo != expect_lo
+                || lease.worker_hi <= lease.worker_lo
+            {
+                return Err(DatasetError::corrupt(
+                    &self.path,
+                    format!(
+                        "lease {} covers workers {}..{}, expected a contiguous tiling from {expect_lo}",
+                        lease.id, lease.worker_lo, lease.worker_hi
+                    ),
+                ));
+            }
+            expect_lo = lease.worker_hi;
+        }
+        if expect_lo != self.spec.config.workers as u64 {
+            return Err(DatasetError::corrupt(
+                &self.path,
+                format!(
+                    "leases cover workers 0..{expect_lo} of a {}-worker configuration",
+                    self.spec.config.workers
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The manifest's own path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The directory lease shards live in (the manifest's directory).
+    pub fn dir(&self) -> &Path {
+        self.path.parent().unwrap_or_else(|| Path::new("."))
+    }
+
+    /// Absolute path of a lease's shard file.
+    pub fn shard_path(&self, lease: &Lease) -> PathBuf {
+        self.dir().join(&lease.shard)
+    }
+
+    /// Atomically rewrites the manifest file (temp + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Io`] when the write or rename fails.
+    pub fn save(&self) -> Result<(), DatasetError> {
+        let value = Value::Object(vec![
+            ("version".to_string(), Value::UInt(MANIFEST_VERSION)),
+            ("spec".to_string(), self.spec.to_value()),
+            (
+                "leases".to_string(),
+                Value::Array(self.leases.iter().map(Lease::to_value).collect()),
+            ),
+        ]);
+        let text = serde_json::to_string_pretty(&value).expect("manifest serializes");
+        let tmp = self
+            .path
+            .with_extension(format!("json.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, format!("{text}\n")).map_err(|e| DatasetError::io(&tmp, e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| DatasetError::io(&self.path, e))
+    }
+
+    /// Grants the lowest-ID grantable lease to `owner`, persists, and
+    /// returns a copy of it; `None` (without touching the file) when no
+    /// lease is grantable.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Io`] when persisting fails (the in-memory grant is
+    /// rolled back).
+    pub fn grant_next(&mut self, owner: &str, now_ms: u64) -> Result<Option<Lease>, DatasetError> {
+        let Some(i) = self.leases.iter().position(|l| l.state.is_grantable()) else {
+            return Ok(None);
+        };
+        let before = self.leases[i].clone();
+        let regrant = before.state == LeaseState::Expired;
+        {
+            let lease = &mut self.leases[i];
+            lease.state = LeaseState::Granted;
+            lease.owner = Some(owner.to_string());
+            lease.attempts += 1;
+            lease.heartbeat_ms = now_ms;
+        }
+        if let Err(e) = self.save() {
+            self.leases[i] = before;
+            return Err(e);
+        }
+        rc4_obs::metrics::counter_add("campaign.lease.granted", 1);
+        if regrant {
+            rc4_obs::metrics::counter_add("campaign.lease.regranted", 1);
+        }
+        Ok(Some(self.leases[i].clone()))
+    }
+
+    /// Records a progress heartbeat from `owner` for lease `id`, persisting
+    /// the transition. Returns `false` — ignoring the report — when the
+    /// lease is not currently owned by `owner` (a zombie worker whose lease
+    /// was re-granted).
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::InvalidConfig`] for an unknown lease ID,
+    /// [`DatasetError::Io`] when persisting fails.
+    pub fn heartbeat(
+        &mut self,
+        id: u64,
+        owner: &str,
+        keys_done: u64,
+        now_ms: u64,
+    ) -> Result<bool, DatasetError> {
+        let lease = self.lease_mut(id)?;
+        if !lease.state.is_owned() || lease.owner.as_deref() != Some(owner) {
+            return Ok(false);
+        }
+        lease.state = LeaseState::Running;
+        lease.keys_done = keys_done;
+        lease.heartbeat_ms = now_ms;
+        self.save()?;
+        Ok(true)
+    }
+
+    /// Marks lease `id` complete on `owner`'s report, persisting. Returns
+    /// `false` — ignoring the report — for stale owners, matching
+    /// [`CampaignManifest::heartbeat`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CampaignManifest::heartbeat`].
+    pub fn complete(&mut self, id: u64, owner: &str) -> Result<bool, DatasetError> {
+        let lease = self.lease_mut(id)?;
+        if !lease.state.is_owned() || lease.owner.as_deref() != Some(owner) {
+            return Ok(false);
+        }
+        lease.state = LeaseState::Complete;
+        lease.owner = None;
+        self.save()?;
+        rc4_obs::metrics::counter_add("campaign.lease.completed", 1);
+        Ok(true)
+    }
+
+    /// Expires every lease currently owned by `owner` (worker crashed or
+    /// disconnected), persisting. Returns the expired lease IDs.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Io`] when persisting fails.
+    pub fn expire_owner(&mut self, owner: &str) -> Result<Vec<u64>, DatasetError> {
+        let ids: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|l| l.state.is_owned() && l.owner.as_deref() == Some(owner))
+            .map(|l| l.id)
+            .collect();
+        for &id in &ids {
+            let lease = self.lease_mut(id)?;
+            lease.state = LeaseState::Expired;
+            lease.owner = None;
+        }
+        if !ids.is_empty() {
+            self.save()?;
+            rc4_obs::metrics::counter_add("campaign.lease.expired", ids.len() as u64);
+        }
+        Ok(ids)
+    }
+
+    /// Expires every owned lease whose last heartbeat is older than
+    /// `timeout_ms` (hung worker), persisting. Returns the expired IDs.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Io`] when persisting fails.
+    pub fn expire_stale(&mut self, timeout_ms: u64, now_ms: u64) -> Result<Vec<u64>, DatasetError> {
+        let ids: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|l| l.state.is_owned() && now_ms.saturating_sub(l.heartbeat_ms) > timeout_ms)
+            .map(|l| l.id)
+            .collect();
+        for &id in &ids {
+            let lease = self.lease_mut(id)?;
+            lease.state = LeaseState::Expired;
+            lease.owner = None;
+        }
+        if !ids.is_empty() {
+            self.save()?;
+            rc4_obs::metrics::counter_add("campaign.lease.expired", ids.len() as u64);
+        }
+        Ok(ids)
+    }
+
+    /// Whether every lease is complete (the campaign is ready to merge).
+    pub fn all_complete(&self) -> bool {
+        self.leases.iter().all(|l| l.state == LeaseState::Complete)
+    }
+
+    /// Keys reported done across all leases.
+    pub fn keys_done(&self) -> u64 {
+        self.leases
+            .iter()
+            .map(|l| {
+                if l.state == LeaseState::Complete {
+                    self.lease_keys_total(l)
+                } else {
+                    l.keys_done
+                }
+            })
+            .sum()
+    }
+
+    /// Total keys a lease will hold when complete.
+    pub fn lease_keys_total(&self, lease: &Lease) -> u64 {
+        (lease.worker_lo..lease.worker_hi)
+            .map(|w| self.spec.config.keys_for_worker(w))
+            .sum()
+    }
+
+    /// Per-state lease counts, in [`LeaseState`] declaration order
+    /// (pending, granted, running, complete, expired).
+    pub fn state_counts(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for lease in &self.leases {
+            let i = match lease.state {
+                LeaseState::Pending => 0,
+                LeaseState::Granted => 1,
+                LeaseState::Running => 2,
+                LeaseState::Complete => 3,
+                LeaseState::Expired => 4,
+            };
+            counts[i] += 1;
+        }
+        counts
+    }
+
+    fn lease_mut(&mut self, id: u64) -> Result<&mut Lease, DatasetError> {
+        self.leases
+            .iter_mut()
+            .find(|l| l.id == id)
+            .ok_or_else(|| DatasetError::InvalidConfig(format!("campaign has no lease {id}")))
+    }
+}
+
+/// A coordinator → worker instruction, one JSON object per line on the
+/// worker's stdin.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerCommand {
+    /// Generate (or resume) the shard for this lease.
+    Lease {
+        /// Lease ID, echoed back in every event about it.
+        id: u64,
+        /// First logical worker index covered.
+        worker_lo: u64,
+        /// One past the last logical worker index covered.
+        worker_hi: u64,
+        /// Shard file name relative to the campaign directory.
+        shard: String,
+    },
+    /// No more leases; exit cleanly.
+    Shutdown,
+}
+
+impl WorkerCommand {
+    /// Serializes to one newline-terminated JSON line.
+    pub fn to_line(&self) -> String {
+        let value = match self {
+            WorkerCommand::Lease {
+                id,
+                worker_lo,
+                worker_hi,
+                shard,
+            } => Value::Object(vec![
+                ("cmd".to_string(), Value::Str("lease".to_string())),
+                ("id".to_string(), Value::UInt(*id)),
+                ("worker_lo".to_string(), Value::UInt(*worker_lo)),
+                ("worker_hi".to_string(), Value::UInt(*worker_hi)),
+                ("shard".to_string(), Value::Str(shard.clone())),
+            ]),
+            WorkerCommand::Shutdown => Value::Object(vec![(
+                "cmd".to_string(),
+                Value::Str("shutdown".to_string()),
+            )]),
+        };
+        let mut line = serde_json::to_string(&value).expect("command serializes");
+        line.push('\n');
+        line
+    }
+
+    /// Parses one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Serialization`] naming the malformed or unknown part.
+    pub fn parse(line: &str) -> Result<Self, DatasetError> {
+        let value: Value = serde_json::from_str(line.trim())
+            .map_err(|e| DatasetError::Serialization(format!("campaign command: {e}")))?;
+        match str_field(&value, "cmd")? {
+            "lease" => Ok(WorkerCommand::Lease {
+                id: u64_field(&value, "id")?,
+                worker_lo: u64_field(&value, "worker_lo")?,
+                worker_hi: u64_field(&value, "worker_hi")?,
+                shard: str_field(&value, "shard")?.to_string(),
+            }),
+            "shutdown" => Ok(WorkerCommand::Shutdown),
+            other => Err(DatasetError::Serialization(format!(
+                "unknown campaign command `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A worker → coordinator report, one JSON object per line on the worker's
+/// stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkerEvent {
+    /// The worker is up and wants its first lease.
+    Ready {
+        /// The worker's self-chosen identity (its manifest `owner` string).
+        worker: String,
+    },
+    /// The worker accepted a lease and began generating.
+    Started {
+        /// The lease being worked.
+        id: u64,
+    },
+    /// Checkpoint progress (one per on-disk checkpoint flush).
+    Heartbeat {
+        /// The lease being worked.
+        id: u64,
+        /// Keys generated so far.
+        keys_done: u64,
+        /// Keys the lease will hold when complete.
+        keys_total: u64,
+    },
+    /// The lease's shard is complete on disk; the worker wants another.
+    Complete {
+        /// The finished lease.
+        id: u64,
+    },
+    /// The lease failed; the shard (if any) holds the last good checkpoint.
+    Failed {
+        /// The failed lease.
+        id: u64,
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+impl WorkerEvent {
+    /// Serializes to one newline-terminated JSON line.
+    pub fn to_line(&self) -> String {
+        let mut fields = Vec::new();
+        match self {
+            WorkerEvent::Ready { worker } => {
+                fields.push(("event".to_string(), Value::Str("ready".to_string())));
+                fields.push(("worker".to_string(), Value::Str(worker.clone())));
+            }
+            WorkerEvent::Started { id } => {
+                fields.push(("event".to_string(), Value::Str("started".to_string())));
+                fields.push(("id".to_string(), Value::UInt(*id)));
+            }
+            WorkerEvent::Heartbeat {
+                id,
+                keys_done,
+                keys_total,
+            } => {
+                fields.push(("event".to_string(), Value::Str("heartbeat".to_string())));
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("keys_done".to_string(), Value::UInt(*keys_done)));
+                fields.push(("keys_total".to_string(), Value::UInt(*keys_total)));
+            }
+            WorkerEvent::Complete { id } => {
+                fields.push(("event".to_string(), Value::Str("complete".to_string())));
+                fields.push(("id".to_string(), Value::UInt(*id)));
+            }
+            WorkerEvent::Failed { id, error } => {
+                fields.push(("event".to_string(), Value::Str("failed".to_string())));
+                fields.push(("id".to_string(), Value::UInt(*id)));
+                fields.push(("error".to_string(), Value::Str(error.clone())));
+            }
+        }
+        let mut line = serde_json::to_string(&Value::Object(fields)).expect("event serializes");
+        line.push('\n');
+        line
+    }
+
+    /// Parses one JSON line.
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::Serialization`] naming the malformed or unknown part.
+    pub fn parse(line: &str) -> Result<Self, DatasetError> {
+        let value: Value = serde_json::from_str(line.trim())
+            .map_err(|e| DatasetError::Serialization(format!("campaign event: {e}")))?;
+        match str_field(&value, "event")? {
+            "ready" => Ok(WorkerEvent::Ready {
+                worker: str_field(&value, "worker")?.to_string(),
+            }),
+            "started" => Ok(WorkerEvent::Started {
+                id: u64_field(&value, "id")?,
+            }),
+            "heartbeat" => Ok(WorkerEvent::Heartbeat {
+                id: u64_field(&value, "id")?,
+                keys_done: u64_field(&value, "keys_done")?,
+                keys_total: u64_field(&value, "keys_total")?,
+            }),
+            "complete" => Ok(WorkerEvent::Complete {
+                id: u64_field(&value, "id")?,
+            }),
+            "failed" => Ok(WorkerEvent::Failed {
+                id: u64_field(&value, "id")?,
+                error: str_field(&value, "error")?.to_string(),
+            }),
+            other => Err(DatasetError::Serialization(format!(
+                "unknown campaign event `{other}`"
+            ))),
+        }
+    }
+}
+
+fn u64_field(value: &Value, name: &str) -> Result<u64, DatasetError> {
+    match value.field(name) {
+        Ok(Value::UInt(n)) => Ok(*n),
+        _ => Err(DatasetError::Serialization(format!(
+            "campaign message lacks numeric field `{name}`"
+        ))),
+    }
+}
+
+fn str_field<'a>(value: &'a Value, name: &str) -> Result<&'a str, DatasetError> {
+    match value.field(name) {
+        Ok(Value::Str(s)) => Ok(s),
+        _ => Err(DatasetError::Serialization(format!(
+            "campaign message lacks string field `{name}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(keys: u64, workers: usize) -> CampaignSpec {
+        CampaignSpec {
+            kind: "single".to_string(),
+            shape: vec![8],
+            config: GenerationConfig::with_keys(keys).workers(workers).seed(11),
+        }
+    }
+
+    fn temp_manifest(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rc4-store-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("campaign.json")
+    }
+
+    #[test]
+    fn plan_tiles_the_worker_range() {
+        let path = temp_manifest("plan");
+        let m = CampaignManifest::plan(&path, spec(1000, 10), 4).unwrap();
+        let ranges: Vec<(u64, u64)> = m
+            .leases
+            .iter()
+            .map(|l| (l.worker_lo, l.worker_hi))
+            .collect();
+        assert_eq!(ranges, vec![(0, 2), (2, 5), (5, 7), (7, 10)]);
+        assert!(m.leases.iter().all(|l| l.state == LeaseState::Pending));
+        assert_eq!(m.keys_done(), 0, "fresh campaign has no progress");
+
+        // Too many leases for the worker count is a typed error.
+        let over = temp_manifest("plan-over");
+        assert!(matches!(
+            CampaignManifest::plan(&over, spec(1000, 2), 3),
+            Err(DatasetError::InvalidConfig(_))
+        ));
+        // Planning over an existing manifest is refused.
+        assert!(matches!(
+            CampaignManifest::plan(&path, spec(1000, 10), 4),
+            Err(DatasetError::Io(msg)) if msg.contains("resume")
+        ));
+    }
+
+    #[test]
+    fn lease_lifecycle_persists_across_reloads() {
+        let path = temp_manifest("lifecycle");
+        let mut m = CampaignManifest::plan(&path, spec(600, 4), 2).unwrap();
+
+        let lease = m.grant_next("w1", 100).unwrap().unwrap();
+        assert_eq!(lease.id, 0);
+        assert_eq!(lease.state, LeaseState::Granted);
+        assert_eq!(lease.attempts, 1);
+
+        assert!(m.heartbeat(0, "w1", 50, 200).unwrap());
+        // A zombie owner's reports are ignored, not fatal.
+        assert!(!m.heartbeat(0, "w2", 999, 201).unwrap());
+        assert!(!m.complete(0, "w2").unwrap());
+
+        // Crash: the worker's leases expire, then re-grant to a new worker.
+        let expired = m.expire_owner("w1").unwrap();
+        assert_eq!(expired, vec![0]);
+        let again = m.grant_next("w2", 300).unwrap().unwrap();
+        assert_eq!(again.id, 0, "expired lease is re-granted first");
+        assert_eq!(again.attempts, 2);
+        assert!(m.complete(0, "w2").unwrap());
+
+        // The second lease via the stale-heartbeat path.
+        let l1 = m.grant_next("w3", 400).unwrap().unwrap();
+        assert_eq!(l1.id, 1);
+        assert_eq!(m.expire_stale(1000, 5000).unwrap(), vec![1]);
+        let l1 = m.grant_next("w4", 5100).unwrap().unwrap();
+        assert_eq!(l1.attempts, 2);
+        assert!(m.complete(1, "w4").unwrap());
+        assert!(m.all_complete());
+        assert!(m.grant_next("w5", 6000).unwrap().is_none());
+
+        // Everything above survives a reload.
+        let reloaded = CampaignManifest::load(&path).unwrap();
+        assert!(reloaded.all_complete());
+        assert_eq!(reloaded.leases[0].attempts, 2);
+        assert_eq!(reloaded.keys_done(), 600);
+        assert_eq!(reloaded.state_counts(), [0, 0, 0, 2, 0]);
+    }
+
+    #[test]
+    fn corrupt_or_wrong_version_manifests_are_typed_errors() {
+        let path = temp_manifest("corrupt");
+        std::fs::write(&path, "{ nope").unwrap();
+        assert!(matches!(
+            CampaignManifest::load(&path),
+            Err(DatasetError::Corrupt(_))
+        ));
+        std::fs::write(&path, r#"{"version": 99, "spec": {}, "leases": []}"#).unwrap();
+        assert!(matches!(
+            CampaignManifest::load(&path),
+            Err(DatasetError::Corrupt(msg)) if msg.contains("version 99")
+        ));
+
+        // A manifest whose leases leave a gap is rejected on load.
+        let mut m = CampaignManifest::plan(temp_manifest("gap"), spec(100, 4), 2).unwrap();
+        m.leases[1].worker_lo = 3;
+        m.save().unwrap();
+        assert!(matches!(
+            CampaignManifest::load(m.path()),
+            Err(DatasetError::Corrupt(msg)) if msg.contains("contiguous")
+        ));
+    }
+
+    #[test]
+    fn wire_commands_and_events_round_trip() {
+        let commands = [
+            WorkerCommand::Lease {
+                id: 3,
+                worker_lo: 4,
+                worker_hi: 8,
+                shard: "lease-0003.ds".to_string(),
+            },
+            WorkerCommand::Shutdown,
+        ];
+        for cmd in commands {
+            let line = cmd.to_line();
+            assert!(line.ends_with('\n'));
+            assert_eq!(WorkerCommand::parse(&line).unwrap(), cmd);
+        }
+        let events = [
+            WorkerEvent::Ready {
+                worker: "w1".to_string(),
+            },
+            WorkerEvent::Started { id: 3 },
+            WorkerEvent::Heartbeat {
+                id: 3,
+                keys_done: 100,
+                keys_total: 400,
+            },
+            WorkerEvent::Complete { id: 3 },
+            WorkerEvent::Failed {
+                id: 3,
+                error: "disk full".to_string(),
+            },
+        ];
+        for event in events {
+            let line = event.to_line();
+            assert_eq!(WorkerEvent::parse(&line).unwrap(), event);
+        }
+        assert!(WorkerCommand::parse("{\"cmd\":\"dance\"}").is_err());
+        assert!(WorkerEvent::parse("not json").is_err());
+    }
+}

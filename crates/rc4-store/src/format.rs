@@ -5,17 +5,29 @@
 //!
 //! ```text
 //! offset 0   magic              8 bytes   b"RC4DSET\0"
-//! offset 8   format version     u32 LE    currently 1
+//! offset 8   format version     u32 LE    1 (raw) or 2 (compressed)
 //! offset 12  header length      u32 LE    byte length of the JSON header
 //! offset 16  header             JSON      [`ShardHeader`]
-//! ...        cells              header.cells x u64 LE
+//! ...        cells              header.cells cells, encoding per version
 //! ...        CRC-32             u32 LE    IEEE CRC over all preceding bytes
 //! ```
 //!
-//! **Versioning policy:** readers accept exactly the version they were built
-//! for. Any layout or header-semantics change bumps [`FORMAT_VERSION`];
-//! mismatches surface as [`DatasetError::Corrupt`] naming both versions so
-//! old files are never silently misread.
+//! The format version selects the cell encoding
+//! ([`crate::codec::CellEncoding`]): version 1 stores each cell as 8
+//! little-endian bytes, version 2 stores consecutive-cell deltas as
+//! zigzag+LEB128 varints (typically 3-6x smaller for real count tables).
+//! The normative byte-level specification lives in `docs/shard-format.md`
+//! at the repository root — that file states the exact rules; this module
+//! is their implementation.
+//!
+//! **Versioning policy:** readers accept every version they know how to
+//! decode — currently 1 and 2 — so files written by older builds stay
+//! readable forever. Writers emit the *lowest* version that can represent
+//! the file (raw cells → 1, compressed cells → 2), so downgrading a reader
+//! only loses access to files that actually use the newer encoding. Any
+//! future layout or header-semantics change adds a new version constant;
+//! unknown versions surface as [`DatasetError::Corrupt`] naming both the
+//! found and the supported versions so files are never silently misread.
 
 use serde::{Deserialize, Serialize};
 
@@ -24,8 +36,17 @@ use rc4_stats::{DatasetError, GenerationConfig};
 /// File magic identifying an rc4-store dataset shard.
 pub const MAGIC: [u8; 8] = *b"RC4DSET\0";
 
-/// Current (and only) on-disk format version.
+/// On-disk format version 1: cells stored as raw `u64` little-endian.
+///
+/// Still the default for fresh writes — raw cells are what the
+/// byte-identity contracts (cache hits, worker-invariance, campaign merges)
+/// are pinned against.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// On-disk format version 2: cells stored delta+varint compressed
+/// ([`crate::codec::CellEncoding::DeltaVarint`]). Readers accept both
+/// versions; writers emit 2 only when compression is requested.
+pub const FORMAT_VERSION_COMPRESSED: u32 = 2;
 
 /// Byte length of the fixed preamble (magic + version + header length).
 pub const PREAMBLE_LEN: usize = 16;

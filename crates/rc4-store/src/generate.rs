@@ -25,8 +25,9 @@ use rc4_stats::{
     record_keys_batched, DatasetError, GenerationConfig, KeyGenerator, StorableDataset,
 };
 
+use crate::codec::CellEncoding;
 use crate::format::ShardHeader;
-use crate::shard::{read_shard, write_shard};
+use crate::shard::{read_shard, write_shard_with};
 
 /// Tuning knobs for [`generate_shard`] / [`resume_shard`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,11 @@ pub struct GenerateOptions {
     /// [`GenerateStatus::Stopped`]. This is the deterministic stand-in for an
     /// operator cancelling a long collection run.
     pub stop_after_keys: Option<u64>,
+    /// Cell encoding of the shard written by a *fresh* generation. Resumed
+    /// shards keep the encoding their file already uses, so a compressed
+    /// shard stays compressed across checkpoints (and vice versa) no matter
+    /// which options the resuming process passes.
+    pub encoding: CellEncoding,
 }
 
 impl Default for GenerateOptions {
@@ -50,6 +56,7 @@ impl Default for GenerateOptions {
         Self {
             checkpoint_keys: 1 << 18,
             stop_after_keys: None,
+            encoding: CellEncoding::Raw,
         }
     }
 }
@@ -149,7 +156,7 @@ pub fn generate_shard<D: StorableDataset>(
         spec.worker_hi,
         empty.cell_count() as u64,
     )?;
-    run_rounds(path, header, empty, opts, cancel, progress)
+    run_rounds(path, header, empty, opts, opts.encoding, cancel, progress)
 }
 
 /// Resumes a checkpointed shard at `path` until complete (or stopped again).
@@ -166,15 +173,26 @@ pub fn resume_shard<D: StorableDataset>(
     progress: &mut dyn FnMut(u64, u64),
 ) -> Result<GenerateStatus, DatasetError> {
     let loaded = read_shard::<D>(path)?;
-    run_rounds(path, loaded.header, loaded.dataset, opts, cancel, progress)
+    run_rounds(
+        path,
+        loaded.header,
+        loaded.dataset,
+        opts,
+        loaded.encoding,
+        cancel,
+        progress,
+    )
 }
 
-/// The round loop shared by fresh and resumed runs.
+/// The round loop shared by fresh and resumed runs. `encoding` is the
+/// caller's choice for fresh runs and the file's existing encoding for
+/// resumed ones.
 fn run_rounds<D: StorableDataset>(
     path: &Path,
     mut header: ShardHeader,
     mut dataset: D,
     opts: &GenerateOptions,
+    encoding: CellEncoding,
     cancel: Option<&AtomicBool>,
     progress: &mut dyn FnMut(u64, u64),
 ) -> Result<GenerateStatus, DatasetError> {
@@ -193,7 +211,7 @@ fn run_rounds<D: StorableDataset>(
     // no-op: no generator replay, no file rewrite.
     if header.is_complete() {
         if !path.exists() {
-            write_shard(path, &header, &dataset)?;
+            write_shard_with(path, &header, &dataset, encoding)?;
         }
         return Ok(GenerateStatus::Complete);
     }
@@ -202,7 +220,7 @@ fn run_rounds<D: StorableDataset>(
         .is_some_and(|stop| header.keys_done() >= stop)
     {
         if !path.exists() {
-            write_shard(path, &header, &dataset)?;
+            write_shard_with(path, &header, &dataset, encoding)?;
         }
         return Ok(GenerateStatus::Stopped);
     }
@@ -225,7 +243,7 @@ fn run_rounds<D: StorableDataset>(
 
     // Claim the path (fresh runs) / refresh the checkpoint (resumed runs)
     // before doing any work, so the file exists from the first moment on.
-    write_shard(path, &header, &dataset)?;
+    write_shard_with(path, &header, &dataset, encoding)?;
     progress(header.keys_done(), keys_total);
 
     // Per-worker round deltas are whole extra copies of the counter tables.
@@ -301,7 +319,7 @@ fn run_rounds<D: StorableDataset>(
             }
         }
 
-        write_shard(path, &header, &dataset)?;
+        write_shard_with(path, &header, &dataset, encoding)?;
         progress(header.keys_done(), keys_total);
     }
 }
@@ -357,6 +375,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 200,
                 stop_after_keys: None,
+                encoding: CellEncoding::Raw,
             },
             None,
             &mut no_progress(),
@@ -382,6 +401,7 @@ mod tests {
         let opts = GenerateOptions {
             checkpoint_keys: 128,
             stop_after_keys: Some(300),
+            encoding: CellEncoding::Raw,
         };
         let path = dir.join("stopped.ds");
         let status = generate_shard(
@@ -404,6 +424,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 64,
                 stop_after_keys: None,
+                encoding: CellEncoding::Raw,
             },
             None,
             &mut no_progress(),
@@ -445,6 +466,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 1_000,
                 stop_after_keys: None,
+                encoding: CellEncoding::Raw,
             },
             Some(&cancel),
             &mut |_done, _total| {
@@ -465,6 +487,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 10_000,
                 stop_after_keys: None,
+                encoding: CellEncoding::Raw,
             },
             None,
             &mut no_progress(),
@@ -485,6 +508,7 @@ mod tests {
         let opts = GenerateOptions {
             checkpoint_keys: u64::MAX,
             stop_after_keys: None,
+            encoding: CellEncoding::Raw,
         };
         assert_eq!(opts.effective_checkpoint_keys(100), 100);
         assert_eq!(opts.effective_checkpoint_keys(0), 1);
@@ -515,6 +539,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 64,
                 stop_after_keys: None,
+                encoding: CellEncoding::Raw,
             },
             None,
             &mut no_progress(),
@@ -525,6 +550,58 @@ mod tests {
         for r in 1..=4 {
             assert_eq!(a.dataset.counts_at(r), b.dataset.counts_at(r));
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compressed_generation_resumes_compressed_and_matches_raw() {
+        let dir = temp_dir("compressed");
+        let config = GenerationConfig::with_keys(600).workers(2).seed(7);
+        let raw = dir.join("raw.ds");
+        generate_shard(
+            &raw,
+            SingleByteDataset::new(5),
+            &ShardSpec::full(config),
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+
+        // Stop a compressed generation partway, then resume it with *raw*
+        // options: the file must stay compressed and end cell-identical.
+        let packed = dir.join("packed.ds");
+        let status = generate_shard(
+            &packed,
+            SingleByteDataset::new(5),
+            &ShardSpec::full(config),
+            &GenerateOptions {
+                checkpoint_keys: 100,
+                stop_after_keys: Some(250),
+                encoding: CellEncoding::DeltaVarint,
+            },
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        assert_eq!(status, GenerateStatus::Stopped);
+        let (_, enc) = crate::shard::peek_shard(&packed).unwrap();
+        assert_eq!(enc, CellEncoding::DeltaVarint);
+
+        resume_shard::<SingleByteDataset>(
+            &packed,
+            &GenerateOptions::default(),
+            None,
+            &mut no_progress(),
+        )
+        .unwrap();
+        let (_, enc) = crate::shard::peek_shard(&packed).unwrap();
+        assert_eq!(enc, CellEncoding::DeltaVarint);
+
+        let a = read_shard::<SingleByteDataset>(&raw).unwrap();
+        let b = read_shard::<SingleByteDataset>(&packed).unwrap();
+        assert_eq!(a.header, b.header);
+        assert_eq!(a.dataset.cell_slices(), b.dataset.cell_slices());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,9 +10,15 @@
 //!   JSON header (dataset kind, shape, [`rc4_stats::GenerationConfig`],
 //!   per-worker progress), little-endian `u64` counter cells, and a CRC-32
 //!   trailer (via `crypto-prims`) over the whole file.
+//! * [`codec`] — the two cell encodings behind the format versions: raw
+//!   `u64` little-endian (v1, the byte-identity default) and delta+varint
+//!   compressed (v2, typically 3-6x smaller for real count tables), plus the
+//!   buffered CRC-tracking [`codec::CellReader`] the streaming paths share.
 //! * [`shard`] — [`shard::write_shard`] / [`shard::read_shard`] /
 //!   [`shard::peek_header`]: atomic (write-to-temp + rename) persistence and
-//!   fully validated loading of any [`rc4_stats::StorableDataset`].
+//!   fully validated loading of any [`rc4_stats::StorableDataset`]; plus
+//!   [`shard::open_cells`], a windowed cell stream that reads a shard
+//!   without materialising its dataset.
 //! * [`generate`] — a checkpointing generation engine. The key space of a
 //!   configuration is partitioned into per-worker streams exactly as the
 //!   `rc4-stats` worker pool partitions it; a *shard* covers a contiguous
@@ -34,6 +40,11 @@
 //! * [`singleflight`] — keyed mutual exclusion around the cache's
 //!   check-generate-store sequence, so N concurrent clients missing on the
 //!   same key trigger exactly one generation and the rest wait then hit.
+//! * [`campaign`] — lease-based coordination for fleets of worker
+//!   processes: a versioned, atomically-rewritten manifest splits a
+//!   configuration's worker range into seed-disjoint leases, re-issues them
+//!   when workers crash or stall, and hands the completed shards to the
+//!   merge layer for a byte-identical final table.
 //!
 //! All errors surface as typed [`rc4_stats::DatasetError`] variants —
 //! [`rc4_stats::DatasetError::Io`] for file-system failures and
@@ -44,6 +55,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod campaign;
+pub mod codec;
 pub mod format;
 pub mod generate;
 pub mod merge;
@@ -51,8 +64,12 @@ pub mod shard;
 pub mod singleflight;
 
 pub use cache::DatasetCache;
-pub use format::{ShardHeader, FORMAT_VERSION, MAGIC};
+pub use campaign::{
+    CampaignManifest, CampaignSpec, Lease, LeaseState, WorkerCommand, WorkerEvent, MANIFEST_VERSION,
+};
+pub use codec::CellEncoding;
+pub use format::{ShardHeader, FORMAT_VERSION, FORMAT_VERSION_COMPRESSED, MAGIC};
 pub use generate::{generate_shard, resume_shard, GenerateOptions, GenerateStatus, ShardSpec};
-pub use merge::merge_shards;
-pub use shard::{peek_header, read_shard, write_shard};
+pub use merge::{merge_shards, merge_shards_streaming, merge_shards_tiered, MergeOptions};
+pub use shard::{open_cells, peek_header, peek_shard, read_shard, write_shard, write_shard_with};
 pub use singleflight::{FlightGuard, FlightStats, SingleFlight};

@@ -7,13 +7,58 @@
 //! (non-overlapping) and tile a contiguous range with no gaps. Counter cells
 //! are then summed, which is exact: the result is cell-for-cell the dataset a
 //! single run over the union of the worker streams would have produced.
+//!
+//! Three entry points share that validation:
+//!
+//! * [`merge_shards`] — loads every input into memory; simplest, and fine
+//!   when the merged table fits in RAM a few times over.
+//! * [`merge_shards_streaming`] — out-of-core: streams fixed-size cell
+//!   windows from every input at once ([`crate::shard::open_cells`]) and
+//!   sums them into the output ([`crate::shard::create_cells`]), so peak
+//!   memory is `O(window × inputs)` instead of `O(cells × inputs)`.
+//! * [`merge_shards_tiered`] — caps the number of simultaneously open
+//!   streams at [`MergeOptions::fan_in`] by merging contiguous groups into
+//!   intermediate shards first — the shape of a fleet campaign's final
+//!   aggregation step, where hundreds of worker shards arrive at once.
+//!
+//! Because `u64` addition is commutative and associative, all three produce
+//! cell-for-cell identical outputs; with the default raw encoding the files
+//! are byte-identical.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use rc4_stats::{DatasetError, StorableDataset};
 
+use crate::codec::CellEncoding;
 use crate::format::ShardHeader;
-use crate::shard::{read_shard, write_shard};
+use crate::shard::{create_cells, open_cells, peek_shard, read_shard, write_shard};
+
+/// Tuning knobs for the out-of-core merges.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeOptions {
+    /// Cells summed per streaming window. Peak merge memory is roughly
+    /// `window_cells × (inputs + 1) × 8` bytes.
+    pub window_cells: usize,
+    /// Maximum input shards merged in one pass by [`merge_shards_tiered`]
+    /// (equivalently: simultaneously open input streams).
+    pub fan_in: usize,
+    /// Cell encoding of the merged output (and of tier intermediates). Raw
+    /// keeps the campaign byte-identity contract; delta+varint trades CPU
+    /// for disk.
+    pub encoding: CellEncoding,
+}
+
+impl Default for MergeOptions {
+    fn default() -> Self {
+        Self {
+            // 256 Ki cells = 2 MiB per open buffer.
+            window_cells: 1 << 18,
+            fan_in: 16,
+            encoding: CellEncoding::Raw,
+        }
+    }
+}
 
 /// Merges `inputs` (two or more complete, disjoint shards of one master
 /// configuration) into a single shard at `out`, returning the merged header.
@@ -38,79 +83,11 @@ pub fn merge_shards<D: StorableDataset>(
 
     let mut shards = Vec::with_capacity(inputs.len());
     for path in inputs {
-        let shard = read_shard::<D>(path)?;
-        if !shard.header.is_complete() {
-            return Err(DatasetError::InvalidConfig(format!(
-                "{}: shard is incomplete ({} of {} keys); resume it before merging",
-                path.display(),
-                shard.header.keys_done(),
-                shard.header.keys_total()
-            )));
-        }
-        shards.push((*path, shard));
+        shards.push((*path, read_shard::<D>(path)?));
     }
-
-    let (first_path, first) = &shards[0];
-    for (path, shard) in &shards[1..] {
-        if shard.header.kind != first.header.kind || shard.header.shape != first.header.shape {
-            return Err(DatasetError::ShapeMismatch(format!(
-                "{} and {} hold differently shaped datasets",
-                first_path.display(),
-                path.display()
-            )));
-        }
-        if shard.header.config != first.header.config {
-            return Err(DatasetError::ShapeMismatch(format!(
-                "{} and {} belong to different generation configurations \
-                 (keys/workers/seed/key_len must all match)",
-                first_path.display(),
-                path.display()
-            )));
-        }
-    }
-
-    // Worker ranges must be pairwise disjoint (each worker index is a
-    // distinct derived seed stream; overlap would double-count keys) and
-    // tile a contiguous range (a gap would silently drop part of the key
-    // space).
-    let mut order: Vec<usize> = (0..shards.len()).collect();
-    order.sort_by_key(|&i| shards[i].1.header.worker_lo);
-    for w in order.windows(2) {
-        let (prev_path, prev) = &shards[w[0]];
-        let (next_path, next) = &shards[w[1]];
-        if next.header.worker_lo < prev.header.worker_hi {
-            return Err(DatasetError::ShapeMismatch(format!(
-                "{} (workers {}..{}) and {} (workers {}..{}) overlap: \
-                 the same derived seed streams would be counted twice",
-                prev_path.display(),
-                prev.header.worker_lo,
-                prev.header.worker_hi,
-                next_path.display(),
-                next.header.worker_lo,
-                next.header.worker_hi
-            )));
-        }
-        if next.header.worker_lo > prev.header.worker_hi {
-            return Err(DatasetError::ShapeMismatch(format!(
-                "workers {}..{} are covered by no input shard (gap between {} and {})",
-                prev.header.worker_hi,
-                next.header.worker_lo,
-                prev_path.display(),
-                next_path.display()
-            )));
-        }
-    }
-
-    let worker_lo = shards[order[0]].1.header.worker_lo;
-    let worker_hi = shards[*order.last().expect("non-empty")].1.header.worker_hi;
-    let mut progress = Vec::with_capacity((worker_hi - worker_lo) as usize);
-    for &i in &order {
-        progress.extend_from_slice(&shards[i].1.header.progress);
-    }
-    let (kind, config, shape, cells) = {
-        let h = &shards[0].1.header;
-        (h.kind.clone(), h.config, h.shape.clone(), h.cells)
-    };
+    let headers: Vec<(&Path, &ShardHeader)> = shards.iter().map(|(p, s)| (*p, &s.header)).collect();
+    let (order, header) = plan_merge(&headers, out)?;
+    let shape = header.shape.clone();
 
     let mut merged: Option<D> = None;
     for &i in &order {
@@ -125,18 +102,262 @@ pub fn merge_shards<D: StorableDataset>(
     }
     let merged = merged.expect("at least two shards");
 
+    write_shard(out, &header, &merged)?;
+    Ok(header)
+}
+
+/// The validation every merge flavour shares: completeness, identical
+/// kind/shape/config, seed-disjoint contiguous worker coverage. Returns the
+/// input indices in worker order plus the merged (already-validated) header.
+fn plan_merge(
+    shards: &[(&Path, &ShardHeader)],
+    out: &Path,
+) -> Result<(Vec<usize>, ShardHeader), DatasetError> {
+    if shards.len() < 2 {
+        return Err(DatasetError::InvalidConfig(
+            "merge needs at least two input shards".into(),
+        ));
+    }
+    for (path, header) in shards {
+        if !header.is_complete() {
+            return Err(DatasetError::InvalidConfig(format!(
+                "{}: shard is incomplete ({} of {} keys); resume it before merging",
+                path.display(),
+                header.keys_done(),
+                header.keys_total()
+            )));
+        }
+    }
+
+    let (first_path, first) = &shards[0];
+    for (path, header) in &shards[1..] {
+        if header.kind != first.kind || header.shape != first.shape {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} and {} hold differently shaped datasets",
+                first_path.display(),
+                path.display()
+            )));
+        }
+        if header.config != first.config {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} and {} belong to different generation configurations \
+                 (keys/workers/seed/key_len must all match)",
+                first_path.display(),
+                path.display()
+            )));
+        }
+    }
+
+    // Worker ranges must be pairwise disjoint (each worker index is a
+    // distinct derived seed stream; overlap would double-count keys) and
+    // tile a contiguous range (a gap would silently drop part of the key
+    // space).
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by_key(|&i| shards[i].1.worker_lo);
+    for w in order.windows(2) {
+        let (prev_path, prev) = &shards[w[0]];
+        let (next_path, next) = &shards[w[1]];
+        if next.worker_lo < prev.worker_hi {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "{} (workers {}..{}) and {} (workers {}..{}) overlap: \
+                 the same derived seed streams would be counted twice",
+                prev_path.display(),
+                prev.worker_lo,
+                prev.worker_hi,
+                next_path.display(),
+                next.worker_lo,
+                next.worker_hi
+            )));
+        }
+        if next.worker_lo > prev.worker_hi {
+            return Err(DatasetError::ShapeMismatch(format!(
+                "workers {}..{} are covered by no input shard (gap between {} and {})",
+                prev.worker_hi,
+                next.worker_lo,
+                prev_path.display(),
+                next_path.display()
+            )));
+        }
+    }
+
+    let worker_lo = shards[order[0]].1.worker_lo;
+    let worker_hi = shards[*order.last().expect("non-empty")].1.worker_hi;
+    let mut progress = Vec::with_capacity((worker_hi - worker_lo) as usize);
+    for &i in &order {
+        progress.extend_from_slice(&shards[i].1.progress);
+    }
     let header = ShardHeader {
-        kind,
-        config,
-        shape,
+        kind: first.kind.clone(),
+        config: first.config,
+        shape: first.shape.clone(),
         worker_lo,
         worker_hi,
         progress,
-        cells,
+        cells: first.cells,
     };
     header.validate(out)?;
-    write_shard(out, &header, &merged)?;
-    Ok(header)
+    Ok((order, header))
+}
+
+/// Merges like [`merge_shards`] but out-of-core: cells are streamed in
+/// [`MergeOptions::window_cells`]-sized windows, so the merged table never
+/// has to fit in memory. Every input's CRC-32 trailer is verified *before*
+/// the output is renamed into place — corrupt inputs can never produce a
+/// visible output file.
+///
+/// With `options.encoding == CellEncoding::Raw` (the default) the output is
+/// byte-identical to what [`merge_shards`] writes.
+///
+/// # Errors
+///
+/// As [`merge_shards`], plus [`DatasetError::Corrupt`] when an input's kind
+/// tag or declared cell count contradicts `D`.
+pub fn merge_shards_streaming<D: StorableDataset>(
+    inputs: &[&Path],
+    out: &Path,
+    options: &MergeOptions,
+) -> Result<ShardHeader, DatasetError> {
+    let _span = rc4_obs::Span::enter_with(
+        "store.merge.stream",
+        rc4_obs::kv! { "inputs" => inputs.len(), "out" => out.display() },
+    );
+    let start = rc4_obs::metrics::is_enabled().then(Instant::now);
+
+    let mut peeked = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let (header, _encoding) = peek_shard(path)?;
+        if header.kind != D::kind() {
+            return Err(DatasetError::corrupt(
+                path,
+                format!(
+                    "holds a '{}' dataset, expected '{}'",
+                    header.kind,
+                    D::kind()
+                ),
+            ));
+        }
+        let implied = D::cell_count_for_shape(&header.shape)
+            .map_err(|e| DatasetError::corrupt(path, format!("invalid stored shape: {e}")))?;
+        if implied != header.cells {
+            return Err(DatasetError::corrupt(
+                path,
+                format!(
+                    "header declares {} cells but the shape implies {implied}",
+                    header.cells
+                ),
+            ));
+        }
+        peeked.push(header);
+    }
+    let headers: Vec<(&Path, &ShardHeader)> = inputs.iter().copied().zip(peeked.iter()).collect();
+    let (order, merged) = plan_merge(&headers, out)?;
+
+    let mut streams = Vec::with_capacity(order.len());
+    for &i in &order {
+        streams.push(open_cells(inputs[i])?);
+    }
+    let mut writer = create_cells(out, &merged, options.encoding)?;
+
+    let window = options
+        .window_cells
+        .max(1)
+        .min(merged.cells.max(1) as usize);
+    let mut acc = vec![0u64; window];
+    let mut scratch = vec![0u64; window];
+    let mut left = merged.cells;
+    while left > 0 {
+        let n = window.min(left as usize);
+        acc[..n].fill(0);
+        for stream in &mut streams {
+            stream.read_cells(&mut scratch[..n])?;
+            for (a, &b) in acc[..n].iter_mut().zip(&scratch[..n]) {
+                *a += b;
+            }
+        }
+        writer.write_cells(&acc[..n])?;
+        left -= n as u64;
+    }
+
+    // Inputs are integrity-checked before the output becomes visible.
+    let mut read_bytes = 0u64;
+    for stream in streams {
+        read_bytes += stream.bytes_read();
+        stream.finish()?;
+    }
+    let write_bytes = writer.bytes_written();
+    writer.finish()?;
+
+    rc4_obs::metrics::counter_add("store.merge.inputs", inputs.len() as u64);
+    rc4_obs::metrics::counter_add("store.merge.read_bytes", read_bytes);
+    rc4_obs::metrics::counter_add("store.merge.write_bytes", write_bytes);
+    if let Some(start) = start {
+        rc4_obs::metrics::observe_us("store.merge_us", start.elapsed().as_micros() as u64);
+    }
+    Ok(merged)
+}
+
+/// Merges any number of shards while never holding more than
+/// [`MergeOptions::fan_in`] input streams open: inputs are sorted by worker
+/// range and merged in contiguous groups into intermediate shards (siblings
+/// of `out`, cleaned up afterwards), tier by tier, until one final
+/// [`merge_shards_streaming`] pass writes `out`.
+///
+/// Produces cell-for-cell (and, for raw encoding, byte-for-byte) the same
+/// output as a single flat merge.
+///
+/// # Errors
+///
+/// As [`merge_shards_streaming`].
+pub fn merge_shards_tiered<D: StorableDataset>(
+    inputs: &[&Path],
+    out: &Path,
+    options: &MergeOptions,
+) -> Result<ShardHeader, DatasetError> {
+    let fan_in = options.fan_in.max(2);
+    if inputs.len() <= fan_in {
+        return merge_shards_streaming::<D>(inputs, out, options);
+    }
+
+    // Sort once by worker range so every group covers a contiguous span.
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    let mut lows = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        lows.push(peek_shard(path)?.0.worker_lo);
+    }
+    order.sort_by_key(|&i| lows[i]);
+
+    let out_name = out
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "merged".into());
+    let mut level: Vec<PathBuf> = order.iter().map(|&i| inputs[i].to_path_buf()).collect();
+    let mut temps: Vec<PathBuf> = Vec::new();
+    let result = (|| {
+        let mut tier = 0usize;
+        while level.len() > fan_in {
+            let mut next = Vec::with_capacity(level.len().div_ceil(fan_in));
+            for (i, group) in level.chunks(fan_in).enumerate() {
+                if group.len() == 1 {
+                    // A lone trailing shard passes through to the next tier.
+                    next.push(group[0].clone());
+                    continue;
+                }
+                let tmp = out.with_file_name(format!("{out_name}.tier{tier}-{i}.part"));
+                let refs: Vec<&Path> = group.iter().map(PathBuf::as_path).collect();
+                merge_shards_streaming::<D>(&refs, &tmp, options)?;
+                temps.push(tmp.clone());
+                next.push(tmp);
+            }
+            level = next;
+            tier += 1;
+        }
+        let refs: Vec<&Path> = level.iter().map(PathBuf::as_path).collect();
+        merge_shards_streaming::<D>(&refs, out, options)
+    })();
+    for tmp in temps {
+        let _ = std::fs::remove_file(tmp);
+    }
+    result
 }
 
 #[cfg(test)]
@@ -233,6 +454,98 @@ mod tests {
     }
 
     #[test]
+    fn streaming_and_tiered_merges_are_byte_identical_to_in_memory() {
+        let dir = temp_dir("stream");
+        let config = GenerationConfig::with_keys(900).workers(6).seed(23);
+        let shards: Vec<PathBuf> = (0..6)
+            .map(|w| shard(&dir, &format!("{w}.ds"), &config, w, w + 1))
+            .collect();
+        let refs: Vec<&Path> = shards.iter().map(|p| p.as_path()).collect();
+
+        let flat = dir.join("flat.ds");
+        merge_shards::<SingleByteDataset>(&refs, &flat).unwrap();
+        let flat_bytes = std::fs::read(&flat).unwrap();
+
+        // Tiny windows force many refill/sum iterations.
+        let streamed = dir.join("streamed.ds");
+        let opts = MergeOptions {
+            window_cells: 7,
+            ..MergeOptions::default()
+        };
+        let header = merge_shards_streaming::<SingleByteDataset>(&refs, &streamed, &opts).unwrap();
+        assert_eq!((header.worker_lo, header.worker_hi), (0, 6));
+        assert_eq!(std::fs::read(&streamed).unwrap(), flat_bytes);
+
+        // fan_in 2 over 6 inputs exercises two tiers of intermediates.
+        let tiered = dir.join("tiered.ds");
+        let opts = MergeOptions {
+            window_cells: 7,
+            fan_in: 2,
+            ..MergeOptions::default()
+        };
+        merge_shards_tiered::<SingleByteDataset>(&refs, &tiered, &opts).unwrap();
+        assert_eq!(std::fs::read(&tiered).unwrap(), flat_bytes);
+        // Tier intermediates were cleaned up.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".part"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "leftover intermediates: {leftovers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compressed_merge_output_holds_identical_cells() {
+        let dir = temp_dir("compressed");
+        let config = GenerationConfig::with_keys(300).workers(2).seed(5);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let b = shard(&dir, "b.ds", &config, 1, 2);
+        let raw = dir.join("raw.ds");
+        merge_shards::<SingleByteDataset>(&[&a, &b], &raw).unwrap();
+        let packed = dir.join("packed.ds");
+        let opts = MergeOptions {
+            encoding: crate::codec::CellEncoding::DeltaVarint,
+            ..MergeOptions::default()
+        };
+        merge_shards_streaming::<SingleByteDataset>(&[&a, &b], &packed, &opts).unwrap();
+        let raw = crate::shard::read_shard::<SingleByteDataset>(&raw).unwrap();
+        let packed = crate::shard::read_shard::<SingleByteDataset>(&packed).unwrap();
+        assert_eq!(raw.header, packed.header);
+        assert_eq!(raw.dataset.cell_slices(), packed.dataset.cell_slices());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_input_never_produces_an_output_file() {
+        let dir = temp_dir("corrupt");
+        let config = GenerationConfig::with_keys(200).workers(2).seed(9);
+        let a = shard(&dir, "a.ds", &config, 0, 1);
+        let b = shard(&dir, "b.ds", &config, 1, 2);
+        // Flip one cell byte in `b`: the damage only surfaces at the CRC
+        // check, which must run before the output becomes visible.
+        let mut bytes = std::fs::read(&b).unwrap();
+        let mid = bytes.len() - 100;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&b, &bytes).unwrap();
+        let out = dir.join("out.ds");
+        let r = merge_shards_streaming::<SingleByteDataset>(&[&a, &b], &out, &Default::default());
+        assert!(matches!(r, Err(DatasetError::Corrupt(msg)) if msg.contains("CRC")));
+        assert!(!out.exists(), "corrupt input produced an output file");
+        // The aborted writer's temp file was removed as well.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn gap_in_worker_coverage_is_rejected() {
         let dir = temp_dir("gap");
         let config = GenerationConfig::with_keys(100).workers(3).seed(1);
@@ -259,6 +572,7 @@ mod tests {
             &GenerateOptions {
                 checkpoint_keys: 500,
                 stop_after_keys: Some(1_000),
+                encoding: CellEncoding::Raw,
             },
             None,
             &mut |_, _| {},

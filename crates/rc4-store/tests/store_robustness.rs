@@ -17,7 +17,7 @@ use rc4_stats::{
 };
 use rc4_store::{
     generate_shard, merge_shards, peek_header, read_shard, write_shard, GenerateOptions,
-    ShardHeader, ShardSpec, FORMAT_VERSION,
+    ShardHeader, ShardSpec, FORMAT_VERSION, FORMAT_VERSION_COMPRESSED,
 };
 
 static CASE: AtomicUsize = AtomicUsize::new(0);
@@ -105,7 +105,7 @@ fn wrong_format_version_is_rejected_by_name() {
     let dir = scratch();
     let path = sample_shard(&dir);
     let mut bytes = std::fs::read(&path).unwrap();
-    bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    bytes[8..12].copy_from_slice(&(FORMAT_VERSION_COMPRESSED + 1).to_le_bytes());
     std::fs::write(&path, &bytes).unwrap();
     for result in [
         read_shard::<SingleByteDataset>(&path).map(|_| ()),
@@ -113,8 +113,9 @@ fn wrong_format_version_is_rejected_by_name() {
     ] {
         match result {
             Err(DatasetError::Corrupt(msg)) => assert!(
-                msg.contains(&format!("version {}", FORMAT_VERSION + 1)),
-                "version missing in: {msg}"
+                msg.contains(&format!("version {}", FORMAT_VERSION_COMPRESSED + 1))
+                    && msg.contains("1 and 2"),
+                "version/supported-range missing in: {msg}"
             ),
             other => panic!("wrong version gave {other:?}"),
         }

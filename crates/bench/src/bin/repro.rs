@@ -80,6 +80,7 @@ struct Args {
     config_path: Option<String>,
     cache_dir: Option<String>,
     trace_path: Option<String>,
+    metrics_out: Option<String>,
 }
 
 enum Command {
@@ -89,7 +90,7 @@ enum Command {
 
 fn usage() -> String {
     "usage: repro list\n       \
-     repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR] [--trace FILE]\n       \
+     repro run <NAME...|all> [--until-confident] [--scale S] [--seed N] [--workers W] [--json] [--config FILE] [--cache-dir DIR] [--trace FILE] [--metrics-out FILE]\n       \
      repro dataset <generate|resume|merge|info> ... (see `repro dataset --help`)\n       \
      repro campaign <plan|run|resume|worker|status> ... (see `repro campaign --help`)\n       \
      repro bench [--json] [--compare BENCH_FILE] [--tolerance PCT]\n       \
@@ -110,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
     let mut config_path = None;
     let mut cache_dir = None;
     let mut trace_path = None;
+    let mut metrics_out = None;
 
     let fail = |msg: String| (msg, 2u8);
     let mut it = args.iter();
@@ -117,7 +119,8 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         match arg.as_str() {
             "--json" => json = true,
             "--until-confident" => until_confident = true,
-            "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" | "--trace" => {
+            "--scale" | "--seed" | "--workers" | "--config" | "--cache-dir" | "--trace"
+            | "--metrics-out" => {
                 let value = it
                     .next()
                     .ok_or_else(|| fail(format!("{arg} requires a value\n{}", usage())))?;
@@ -142,6 +145,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
                     }
                     "--cache-dir" => cache_dir = Some(value.clone()),
                     "--trace" => trace_path = Some(value.clone()),
+                    "--metrics-out" => metrics_out = Some(value.clone()),
                     _ => config_path = Some(value.clone()),
                 }
             }
@@ -212,6 +216,7 @@ fn parse_args(args: &[String]) -> Result<Args, (String, u8)> {
         config_path,
         cache_dir,
         trace_path,
+        metrics_out,
     })
 }
 
@@ -476,6 +481,13 @@ fn run() -> Result<(), (String, u8)> {
                 rc4_obs::trace::init_file(std::path::Path::new(path))
                     .map_err(|e| (format!("--trace {path}: {e}"), 2))?;
             }
+            // `--metrics-out` switches the metrics registry on for this run
+            // and dumps the final snapshot as JSON. The executor's
+            // `exec.worker_busy_us` / `exec.worker_idle_us` counters in that
+            // snapshot are what the multi-core utilization tests read.
+            if args.metrics_out.is_some() {
+                rc4_obs::metrics::enable();
+            }
 
             let mut reports: Vec<ExperimentReport> = Vec::with_capacity(experiments.len());
             for experiment in &experiments {
@@ -489,6 +501,13 @@ fn run() -> Result<(), (String, u8)> {
             }
             if trace_path.is_some() {
                 rc4_obs::trace::flush();
+            }
+            if let Some(path) = &args.metrics_out {
+                let snapshot = rc4_obs::metrics::snapshot().to_value();
+                let text =
+                    serde_json::to_string_pretty(&snapshot).expect("metrics snapshot serializes");
+                std::fs::write(path, format!("{text}\n"))
+                    .map_err(|e| (format!("--metrics-out {path}: {e}"), 1))?;
             }
             if args.json {
                 println!(
@@ -1935,10 +1954,13 @@ mod bench_cli {
     }
 
     fn usage() -> String {
-        "usage: repro bench [--json] [--save-json FILE] [--compare BENCH_FILE|latest] [--tolerance PCT]\n\
+        "usage: repro bench [--json] [--save-json FILE] [--compare BENCH_FILE|latest] [--tolerance PCT] [--engine NAME]\n\
          \n\
          Runs the quick perf smoke suite (fixed seeds) and prints one entry per\n\
-         bench: ns per iteration plus throughput where meaningful. With\n\
+         bench: ns per iteration plus throughput where meaningful. --engine\n\
+         forces the batch engine tier (same choices as the RC4_ACCEL_FORCE\n\
+         environment variable: auto, avx512, avx2, neon, portable); the\n\
+         resolved engine is reported in the summary and the JSON. With\n\
          --compare, entries also present in BENCH_FILE are checked and the run\n\
          fails (exit 1) if any is more than PCT percent slower (default 25).\n\
          `--compare latest` resolves the highest-numbered BENCH_pr<N>.json in\n\
@@ -2095,6 +2117,33 @@ mod bench_cli {
             bytes_per_iter: Some(256 * 68),
         });
 
+        // The same rekey shape pinned to each engine tier the host can
+        // instantiate — the dispatch-order proof (avx512 > avx2 > portable)
+        // and the rows the engine-force contract tests assert on. Names are
+        // per-tier so `--compare` only gates tiers both hosts can measure.
+        for name in rc4_accel::available_engines() {
+            let tier = rc4_accel::Engine::parse(name).expect("listed engines parse");
+            let mut forced = AutoBatch::with_engine(tier).expect("listed engines construct");
+            let bench_name: &'static str = match name {
+                "avx512" => "rc4_batch_rekey/256x68/avx512",
+                "avx2" => "rc4_batch_rekey/256x68/avx2",
+                "neon" => "rc4_batch_rekey/256x68/neon",
+                _ => "rc4_batch_rekey/256x68/portable",
+            };
+            results.push(Measurement {
+                name: bench_name,
+                ns_per_iter: time_min(|| {
+                    batch_generate(
+                        &mut forced,
+                        std::hint::black_box(&keys),
+                        std::hint::black_box(&mut out),
+                        68,
+                    )
+                }),
+                bytes_per_iter: Some(256 * 68),
+            });
+        }
+
         // End-to-end dataset generation through the worker pool.
         let config = GenerationConfig::with_keys(1 << 15).seed(0xBE_EF);
         results.push(Measurement {
@@ -2141,6 +2190,27 @@ mod bench_cli {
                     &cells,
                     1.0 / 65536.0,
                     total,
+                )
+                .expect("well-formed inputs");
+            }),
+            bytes_per_iter: None,
+        });
+
+        // Dense Eq.-13 pair scoring (the ablation baseline for the sparse
+        // path) over a sparse count table: 512 observed cells against all
+        // 65536 candidate pairs, running through the blocked xor-permute
+        // scoring kernel in rc4-accel.
+        let mut dense_counts = vec![0u64; 65536];
+        for k in 0..512usize {
+            dense_counts[(k * 8191) % 65536] = 1 + (k as u64 % 7);
+        }
+        let uniform_probs = vec![1.0 / 65536.0; 65536];
+        results.push(Measurement {
+            name: "recovery_likelihood/dense_512c_65536",
+            ns_per_iter: time_min(|| {
+                PairLikelihoods::from_counts_dense(
+                    std::hint::black_box(&dense_counts),
+                    &uniform_probs,
                 )
                 .expect("well-formed inputs");
             }),
@@ -2307,9 +2377,10 @@ mod bench_cli {
         measurements: &[Measurement],
         rows: &[CompareRow],
         tolerance_pct: f64,
+        engine: &str,
     ) -> String {
-        let mut out = String::from(
-            "### repro bench (perf smoke)\n\n\
+        let mut out = format!(
+            "### repro bench (perf smoke)\n\nengine: {engine}\n\n\
              | bench | ns/iter | throughput |\n|---|---:|---:|\n",
         );
         for m in measurements {
@@ -2340,7 +2411,7 @@ mod bench_cli {
         out
     }
 
-    fn to_json(measurements: &[Measurement], rows: &[CompareRow]) -> serde::Value {
+    fn to_json(measurements: &[Measurement], rows: &[CompareRow], engine: &str) -> serde::Value {
         let benches: Vec<serde::Value> = measurements
             .iter()
             .map(|m| {
@@ -2360,7 +2431,12 @@ mod bench_cli {
                 serde::Value::Object(fields)
             })
             .collect();
-        let mut root = vec![("benches".to_string(), serde::Value::Array(benches))];
+        // The resolved engine rides at the top level; `load_committed` only
+        // reads the `benches` array, so older gates stay compatible.
+        let mut root = vec![
+            ("engine".to_string(), serde::Value::Str(engine.to_string())),
+            ("benches".to_string(), serde::Value::Array(benches)),
+        ];
         if !rows.is_empty() {
             let compare: Vec<serde::Value> = rows
                 .iter()
@@ -2390,11 +2466,18 @@ mod bench_cli {
         let mut save_json: Option<String> = None;
         let mut compare_path: Option<String> = None;
         let mut tolerance_pct = DEFAULT_TOLERANCE_PCT;
+        let mut engine_flag: Option<String> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--help" | "-h" => return Err((usage(), 0)),
                 "--json" => json = true,
+                "--engine" => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| ("--engine requires a name".to_string(), 2))?;
+                    engine_flag = Some(value.clone());
+                }
                 "--save-json" => {
                     let value = it
                         .next()
@@ -2419,6 +2502,28 @@ mod bench_cli {
             }
         }
 
+        // `--engine NAME` is exactly the RC4_ACCEL_FORCE hook behind a flag:
+        // validate the name and its availability up front (exit 2 with the
+        // choice list, like any other usage error), then export the variable
+        // so every engine construction — including the recovery scoring
+        // kernel's dispatch — sees the same override.
+        if let Some(name) = &engine_flag {
+            let tier = rc4_accel::Engine::parse(name).ok_or_else(|| {
+                (
+                    format!(
+                        "--engine {name}: unknown engine (choices: {})",
+                        rc4_accel::Engine::CHOICES.join(", ")
+                    ),
+                    2,
+                )
+            })?;
+            AutoBatch::with_engine(tier).map_err(|e| (format!("--engine {name}: {e}"), 2))?;
+            std::env::set_var(rc4_accel::FORCE_ENV, name);
+        }
+        // A pre-existing RC4_ACCEL_FORCE override is validated here too so a
+        // typo fails with a clean usage error instead of a panic mid-run.
+        rc4_accel::Engine::from_env().map_err(|e| (e, 2))?;
+
         if compare_path.as_deref() == Some("latest") {
             let resolved = resolve_latest_bench_file()?;
             eprintln!("repro: --compare latest resolved to {resolved}");
@@ -2428,9 +2533,9 @@ mod bench_cli {
             Some(path) => load_committed(path)?,
             None => Vec::new(),
         };
+        let engine_label = AutoBatch::new().engine_name();
         eprintln!(
-            "repro: bench smoke run ({} engine){}",
-            AutoBatch::new().engine_name(),
+            "repro: bench smoke run ({engine_label} engine){}",
             compare_path
                 .as_deref()
                 .map(|p| format!(", gating against {p}"))
@@ -2439,8 +2544,9 @@ mod bench_cli {
         let measurements = measure_all();
         let rows = compare(&measurements, &committed, tolerance_pct);
 
-        let json_report = serde_json::to_string_pretty(&to_json(&measurements, &rows))
-            .expect("bench report serializes");
+        let json_report =
+            serde_json::to_string_pretty(&to_json(&measurements, &rows, engine_label))
+                .expect("bench report serializes");
         if let Some(path) = &save_json {
             std::fs::write(path, format!("{json_report}\n"))
                 .map_err(|e| (format!("cannot write {path}: {e}"), 1))?;
@@ -2448,7 +2554,10 @@ mod bench_cli {
         if json {
             println!("{json_report}");
         } else {
-            println!("{}", render_markdown(&measurements, &rows, tolerance_pct));
+            println!(
+                "{}",
+                render_markdown(&measurements, &rows, tolerance_pct, engine_label)
+            );
         }
 
         let regressions: Vec<&CompareRow> = rows.iter().filter(|r| r.regressed).collect();

@@ -602,3 +602,152 @@ fn until_confident_is_byte_identical_across_worker_counts() {
         "--workers changed streaming output; parallelism must be result-neutral"
     );
 }
+
+/// Forcing an engine must never change *what* the bench suite measures —
+/// only how fast it runs. `RC4_ACCEL_FORCE=portable` and the unforced auto
+/// run emit the identical set of bench names (timings differ, the suite
+/// does not), and the JSON `engine` field faithfully reports the force.
+/// The per-engine rekey benches and the blocked dense-likelihood bench the
+/// CI perf smoke relies on are pinned by name here.
+#[test]
+fn bench_engine_force_is_suite_neutral_and_reported() {
+    let bench_json = |force: Option<&str>| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+        cmd.args(["bench", "--json"]).env("REPRO_BENCH_FAST", "1");
+        if let Some(engine) = force {
+            cmd.env("RC4_ACCEL_FORCE", engine);
+        } else {
+            cmd.env_remove("RC4_ACCEL_FORCE");
+        }
+        let output = cmd.output().expect("repro binary runs");
+        assert!(output.status.success(), "{}", stderr(&output));
+        serde_json::from_str::<serde::Value>(&stdout(&output)).expect("bench JSON parses")
+    };
+    let names_of = |report: &serde::Value| -> Vec<String> {
+        let serde::Value::Array(benches) = report.field("benches").expect("benches array").clone()
+        else {
+            panic!("`benches` is not an array");
+        };
+        let mut names: Vec<String> = benches
+            .iter()
+            .map(|b| match b.field("bench") {
+                Ok(serde::Value::Str(name)) => name.clone(),
+                other => panic!("bench entry without name: {other:?}"),
+            })
+            .collect();
+        names.sort();
+        names
+    };
+
+    let auto = bench_json(None);
+    let forced = bench_json(Some("portable"));
+    assert_eq!(
+        names_of(&auto),
+        names_of(&forced),
+        "forcing an engine changed the bench suite itself"
+    );
+    match forced.field("engine") {
+        Ok(serde::Value::Str(engine)) => assert_eq!(engine, "portable"),
+        other => panic!("forced run lacks a top-level engine field: {other:?}"),
+    }
+    // Auto resolves to *some* real engine name (never empty, never "auto").
+    match auto.field("engine") {
+        Ok(serde::Value::Str(engine)) => {
+            assert!(
+                !engine.is_empty() && engine != "auto",
+                "engine = {engine:?}"
+            )
+        }
+        other => panic!("auto run lacks a top-level engine field: {other:?}"),
+    }
+
+    // The CI perf smoke asserts these exact names; keep them pinned.
+    let names = names_of(&auto);
+    assert!(
+        names.iter().any(|n| n == "rc4_batch_rekey/256x68/portable"),
+        "missing per-engine rekey bench: {names:?}"
+    );
+    assert!(
+        names
+            .iter()
+            .any(|n| n == "recovery_likelihood/dense_512c_65536"),
+        "missing blocked dense-likelihood bench: {names:?}"
+    );
+}
+
+/// `repro bench --engine <name>` rejects unknown engines with exit 2 and
+/// lists the valid choices; the same contract applies to a bogus
+/// `RC4_ACCEL_FORCE` already in the environment (clean exit 2, no panic).
+#[test]
+fn bench_engine_flag_rejects_unknown_engines_listing_choices() {
+    let output = repro(&["bench", "--engine", "sse9"]);
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    assert!(
+        stderr(&output).contains("choices: auto, avx512, avx2, neon, portable"),
+        "{}",
+        stderr(&output)
+    );
+
+    let env_bogus = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["bench"])
+        .env("REPRO_BENCH_FAST", "1")
+        .env("RC4_ACCEL_FORCE", "quantum")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(env_bogus.status.code(), Some(2), "{}", stderr(&env_bogus));
+    assert!(
+        stderr(&env_bogus).contains("RC4_ACCEL_FORCE"),
+        "{}",
+        stderr(&env_bogus)
+    );
+}
+
+/// Multi-core speedup proof: `--workers 4` must keep the pool busy enough
+/// that the utilization-implied speedup W*busy/(busy+idle) clears 1.7x.
+/// The busy/idle split comes from the `exec.worker_busy_us` /
+/// `exec.worker_idle_us` counters in the `--metrics-out` snapshot. On
+/// machines with fewer than 4 cores the threads time-slice one CPU and the
+/// ratio says nothing about the pool, so the assertion is skipped with an
+/// explicit notice.
+#[test]
+fn workers_four_implies_multicore_speedup_from_pool_utilization() {
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let metrics_path =
+        std::env::temp_dir().join(format!("repro-metrics-speedup-{}.json", std::process::id()));
+    let output = repro(&[
+        "run",
+        "fig7",
+        "--scale",
+        "quick",
+        "--workers",
+        "4",
+        "--metrics-out",
+        metrics_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", stderr(&output));
+    let text = std::fs::read_to_string(&metrics_path).expect("metrics snapshot written");
+    let _ = std::fs::remove_file(&metrics_path);
+    let snapshot: serde::Value = serde_json::from_str(&text).expect("metrics JSON parses");
+    let counter = |name: &str| -> f64 {
+        match snapshot.field("counters").and_then(|c| c.field(name)) {
+            Ok(serde::Value::UInt(v)) => *v as f64,
+            other => panic!("counter {name} missing from snapshot: {other:?}"),
+        }
+    };
+    let busy = counter("exec.worker_busy_us");
+    let idle = counter("exec.worker_idle_us");
+    assert!(busy > 0.0, "workers recorded no busy time");
+    let implied_speedup = 4.0 * busy / (busy + idle);
+    if nproc < 4 {
+        eprintln!(
+            "SKIP: multi-core speedup assertion needs >= 4 cores (have {nproc}); \
+             measured utilization-implied speedup {implied_speedup:.2}x for the record"
+        );
+        return;
+    }
+    assert!(
+        implied_speedup >= 1.7,
+        "utilization-implied speedup {implied_speedup:.2}x < 1.7x \
+         (busy {busy}us, idle {idle}us at --workers 4)"
+    );
+}

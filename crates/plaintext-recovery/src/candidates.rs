@@ -163,25 +163,41 @@ pub fn generate_candidates_with_exec(
 
     // Reconstruct the candidate strings by walking the backpointers. Each
     // rank walks independently, so ranks are reconstructed in parallel
-    // chunks and concatenated in rank order.
+    // chunks and concatenated in rank order. Within a chunk, the walk is
+    // level-synchronous over blocks of ranks: one rank's walk is a serial
+    // pointer chase (`r -> steps[pos][r].0`), but a block of 64 ranks
+    // advanced one position level at a time gives the core 64 independent
+    // chase chains to overlap and touches each level's step table with
+    // spatial locality instead of re-streaming it per rank. The per-rank
+    // data read is unchanged, so the output is identical to the rank-at-a-
+    // time walk for any worker count.
+    const BLOCK: usize = 64;
     let ranks = prev_scores.len();
     let chunk = exec.chunk_len_for(ranks);
     let rank_chunks: Vec<usize> = (0..ranks).step_by(chunk).collect();
     let chunks: Vec<Vec<Candidate>> = exec
         .map(rank_chunks, |_, first| {
-            let mut out = Vec::with_capacity(chunk.min(ranks - first));
-            for (rank, &score) in prev_scores.iter().enumerate().skip(first).take(chunk) {
-                let mut bytes = vec![0u8; likelihoods.len()];
-                let mut r = rank;
-                for (pos, step) in steps.iter().enumerate().rev() {
-                    let (prev_rank, vi) = step[r];
-                    bytes[pos] = alphabet[vi as usize];
-                    r = prev_rank as usize;
-                }
-                out.push(Candidate {
-                    plaintext: bytes,
+            let count = chunk.min(ranks - first);
+            let mut out: Vec<Candidate> = prev_scores[first..first + count]
+                .iter()
+                .map(|&score| Candidate {
+                    plaintext: vec![0u8; likelihoods.len()],
                     log_likelihood: score,
-                });
+                })
+                .collect();
+            let mut cur = [0usize; BLOCK];
+            for block_start in (0..count).step_by(BLOCK) {
+                let b = BLOCK.min(count - block_start);
+                for (slot, c) in cur[..b].iter_mut().enumerate() {
+                    *c = first + block_start + slot;
+                }
+                for (pos, step) in steps.iter().enumerate().rev() {
+                    for (slot, c) in cur[..b].iter_mut().enumerate() {
+                        let (prev_rank, vi) = step[*c];
+                        out[block_start + slot].plaintext[pos] = alphabet[vi as usize];
+                        *c = prev_rank as usize;
+                    }
+                }
             }
             Ok::<_, RecoveryError>(out)
         })

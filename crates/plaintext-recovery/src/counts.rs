@@ -226,6 +226,19 @@ impl DifferentialCounts {
     }
 }
 
+/// Widens a count table to `f64` in one contiguous blocked pass.
+///
+/// The likelihood builders score candidates with fused multiply-free
+/// `count * delta` accumulation over 256-slot rows (see
+/// `rc4_accel::score::xor_mul_add_256`); converting the `u64` counts up front
+/// keeps that hot loop free of per-element `u64 → f64` conversions and lets
+/// the compiler turn this single pass into packed conversion instructions.
+/// `u64 → f64` is exact for every realistic ciphertext volume (counts below
+/// 2^53).
+pub fn widen_counts(counts: &[u64]) -> Vec<f64> {
+    counts.iter().map(|&n| n as f64).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +290,15 @@ mod tests {
         assert_eq!(c.count(0x03, 0x07), 1);
         assert_eq!(c.ciphertexts(), 1);
         assert_eq!(c.gap(), 1);
+    }
+
+    #[test]
+    fn widen_counts_is_exact() {
+        let counts = vec![0u64, 1, 977, 1 << 52];
+        assert_eq!(
+            widen_counts(&counts),
+            vec![0.0, 1.0, 977.0, (1u64 << 52) as f64]
+        );
     }
 
     #[test]

@@ -46,9 +46,9 @@ impl SingleLikelihoods {
         Self::from_counts_with_exec(ciphertext_counts, keystream_probs, &Executor::serial())
     }
 
-    /// [`SingleLikelihoods::from_counts`] on an explicit executor: candidate
-    /// values are scored in parallel chunks. Every candidate's accumulation
-    /// order is independent of the chunking, so the result is bit-identical
+    /// [`SingleLikelihoods::from_counts`] on an explicit executor. The 256
+    /// candidates form a single blocked row (too small to shard), so the
+    /// executor only contributes cancellation; the result is bit-identical
     /// for any worker count (including the serial wrapper).
     ///
     /// # Errors
@@ -70,16 +70,18 @@ impl SingleLikelihoods {
             .map(|&p| p.max(1e-300).ln())
             .collect();
         let mut log = vec![0.0f64; 256];
-        exec.chunked(&mut log, exec.chunk_len_for(256), |_, start, chunk| {
-            for (off, slot) in chunk.iter_mut().enumerate() {
-                let mu = start + off;
-                let mut acc = 0.0;
-                for (c, &n) in ciphertext_counts.iter().enumerate() {
-                    if n > 0 {
-                        acc += n as f64 * log_p[c ^ mu];
-                    }
+        // One 256-slot row: the work is blocked per observed ciphertext value
+        // (`log[mu] += N[c] * ln p[c ^ mu]` for all mu at once), which is the
+        // SIMD-friendly `xor_mul_add_256` shape. Iterating `c` in ascending
+        // order as the outer loop gives every slot the exact accumulation
+        // sequence of the old per-candidate inner loop, so results are
+        // bit-identical to the historical scalar path and independent of the
+        // worker count.
+        exec.chunked(&mut log, 256, |_, _, chunk| {
+            for (c, &n) in ciphertext_counts.iter().enumerate() {
+                if n > 0 {
+                    rc4_accel::score::xor_mul_add_256(chunk, &log_p, c as u8, n as f64);
                 }
-                *slot = acc;
             }
             Ok::<_, RecoveryError>(())
         })
@@ -205,19 +207,22 @@ impl PairLikelihoods {
             .map(|(idx, &n)| (idx >> 8, idx & 0xff, n as f64))
             .collect();
         let mut log = vec![0.0f64; 65536];
-        // Chunks are whole mu1 rows so the row's c1 XOR is hoisted per row.
+        // Chunks are whole mu1 rows; within a row, each non-zero count cell
+        // contributes `n * ln p[(c1^mu1), (c2^mu2)]` to all 256 mu2 slots at
+        // once — a blocked `xor_mul_add_256` over the `c1^mu1` row of the
+        // log-probability table. The cell list order is the per-slot
+        // accumulation order of the old per-candidate loop, so results stay
+        // bit-identical for any worker count.
         exec.chunked(
             &mut log,
             exec.chunk_len_for(256) * 256,
             |_, start, chunk| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let idx = start + off;
-                    let (mu1, mu2) = (idx >> 8, idx & 0xff);
-                    let mut acc = 0.0;
+                for (row_off, row) in chunk.chunks_mut(256).enumerate() {
+                    let mu1 = (start >> 8) + row_off;
                     for &(c1, c2, n) in &nonzero {
-                        acc += n * log_p[((c1 ^ mu1) << 8) | (c2 ^ mu2)];
+                        let log_p_row = &log_p[(c1 ^ mu1) << 8..][..256];
+                        rc4_accel::score::xor_mul_add_256(row, log_p_row, c2 as u8, n);
                     }
-                    *slot = acc;
                 }
                 Ok::<_, RecoveryError>(())
             },
@@ -293,8 +298,16 @@ impl PairLikelihoods {
         // Constant term |C| * ln(u) — identical for every candidate, kept so the
         // sparse and dense paths produce comparable absolute values.
         let base = total_ciphertexts as f64 * ln_u;
+        // Widened once so the hot loop is pure f64 multiply-adds; exact for
+        // counts below 2^53.
+        let counts_f64 = crate::counts::widen_counts(pair_counts);
         let mut log = vec![base; 65536];
-        // Chunks are whole mu1 rows so the row's c1 XOR is hoisted per row.
+        // Chunks are whole mu1 rows; per row, each biased cell adds
+        // `N[c1^mu1, k2^mu2] * (ln p - ln u)` to all 256 mu2 slots at once —
+        // a blocked `xor_mul_add_256` over the widened `c1^mu1` counts row.
+        // The cell-list order fixes every slot's accumulation sequence
+        // whatever the chunking, so the result is bit-identical for any
+        // worker count.
         exec.chunked(
             &mut log,
             exec.chunk_len_for(256) * 256,
@@ -302,14 +315,8 @@ impl PairLikelihoods {
                 for (row_off, row) in chunk.chunks_mut(256).enumerate() {
                     let mu1 = (start >> 8) + row_off;
                     for &(k1, k2, delta) in &cells {
-                        let c1 = k1 ^ mu1;
-                        let counts_row = &pair_counts[c1 << 8..(c1 << 8) + 256];
-                        for (mu2, slot) in row.iter_mut().enumerate() {
-                            let n = counts_row[k2 ^ mu2];
-                            if n > 0 {
-                                *slot += n as f64 * delta;
-                            }
-                        }
+                        let counts_row = &counts_f64[(k1 ^ mu1) << 8..][..256];
+                        rc4_accel::score::xor_mul_add_256(row, counts_row, k2 as u8, delta);
                     }
                 }
                 Ok::<_, RecoveryError>(())
@@ -383,6 +390,29 @@ impl PairLikelihoods {
         for (a, b) in self.log.iter_mut().zip(&other.log) {
             *a += b;
         }
+    }
+
+    /// Adds a raw slice of 65536 log values in place (Eq. 25 without the
+    /// intermediate [`PairLikelihoods`]).
+    ///
+    /// Equivalent to `self.combine(&PairLikelihoods::from_log_values(..))` but
+    /// without cloning the 512 KiB vote table first — the slot order and the
+    /// per-slot addition are the same, so results are bit-identical to the
+    /// clone-then-combine path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError::InvalidInput`] if `log` is not 65536 long.
+    pub fn add_log_values(&mut self, log: &[f64]) -> Result<(), RecoveryError> {
+        if log.len() != 65536 {
+            return Err(RecoveryError::InvalidInput(
+                "expected 65536 log-likelihood values".into(),
+            ));
+        }
+        for (a, b) in self.log.iter_mut().zip(log) {
+            *a += b;
+        }
+        Ok(())
     }
 
     /// Marginalizes onto the first byte by taking, for each `mu1`, the maximum

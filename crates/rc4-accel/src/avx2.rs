@@ -1,0 +1,457 @@
+//! The AVX2 batched RC4 engine: 16 lanes across two ymm halves, gathered
+//! loads and scalar swap stores.
+//!
+//! # Layout
+//!
+//! Identical discipline to the AVX-512 engine one tier up: the 16
+//! permutations are interleaved as `u32` cells — `s[v * 16 + l]` is `S_l[v]`
+//! zero-extended — so row `v` of all lanes is one 64-byte line read as two ymm
+//! registers (lanes 0..8 and 8..16). Per PRGA round, per half:
+//!
+//! ```text
+//! row  = load  s[i]                  ; 1 aligned ymm load
+//! j    = (j + row) & 0xFF            ; vpaddd + vpand
+//! idx  = (j << 4) + lane_iota        ; element index of s[j][l]
+//! sj   = gather s[idx]               ; vpgatherdd
+//! s[idx[l]] <- s[i][l]  (per lane)   ; 8 scalar stores  (S[j] = S[i])
+//! store s[i] <- sj                   ; 1 ymm store      (S[i] = S[j])
+//! t    = (row + sj) & 0xFF
+//! out  = gather s[(t << 4) + iota]   ; vpgatherdd
+//! ```
+//!
+//! Running 16 lanes as two independent 8-lane halves is the point, not an
+//! accident: the RC4 round is a serial dependency chain (row load → `j`
+//! update → gather → swap stores → next row load), so an 8-lane ymm loop is
+//! latency-bound with most ports idle. Two interleaved chains let the
+//! out-of-order core overlap their gathers and nearly halve the per-key cost
+//! on the rekey-heavy shapes — the same reason the AVX-512 engine runs 16
+//! lanes. The halves never alias: lane `l` only ever touches table column
+//! `l`, so the low half (columns 0..8) and high half (columns 8..16) are
+//! disjoint and their relative order within a round is irrelevant.
+//!
+//! AVX2 has `vpgatherdd` but **no scatter**, so the `S[j] = S[i]` half of the
+//! swap is scalar stores through a spilled index vector. The ordering rules
+//! still mirror the portable and AVX-512 engines: the gather of `S[j]` runs
+//! *before* the scalar stores (a lane with `j == i` must read the pre-swap
+//! value it is about to overwrite), the scalar stores read the row values
+//! straight out of the still-unmodified row `i`, and the output gather runs
+//! after both halves of the swap are committed.
+//!
+//! # Safety
+//!
+//! The unsafe surface is exactly: (a) calling `#[target_feature(avx2)]`
+//! functions, guarded by `is_x86_feature_detected!` at construction — the only
+//! way to obtain an [`Avx2Batch`]; (b) gather/load/store intrinsics and raw
+//! scalar stores whose addresses are provably in bounds: every row index is
+//! masked to `0..256` and lane offsets are `0..16`, so element indices stay
+//! within the 4096-element table, and output writes use byte offsets
+//! `l * len + pos` with `l < scheduled`, `pos < len`, both checked against
+//! `out.len() == scheduled * len` before the unsafe call.
+
+use std::arch::x86_64::*;
+
+use rc4::batch::{check_schedule, KeystreamBatch};
+use rc4::KeyError;
+
+/// Lane count of the AVX2 engine: two ymm halves of 8 `u32` slots each.
+pub const AVX2_LANES: usize = 16;
+
+const LANES: usize = AVX2_LANES;
+const HALF: usize = LANES / 2;
+const TABLE: usize = 256 * LANES;
+
+/// The two per-engine tables, 32-byte aligned so half-row loads/stores are
+/// aligned ymm accesses.
+#[repr(align(32))]
+#[derive(Debug, Clone)]
+struct Tables {
+    /// Lane-interleaved permutations, `u32`-widened: `s[v * 16 + l] = S_l[v]`.
+    s: [u32; TABLE],
+    /// Lane-interleaved expanded key rows; only the first `key_len` rows are
+    /// live after a `schedule` call.
+    kt: [u32; TABLE],
+}
+
+/// Batched RC4 over AVX2 gathers; 16 independent keystreams.
+///
+/// Construct through [`Avx2Batch::new`] (runtime feature detection) or use
+/// [`crate::AutoBatch`] to pick the best engine automatically. Streams are
+/// bit-identical to the scalar [`rc4::Prga`] per lane.
+#[derive(Debug, Clone)]
+pub struct Avx2Batch {
+    t: Box<Tables>,
+    /// Per-lane private index `j` (bottom 8 bits live), vector-resident
+    /// during fills.
+    j: [u32; LANES],
+    /// Shared public counter `i`.
+    i: u8,
+    /// Key length of the last schedule, for the expanded-key row cycle.
+    key_len: usize,
+    /// Lanes covered by the last `schedule` call.
+    scheduled: usize,
+}
+
+impl Avx2Batch {
+    /// Creates the engine if the running CPU supports AVX2.
+    ///
+    /// Returns `None` otherwise; the successful detection here is the safety
+    /// guarantee every later `unsafe` intrinsic call rests on.
+    pub fn new() -> Option<Self> {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return None;
+        }
+        Some(Self {
+            t: Box::new(Tables {
+                s: [0; TABLE],
+                kt: [0; TABLE],
+            }),
+            j: [0; LANES],
+            i: 0,
+            key_len: 1,
+            scheduled: 0,
+        })
+    }
+
+    /// Shared KSA entry: expand the keys into the transposed `kt` table, then
+    /// run the vector KSA.
+    fn schedule_impl(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        let n = check_schedule(keys, key_len, LANES)?;
+        // kt[r * 16 + l] = byte r of lane l's key (unused lanes repeat the
+        // last key so every lane always holds a valid scheduled state).
+        for lane in 0..LANES {
+            let key = &keys[lane.min(n - 1) * key_len..][..key_len];
+            for (r, &byte) in key.iter().enumerate() {
+                self.t.kt[r * LANES + lane] = u32::from(byte);
+            }
+        }
+        self.key_len = key_len;
+        self.scheduled = n;
+        // SAFETY: `new` verified avx2 on this CPU.
+        unsafe { self.ksa_avx2() };
+        Ok(())
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn ksa_avx2(&mut self) {
+        let s = self.t.s.as_mut_ptr();
+        let kt = self.t.kt.as_ptr();
+        let iota_lo = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        let iota_hi = _mm256_setr_epi32(8, 9, 10, 11, 12, 13, 14, 15);
+        let mask = _mm256_set1_epi32(0xFF);
+        // SAFETY: (covers every intrinsic and raw store in this block) `s`
+        // and `kt` are 4096 u32, 32-byte aligned; every row index is in
+        // 0..256 (i is a loop counter, j is masked with 0xFF, key row r
+        // cycles in 0..key_len <= 256), so element indices `row * 16 + lane`
+        // are < 4096 and dword addresses < 16 KiB past the base. avx2 was
+        // verified at construction.
+        unsafe {
+            for v in 0..256 {
+                let fill = _mm256_set1_epi32(v as i32);
+                _mm256_storeu_si256(s.add(v * LANES).cast(), fill);
+                _mm256_storeu_si256(s.add(v * LANES + HALF).cast(), fill);
+            }
+            let mut j_lo = _mm256_setzero_si256();
+            let mut j_hi = _mm256_setzero_si256();
+            let mut r = 0usize;
+            let mut idx_arr = [0u32; LANES];
+            let mut val_arr = [0u32; LANES];
+            // Row i lives in registers across iterations. The next row is
+            // loaded *before* this round's scalar swap stores — otherwise
+            // every round's row load stalls on 16 in-flight 4-byte stores
+            // (store-to-load forwarding cannot service a ymm load from
+            // scattered dword stores), serializing the whole KSA on the
+            // store buffer. The one lane a hoisted load can miss is a swap
+            // landing exactly on row i+1 (j == i+1), which is patched in
+            // registers from the known store value (row i) below.
+            let mut row_lo = _mm256_loadu_si256(s.cast_const().cast());
+            let mut row_hi = _mm256_loadu_si256(s.add(HALF).cast_const().cast());
+            for i in 0..256 {
+                let key_lo = _mm256_loadu_si256(kt.add(r * LANES).cast());
+                let key_hi = _mm256_loadu_si256(kt.add(r * LANES + HALF).cast());
+                r += 1;
+                if r == self.key_len {
+                    r = 0;
+                }
+                j_lo = _mm256_and_si256(
+                    _mm256_add_epi32(_mm256_add_epi32(j_lo, row_lo), key_lo),
+                    mask,
+                );
+                j_hi = _mm256_and_si256(
+                    _mm256_add_epi32(_mm256_add_epi32(j_hi, row_hi), key_hi),
+                    mask,
+                );
+                let idx_lo = _mm256_add_epi32(_mm256_slli_epi32(j_lo, 4), iota_lo);
+                let idx_hi = _mm256_add_epi32(_mm256_slli_epi32(j_hi, 4), iota_hi);
+                // Gather before the scalar scatter: a lane with j == i must
+                // read the value it is about to overwrite (swap-in-place
+                // semantics).
+                let sj_lo = _mm256_i32gather_epi32(s.cast_const().cast(), idx_lo, 4);
+                let sj_hi = _mm256_i32gather_epi32(s.cast_const().cast(), idx_hi, 4);
+                // Hoisted next-row load (i = 255 wraps to row 0; the value
+                // is discarded, the load just stays in bounds). Safe with
+                // respect to this round's stores: the S[i] = S[j] row store
+                // can never hit row i+1, and a swap store hits it only when
+                // j == i+1 — exactly the lanes patched here with the value
+                // those stores will write (S[i], still in registers).
+                let inext = (i + 1) & 0xFF;
+                let next = _mm256_set1_epi32(inext as i32);
+                let mut nrow_lo = _mm256_loadu_si256(s.add(inext * LANES).cast_const().cast());
+                let mut nrow_hi =
+                    _mm256_loadu_si256(s.add(inext * LANES + HALF).cast_const().cast());
+                nrow_lo = _mm256_blendv_epi8(nrow_lo, row_lo, _mm256_cmpeq_epi32(j_lo, next));
+                nrow_hi = _mm256_blendv_epi8(nrow_hi, row_hi, _mm256_cmpeq_epi32(j_hi, next));
+                _mm256_storeu_si256(idx_arr.as_mut_ptr().cast(), idx_lo);
+                _mm256_storeu_si256(idx_arr.as_mut_ptr().add(HALF).cast(), idx_hi);
+                _mm256_storeu_si256(val_arr.as_mut_ptr().cast(), row_lo);
+                _mm256_storeu_si256(val_arr.as_mut_ptr().add(HALF).cast(), row_hi);
+                // S[j] = S[i], one lane column at a time, values straight
+                // from the spilled row registers.
+                for (&e, &v) in idx_arr.iter().zip(val_arr.iter()) {
+                    *s.add(e as usize) = v;
+                }
+                _mm256_storeu_si256(s.add(i * LANES).cast(), sj_lo);
+                _mm256_storeu_si256(s.add(i * LANES + HALF).cast(), sj_hi);
+                row_lo = nrow_lo;
+                row_hi = nrow_hi;
+            }
+        }
+        self.j = [0; LANES];
+        self.i = 0;
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn fill_avx2(&mut self, out: &mut [u8], len: usize) {
+        let n = self.scheduled;
+        let s = self.t.s.as_mut_ptr();
+        let iota_lo = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        let iota_hi = _mm256_setr_epi32(8, 9, 10, 11, 12, 13, 14, 15);
+        let mask = _mm256_set1_epi32(0xFF);
+        // Output staging mirrors the AVX-512 engine: chunks accumulate into
+        // this small buffer at a fixed 256-byte lane stride and are then
+        // block-copied per lane, avoiding the stride-`len` L1 set aliasing of
+        // storing straight into the lane-major `out`.
+        const CHUNK: usize = 256;
+        let mut scratch = [0u8; LANES * CHUNK];
+
+        // SAFETY: (covers every intrinsic and raw store in this block) table
+        // element indices are `(v & 0xFF) * 16 + lane < 4096` as in
+        // `ksa_avx2`. Output stores write one dword per lane at byte offset
+        // `l * CHUNK + k` with `l < 16` and `k <= CHUNK - 4`, always inside
+        // `scratch`. avx2 was verified at construction.
+        unsafe {
+            let mut j_lo = _mm256_loadu_si256(self.j.as_ptr().cast());
+            let mut j_hi = _mm256_loadu_si256(self.j.as_ptr().add(HALF).cast());
+            let mut i = self.i as usize;
+            let mut idx_arr = [0u32; LANES];
+            let mut round = |i: usize, j_lo: &mut __m256i, j_hi: &mut __m256i| {
+                let row_lo = _mm256_loadu_si256(s.add(i * LANES).cast_const().cast());
+                let row_hi = _mm256_loadu_si256(s.add(i * LANES + HALF).cast_const().cast());
+                *j_lo = _mm256_and_si256(_mm256_add_epi32(*j_lo, row_lo), mask);
+                *j_hi = _mm256_and_si256(_mm256_add_epi32(*j_hi, row_hi), mask);
+                let idx_lo = _mm256_add_epi32(_mm256_slli_epi32(*j_lo, 4), iota_lo);
+                let idx_hi = _mm256_add_epi32(_mm256_slli_epi32(*j_hi, 4), iota_hi);
+                // Gather before the scalar scatter: swap-in-place for lanes
+                // with j == i.
+                let sj_lo = _mm256_i32gather_epi32(s.cast_const().cast(), idx_lo, 4);
+                let sj_hi = _mm256_i32gather_epi32(s.cast_const().cast(), idx_hi, 4);
+                _mm256_storeu_si256(idx_arr.as_mut_ptr().cast(), idx_lo);
+                _mm256_storeu_si256(idx_arr.as_mut_ptr().add(HALF).cast(), idx_hi);
+                for (l, &e) in idx_arr.iter().enumerate() {
+                    *s.add(e as usize) = *s.add(i * LANES + l);
+                }
+                _mm256_storeu_si256(s.add(i * LANES).cast(), sj_lo);
+                _mm256_storeu_si256(s.add(i * LANES + HALF).cast(), sj_hi);
+                // Both swap stores are committed, so the output gather needs
+                // no stale-row fix-up.
+                let t_lo = _mm256_and_si256(_mm256_add_epi32(row_lo, sj_lo), mask);
+                let t_hi = _mm256_and_si256(_mm256_add_epi32(row_hi, sj_hi), mask);
+                let tidx_lo = _mm256_add_epi32(_mm256_slli_epi32(t_lo, 4), iota_lo);
+                let tidx_hi = _mm256_add_epi32(_mm256_slli_epi32(t_hi, 4), iota_hi);
+                (
+                    _mm256_i32gather_epi32(s.cast_const().cast(), tidx_lo, 4),
+                    _mm256_i32gather_epi32(s.cast_const().cast(), tidx_hi, 4),
+                )
+            };
+
+            // Four rounds per group, accumulated little-endian into one
+            // dword per lane and spilled into the staging buffer — no
+            // per-byte stores, no transpose pass.
+            let mut acc_arr = [0u32; LANES];
+            let mut pos = 0usize;
+            while pos + 4 <= len {
+                let m = (len - pos) & !3;
+                let m = m.min(CHUNK);
+                let mut k = 0usize;
+                while k < m {
+                    i = (i + 1) & 0xFF;
+                    let (mut acc_lo, mut acc_hi) = round(i, &mut j_lo, &mut j_hi);
+                    i = (i + 1) & 0xFF;
+                    let (b_lo, b_hi) = round(i, &mut j_lo, &mut j_hi);
+                    acc_lo = _mm256_or_si256(acc_lo, _mm256_slli_epi32(b_lo, 8));
+                    acc_hi = _mm256_or_si256(acc_hi, _mm256_slli_epi32(b_hi, 8));
+                    i = (i + 1) & 0xFF;
+                    let (b_lo, b_hi) = round(i, &mut j_lo, &mut j_hi);
+                    acc_lo = _mm256_or_si256(acc_lo, _mm256_slli_epi32(b_lo, 16));
+                    acc_hi = _mm256_or_si256(acc_hi, _mm256_slli_epi32(b_hi, 16));
+                    i = (i + 1) & 0xFF;
+                    let (b_lo, b_hi) = round(i, &mut j_lo, &mut j_hi);
+                    acc_lo = _mm256_or_si256(acc_lo, _mm256_slli_epi32(b_lo, 24));
+                    acc_hi = _mm256_or_si256(acc_hi, _mm256_slli_epi32(b_hi, 24));
+                    _mm256_storeu_si256(acc_arr.as_mut_ptr().cast(), acc_lo);
+                    _mm256_storeu_si256(acc_arr.as_mut_ptr().add(HALF).cast(), acc_hi);
+                    for (l, &dword) in acc_arr.iter().enumerate() {
+                        scratch[l * CHUNK + k..l * CHUNK + k + 4]
+                            .copy_from_slice(&dword.to_le_bytes());
+                    }
+                    k += 4;
+                }
+                for lane in 0..n {
+                    out[lane * len + pos..][..m].copy_from_slice(&scratch[lane * CHUNK..][..m]);
+                }
+                pos += m;
+            }
+            // Tail positions one at a time through the spilled dwords.
+            while pos < len {
+                i = (i + 1) & 0xFF;
+                let (v_lo, v_hi) = round(i, &mut j_lo, &mut j_hi);
+                _mm256_storeu_si256(acc_arr.as_mut_ptr().cast(), v_lo);
+                _mm256_storeu_si256(acc_arr.as_mut_ptr().add(HALF).cast(), v_hi);
+                for (lane, &dword) in acc_arr.iter().take(n).enumerate() {
+                    out[lane * len + pos] = dword as u8;
+                }
+                pos += 1;
+            }
+
+            _mm256_storeu_si256(self.j.as_mut_ptr().cast(), j_lo);
+            _mm256_storeu_si256(self.j.as_mut_ptr().add(HALF).cast(), j_hi);
+            self.i = i as u8;
+        }
+    }
+}
+
+impl KeystreamBatch for Avx2Batch {
+    fn lanes(&self) -> usize {
+        LANES
+    }
+
+    fn scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    fn name(&self) -> &'static str {
+        "avx2"
+    }
+
+    fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        self.schedule_impl(keys, key_len)
+    }
+
+    fn fill(&mut self, out: &mut [u8], len: usize) {
+        assert_eq!(
+            out.len(),
+            self.scheduled * len,
+            "output buffer must hold len bytes per scheduled lane"
+        );
+        if len == 0 {
+            return;
+        }
+        // SAFETY: the engine only exists if avx2 was detected, and the
+        // buffer-shape assertions above establish the bounds the output
+        // offsets rely on.
+        unsafe { self.fill_avx2(out, len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Option<Avx2Batch> {
+        Avx2Batch::new()
+    }
+
+    fn test_keys(n: usize, key_len: usize) -> Vec<u8> {
+        (0..n * key_len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    fn scalar_reference(keys: &[u8], key_len: usize, len: usize) -> Vec<u8> {
+        keys.chunks_exact(key_len)
+            .flat_map(|key| rc4::keystream(key, len).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_full_batch() {
+        let Some(mut engine) = engine() else { return };
+        for key_len in [3usize, 5, 16, 31, 256] {
+            let keys = test_keys(LANES, key_len);
+            engine.schedule(&keys, key_len).unwrap();
+            let mut out = vec![0u8; LANES * 300];
+            engine.fill(&mut out, 300);
+            assert_eq!(
+                out,
+                scalar_reference(&keys, key_len, 300),
+                "key_len {key_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_scalar_partial_batch_and_tails() {
+        let Some(mut engine) = engine() else { return };
+        // Partial batches crossing the half boundary, stream lengths not a
+        // multiple of the 4-byte output group.
+        for lanes in [5usize, 9, 13] {
+            let keys = test_keys(lanes, 16);
+            engine.schedule(&keys, 16).unwrap();
+            assert_eq!(engine.scheduled(), lanes);
+            for len in [1usize, 2, 3, 5, 67, 70] {
+                engine.schedule(&keys, 16).unwrap();
+                let mut out = vec![0u8; lanes * len];
+                engine.fill(&mut out, len);
+                assert_eq!(
+                    out,
+                    scalar_reference(&keys, 16, len),
+                    "lanes {lanes} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fills_continue_streams() {
+        let Some(mut engine) = engine() else { return };
+        let keys = test_keys(LANES, 16);
+        engine.schedule(&keys, 16).unwrap();
+        let mut head = vec![0u8; LANES * 13];
+        let mut tail = vec![0u8; LANES * 29];
+        engine.fill(&mut head, 13);
+        engine.fill(&mut tail, 29);
+        let whole = scalar_reference(&keys, 16, 42);
+        for lane in 0..LANES {
+            assert_eq!(&head[lane * 13..(lane + 1) * 13], &whole[lane * 42..][..13]);
+            assert_eq!(
+                &tail[lane * 29..(lane + 1) * 29],
+                &whole[lane * 42 + 13..][..29]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_len_fill_is_a_no_op() {
+        let Some(mut engine) = engine() else { return };
+        let keys = test_keys(2, 16);
+        engine.schedule(&keys, 16).unwrap();
+        let mut empty: Vec<u8> = Vec::new();
+        engine.fill(&mut empty, 0);
+        let mut out = vec![0u8; 2 * 16];
+        engine.fill(&mut out, 16);
+        assert_eq!(out, scalar_reference(&keys, 16, 16));
+    }
+
+    #[test]
+    fn rejects_invalid_key_length() {
+        let Some(mut engine) = engine() else { return };
+        assert!(engine.schedule(&[0u8; 257], 257).is_err());
+    }
+}

@@ -250,6 +250,10 @@ impl KeystreamBatch for Avx512Batch {
         self.scheduled
     }
 
+    fn name(&self) -> &'static str {
+        "avx512"
+    }
+
     fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
         self.schedule_impl(keys, key_len)
     }

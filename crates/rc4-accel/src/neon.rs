@@ -1,0 +1,322 @@
+//! The NEON batched RC4 engine: 4 lanes, vector index math, scalar gathers.
+//!
+//! # Layout
+//!
+//! Same discipline as the x86 engines: the 4 permutations are interleaved as
+//! `u32` cells — `s[v * 4 + l]` is `S_l[v]` zero-extended — so row `v` of all
+//! lanes is one 16-byte q register. AArch64 NEON has no gather or scatter, so
+//! the data-dependent halves of the round are scalar through a spilled index
+//! vector, while the index arithmetic (`j` update, `t` computation) and the
+//! row load/store run as 128-bit vector operations:
+//!
+//! ```text
+//! row  = vld1q  s[i]                ; 1 q load
+//! j    = (j + row) & 0xFF           ; vaddq_u32 + vandq_u32
+//! spill j -> j_arr                  ; vst1q
+//! sj[l] = s[j_arr[l]*4 + l]         ; 4 scalar loads   (gather)
+//! s[j_arr[l]*4 + l] = s[i*4 + l]    ; 4 scalar stores  (S[j] = S[i])
+//! vst1q s[i] <- sj                  ; 1 q store        (S[i] = S[j])
+//! t    = (row + sj) & 0xFF          ; vaddq_u32 + vandq_u32
+//! out[l] = s[t_arr[l]*4 + l]        ; 4 scalar loads
+//! ```
+//!
+//! The ordering rules mirror the other engines: the scalar gather of `S[j]`
+//! runs before the scalar stores (a lane with `j == i` must read the pre-swap
+//! value), the stores read row `i` before it is overwritten, and the output
+//! gather runs after both halves of the swap are committed. Four independent
+//! scalar load chains per round give the out-of-order core the memory-level
+//! parallelism one chained scalar stream cannot.
+//!
+//! This module only compiles on `aarch64`; [`crate::AutoBatch`] selects it
+//! there (NEON is a baseline aarch64 feature) and the cross-engine
+//! differential tests in `tests/differential.rs` pin it against the scalar
+//! reference on ARM hosts.
+//!
+//! # Safety
+//!
+//! The unsafe surface is exactly: (a) calling `#[target_feature(neon)]`
+//! functions, guarded by `is_aarch64_feature_detected!` at construction;
+//! (b) `vld1q`/`vst1q` and raw scalar accesses whose addresses are provably
+//! in bounds: every row index is masked to `0..256` and lane offsets are
+//! `0..4`, so element indices stay within the 1024-element table.
+
+use std::arch::aarch64::*;
+
+use rc4::batch::{check_schedule, KeystreamBatch};
+use rc4::KeyError;
+
+/// Lane count of the NEON engine: one `u32` element per q-register slot.
+pub const NEON_LANES: usize = 4;
+
+const LANES: usize = NEON_LANES;
+const TABLE: usize = 256 * LANES;
+
+/// The two per-engine tables, 16-byte aligned so row loads/stores are aligned
+/// q-register accesses.
+#[repr(align(16))]
+#[derive(Debug, Clone)]
+struct Tables {
+    /// Lane-interleaved permutations, `u32`-widened: `s[v * 4 + l] = S_l[v]`.
+    s: [u32; TABLE],
+    /// Lane-interleaved expanded key rows; only the first `key_len` rows are
+    /// live after a `schedule` call.
+    kt: [u32; TABLE],
+}
+
+/// Batched RC4 over NEON index math; 4 independent keystreams.
+///
+/// Construct through [`NeonBatch::new`] (runtime feature detection) or use
+/// [`crate::AutoBatch`] to pick the best engine automatically. Streams are
+/// bit-identical to the scalar [`rc4::Prga`] per lane.
+#[derive(Debug, Clone)]
+pub struct NeonBatch {
+    t: Box<Tables>,
+    /// Per-lane private index `j` (bottom 8 bits live).
+    j: [u32; LANES],
+    /// Shared public counter `i`.
+    i: u8,
+    /// Key length of the last schedule, for the expanded-key row cycle.
+    key_len: usize,
+    /// Lanes covered by the last `schedule` call.
+    scheduled: usize,
+}
+
+impl NeonBatch {
+    /// Creates the engine if the running CPU supports NEON (always true on
+    /// aarch64 Linux, but the check keeps the safety argument local).
+    pub fn new() -> Option<Self> {
+        if !std::arch::is_aarch64_feature_detected!("neon") {
+            return None;
+        }
+        Some(Self {
+            t: Box::new(Tables {
+                s: [0; TABLE],
+                kt: [0; TABLE],
+            }),
+            j: [0; LANES],
+            i: 0,
+            key_len: 1,
+            scheduled: 0,
+        })
+    }
+
+    /// Shared KSA entry: expand the keys into the transposed `kt` table, then
+    /// run the vector KSA.
+    fn schedule_impl(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        let n = check_schedule(keys, key_len, LANES)?;
+        // kt[r * 4 + l] = byte r of lane l's key (unused lanes repeat the
+        // last key so every lane always holds a valid scheduled state).
+        for lane in 0..LANES {
+            let key = &keys[lane.min(n - 1) * key_len..][..key_len];
+            for (r, &byte) in key.iter().enumerate() {
+                self.t.kt[r * LANES + lane] = u32::from(byte);
+            }
+        }
+        self.key_len = key_len;
+        self.scheduled = n;
+        // SAFETY: `new` verified neon on this CPU.
+        unsafe { self.ksa_neon() };
+        Ok(())
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn ksa_neon(&mut self) {
+        let s = self.t.s.as_mut_ptr();
+        let kt = self.t.kt.as_ptr();
+        // SAFETY: (covers every intrinsic and raw access in this block) `s`
+        // and `kt` are 1024 u32, 16-byte aligned; every row index is in
+        // 0..256 (i is a loop counter, j is masked with 0xFF, key row r
+        // cycles in 0..key_len <= 256), so element indices `row * 4 + lane`
+        // are < 1024. neon was verified at construction.
+        unsafe {
+            for v in 0..256u32 {
+                vst1q_u32(s.add(v as usize * LANES), vdupq_n_u32(v));
+            }
+            let mask = vdupq_n_u32(0xFF);
+            let mut j = vdupq_n_u32(0);
+            let mut r = 0usize;
+            let mut j_arr = [0u32; LANES];
+            for i in 0..256 {
+                let row = vld1q_u32(s.add(i * LANES).cast_const());
+                let key_row = vld1q_u32(kt.add(r * LANES));
+                r += 1;
+                if r == self.key_len {
+                    r = 0;
+                }
+                j = vandq_u32(vaddq_u32(vaddq_u32(j, row), key_row), mask);
+                vst1q_u32(j_arr.as_mut_ptr(), j);
+                // Gather before the scalar scatter: a lane with j == i must
+                // read the value it is about to overwrite.
+                let mut sj = [0u32; LANES];
+                for (l, slot) in sj.iter_mut().enumerate() {
+                    *slot = *s.add(j_arr[l] as usize * LANES + l);
+                }
+                for (l, &jl) in j_arr.iter().enumerate() {
+                    *s.add(jl as usize * LANES + l) = *s.add(i * LANES + l);
+                }
+                vst1q_u32(s.add(i * LANES), vld1q_u32(sj.as_ptr()));
+            }
+        }
+        self.j = [0; LANES];
+        self.i = 0;
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn fill_neon(&mut self, out: &mut [u8], len: usize) {
+        let n = self.scheduled;
+        let s = self.t.s.as_mut_ptr();
+        // Output staging mirrors the x86 engines: chunks accumulate at a
+        // fixed 256-byte lane stride and are block-copied per lane.
+        const CHUNK: usize = 256;
+        let mut scratch = [0u8; LANES * CHUNK];
+
+        // SAFETY: (covers every intrinsic and raw access in this block)
+        // table element indices are `(v & 0xFF) * 4 + lane < 1024` as in
+        // `ksa_neon`; scratch writes are at `l * CHUNK + k` with `l < 4`,
+        // `k < CHUNK`. neon was verified at construction.
+        unsafe {
+            let mask = vdupq_n_u32(0xFF);
+            let mut j = vld1q_u32(self.j.as_ptr());
+            let mut i = self.i as usize;
+            let mut j_arr = [0u32; LANES];
+            let mut t_arr = [0u32; LANES];
+            let mut round = |i: usize, j: &mut uint32x4_t| -> [u32; LANES] {
+                let row = vld1q_u32(s.add(i * LANES).cast_const());
+                *j = vandq_u32(vaddq_u32(*j, row), mask);
+                vst1q_u32(j_arr.as_mut_ptr(), *j);
+                // Gather before the scalar scatter: swap-in-place for lanes
+                // with j == i.
+                let mut sj = [0u32; LANES];
+                for (l, slot) in sj.iter_mut().enumerate() {
+                    *slot = *s.add(j_arr[l] as usize * LANES + l);
+                }
+                for (l, &jl) in j_arr.iter().enumerate() {
+                    *s.add(jl as usize * LANES + l) = *s.add(i * LANES + l);
+                }
+                let sjv = vld1q_u32(sj.as_ptr());
+                vst1q_u32(s.add(i * LANES), sjv);
+                // Both swap stores are committed before the output gather.
+                let t = vandq_u32(vaddq_u32(row, sjv), mask);
+                vst1q_u32(t_arr.as_mut_ptr(), t);
+                let mut outv = [0u32; LANES];
+                for (l, slot) in outv.iter_mut().enumerate() {
+                    *slot = *s.add(t_arr[l] as usize * LANES + l);
+                }
+                outv
+            };
+
+            let mut pos = 0usize;
+            while pos < len {
+                let m = (len - pos).min(CHUNK);
+                for k in 0..m {
+                    i = (i + 1) & 0xFF;
+                    let v = round(i, &mut j);
+                    for (l, &word) in v.iter().enumerate() {
+                        scratch[l * CHUNK + k] = word as u8;
+                    }
+                }
+                for lane in 0..n {
+                    out[lane * len + pos..][..m].copy_from_slice(&scratch[lane * CHUNK..][..m]);
+                }
+                pos += m;
+            }
+
+            vst1q_u32(self.j.as_mut_ptr(), j);
+            self.i = i as u8;
+        }
+    }
+}
+
+impl KeystreamBatch for NeonBatch {
+    fn lanes(&self) -> usize {
+        LANES
+    }
+
+    fn scheduled(&self) -> usize {
+        self.scheduled
+    }
+
+    fn name(&self) -> &'static str {
+        "neon"
+    }
+
+    fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
+        self.schedule_impl(keys, key_len)
+    }
+
+    fn fill(&mut self, out: &mut [u8], len: usize) {
+        assert_eq!(
+            out.len(),
+            self.scheduled * len,
+            "output buffer must hold len bytes per scheduled lane"
+        );
+        if len == 0 {
+            return;
+        }
+        // SAFETY: the engine only exists if neon was detected, and the
+        // buffer-shape assertions above establish the bounds the output
+        // offsets rely on.
+        unsafe { self.fill_neon(out, len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_keys(n: usize, key_len: usize) -> Vec<u8> {
+        (0..n * key_len).map(|i| (i * 131 + 7) as u8).collect()
+    }
+
+    fn scalar_reference(keys: &[u8], key_len: usize, len: usize) -> Vec<u8> {
+        keys.chunks_exact(key_len)
+            .flat_map(|key| rc4::keystream(key, len).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_full_and_partial_batches() {
+        let Some(mut engine) = NeonBatch::new() else {
+            return;
+        };
+        for key_len in [3usize, 16, 256] {
+            let keys = test_keys(LANES, key_len);
+            engine.schedule(&keys, key_len).unwrap();
+            let mut out = vec![0u8; LANES * 300];
+            engine.fill(&mut out, 300);
+            assert_eq!(
+                out,
+                scalar_reference(&keys, key_len, 300),
+                "key_len {key_len}"
+            );
+        }
+        let keys = test_keys(3, 16);
+        for len in [1usize, 5, 67] {
+            engine.schedule(&keys, 16).unwrap();
+            let mut out = vec![0u8; 3 * len];
+            engine.fill(&mut out, len);
+            assert_eq!(out, scalar_reference(&keys, 16, len), "len {len}");
+        }
+    }
+
+    #[test]
+    fn chunked_fills_continue_streams() {
+        let Some(mut engine) = NeonBatch::new() else {
+            return;
+        };
+        let keys = test_keys(LANES, 16);
+        engine.schedule(&keys, 16).unwrap();
+        let mut head = vec![0u8; LANES * 13];
+        let mut tail = vec![0u8; LANES * 29];
+        engine.fill(&mut head, 13);
+        engine.fill(&mut tail, 29);
+        let whole = scalar_reference(&keys, 16, 42);
+        for lane in 0..LANES {
+            assert_eq!(&head[lane * 13..(lane + 1) * 13], &whole[lane * 42..][..13]);
+            assert_eq!(
+                &tail[lane * 29..(lane + 1) * 29],
+                &whole[lane * 42 + 13..][..29]
+            );
+        }
+    }
+}

@@ -79,6 +79,12 @@ pub trait KeystreamBatch {
     /// Number of lanes rekeyed by the last [`KeystreamBatch::schedule`] call.
     fn scheduled(&self) -> usize;
 
+    /// Short stable engine name for logs, bench labels and perf records
+    /// (e.g. `"scalar"`, `"portable"`, `"avx2"`). Names identify the
+    /// *implementation*, so two engines with the same name must produce
+    /// identical instruction-level strategies.
+    fn name(&self) -> &'static str;
+
     /// Rekeys lanes `0..keys.len() / key_len` from a flat lane-major buffer.
     ///
     /// # Errors
@@ -163,6 +169,10 @@ impl KeystreamBatch for ScalarBatch {
         self.prgas.len()
     }
 
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
     fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {
         check_schedule(keys, key_len, self.lanes)?;
         self.prgas.clear();
@@ -234,6 +244,10 @@ impl<const N: usize> KeystreamBatch for InterleavedBatch<N> {
 
     fn scheduled(&self) -> usize {
         self.scheduled
+    }
+
+    fn name(&self) -> &'static str {
+        "portable"
     }
 
     fn schedule(&mut self, keys: &[u8], key_len: usize) -> Result<(), KeyError> {

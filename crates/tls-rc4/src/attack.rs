@@ -284,14 +284,18 @@ impl CookieStatistics {
                 combined = Some(fm_lik);
             }
             if config.use_absab {
-                let absab_lik = PairLikelihoods::from_log_values(self.absab_votes[t].clone())
-                    .map_err(recovery_error)?;
                 combined = Some(match combined {
+                    // Fold the vote table straight into the FM likelihoods:
+                    // same per-slot addition as clone-then-combine (bit-
+                    // identical) without materializing a 512 KiB copy per
+                    // transition.
                     Some(mut c) => {
-                        c.combine(&absab_lik);
+                        c.add_log_values(&self.absab_votes[t])
+                            .map_err(recovery_error)?;
                         c
                     }
-                    None => absab_lik,
+                    None => PairLikelihoods::from_log_values(self.absab_votes[t].clone())
+                        .map_err(recovery_error)?,
                 });
             }
             Ok(combined.expect("at least one family enabled"))
